@@ -1,0 +1,54 @@
+// Ablation — merge topology: the paper's single-reducer merge vs tree merge.
+//
+// Fig. 6 shows the Reduce phase refusing to scale: Algorithm 1 funnels every
+// local-skyline point into one reducer. The tree merge (merge_fan_in >= 2)
+// combines `fan_in` partitions per reducer per round, paying one extra job
+// startup per round for a parallel merge. This bench sweeps the fan-in and
+// prints where the trade pays off.
+#include <iostream>
+
+#include "bench/support.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/table.hpp"
+
+using namespace mrsky;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("cardinality", 100000));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 10));
+  const auto servers = static_cast<std::size_t>(args.get_int("servers", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
+
+  std::cout << "Ablation — merge topology (0 = paper's single reducer)\n"
+            << "N=" << n << ", d=" << dim << ", MR-Angle, cluster=" << servers
+            << " servers\n\n";
+
+  const auto ps = bench::qws_workload(n, dim, seed);
+  common::Table table({"fan_in", "merge_rounds", "merge_reduce_work_max", "map_s", "reduce_s",
+                       "startup_s", "total_s"});
+  for (std::size_t fan_in : {0u, 2u, 4u, 8u}) {
+    core::MRSkylineConfig config;
+    config.scheme = part::Scheme::kAngular;
+    config.merge_fan_in = fan_in;
+    const auto cell = bench::run_cell(ps, config, servers);
+    // Largest single merge-reduce task (the serial bottleneck).
+    std::uint64_t max_task_work = 0;
+    for (const auto& round : cell.run.merge_rounds) {
+      for (const auto& task : round.reduce_tasks) {
+        max_task_work = std::max(max_task_work, task.work_units);
+      }
+    }
+    table.add_row({fan_in == 0 ? "single" : common::Table::fmt(fan_in),
+                   common::Table::fmt(cell.run.merge_rounds.size()),
+                   common::Table::fmt(max_task_work),
+                   common::Table::fmt(cell.times.map_seconds, 2),
+                   common::Table::fmt(cell.times.reduce_seconds, 2),
+                   common::Table::fmt(cell.times.startup_seconds, 1),
+                   common::Table::fmt(cell.times.total_seconds(), 2)});
+  }
+  table.print(std::cout, "Merge-topology ablation");
+  std::cout << "\nExpected: tree merge shrinks the largest merge task; it wins on total\n"
+               "time once the merge work saved exceeds the extra job startups.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// MapReduce pipeline: dominance tests, the sequential skyline algorithms,
+// the hyperspherical transform, and partition assignment.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/support.hpp"
+#include "src/geometry/hyperspherical.hpp"
+#include "src/partition/angular.hpp"
+#include "src/partition/dimensional.hpp"
+#include "src/partition/grid.hpp"
+#include "src/spatial/bbs.hpp"
+#include "src/spatial/rtree.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/dominance.hpp"
+
+using namespace mrsky;
+
+namespace {
+
+data::PointSet workload(std::size_t n, std::size_t dim) {
+  return bench::qws_workload(n, dim, bench::kDefaultSeed);
+}
+
+void BM_DominanceTest(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto ps = workload(1024, dim);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool result = skyline::dominates(ps.point(i % 1024), ps.point((i + 511) % 1024));
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DominanceTest)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_CompareThreeWay(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto ps = workload(1024, dim);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto rel = skyline::compare(ps.point(i % 1024), ps.point((i + 511) % 1024));
+    benchmark::DoNotOptimize(rel);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompareThreeWay)->Arg(2)->Arg(10);
+
+template <skyline::Algorithm Algo>
+void BM_SkylineAlgorithm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto ps = workload(n, dim);
+  for (auto _ : state) {
+    auto sky = skyline::compute_skyline(ps, Algo);
+    benchmark::DoNotOptimize(sky);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SkylineAlgorithm<skyline::Algorithm::kBnl>)
+    ->ArgsProduct({{1000, 10000}, {4, 10}});
+BENCHMARK(BM_SkylineAlgorithm<skyline::Algorithm::kSfs>)
+    ->ArgsProduct({{1000, 10000}, {4, 10}});
+BENCHMARK(BM_SkylineAlgorithm<skyline::Algorithm::kDivideConquer>)
+    ->ArgsProduct({{1000, 10000}, {4, 10}});
+
+void BM_RTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ps = workload(n, 4);
+  for (auto _ : state) {
+    spatial::RTree tree(ps, 16);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_BbsSkyline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const auto ps = workload(n, dim);
+  const spatial::RTree tree(ps, 16);
+  for (auto _ : state) {
+    auto sky = spatial::bbs_skyline(tree);
+    benchmark::DoNotOptimize(sky);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BbsSkyline)->ArgsProduct({{1000, 10000}, {4, 10}});
+
+void BM_HypersphericalTransform(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto ps = workload(1024, dim);
+  std::vector<double> phi;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    geo::angles_of(ps.point(i % 1024), phi);
+    benchmark::DoNotOptimize(phi);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HypersphericalTransform)->Arg(2)->Arg(10);
+
+template <typename Partitioner>
+void BM_PartitionAssign(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto ps = workload(4096, dim);
+  Partitioner partitioner(16);
+  partitioner.fit(ps);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t p = partitioner.assign(ps.point(i % 4096));
+    benchmark::DoNotOptimize(p);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PartitionAssign<part::DimensionalPartitioner>)->Arg(10);
+BENCHMARK(BM_PartitionAssign<part::GridPartitioner>)->Arg(10);
+BENCHMARK(BM_PartitionAssign<part::AngularPartitioner>)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Shared helpers for the figure/ablation benchmark binaries.
+//
+// Every bench uses the same workload construction (QWS-like, normalised,
+// minimisation-oriented — the paper's dataset family) and the same
+// run-then-simulate wrapper, so tables across benches are comparable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/mr_skyline.hpp"
+#include "src/core/optimality.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/dataset/point_set.hpp"
+#include "src/mapreduce/cluster.hpp"
+
+namespace mrsky::bench {
+
+/// Default seed: all benches share it so tables line up across binaries.
+inline constexpr std::uint64_t kDefaultSeed = 2012;  // IPDPSW year
+
+/// The paper's workload: N QWS-like services, d attributes, normalised and
+/// cost-oriented.
+[[nodiscard]] data::PointSet qws_workload(std::size_t n, std::size_t dim, std::uint64_t seed);
+
+/// Classic benchmark distributions for the distribution ablation.
+[[nodiscard]] data::PointSet synthetic_workload(data::Distribution dist, std::size_t n,
+                                                std::size_t dim, std::uint64_t seed);
+
+/// One experiment cell: pipeline result + simulated phase times + Eq. 5.
+struct CellResult {
+  core::MRSkylineResult run;
+  mr::PhaseTimes times;
+  core::OptimalityReport optimality;
+};
+
+/// Runs the full two-job pipeline and simulates it on `servers` servers.
+[[nodiscard]] CellResult run_cell(const data::PointSet& ps, core::MRSkylineConfig config,
+                                  std::size_t servers);
+
+/// The three paper schemes in presentation order.
+[[nodiscard]] const std::vector<part::Scheme>& paper_schemes();
+
+/// Short display name used in tables: MR-Dim / MR-Grid / MR-Angle / ...
+[[nodiscard]] std::string display_name(part::Scheme scheme);
+
+}  // namespace mrsky::bench

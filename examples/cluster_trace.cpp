@@ -1,0 +1,81 @@
+// Cluster trace — Gantt view of the simulated MapReduce schedule.
+//
+// Runs the MR-Angle pipeline, traces the cluster simulator's LPT schedule,
+// and renders each phase as an ASCII Gantt chart (one row per slot). Also
+// shows what a straggling server does to the picture.
+//
+//   ./build/examples/cluster_trace [--services 50000] [--dim 8] [--servers 4]
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "src/common/cli.hpp"
+#include "src/core/mr_skyline.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+
+namespace {
+
+constexpr int kChartWidth = 64;
+
+void render_phase(const std::string& title, const mrsky::mr::PhaseSchedule& schedule) {
+  std::cout << "  " << title << " (makespan " << std::fixed << std::setprecision(2)
+            << schedule.makespan_seconds << "s)\n";
+  if (schedule.makespan_seconds <= 0.0) return;
+  static const char kGlyphs[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  for (std::size_t lane = 0; lane < schedule.lane_speeds.size(); ++lane) {
+    std::string row(kChartWidth, '.');
+    for (const auto& p : schedule.placements) {
+      if (p.lane != lane) continue;
+      const int from = static_cast<int>(p.start_seconds / schedule.makespan_seconds *
+                                        kChartWidth);
+      int to = static_cast<int>(p.end_seconds / schedule.makespan_seconds * kChartWidth);
+      to = std::min(to, kChartWidth - 1);
+      for (int c = from; c <= to; ++c) {
+        row[static_cast<std::size_t>(c)] = kGlyphs[p.task_index % (sizeof(kGlyphs) - 1)];
+      }
+    }
+    std::cout << "    lane " << std::setw(2) << lane << " (x" << std::setprecision(1)
+              << schedule.lane_speeds[lane] << ") |" << row << "|\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrsky;
+  const common::CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("services", 50000));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 8));
+  const auto servers = static_cast<std::size_t>(args.get_int("servers", 4));
+
+  data::QwsLikeGenerator gen(dim, 29);
+  const auto points = data::normalize_min_max(gen.generate_oriented(n));
+
+  core::MRSkylineConfig config;
+  config.scheme = part::Scheme::kAngular;
+  config.servers = servers;
+  const auto result = core::run_mr_skyline(points, config);
+
+  mr::ClusterModel model;
+  model.servers = servers;
+
+  std::cout << "=== healthy cluster, " << servers << " servers ===\n";
+  std::cout << "Job 1 (partition + local skylines):\n";
+  const auto trace1 = mr::trace_job(result.partition_job, model);
+  render_phase("map", trace1.map);
+  render_phase("reduce", trace1.reduce);
+  std::cout << "Job 2 (global merge):\n";
+  const auto trace2 = mr::trace_job(result.merge_job, model);
+  render_phase("reduce", trace2.reduce);
+
+  const auto degraded_model = model.with_stragglers(1, 4.0);
+  const auto degraded = mr::trace_job(result.partition_job, degraded_model);
+  std::cout << "\n=== same job with one server straggling at 1/4 speed ===\n";
+  render_phase("reduce", degraded.reduce);
+  std::cout << "\nhealthy reduce makespan:  " << trace1.reduce.makespan_seconds << "s\n"
+            << "straggler reduce makespan: " << degraded.reduce.makespan_seconds
+            << "s (LPT shifts work off the slow lanes, so the penalty is far\n"
+            << "below the naive 4x)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Partitioning explorer — renders the paper's Figure 3 as ASCII art.
+//
+// Draws a 2-D service cloud partitioned by each of the three schemes
+// (dimensional slabs, grid cells, angular sectors) with one glyph per
+// partition, plus per-scheme statistics that preview the experiments: load
+// balance, merge-input size and local-skyline optimality.
+//
+//   ./build/examples/partitioning_explorer [--points 4000] [--partitions 4]
+#include <iostream>
+#include <vector>
+
+#include "src/common/cli.hpp"
+#include "src/core/mr_skyline.hpp"
+#include "src/core/optimality.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/partition/factory.hpp"
+#include "src/partition/stats.hpp"
+
+namespace {
+
+constexpr int kWidth = 64;
+constexpr int kHeight = 24;
+
+void render(const mrsky::part::Partitioner& partitioner) {
+  // Sample the plane on a character grid; glyph = partition id.
+  static const char kGlyphs[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  for (int row = 0; row < kHeight; ++row) {
+    std::cout << "  ";
+    for (int col = 0; col < kWidth; ++col) {
+      // Row 0 is the top: invert y so the origin sits bottom-left like Fig 3.
+      const double x = (static_cast<double>(col) + 0.5) / kWidth;
+      const double y = 1.0 - (static_cast<double>(row) + 0.5) / kHeight;
+      const std::size_t p = partitioner.assign(std::vector<double>{x, y});
+      std::cout << kGlyphs[p % (sizeof(kGlyphs) - 1)];
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrsky;
+  const common::CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("points", 4000));
+  const auto partitions = static_cast<std::size_t>(args.get_int("partitions", 4));
+
+  const data::PointSet cloud =
+      data::generate(data::Distribution::kIndependent, n, 2, /*seed=*/3);
+
+  for (part::Scheme scheme : {part::Scheme::kDimensional, part::Scheme::kGrid,
+                              part::Scheme::kAngular}) {
+    part::PartitionerOptions options;
+    options.num_partitions = partitions;
+    auto partitioner = part::make_partitioner(scheme, options);
+    partitioner->fit(cloud);
+
+    std::cout << "=== " << partitioner->name() << " partitioning (paper Fig. 3) ===\n";
+    render(*partitioner);
+
+    const auto report = part::analyze_partitioning(*partitioner, cloud);
+    core::MRSkylineConfig config;
+    config.scheme = scheme;
+    config.num_partitions = partitions;
+    const auto result = core::run_mr_skyline(cloud, config);
+    const auto optimality =
+        core::local_skyline_optimality(result.local_skylines, result.skyline);
+
+    std::cout << "  points/partition:";
+    for (std::size_t s : report.sizes) std::cout << " " << s;
+    std::cout << "\n  balance CV: " << report.balance_cv
+              << "   prunable partitions: " << report.prunable.size()
+              << " (" << report.pruned_points << " points)\n"
+              << "  global skyline: " << result.skyline.size()
+              << "   merge input: " << optimality.local_total
+              << "   local-skyline optimality (Eq. 5): " << optimality.mean_optimality
+              << "\n\n";
+  }
+  std::cout << "Angular sectors mix near-origin and far points in every partition, so\n"
+               "their local skylines hug the global contour - the paper's core idea.\n";
+  return 0;
+}

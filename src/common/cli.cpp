@@ -1,0 +1,98 @@
+#include "src/common/cli.hpp"
+
+#include <charconv>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::common {
+
+namespace {
+
+bool looks_like_flag(const std::string& s) { return s.rfind("--", 0) == 0 && s.size() > 2; }
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  MRSKY_REQUIRE(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    MRSKY_REQUIRE(looks_like_flag(token), "expected --flag, got: " + token);
+    std::string name = token.substr(2);
+    // `--name=value` form.
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form, unless the next token is another flag (boolean).
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      values_[name] = argv[++i];
+    } else {
+      values_[name] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return values_.contains(name); }
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  MRSKY_REQUIRE(ec == std::errc() && ptr == s.data() + s.size(),
+                "flag --" + name + " expects an integer, got: " + s);
+  return out;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    MRSKY_REQUIRE(pos == it->second.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    MRSKY_FAIL("flag --" + name + " expects a number, got: " + it->second);
+  }
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  MRSKY_FAIL("flag --" + name + " expects a boolean, got: " + v);
+}
+
+std::vector<std::int64_t> CliArgs::get_int_list(const std::string& name,
+                                                std::vector<std::int64_t> fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string piece = s.substr(start, comma - start);
+    MRSKY_REQUIRE(!piece.empty(), "empty element in list flag --" + name);
+    std::int64_t v = 0;
+    auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), v);
+    MRSKY_REQUIRE(ec == std::errc() && ptr == piece.data() + piece.size(),
+                  "flag --" + name + " expects integers, got: " + piece);
+    out.push_back(v);
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace mrsky::common

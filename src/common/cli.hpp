@@ -1,0 +1,38 @@
+// Minimal `--flag value` command-line parsing for benches and examples.
+//
+// Deliberately tiny: flags are `--name value` or boolean `--name`; anything
+// unrecognised is an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mrsky::common {
+
+class CliArgs {
+ public:
+  /// Parses argv. Throws mrsky::InvalidArgument on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. `--dims 2,4,6,8,10`.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(const std::string& name,
+                                                       std::vector<std::int64_t> fallback) const;
+
+  [[nodiscard]] const std::string& program_name() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // boolean flags map to ""
+};
+
+}  // namespace mrsky::common

@@ -1,0 +1,61 @@
+// Error handling primitives for the mrsky library.
+//
+// The library follows a "wide contract at the API boundary, narrow contract
+// internally" policy (C++ Core Guidelines I.5/I.6): public entry points
+// validate their inputs with MRSKY_REQUIRE (throws mrsky::InvalidArgument),
+// while internal invariants are checked with MRSKY_ASSERT, which is compiled
+// out in release builds.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mrsky {
+
+/// Thrown when a public API precondition is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when a runtime operation cannot complete (I/O failure, job abort).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const std::string& msg,
+                                                const std::source_location loc) {
+  throw InvalidArgument(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                        ": requirement `" + expr + "` failed: " + msg);
+}
+
+[[noreturn]] inline void throw_runtime_error(const std::string& msg,
+                                             const std::source_location loc) {
+  throw RuntimeError(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) + ": " + msg);
+}
+
+}  // namespace detail
+
+}  // namespace mrsky
+
+/// Validate a public-API precondition; throws mrsky::InvalidArgument on failure.
+#define MRSKY_REQUIRE(expr, msg)                                                       \
+  do {                                                                                 \
+    if (!(expr)) {                                                                     \
+      ::mrsky::detail::throw_invalid_argument(#expr, (msg), std::source_location::current()); \
+    }                                                                                  \
+  } while (false)
+
+/// Signal an unrecoverable runtime failure; throws mrsky::RuntimeError.
+#define MRSKY_FAIL(msg) ::mrsky::detail::throw_runtime_error((msg), std::source_location::current())
+
+/// Internal invariant check; active only in debug builds.
+#ifndef NDEBUG
+#define MRSKY_ASSERT(expr, msg) MRSKY_REQUIRE(expr, msg)
+#else
+#define MRSKY_ASSERT(expr, msg) static_cast<void>(0)
+#endif

@@ -1,0 +1,46 @@
+// Leveled stderr logging. Off by default above WARN so library code can log
+// diagnostics without polluting benchmark output; the level is process-wide.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mrsky::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes `message` to stderr if `level` passes the filter. Thread-safe.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace mrsky::common
+
+#define MRSKY_LOG_DEBUG ::mrsky::common::detail::LogStream(::mrsky::common::LogLevel::kDebug)
+#define MRSKY_LOG_INFO ::mrsky::common::detail::LogStream(::mrsky::common::LogLevel::kInfo)
+#define MRSKY_LOG_WARN ::mrsky::common::detail::LogStream(::mrsky::common::LogLevel::kWarn)
+#define MRSKY_LOG_ERROR ::mrsky::common::detail::LogStream(::mrsky::common::LogLevel::kError)

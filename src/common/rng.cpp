@@ -1,0 +1,47 @@
+#include "src/common/rng.hpp"
+
+#include <cmath>
+
+namespace mrsky::common {
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Rejection sampling on the top bits to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  have_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double lambda) noexcept {
+  // Inverse-CDF; uniform() < 1 so the log argument is in (0, 1].
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+Rng Rng::split(std::uint64_t salt) noexcept {
+  SplitMix64 sm(((*this)()) ^ (salt * 0x9e3779b97f4a7c15ULL));
+  Rng child(sm.next());
+  return child;
+}
+
+}  // namespace mrsky::common

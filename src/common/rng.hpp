@@ -1,0 +1,94 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Experiments must be reproducible across machines and across runs, so the
+// library never touches std::random_device or global state: every component
+// that needs randomness takes an explicit Rng (seeded xoshiro256**) or a
+// seed. SplitMix64 is used to expand a single user seed into well-distributed
+// stream seeds, following the xoshiro authors' recommendation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mrsky::common {
+
+/// SplitMix64: tiny, statistically strong seed expander (Steele et al. 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018) with a std::uniform-compatible
+/// interface plus convenience helpers for the distributions this library
+/// actually uses. Copyable and cheap; pass by value to fork a stream.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased via rejection (Lemire-style bound).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+
+  /// Derive an independent child stream; deterministic in (this state, salt).
+  Rng split(std::uint64_t salt) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mrsky::common

@@ -1,0 +1,45 @@
+// Small descriptive-statistics helpers used by partition diagnostics and the
+// benchmark harness (load-balance coefficients, percentiles, correlations).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mrsky::common {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> xs) noexcept;
+
+/// Pearson correlation of two equal-length series. Throws on size mismatch
+/// or fewer than two samples; returns 0 when either series is constant.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace mrsky::common

@@ -1,0 +1,44 @@
+// Fixed-width ASCII table rendering for the benchmark harness.
+//
+// Every figure/table bench prints its results through this class so the
+// output format is uniform and greppable (EXPERIMENTS.md is assembled from
+// these tables verbatim).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mrsky::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(int v);
+
+  /// Render with column alignment, a header rule, and optional title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const noexcept {
+    return rows_;
+  }
+
+  /// Render as comma-separated values (header + rows) for machine use.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrsky::common

@@ -1,0 +1,67 @@
+#include "src/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  MRSKY_REQUIRE(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Chunked dynamic scheduling: workers pull the next index atomically.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t lanes = std::min(count, workers_.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(submit([next, count, &fn] {
+      for (;;) {
+        const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();  // propagate exceptions
+}
+
+std::size_t ThreadPool::default_concurrency() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace mrsky::common

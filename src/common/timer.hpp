@@ -1,0 +1,36 @@
+// Wall-clock timing utilities used by the benchmark harness and by the
+// MapReduce engine's per-task metrics.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mrsky::common {
+
+/// Monotonic stopwatch. Construction starts it; restart() resets.
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed nanoseconds since construction / last restart.
+  [[nodiscard]] std::int64_t elapsed_ns() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace mrsky::common

@@ -1,0 +1,54 @@
+#include "src/core/dominance_analysis.hpp"
+
+#include "src/common/error.hpp"
+
+namespace mrsky::core::analysis {
+
+double dominance_ability_angle(double x, double y, double L) {
+  MRSKY_REQUIRE(L > 0.0, "L must be positive");
+  MRSKY_REQUIRE(x >= 0.0 && x <= 2.0 * L, "x must lie in [0, 2L]");
+  MRSKY_REQUIRE(y >= 0.0 && y <= x / 2.0, "point must lie in the near-x-axis sector (y <= x/2)");
+  return (L * L - x * x / 4.0 - (2.0 * L - x) * y) / (L * L);
+}
+
+double dominance_ability_grid(double x, double y, double L) {
+  MRSKY_REQUIRE(L > 0.0, "L must be positive");
+  MRSKY_REQUIRE(x >= 0.0 && x <= L && y >= 0.0 && y <= L, "point must lie in the cell [0, L]^2");
+  return (L - x) * (L - y) / (L * L);
+}
+
+double delta_lower_bound(double x, double L) {
+  MRSKY_REQUIRE(L > 0.0, "L must be positive");
+  return x / (2.0 * L * L) * (L - x / 2.0);
+}
+
+double monte_carlo_angle(double x, double y, double L, std::size_t samples, common::Rng& rng) {
+  MRSKY_REQUIRE(L > 0.0, "L must be positive");
+  MRSKY_REQUIRE(samples > 0, "need at least one sample");
+  // Sample the triangle {(u, v): u in [0, 2L], v in [0, u/2]} uniformly by
+  // rejection from the bounding box [0, 2L] x [0, L].
+  std::size_t in_sector = 0;
+  std::size_t dominated = 0;
+  while (in_sector < samples) {
+    const double u = rng.uniform(0.0, 2.0 * L);
+    const double v = rng.uniform(0.0, L);
+    if (v > u / 2.0) continue;
+    ++in_sector;
+    if (u >= x && v >= y) ++dominated;
+  }
+  return static_cast<double>(dominated) / static_cast<double>(samples);
+}
+
+double monte_carlo_grid(double x, double y, double L, std::size_t samples, common::Rng& rng) {
+  MRSKY_REQUIRE(L > 0.0, "L must be positive");
+  MRSKY_REQUIRE(samples > 0, "need at least one sample");
+  std::size_t dominated = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double u = rng.uniform(0.0, L);
+    const double v = rng.uniform(0.0, L);
+    if (u >= x && v >= y) ++dominated;
+  }
+  return static_cast<double>(dominated) / static_cast<double>(samples);
+}
+
+}  // namespace mrsky::core::analysis

@@ -1,0 +1,45 @@
+// Dominance-ability analysis — the paper's §IV (Theorems 1 and 2).
+//
+// Setting: the 2-D data space is the square [0, 2L]², divided into 4
+// partitions. For MR-Angle the partitions are equal-area sectors from the
+// origin; the sector nearest the x-axis is the triangle {(u, v) : 0 ≤ u ≤ 2L,
+// 0 ≤ v ≤ u/2}. For MR-Grid the partition nearest the axes is the cell
+// [0, L]². For a skyline service s = (x, y) inside its partition, the
+// dominance ability D_s is the fraction of the partition's area that s
+// dominates:
+//
+//   Theorem 1:  D_angle(s) = (L² − x²/4 − (2L − x)·y) / L²
+//   (grid)  :   D_grid(s)  = (L − x)(L − y) / L²
+//   Theorem 2:  ΔD = D_angle − D_grid ≥ x/(2L²) · (L − x/2)   for y ≤ x/2
+//
+// This module provides the closed forms plus Monte-Carlo estimators used by
+// tests and by bench/theorem_dominance to validate them empirically.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/rng.hpp"
+
+namespace mrsky::core::analysis {
+
+/// Closed-form Theorem 1. Requires 0 <= x <= 2L and 0 <= y <= x/2 (the point
+/// must lie in the near-x-axis sector); throws otherwise.
+[[nodiscard]] double dominance_ability_angle(double x, double y, double L);
+
+/// Closed-form grid dominance ability (proof of Theorem 2). Requires
+/// 0 <= x <= L and 0 <= y <= L.
+[[nodiscard]] double dominance_ability_grid(double x, double y, double L);
+
+/// Theorem 2's lower bound x/(2L²)·(L − x/2).
+[[nodiscard]] double delta_lower_bound(double x, double L);
+
+/// Monte-Carlo estimate of D_angle: fraction of uniform samples of the
+/// sector {(u,v): u ∈ [0,2L], v ∈ [0,u/2]} dominated by (x, y).
+[[nodiscard]] double monte_carlo_angle(double x, double y, double L, std::size_t samples,
+                                       common::Rng& rng);
+
+/// Monte-Carlo estimate of D_grid over the cell [0,L]².
+[[nodiscard]] double monte_carlo_grid(double x, double y, double L, std::size_t samples,
+                                      common::Rng& rng);
+
+}  // namespace mrsky::core::analysis

@@ -1,0 +1,261 @@
+#include "src/core/mr_skyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/common/timer.hpp"
+#include "src/dataset/transforms.hpp"
+
+namespace mrsky::core {
+
+namespace {
+
+/// A point travelling through the shuffle: stable id + coordinates.
+struct PointRec {
+  data::PointId id = 0;
+  std::vector<double> coords;
+};
+
+/// Rebuild a PointSet from shuffled records (shared by combine/reduce/merge).
+data::PointSet to_point_set(std::size_t dim, const std::vector<PointRec>& recs) {
+  data::PointSet ps(dim);
+  ps.reserve(recs.size());
+  for (const auto& r : recs) ps.push_back(r.coords, r.id);
+  return ps;
+}
+
+}  // namespace
+
+std::string MRSkylineResult::summary() const {
+  std::ostringstream os;
+  os << "MRSkyline run summary\n"
+     << "  skyline points:      " << skyline.size() << "\n"
+     << "  partitions:          " << local_skylines.size() << " ("
+     << partition_report.non_empty << " non-empty, balance CV "
+     << partition_report.balance_cv << ")\n"
+     << "  pruned partitions:   " << partition_report.prunable.size() << " ("
+     << partition_report.pruned_points << " points)\n";
+  std::size_t local_total = 0;
+  for (const auto& ls : local_skylines) local_total += ls.size();
+  os << "  merge input:         " << local_total << " local-skyline points\n"
+     << "  job 1 work:          " << partition_job.total_work_units() << " dominance tests, "
+     << partition_job.shuffle_records << " shuffled records\n"
+     << "  merge rounds:        " << merge_rounds.size() << " (final work "
+     << merge_job.total_work_units() << ")\n"
+     << "  in-process wall:     " << wall_seconds << " s\n";
+  return os.str();
+}
+
+mr::PhaseTimes MRSkylineResult::simulate(const mr::ClusterModel& model) const {
+  std::vector<mr::JobMetrics> jobs;
+  jobs.reserve(1 + merge_rounds.size());
+  jobs.push_back(partition_job);
+  if (merge_rounds.empty()) {
+    jobs.push_back(merge_job);
+  } else {
+    jobs.insert(jobs.end(), merge_rounds.begin(), merge_rounds.end());
+  }
+  return mr::simulate_pipeline(jobs, model);
+}
+
+MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfig& config) {
+  MRSKY_REQUIRE(!input.empty(), "cannot compute the skyline of an empty dataset");
+  MRSKY_REQUIRE(config.servers >= 1, "need at least one server");
+  common::Timer wall;
+
+  // --- Fit the partitioner (the paper's master-side planning step). ---
+  part::PartitionerOptions popts;
+  popts.num_partitions = config.effective_partitions();
+  popts.split_dim = config.split_dim;
+  part::PartitionerPtr partitioner = part::make_partitioner(config.scheme, popts);
+  if (config.fit_sample_size > 0 && config.fit_sample_size < input.size()) {
+    common::Rng rng(config.fit_sample_seed);
+    partitioner->fit(data::sample_without_replacement(input, config.fit_sample_size, rng));
+  } else {
+    partitioner->fit(input);
+  }
+  const std::size_t partitions = partitioner->num_partitions();
+  const std::size_t dim = input.dim();
+
+  std::unordered_set<std::size_t> pruned;
+  if (config.apply_grid_pruning) {
+    for (std::size_t p : partitioner->prunable_partitions()) pruned.insert(p);
+  }
+
+  MRSkylineResult result;
+  result.partition_report = part::analyze_partitioning(*partitioner, input);
+
+  // Optional skew cure: hash-salt oversized partitions into sub-keys, one
+  // reduce task each (MRSkylineConfig::salt_oversized_partitions). Key space
+  // is compacted: partition p owns keys [key_base[p], key_base[p+1]).
+  std::vector<std::size_t> salt(partitions, 1);
+  if (config.salt_oversized_partitions) {
+    MRSKY_REQUIRE(config.salt_target_factor >= 1.0, "salt_target_factor must be >= 1");
+    const double target = config.salt_target_factor * static_cast<double>(input.size()) /
+                          static_cast<double>(partitions);
+    for (std::size_t p = 0; p < partitions; ++p) {
+      const auto needed = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(result.partition_report.sizes[p]) /
+                    std::max(target, 1.0)));
+      salt[p] = std::clamp<std::size_t>(needed, 1, 64);
+    }
+  }
+  std::vector<std::size_t> key_base(partitions + 1, 0);
+  for (std::size_t p = 0; p < partitions; ++p) key_base[p + 1] = key_base[p] + salt[p];
+  const std::size_t total_keys = key_base.back();
+  std::vector<std::size_t> key_to_partition(total_keys);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    for (std::size_t s = 0; s < salt[p]; ++s) key_to_partition[key_base[p] + s] = p;
+  }
+
+  // The skyline kernel both local-skyline and merge stages run.
+  auto kernel = [&config](const data::PointSet& points,
+                          skyline::SkylineStats* stats) -> data::PointSet {
+    if (config.local_skyline_override) return config.local_skyline_override(points, stats);
+    return skyline::compute_skyline(points, config.local_algorithm, stats);
+  };
+
+  // --- Job 1: partition + local skyline (Algorithm 1, lines 1-10). ---
+  using Job1 = mr::JobConfig<data::PointId, std::vector<double>, std::size_t, PointRec,
+                             std::size_t, PointRec>;
+  Job1 job1;
+  job1.name = "partition-local-skyline";
+  job1.num_map_tasks = config.effective_map_tasks();
+  job1.num_reduce_tasks = total_keys;
+  // One reduce task per partition key: the identity routing makes reduce-task
+  // metrics per-partition, which the cluster simulator load-balances.
+  job1.partition_fn = [](const std::size_t& key, std::size_t buckets) { return key % buckets; };
+  job1.value_bytes_fn = [](const PointRec& rec) {
+    return sizeof(data::PointId) + rec.coords.size() * sizeof(double);
+  };
+
+  const part::Partitioner& part_ref = *partitioner;
+  job1.map_fn = [&part_ref, &salt, &key_base, dim](
+                    const data::PointId& id, const std::vector<double>& coords,
+                    mr::Emitter<std::size_t, PointRec>& out, mr::TaskContext& ctx) {
+    // Coordinate transform + sector lookup costs O(dim) arithmetic per point
+    // for every scheme (Eq. 1 for MR-Angle, range scans for the others).
+    ctx.charge_work(dim);
+    const std::size_t p = part_ref.assign(coords);
+    std::size_t key = key_base[p];
+    if (salt[p] > 1) {
+      // SplitMix-style avalanche of the stable id: deterministic sub-bucket.
+      std::uint64_t h = (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      key += static_cast<std::size_t>(h % salt[p]);
+    }
+    out.emit(key, PointRec{id, coords});
+  };
+
+  auto local_skyline_fn = [&, dim](const std::size_t& key,
+                                   std::vector<PointRec>& values,
+                                   mr::Emitter<std::size_t, PointRec>& out,
+                                   mr::TaskContext& ctx) {
+    const std::size_t partition_id = key_to_partition[key];
+    if (pruned.contains(partition_id)) {
+      // §III-B: the whole cell is dominated — skip its local skyline.
+      ctx.increment("skyline.points_pruned", values.size());
+      return;
+    }
+    skyline::SkylineStats stats;
+    const data::PointSet local =
+        kernel(to_point_set(dim, values), &stats);
+    ctx.charge_work(stats.dominance_tests);
+    ctx.increment("skyline.local_points", local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      out.emit(key, PointRec{local.id(i), {local.point(i).begin(), local.point(i).end()}});
+    }
+  };
+  if (config.use_combiner) job1.combine_fn = local_skyline_fn;
+  job1.reduce_fn = local_skyline_fn;
+
+  std::vector<mr::KV<data::PointId, std::vector<double>>> job1_input;
+  job1_input.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    job1_input.push_back(
+        {input.id(i), std::vector<double>(input.point(i).begin(), input.point(i).end())});
+  }
+  auto job1_result = mr::run_job(job1, job1_input, config.run_options);
+  result.partition_job = std::move(job1_result.metrics);
+
+  // Collect per-partition local skylines ("file st" in Algorithm 1).
+  result.local_skylines.assign(partitions, data::PointSet(dim));
+  for (const auto& kv : job1_result.output) {
+    result.local_skylines[key_to_partition[kv.key]].push_back(kv.value.coords, kv.value.id);
+  }
+
+  // --- Merge stage (Algorithm 1, lines 11-16). ---
+  //
+  // Each merge round is a (group, point) -> (group/fan_in, local skyline)
+  // MapReduce job. With merge_fan_in == 0 there is exactly one round with a
+  // single group — the paper's null-key single-reducer merge. With
+  // merge_fan_in >= 2 groups shrink by that factor per round (tree merge).
+  using MergeJob =
+      mr::JobConfig<std::size_t, PointRec, std::size_t, PointRec, std::size_t, PointRec>;
+  const std::size_t fan_in = config.merge_fan_in;
+  MRSKY_REQUIRE(fan_in != 1, "merge_fan_in must be 0 (single reducer) or >= 2");
+
+  std::vector<mr::KV<std::size_t, PointRec>> merge_input;
+  merge_input.reserve(job1_result.output.size());
+  for (auto& kv : job1_result.output) merge_input.push_back(std::move(kv));
+
+  std::size_t groups = total_keys;
+  std::size_t round = 0;
+  for (;;) {
+    ++round;
+    const std::size_t next_groups =
+        fan_in == 0 ? 1 : (groups + fan_in - 1) / fan_in;
+    MergeJob job;
+    job.name = "merge-round-" + std::to_string(round);
+    job.num_map_tasks = config.effective_map_tasks();
+    job.num_reduce_tasks = next_groups;
+    job.partition_fn = [](const std::size_t& key, std::size_t buckets) { return key % buckets; };
+    job.value_bytes_fn = [](const PointRec& rec) {
+      return sizeof(data::PointId) + rec.coords.size() * sizeof(double);
+    };
+    job.map_fn = [fan_in](const std::size_t& group, const PointRec& rec,
+                          mr::Emitter<std::size_t, PointRec>& out, mr::TaskContext& ctx) {
+      ctx.charge_work(1);
+      out.emit(fan_in == 0 ? 0 : group / fan_in, rec);  // output(null/group, si)
+    };
+    job.reduce_fn = [&kernel, dim](const std::size_t& group, std::vector<PointRec>& values,
+                                   mr::Emitter<std::size_t, PointRec>& out,
+                                   mr::TaskContext& ctx) {
+      skyline::SkylineStats stats;
+      const data::PointSet merged =
+          kernel(to_point_set(dim, values), &stats);
+      ctx.charge_work(stats.dominance_tests);
+      ctx.increment("skyline.merged_points", merged.size());
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        out.emit(group, PointRec{merged.id(i),
+                                 {merged.point(i).begin(), merged.point(i).end()}});
+      }
+    };
+
+    auto merge_result = mr::run_job(job, merge_input, config.run_options);
+    result.merge_rounds.push_back(merge_result.metrics);
+    groups = next_groups;
+    if (groups <= 1) {
+      data::PointSet skyline(dim);
+      skyline.reserve(merge_result.output.size());
+      for (const auto& kv : merge_result.output) {
+        skyline.push_back(kv.value.coords, kv.value.id);
+      }
+      result.skyline = std::move(skyline);
+      break;
+    }
+    merge_input = std::move(merge_result.output);
+  }
+  result.merge_job = result.merge_rounds.back();
+
+  result.wall_seconds = wall.elapsed_seconds();
+  return result;
+}
+
+}  // namespace mrsky::core

@@ -1,0 +1,134 @@
+// MapReduce skyline query processing — the paper's Algorithm 1, generalised
+// over the three partitioning schemes of §III (plus this library's extras).
+//
+// The driver runs the paper's two Hadoop jobs on the mrsky::mr engine:
+//
+//   Job 1 "partition+local-skyline":
+//     map     — transform the point (hyperspherical for MR-Angle), assign its
+//               partition, emit (partition, point)            [Alg. 1, l.2-6]
+//     combine — optional map-side BNL per partition fragment (off by default;
+//               Algorithm 1 has no combiner — see MRSkylineConfig)
+//     reduce  — BNL computing each partition's local skyline  [Alg. 1, l.7-10]
+//               MR-Grid's prunable partitions are skipped here (§III-B).
+//   Job 2 "merge":
+//     map     — re-key every local-skyline point to the null key [l.12-14]
+//     reduce  — one global BNL merge                             [l.15]
+//
+// All dominance tests are charged to the engine's work counters, so the
+// cluster simulator (mr::simulate_pipeline) can turn one in-process run into
+// simulated Map/Reduce times for any server count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+#include "src/mapreduce/cluster.hpp"
+#include "src/mapreduce/job.hpp"
+#include "src/partition/factory.hpp"
+#include "src/partition/stats.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::core {
+
+struct MRSkylineConfig {
+  part::Scheme scheme = part::Scheme::kAngular;
+
+  /// Cluster size the job is sized for. Defaults below derive from it.
+  std::size_t servers = 8;
+
+  /// Number of data-space partitions; 0 means the paper's 2 × servers.
+  std::size_t num_partitions = 0;
+
+  /// Number of input splits; 0 means servers × 2 (one per default map slot).
+  std::size_t num_map_tasks = 0;
+
+  /// Local/global skyline algorithm (the paper uses BNL everywhere).
+  skyline::Algorithm local_algorithm = skyline::Algorithm::kBnl;
+
+  /// Optional override for the local/merge skyline kernel. When set it
+  /// replaces `local_algorithm` entirely; the function must return the exact
+  /// skyline of its input and accumulate its dominance tests into the stats
+  /// (pass-through to the cluster cost model). This is the hook for plugging
+  /// index-based kernels (e.g. spatial::bbs_skyline) into the pipeline
+  /// without coupling the core to them.
+  std::function<data::PointSet(const data::PointSet&, skyline::SkylineStats*)>
+      local_skyline_override;
+
+  /// Map-side combining (partial local skylines inside each map task).
+  /// Off by default: the paper's Algorithm 1 computes local skylines only in
+  /// the reduce stage. Enabling it is this library's extension (see the
+  /// ablation bench) — it cuts shuffle volume and reduce work substantially.
+  bool use_combiner = false;
+
+  /// Honour MR-Grid's inter-cell dominance pruning (§III-B).
+  bool apply_grid_pruning = true;
+
+  /// MR-Dim only: attribute carrying the slabs.
+  std::size_t split_dim = 0;
+
+  /// Merge topology. 0 (the paper's Algorithm 1): one job funnels every
+  /// local-skyline point to a single reducer. >= 2: tree merge — repeated
+  /// jobs combine `merge_fan_in` partitions per reducer until one group
+  /// remains, trading extra job startups for parallel merge rounds. This is
+  /// the library's answer to the Fig. 6 single-reducer bottleneck (the
+  /// paper's Twister/iterative-MapReduce remark, §II).
+  std::size_t merge_fan_in = 0;
+
+  /// Engine execution (sequential by default; results identical either way).
+  mr::RunOptions run_options;
+
+  /// Skew cure (extension): split any partition whose population exceeds
+  /// `salt_target_factor` × N/Np into that many hash-salted sub-partitions,
+  /// each its own local-skyline reduce task. Standard MapReduce salting: it
+  /// bounds the largest reduce task at the cost of a larger merge input
+  /// (sub-skylines of one cone overlap). Fixes MR-Angle's dense-sector
+  /// imbalance on direction-clumped data; quantified in bench/ablation_salting.
+  bool salt_oversized_partitions = false;
+  double salt_target_factor = 2.0;
+
+  /// Fit the partitioner on a uniform sample of this many points instead of
+  /// the full dataset (0 = fit on everything, the paper's behaviour). The
+  /// master-side planning step then scales independently of N; assignment
+  /// stays total, so the result is still the exact skyline — only partition
+  /// boundaries (and thus load balance) shift slightly.
+  std::size_t fit_sample_size = 0;
+
+  /// Seed for the fitting sample (only used when fit_sample_size > 0).
+  std::uint64_t fit_sample_seed = 0x5a3e;
+
+  [[nodiscard]] std::size_t effective_partitions() const noexcept {
+    return num_partitions == 0 ? 2 * servers : num_partitions;
+  }
+  [[nodiscard]] std::size_t effective_map_tasks() const noexcept {
+    return num_map_tasks == 0 ? 2 * servers : num_map_tasks;
+  }
+};
+
+struct MRSkylineResult {
+  data::PointSet skyline;                        ///< the global skyline
+  std::vector<data::PointSet> local_skylines;    ///< per partition (post Job 1)
+  part::PartitionReport partition_report;        ///< sizes / balance / pruning
+  mr::JobMetrics partition_job;                  ///< Job 1 metrics
+  mr::JobMetrics merge_job;                      ///< final merge round metrics
+  /// All merge rounds in execution order (size 1 with merge_fan_in = 0;
+  /// merge_job always aliases the last element).
+  std::vector<mr::JobMetrics> merge_rounds;
+  double wall_seconds = 0.0;                     ///< real in-process time
+
+  MRSkylineResult() : skyline(1) {}
+
+  /// Simulated phase times of the whole pipeline on a modelled cluster.
+  [[nodiscard]] mr::PhaseTimes simulate(const mr::ClusterModel& model) const;
+
+  /// Multi-line human-readable run report (skyline size, partition balance,
+  /// per-job work) — what the CLI prints with --verbose.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full two-job pipeline over `input` (minimisation orientation,
+/// non-negative coordinates required by MR-Angle's transform).
+[[nodiscard]] MRSkylineResult run_mr_skyline(const data::PointSet& input,
+                                             const MRSkylineConfig& config);
+
+}  // namespace mrsky::core

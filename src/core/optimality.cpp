@@ -1,0 +1,43 @@
+#include "src/core/optimality.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mrsky::core {
+
+OptimalityReport local_skyline_optimality(std::span<const data::PointSet> local_skylines,
+                                          const data::PointSet& global_skyline) {
+  std::unordered_set<data::PointId> global_ids;
+  global_ids.reserve(global_skyline.size());
+  for (data::PointId id : global_skyline.ids()) global_ids.insert(id);
+
+  OptimalityReport report;
+  report.global_total = global_skyline.size();
+  double sum = 0.0;
+  bool first = true;
+  for (const auto& local : local_skylines) {
+    if (local.empty()) continue;
+    report.local_total += local.size();
+    std::size_t surviving = 0;
+    for (data::PointId id : local.ids()) {
+      if (global_ids.contains(id)) ++surviving;
+    }
+    const double frac = static_cast<double>(surviving) / static_cast<double>(local.size());
+    sum += frac;
+    report.partitions_used += 1;
+    if (first) {
+      report.min_optimality = frac;
+      report.max_optimality = frac;
+      first = false;
+    } else {
+      report.min_optimality = std::min(report.min_optimality, frac);
+      report.max_optimality = std::max(report.max_optimality, frac);
+    }
+  }
+  if (report.partitions_used > 0) {
+    report.mean_optimality = sum / static_cast<double>(report.partitions_used);
+  }
+  return report;
+}
+
+}  // namespace mrsky::core

@@ -1,0 +1,32 @@
+// Local skyline optimality — the paper's Eq. (5) quality metric (§VI).
+//
+//   optimality = (1/N) Σ_i |sky_i ∩ sky_global| / |sky_i|
+//
+// averaged over the N non-empty partitions: the fraction of each partition's
+// local skyline that survives the global merge. High optimality means the
+// partitioning wastes little Reduce-stage work on locally-optimal-but-
+// globally-dominated points — the quantity MR-Angle is designed to maximise.
+#pragma once
+
+#include <span>
+
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::core {
+
+struct OptimalityReport {
+  double mean_optimality = 0.0;    ///< Eq. (5)
+  double min_optimality = 0.0;     ///< worst partition
+  double max_optimality = 0.0;     ///< best partition
+  std::size_t partitions_used = 0; ///< non-empty local skylines averaged over
+  std::size_t local_total = 0;     ///< Σ |sky_i| (Reduce-stage merge input)
+  std::size_t global_total = 0;    ///< |sky_global|
+};
+
+/// Computes Eq. (5) from per-partition local skylines and the global skyline.
+/// Empty local skylines (empty or pruned partitions) are excluded from the
+/// average, matching the paper's per-partition mean.
+[[nodiscard]] OptimalityReport local_skyline_optimality(
+    std::span<const data::PointSet> local_skylines, const data::PointSet& global_skyline);
+
+}  // namespace mrsky::core

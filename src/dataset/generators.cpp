@@ -1,0 +1,123 @@
+#include "src/dataset/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::data {
+
+namespace {
+
+double clamp01(double v) noexcept { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+Distribution parse_distribution(const std::string& name) {
+  if (name == "independent" || name == "indep" || name == "uniform") {
+    return Distribution::kIndependent;
+  }
+  if (name == "correlated" || name == "corr") return Distribution::kCorrelated;
+  if (name == "anticorrelated" || name == "anti" || name == "anticorr") {
+    return Distribution::kAnticorrelated;
+  }
+  if (name == "clustered" || name == "cluster") return Distribution::kClustered;
+  MRSKY_FAIL("unknown distribution: " + name);
+}
+
+std::string to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kIndependent: return "independent";
+    case Distribution::kCorrelated: return "correlated";
+    case Distribution::kAnticorrelated: return "anticorrelated";
+    case Distribution::kClustered: return "clustered";
+  }
+  return "unknown";
+}
+
+PointSet generate(Distribution dist, std::size_t n, std::size_t dim, std::uint64_t seed,
+                  const GeneratorOptions& options) {
+  MRSKY_REQUIRE(dim >= 1, "dimension must be >= 1");
+  common::Rng rng(seed);
+  switch (dist) {
+    case Distribution::kIndependent: return generate_independent(n, dim, rng);
+    case Distribution::kCorrelated:
+      return generate_correlated(n, dim, rng, options.correlated_spread);
+    case Distribution::kAnticorrelated:
+      return generate_anticorrelated(n, dim, rng, options.anticorrelated_spread);
+    case Distribution::kClustered:
+      return generate_clustered(n, dim, rng, options.cluster_count, options.cluster_spread);
+  }
+  MRSKY_FAIL("unreachable distribution");
+}
+
+PointSet generate_independent(std::size_t n, std::size_t dim, common::Rng& rng) {
+  std::vector<double> values;
+  values.reserve(n * dim);
+  for (std::size_t i = 0; i < n * dim; ++i) values.push_back(rng.uniform());
+  return PointSet(dim, std::move(values));
+}
+
+PointSet generate_correlated(std::size_t n, std::size_t dim, common::Rng& rng, double spread) {
+  MRSKY_REQUIRE(spread >= 0.0, "spread must be non-negative");
+  // A point sits at position v on the main diagonal with a small Gaussian
+  // perturbation per axis, so all attributes move together (high-quality
+  // services tend to be good in every dimension).
+  std::vector<double> values;
+  values.reserve(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.uniform();
+    for (std::size_t a = 0; a < dim; ++a) values.push_back(clamp01(v + rng.normal(0.0, spread)));
+  }
+  return PointSet(dim, std::move(values));
+}
+
+PointSet generate_anticorrelated(std::size_t n, std::size_t dim, common::Rng& rng,
+                                 double plane_spread) {
+  MRSKY_REQUIRE(plane_spread >= 0.0, "spread must be non-negative");
+  // Börzsönyi-style: pick a plane offset v near 0.5, start at (v, ..., v),
+  // then repeatedly transfer mass between random coordinate pairs. The sum
+  // stays constant, so points spread along the anti-diagonal hyperplane —
+  // being good in one attribute costs you in another.
+  std::vector<double> values(dim);
+  PointSet out(dim);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    do {
+      v = rng.normal(0.5, plane_spread);
+    } while (v < 0.0 || v > 1.0);
+    std::fill(values.begin(), values.end(), v);
+    const std::size_t transfers = 2 * dim;
+    for (std::size_t t = 0; t < transfers && dim >= 2; ++t) {
+      const std::size_t a = static_cast<std::size_t>(rng.uniform_index(dim));
+      std::size_t b = static_cast<std::size_t>(rng.uniform_index(dim - 1));
+      if (b >= a) ++b;
+      // Largest transfer keeping both coordinates inside [0, 1].
+      const double max_delta = std::min(values[a], 1.0 - values[b]);
+      const double delta = rng.uniform() * max_delta;
+      values[a] -= delta;
+      values[b] += delta;
+    }
+    out.push_back(values);
+  }
+  return out;
+}
+
+PointSet generate_clustered(std::size_t n, std::size_t dim, common::Rng& rng,
+                            std::size_t clusters, double spread) {
+  MRSKY_REQUIRE(clusters >= 1, "need at least one cluster");
+  std::vector<double> centres(clusters * dim);
+  for (auto& c : centres) c = rng.uniform();
+  std::vector<double> values;
+  values.reserve(n * dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = static_cast<std::size_t>(rng.uniform_index(clusters));
+    for (std::size_t a = 0; a < dim; ++a) {
+      values.push_back(clamp01(centres[k * dim + a] + rng.normal(0.0, spread)));
+    }
+  }
+  return PointSet(dim, std::move(values));
+}
+
+}  // namespace mrsky::data

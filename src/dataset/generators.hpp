@@ -1,0 +1,55 @@
+// Synthetic dataset generators.
+//
+// The three classic skyline benchmark distributions of Börzsönyi, Kossmann &
+// Stocker (ICDE 2001) — independent, correlated, anti-correlated — plus a
+// clustered distribution. All generators emit points in [0, 1]^d with the
+// "smaller is better" orientation and are fully deterministic given a seed.
+//
+// The paper's primary workload (QWS-like web-service data) lives in qws.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.hpp"
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::data {
+
+enum class Distribution {
+  kIndependent,     ///< i.i.d. uniform per attribute
+  kCorrelated,      ///< concentrated around the main diagonal
+  kAnticorrelated,  ///< concentrated around the anti-diagonal hyperplane
+  kClustered,       ///< Gaussian blobs around random centres
+};
+
+/// Parses "independent" / "correlated" / "anticorrelated" / "clustered".
+[[nodiscard]] Distribution parse_distribution(const std::string& name);
+[[nodiscard]] std::string to_string(Distribution d);
+
+struct GeneratorOptions {
+  /// Std-dev of the perpendicular spread for correlated data.
+  double correlated_spread = 0.05;
+  /// Std-dev of the plane-offset distribution for anti-correlated data.
+  double anticorrelated_spread = 0.10;
+  /// Number of blobs for the clustered distribution.
+  std::size_t cluster_count = 8;
+  /// Per-axis std-dev of each blob.
+  double cluster_spread = 0.05;
+};
+
+/// Generates `n` points of dimension `dim` from `dist`, seeded by `seed`.
+[[nodiscard]] PointSet generate(Distribution dist, std::size_t n, std::size_t dim,
+                                std::uint64_t seed, const GeneratorOptions& options = {});
+
+/// Individual generators (same contracts as `generate`).
+[[nodiscard]] PointSet generate_independent(std::size_t n, std::size_t dim, common::Rng& rng);
+[[nodiscard]] PointSet generate_correlated(std::size_t n, std::size_t dim, common::Rng& rng,
+                                           double spread);
+[[nodiscard]] PointSet generate_anticorrelated(std::size_t n, std::size_t dim, common::Rng& rng,
+                                               double plane_spread);
+[[nodiscard]] PointSet generate_clustered(std::size_t n, std::size_t dim, common::Rng& rng,
+                                          std::size_t clusters, double spread);
+
+}  // namespace mrsky::data

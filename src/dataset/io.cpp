@@ -1,0 +1,126 @@
+#include "src/dataset/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::data {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) comma = line.size();
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const PointSet& ps, const CsvWriteOptions& options) {
+  if (options.with_header) {
+    if (options.with_ids) os << "id";
+    for (std::size_t a = 0; a < ps.dim(); ++a) {
+      if (a > 0 || options.with_ids) os << ",";
+      os << "attr" << a;
+    }
+    os << "\n";
+  }
+  os << std::setprecision(options.precision);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (options.with_ids) os << ps.id(i);
+    for (std::size_t a = 0; a < ps.dim(); ++a) {
+      if (a > 0 || options.with_ids) os << ",";
+      os << ps.at(i, a);
+    }
+    os << "\n";
+  }
+  if (!os) MRSKY_FAIL("CSV write failed");
+}
+
+void write_csv_file(const std::string& path, const PointSet& ps, const CsvWriteOptions& options) {
+  std::ofstream file(path);
+  if (!file) MRSKY_FAIL("cannot open for writing: " + path);
+  write_csv(file, ps, options);
+}
+
+PointSet read_csv(std::istream& is) {
+  std::string line;
+  std::vector<std::vector<std::string>> rows;
+  bool first = true;
+  bool has_header = false;
+  bool has_id_column = false;
+  std::vector<std::string> header;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = split_commas(line);
+    if (first) {
+      first = false;
+      double probe = 0.0;
+      if (!parse_double(cells[0], probe)) {
+        has_header = true;
+        has_id_column = (cells[0] == "id");
+        header = std::move(cells);
+        continue;
+      }
+    }
+    rows.push_back(std::move(cells));
+  }
+  MRSKY_REQUIRE(!rows.empty(), "CSV contains no data rows");
+  const std::size_t width = rows.front().size();
+  if (has_header) {
+    MRSKY_REQUIRE(header.size() == width, "CSV header width differs from data width");
+  }
+  const std::size_t dim = has_id_column ? width - 1 : width;
+  MRSKY_REQUIRE(dim >= 1, "CSV rows must contain at least one attribute");
+
+  std::vector<double> values;
+  values.reserve(rows.size() * dim);
+  std::vector<PointId> ids;
+  ids.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& cells = rows[r];
+    MRSKY_REQUIRE(cells.size() == width,
+                  "ragged CSV row " + std::to_string(r) + ": expected " + std::to_string(width) +
+                      " cells, got " + std::to_string(cells.size()));
+    std::size_t c = 0;
+    if (has_id_column) {
+      double idv = 0.0;
+      MRSKY_REQUIRE(parse_double(cells[0], idv), "bad id in CSV row " + std::to_string(r));
+      ids.push_back(static_cast<PointId>(idv));
+      c = 1;
+    } else {
+      ids.push_back(static_cast<PointId>(r));
+    }
+    for (; c < width; ++c) {
+      double v = 0.0;
+      MRSKY_REQUIRE(parse_double(cells[c], v), "bad number in CSV row " + std::to_string(r) +
+                                                   ": " + cells[c]);
+      values.push_back(v);
+    }
+  }
+  return PointSet(dim, std::move(values), std::move(ids));
+}
+
+PointSet read_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) MRSKY_FAIL("cannot open for reading: " + path);
+  return read_csv(file);
+}
+
+}  // namespace mrsky::data

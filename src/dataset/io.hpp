@@ -1,0 +1,32 @@
+// CSV persistence for point sets, so experiments can be re-run against a
+// fixed on-disk dataset (or against the real QWS file if the user has one).
+//
+// Format: optional header line, then one row per point. If the first column
+// is named "id" (or `with_ids` is set on write), it carries the PointId;
+// otherwise ids are assigned sequentially on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::data {
+
+struct CsvWriteOptions {
+  bool with_header = true;
+  bool with_ids = true;
+  int precision = 17;  ///< max_digits10: doubles round-trip exactly
+};
+
+/// Writes `ps` to `os`. Throws mrsky::RuntimeError on stream failure.
+void write_csv(std::ostream& os, const PointSet& ps, const CsvWriteOptions& options = {});
+void write_csv_file(const std::string& path, const PointSet& ps,
+                    const CsvWriteOptions& options = {});
+
+/// Reads a point set. Detects a header (any non-numeric first line) and an
+/// "id" first column automatically. Throws on ragged rows or parse errors.
+[[nodiscard]] PointSet read_csv(std::istream& is);
+[[nodiscard]] PointSet read_csv_file(const std::string& path);
+
+}  // namespace mrsky::data

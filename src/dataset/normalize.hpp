@@ -1,0 +1,36 @@
+// Attribute normalisation.
+//
+// Partitioners that split value ranges (MR-Dim's Vmax/Np slabs, MR-Grid's
+// cells, MR-Angle's hyperspherical transform) behave best on comparable
+// scales; QWS attributes span [0.1, 43] to [37, 4989]. Min-max scaling to
+// [0, 1] is rank-preserving per attribute, so it never changes dominance
+// relations or the skyline — only the geometry partitioners see.
+#pragma once
+
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::data {
+
+/// Per-attribute affine map x -> (x - lo) / (hi - lo).
+struct NormalizationMap {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return lo.size(); }
+
+  /// Applies the map; constant attributes (hi == lo) map to 0.
+  [[nodiscard]] PointSet apply(const PointSet& ps) const;
+
+  /// Inverse map back to natural units.
+  [[nodiscard]] PointSet invert(const PointSet& ps) const;
+};
+
+/// Fits min-max bounds on `ps`. Throws if `ps` is empty.
+[[nodiscard]] NormalizationMap fit_min_max(const PointSet& ps);
+
+/// Convenience: fit on `ps` and apply to it.
+[[nodiscard]] PointSet normalize_min_max(const PointSet& ps);
+
+}  // namespace mrsky::data

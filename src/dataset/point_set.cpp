@@ -1,0 +1,83 @@
+#include "src/dataset/point_set.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::data {
+
+PointSet::PointSet(std::size_t dim) : dim_(dim) {
+  MRSKY_REQUIRE(dim >= 1, "points need at least one attribute");
+}
+
+PointSet::PointSet(std::size_t dim, std::vector<double> values) : PointSet(dim) {
+  MRSKY_REQUIRE(values.size() % dim == 0, "value count must be a multiple of dim");
+  values_ = std::move(values);
+  const std::size_t n = values_.size() / dim;
+  ids_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ids_[i] = static_cast<PointId>(i);
+}
+
+PointSet::PointSet(std::size_t dim, std::vector<double> values, std::vector<PointId> ids)
+    : PointSet(dim) {
+  MRSKY_REQUIRE(values.size() == ids.size() * dim, "values/ids size mismatch");
+  values_ = std::move(values);
+  ids_ = std::move(ids);
+}
+
+void PointSet::push_back(std::span<const double> coords, PointId id) {
+  MRSKY_REQUIRE(coords.size() == dim_, "coordinate count must equal dim");
+  values_.insert(values_.end(), coords.begin(), coords.end());
+  ids_.push_back(id);
+}
+
+void PointSet::push_back(std::span<const double> coords) {
+  push_back(coords, static_cast<PointId>(size()));
+}
+
+void PointSet::reserve(std::size_t n) {
+  values_.reserve(n * dim_);
+  ids_.reserve(n);
+}
+
+void PointSet::clear() noexcept {
+  values_.clear();
+  ids_.clear();
+}
+
+PointSet PointSet::select(std::span<const std::size_t> indices) const {
+  PointSet out(dim_);
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    MRSKY_REQUIRE(i < size(), "select index out of range");
+    out.push_back(point(i), ids_[i]);
+  }
+  return out;
+}
+
+std::vector<double> PointSet::attribute_min() const {
+  MRSKY_REQUIRE(!empty(), "attribute_min of empty set");
+  std::vector<double> mins(dim_, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t a = 0; a < dim_; ++a) mins[a] = std::min(mins[a], at(i, a));
+  }
+  return mins;
+}
+
+std::vector<double> PointSet::attribute_max() const {
+  MRSKY_REQUIRE(!empty(), "attribute_max of empty set");
+  std::vector<double> maxs(dim_, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t a = 0; a < dim_; ++a) maxs[a] = std::max(maxs[a], at(i, a));
+  }
+  return maxs;
+}
+
+std::vector<PointId> sorted_ids(const PointSet& ps) {
+  std::vector<PointId> ids(ps.ids().begin(), ps.ids().end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace mrsky::data

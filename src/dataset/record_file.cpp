@@ -1,0 +1,251 @@
+#include "src/dataset/record_file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::data {
+
+namespace {
+
+constexpr char kHeaderMagic[4] = {'M', 'R', 'S', 'K'};
+constexpr char kTrailerMagic[4] = {'K', 'S', 'R', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const char* data, std::size_t size, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+}
+
+}  // namespace
+
+// ---- Writer ---------------------------------------------------------------
+
+struct RecordFileWriter::Impl {
+  std::ofstream file;
+  std::vector<PointId> pending_ids;
+  std::vector<double> pending_coords;  // row-major, pending_ids.size() * dim
+  std::vector<std::uint64_t> block_offsets;
+  std::vector<std::uint64_t> block_records;
+  std::vector<std::uint64_t> block_checksums;
+};
+
+RecordFileWriter::RecordFileWriter(const std::string& path, std::size_t dim,
+                                   std::size_t records_per_block)
+    : impl_(std::make_unique<Impl>()), dim_(dim), records_per_block_(records_per_block) {
+  MRSKY_REQUIRE(dim >= 1, "records need at least one attribute");
+  MRSKY_REQUIRE(records_per_block >= 1, "blocks must hold at least one record");
+  impl_->file.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->file) MRSKY_FAIL("cannot open record file for writing: " + path);
+  impl_->file.write(kHeaderMagic, sizeof(kHeaderMagic));
+  write_pod(impl_->file, kVersion);
+  write_pod(impl_->file, static_cast<std::uint64_t>(dim));
+  write_pod(impl_->file, static_cast<std::uint64_t>(records_per_block));
+}
+
+RecordFileWriter::~RecordFileWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; callers who care call close() themselves.
+  }
+}
+
+void RecordFileWriter::append(PointId id, std::span<const double> coords) {
+  MRSKY_REQUIRE(!closed_, "append after close");
+  MRSKY_REQUIRE(coords.size() == dim_, "record dimension mismatch");
+  impl_->pending_ids.push_back(id);
+  impl_->pending_coords.insert(impl_->pending_coords.end(), coords.begin(), coords.end());
+  ++total_records_;
+  if (impl_->pending_ids.size() >= records_per_block_) flush_block();
+}
+
+void RecordFileWriter::append(const PointSet& ps) {
+  MRSKY_REQUIRE(ps.dim() == dim_, "point set dimension mismatch");
+  for (std::size_t i = 0; i < ps.size(); ++i) append(ps.id(i), ps.point(i));
+}
+
+void RecordFileWriter::flush_block() {
+  if (impl_->pending_ids.empty()) return;
+  auto& file = impl_->file;
+  impl_->block_offsets.push_back(static_cast<std::uint64_t>(file.tellp()));
+  impl_->block_records.push_back(impl_->pending_ids.size());
+
+  write_pod(file, static_cast<std::uint64_t>(impl_->pending_ids.size()));
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (std::size_t r = 0; r < impl_->pending_ids.size(); ++r) {
+    const PointId id = impl_->pending_ids[r];
+    write_pod(file, id);
+    checksum = fnv1a(reinterpret_cast<const char*>(&id), sizeof(id), checksum);
+    const double* row = impl_->pending_coords.data() + r * dim_;
+    file.write(reinterpret_cast<const char*>(row),
+               static_cast<std::streamsize>(dim_ * sizeof(double)));
+    checksum = fnv1a(reinterpret_cast<const char*>(row), dim_ * sizeof(double), checksum);
+  }
+  impl_->block_checksums.push_back(checksum);
+  impl_->pending_ids.clear();
+  impl_->pending_coords.clear();
+}
+
+void RecordFileWriter::close() {
+  if (closed_) return;
+  flush_block();
+  auto& file = impl_->file;
+  const auto footer_offset = static_cast<std::uint64_t>(file.tellp());
+  write_pod(file, static_cast<std::uint64_t>(impl_->block_offsets.size()));
+  for (std::size_t b = 0; b < impl_->block_offsets.size(); ++b) {
+    write_pod(file, impl_->block_offsets[b]);
+    write_pod(file, impl_->block_records[b]);
+    write_pod(file, impl_->block_checksums[b]);
+  }
+  write_pod(file, static_cast<std::uint64_t>(total_records_));
+  write_pod(file, footer_offset);
+  file.write(kTrailerMagic, sizeof(kTrailerMagic));
+  file.flush();
+  if (!file) MRSKY_FAIL("record file write failed on close");
+  file.close();
+  closed_ = true;
+}
+
+// ---- Reader ---------------------------------------------------------------
+
+struct RecordFileReader::Impl {
+  mutable std::ifstream file;
+};
+
+RecordFileReader::RecordFileReader(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  auto& file = impl_->file;
+  file.open(path, std::ios::binary);
+  if (!file) MRSKY_FAIL("cannot open record file: " + path);
+
+  char magic[4];
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kHeaderMagic, sizeof(magic)) != 0) {
+    MRSKY_FAIL("not a record file (bad header magic): " + path);
+  }
+  std::uint32_t version = 0;
+  read_pod(file, version);
+  if (version != kVersion) MRSKY_FAIL("unsupported record file version");
+  std::uint64_t dim = 0;
+  std::uint64_t records_per_block = 0;
+  read_pod(file, dim);
+  read_pod(file, records_per_block);
+  dim_ = static_cast<std::size_t>(dim);
+
+  // Trailer: footer offset + magic at the very end.
+  file.seekg(-static_cast<std::streamoff>(sizeof(std::uint64_t) + sizeof(kTrailerMagic)),
+             std::ios::end);
+  std::uint64_t footer_offset = 0;
+  read_pod(file, footer_offset);
+  file.read(magic, sizeof(magic));
+  if (!file || std::memcmp(magic, kTrailerMagic, sizeof(magic)) != 0) {
+    MRSKY_FAIL("truncated record file (bad trailer): " + path);
+  }
+
+  file.seekg(static_cast<std::streamoff>(footer_offset));
+  std::uint64_t block_count = 0;
+  read_pod(file, block_count);
+  blocks_.resize(static_cast<std::size_t>(block_count));
+  for (auto& block : blocks_) {
+    read_pod(file, block.offset);
+    read_pod(file, block.records);
+    read_pod(file, block.checksum);
+  }
+  std::uint64_t total = 0;
+  read_pod(file, total);
+  total_records_ = static_cast<std::size_t>(total);
+  if (!file) MRSKY_FAIL("truncated record file footer: " + path);
+}
+
+RecordFileReader::~RecordFileReader() = default;
+
+std::vector<RecordSplit> RecordFileReader::splits(std::size_t target_splits) const {
+  MRSKY_REQUIRE(target_splits >= 1, "need at least one split");
+  std::vector<RecordSplit> out;
+  if (blocks_.empty()) {
+    out.push_back(RecordSplit{0, 0, 0});
+    return out;
+  }
+  const std::size_t n_splits = std::min(target_splits, blocks_.size());
+  for (std::size_t s = 0; s < n_splits; ++s) {
+    const std::size_t first = blocks_.size() * s / n_splits;
+    const std::size_t last = blocks_.size() * (s + 1) / n_splits;  // exclusive
+    RecordSplit split;
+    split.first_block = first;
+    split.block_count = last - first;
+    for (std::size_t b = first; b < last; ++b) {
+      split.record_count += static_cast<std::size_t>(blocks_[b].records);
+    }
+    out.push_back(split);
+  }
+  return out;
+}
+
+PointSet RecordFileReader::read_split(const RecordSplit& split) const {
+  MRSKY_REQUIRE(split.first_block + split.block_count <= blocks_.size(),
+                "split exceeds block table");
+  auto& file = impl_->file;
+  PointSet out(dim_);
+  out.reserve(split.record_count);
+  std::vector<double> row(dim_);
+  for (std::size_t b = split.first_block; b < split.first_block + split.block_count; ++b) {
+    const BlockInfo& block = blocks_[b];
+    file.clear();
+    file.seekg(static_cast<std::streamoff>(block.offset));
+    std::uint64_t count = 0;
+    read_pod(file, count);
+    if (count != block.records) MRSKY_FAIL("block header disagrees with footer index");
+    std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    for (std::uint64_t r = 0; r < count; ++r) {
+      PointId id = 0;
+      read_pod(file, id);
+      checksum = fnv1a(reinterpret_cast<const char*>(&id), sizeof(id), checksum);
+      file.read(reinterpret_cast<char*>(row.data()),
+                static_cast<std::streamsize>(dim_ * sizeof(double)));
+      checksum = fnv1a(reinterpret_cast<const char*>(row.data()), dim_ * sizeof(double),
+                       checksum);
+      out.push_back(row, id);
+    }
+    if (!file) MRSKY_FAIL("truncated block while reading records");
+    if (checksum != block.checksum) {
+      MRSKY_FAIL("checksum mismatch in block " + std::to_string(b) + " (corrupted file?)");
+    }
+  }
+  return out;
+}
+
+PointSet RecordFileReader::read_all() const {
+  RecordSplit whole;
+  whole.first_block = 0;
+  whole.block_count = blocks_.size();
+  whole.record_count = total_records_;
+  return read_split(whole);
+}
+
+void write_record_file(const std::string& path, const PointSet& ps,
+                       std::size_t records_per_block) {
+  RecordFileWriter writer(path, ps.dim(), records_per_block);
+  writer.append(ps);
+  writer.close();
+}
+
+PointSet read_record_file(const std::string& path) {
+  return RecordFileReader(path).read_all();
+}
+
+}  // namespace mrsky::data

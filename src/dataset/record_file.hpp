@@ -1,0 +1,110 @@
+// Block-structured binary point storage — the library's stand-in for HDFS
+// sequence files.
+//
+// Hadoop jobs read their input as block-aligned splits, one per map task;
+// this format reproduces that: fixed-size record blocks, a footer index of
+// block offsets, and a per-block FNV-1a checksum so corruption is detected
+// at read time rather than silently skewing experiments.
+//
+// Layout (all integers little-endian, as written by the host — the format
+// is a working set artifact, not an interchange format):
+//   header : magic "MRSK" | u32 version | u64 dim | u64 records_per_block
+//   blocks : u64 record_count | record_count × (u32 id | dim × f64)
+//   footer : u64 block_count | block_count × (u64 offset | u64 records |
+//            u64 checksum) | u64 total_records
+//   trailer: u64 footer_offset | magic "KSRM"
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::data {
+
+/// A block-aligned chunk of a record file — the unit handed to a map task.
+struct RecordSplit {
+  std::size_t first_block = 0;
+  std::size_t block_count = 0;
+  std::size_t record_count = 0;
+};
+
+class RecordFileWriter {
+ public:
+  /// Opens `path` for writing `dim`-dimensional records. Throws on I/O error.
+  RecordFileWriter(const std::string& path, std::size_t dim,
+                   std::size_t records_per_block = 4096);
+  ~RecordFileWriter();
+
+  RecordFileWriter(const RecordFileWriter&) = delete;
+  RecordFileWriter& operator=(const RecordFileWriter&) = delete;
+
+  void append(PointId id, std::span<const double> coords);
+  void append(const PointSet& ps);
+
+  /// Flushes the last block and writes footer + trailer. Idempotent; called
+  /// by the destructor if not called explicitly (errors are swallowed there,
+  /// so call close() when you care).
+  void close();
+
+  [[nodiscard]] std::size_t records_written() const noexcept { return total_records_; }
+
+ private:
+  void flush_block();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t dim_;
+  std::size_t records_per_block_;
+  std::size_t total_records_ = 0;
+  bool closed_ = false;
+};
+
+class RecordFileReader {
+ public:
+  /// Opens and validates header/trailer. Throws mrsky::RuntimeError on a
+  /// missing file, bad magic, or truncated footer.
+  explicit RecordFileReader(const std::string& path);
+  ~RecordFileReader();
+
+  RecordFileReader(const RecordFileReader&) = delete;
+  RecordFileReader& operator=(const RecordFileReader&) = delete;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t record_count() const noexcept { return total_records_; }
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  /// Partitions the blocks into at most `target_splits` contiguous,
+  /// block-aligned splits of near-equal record counts (>= 1 split; fewer
+  /// when there are fewer blocks than requested).
+  [[nodiscard]] std::vector<RecordSplit> splits(std::size_t target_splits) const;
+
+  /// Reads one split; verifies each block's checksum (throws on mismatch).
+  [[nodiscard]] PointSet read_split(const RecordSplit& split) const;
+
+  /// Reads the whole file.
+  [[nodiscard]] PointSet read_all() const;
+
+ private:
+  struct BlockInfo {
+    std::uint64_t offset = 0;
+    std::uint64_t records = 0;
+    std::uint64_t checksum = 0;
+  };
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t dim_ = 0;
+  std::size_t total_records_ = 0;
+  std::vector<BlockInfo> blocks_;
+};
+
+/// Convenience wrappers.
+void write_record_file(const std::string& path, const PointSet& ps,
+                       std::size_t records_per_block = 4096);
+[[nodiscard]] PointSet read_record_file(const std::string& path);
+
+}  // namespace mrsky::data

@@ -1,0 +1,59 @@
+#include "src/geometry/grid_shape.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::geo {
+
+std::vector<std::uint64_t> prime_factors(std::uint64_t n) {
+  MRSKY_REQUIRE(n >= 1, "prime_factors of zero");
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t p = 2; p * p <= n; ++p) {
+    while (n % p == 0) {
+      factors.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+std::vector<std::size_t> balanced_grid_shape(std::size_t target, std::size_t dims) {
+  MRSKY_REQUIRE(target >= 1, "grid shape target must be >= 1");
+  MRSKY_REQUIRE(dims >= 1, "grid shape needs at least one dimension");
+  std::vector<std::size_t> shape(dims, 1);
+  // Assign each prime factor (largest first) to the currently smallest axis;
+  // this greedy keeps the product balanced.
+  auto factors = prime_factors(target);
+  std::sort(factors.rbegin(), factors.rend());
+  for (std::uint64_t f : factors) {
+    auto smallest = std::min_element(shape.begin(), shape.end());
+    *smallest *= static_cast<std::size_t>(f);
+  }
+  std::sort(shape.rbegin(), shape.rend());
+  return shape;
+}
+
+std::size_t linear_index(const std::vector<std::size_t>& cell,
+                         const std::vector<std::size_t>& shape) {
+  MRSKY_REQUIRE(cell.size() == shape.size(), "cell/shape rank mismatch");
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    MRSKY_ASSERT(cell[i] < shape[i], "cell index out of range");
+    index = index * shape[i] + cell[i];
+  }
+  return index;
+}
+
+std::vector<std::size_t> unlinear_index(std::size_t index, const std::vector<std::size_t>& shape) {
+  std::vector<std::size_t> cell(shape.size());
+  for (std::size_t i = shape.size(); i-- > 0;) {
+    cell[i] = index % shape[i];
+    index /= shape[i];
+  }
+  MRSKY_REQUIRE(index == 0, "linear index exceeds shape volume");
+  return cell;
+}
+
+}  // namespace mrsky::geo

@@ -1,0 +1,33 @@
+// Balanced mixed-radix grid shapes.
+//
+// Both MR-Grid (cells in Cartesian space) and MR-Angle (cells in the angular
+// cube) must split a k-dimensional box into exactly P cells, for arbitrary P
+// (the paper sets P = 2 × servers, so P is rarely a perfect k-th power).
+// `balanced_grid_shape` factorises P into per-dimension split counts whose
+// product is exactly P and whose sizes are as equal as possible, so cells
+// stay near-cubical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mrsky::geo {
+
+/// Splits `target` into `dims` factors (product == target, each >= 1),
+/// as balanced as a prime factorisation of `target` permits. Factors are
+/// returned largest-first. Requires target >= 1 and dims >= 1.
+[[nodiscard]] std::vector<std::size_t> balanced_grid_shape(std::size_t target, std::size_t dims);
+
+/// Prime factorisation by trial division, ascending, with multiplicity.
+[[nodiscard]] std::vector<std::uint64_t> prime_factors(std::uint64_t n);
+
+/// Row-major linearisation of a mixed-radix index: cell[i] < shape[i].
+[[nodiscard]] std::size_t linear_index(const std::vector<std::size_t>& cell,
+                                       const std::vector<std::size_t>& shape);
+
+/// Inverse of linear_index.
+[[nodiscard]] std::vector<std::size_t> unlinear_index(std::size_t index,
+                                                      const std::vector<std::size_t>& shape);
+
+}  // namespace mrsky::geo

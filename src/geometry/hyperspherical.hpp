@@ -1,0 +1,35 @@
+// Hyperspherical coordinate transform — paper Eq. (1) and (2).
+//
+// For a non-negative Cartesian vector v = (v1, ..., vn):
+//   r        = sqrt(v1² + ... + vn²)
+//   tan(φk)  = sqrt(vn² + ... + v(k+1)²) / vk        for k = 1 .. n-1
+// so each angle lies in [0, π/2] when all coordinates are non-negative
+// (the QoS data space is the positive orthant). MR-Angle partitions the
+// (n−1)-dimensional angular cube [0, π/2]^(n−1); the radial coordinate r is
+// deliberately ignored, which is exactly why each angular sector spans the
+// full quality range from near-origin (good) to far (poor) services.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mrsky::geo {
+
+struct HypersphericalCoords {
+  double r = 0.0;
+  std::vector<double> phi;  ///< n-1 angles, each in [0, π/2] for v >= 0
+};
+
+/// Forward transform (Eq. 1). Requires a non-empty vector with non-negative
+/// coordinates (throws otherwise). The all-zero vector maps to r=0, φ=0.
+[[nodiscard]] HypersphericalCoords to_hyperspherical(std::span<const double> v);
+
+/// Angles only, written into `phi_out` (resized to v.size()-1). Avoids
+/// allocation in the per-point Map loop.
+void angles_of(std::span<const double> v, std::vector<double>& phi_out);
+
+/// Inverse transform; reconstructs the Cartesian vector of dimension
+/// coords.phi.size() + 1. Used by tests to prove round-tripping.
+[[nodiscard]] std::vector<double> to_cartesian(const HypersphericalCoords& coords);
+
+}  // namespace mrsky::geo

@@ -1,0 +1,190 @@
+#include "src/mapreduce/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::mr {
+
+double ClusterModel::server_speed(std::size_t index) const {
+  if (index < server_speed_factors.size()) {
+    MRSKY_REQUIRE(server_speed_factors[index] > 0.0, "server speed factors must be positive");
+    return server_speed_factors[index];
+  }
+  return 1.0;
+}
+
+ClusterModel ClusterModel::with_stragglers(std::size_t count, double slowdown) const {
+  MRSKY_REQUIRE(slowdown >= 1.0, "slowdown must be >= 1");
+  MRSKY_REQUIRE(count <= servers, "more stragglers than servers");
+  ClusterModel out = *this;
+  out.server_speed_factors.resize(servers);
+  for (std::size_t i = 0; i < servers; ++i) out.server_speed_factors[i] = server_speed(i);
+  for (std::size_t i = servers - count; i < servers; ++i) {
+    out.server_speed_factors[i] /= slowdown;
+  }
+  return out;
+}
+
+PhaseTimes& PhaseTimes::operator+=(const PhaseTimes& other) noexcept {
+  startup_seconds += other.startup_seconds;
+  map_seconds += other.map_seconds;
+  reduce_seconds += other.reduce_seconds;
+  return *this;
+}
+
+PhaseSchedule lpt_schedule(std::span<const double> task_costs,
+                           std::span<const double> lane_speeds) {
+  MRSKY_REQUIRE(!lane_speeds.empty(), "need at least one lane");
+  for (double s : lane_speeds) MRSKY_REQUIRE(s > 0.0, "lane speeds must be positive");
+
+  PhaseSchedule schedule;
+  schedule.lane_speeds.assign(lane_speeds.begin(), lane_speeds.end());
+  schedule.placements.resize(task_costs.size());
+  if (task_costs.empty()) return schedule;
+
+  // Longest task first, each to the earliest-AVAILABLE lane — the Hadoop
+  // slot model: the scheduler hands the next queued task to whichever slot
+  // frees first and only discovers a server is slow while the task runs.
+  // (An earliest-FINISH assignment would be omniscient about speeds and
+  // could never produce the stragglers speculative execution exists for.)
+  std::vector<std::size_t> order(task_costs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return task_costs[a] > task_costs[b]; });
+
+  std::vector<double> lane_free_at(lane_speeds.size(), 0.0);
+  for (std::size_t task : order) {
+    std::size_t best_lane = 0;
+    for (std::size_t lane = 1; lane < lane_speeds.size(); ++lane) {
+      if (lane_free_at[lane] < lane_free_at[best_lane]) best_lane = lane;
+    }
+    const double start = lane_free_at[best_lane];
+    const double finish = start + task_costs[task] / lane_speeds[best_lane];
+    schedule.placements[task] = TaskPlacement{task, best_lane, start, finish, false};
+    lane_free_at[best_lane] = finish;
+    schedule.makespan_seconds = std::max(schedule.makespan_seconds, finish);
+  }
+  return schedule;
+}
+
+PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
+                                       std::span<const double> lane_speeds) {
+  PhaseSchedule schedule = lpt_schedule(task_costs, lane_speeds);
+  if (schedule.placements.empty()) return schedule;
+
+  // Lane availability after the base schedule.
+  std::vector<double> lane_free(lane_speeds.size(), 0.0);
+  for (const auto& p : schedule.placements) {
+    lane_free[p.lane] = std::max(lane_free[p.lane], p.end_seconds);
+  }
+
+  // Cap the makespan-defining task with a backup copy while it helps. Each
+  // round: find the latest-ending task, try launching a copy on the lane
+  // that would finish it earliest; the task completes at the winner's time
+  // and the backup's lane time is consumed.
+  for (std::size_t round = 0; round < schedule.placements.size(); ++round) {
+    std::size_t straggler = 0;
+    for (std::size_t i = 1; i < schedule.placements.size(); ++i) {
+      if (schedule.placements[i].end_seconds >
+          schedule.placements[straggler].end_seconds) {
+        straggler = i;
+      }
+    }
+    auto& victim = schedule.placements[straggler];
+    std::size_t best_lane = lane_speeds.size();
+    double best_finish = victim.end_seconds;
+    for (std::size_t lane = 0; lane < lane_speeds.size(); ++lane) {
+      if (lane == victim.lane) continue;
+      const double finish =
+          lane_free[lane] + task_costs[victim.task_index] / lane_speeds[lane];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_lane = lane;
+      }
+    }
+    if (best_lane == lane_speeds.size()) break;  // no backup beats the original
+    lane_free[best_lane] = best_finish;
+    victim.end_seconds = best_finish;
+    victim.speculated = true;
+  }
+
+  schedule.makespan_seconds = 0.0;
+  for (const auto& p : schedule.placements) {
+    schedule.makespan_seconds = std::max(schedule.makespan_seconds, p.end_seconds);
+  }
+  return schedule;
+}
+
+double lpt_makespan(std::span<const double> task_costs, std::size_t lanes) {
+  MRSKY_REQUIRE(lanes >= 1, "need at least one lane");
+  const std::vector<double> speeds(lanes, 1.0);
+  return lpt_schedule(task_costs, speeds).makespan_seconds;
+}
+
+namespace {
+
+std::vector<double> lane_speeds_for(const ClusterModel& model, std::size_t slots_per_server) {
+  std::vector<double> speeds;
+  speeds.reserve(model.servers * slots_per_server);
+  for (std::size_t server = 0; server < model.servers; ++server) {
+    for (std::size_t slot = 0; slot < slots_per_server; ++slot) {
+      speeds.push_back(model.server_speed(server));
+    }
+  }
+  return speeds;
+}
+
+std::vector<double> map_task_costs(const JobMetrics& metrics, const ClusterModel& model) {
+  std::vector<double> costs;
+  costs.reserve(metrics.map_tasks.size());
+  for (const auto& t : metrics.map_tasks) {
+    // Failed attempts (engine fault injection) re-ran the whole task.
+    costs.push_back(static_cast<double>(t.attempts) *
+                    (model.task_startup_seconds +
+                     static_cast<double>(t.records_in) * model.seconds_per_map_record +
+                     static_cast<double>(t.work_units) * model.seconds_per_work_unit));
+  }
+  return costs;
+}
+
+std::vector<double> reduce_task_costs(const JobMetrics& metrics, const ClusterModel& model) {
+  std::vector<double> costs;
+  costs.reserve(metrics.reduce_tasks.size());
+  for (const auto& t : metrics.reduce_tasks) {
+    costs.push_back(static_cast<double>(t.attempts) *
+                    (model.task_startup_seconds +
+                     static_cast<double>(t.records_in) * model.seconds_per_shuffle_record +
+                     static_cast<double>(t.work_units) * model.seconds_per_work_unit));
+  }
+  return costs;
+}
+
+}  // namespace
+
+ScheduleTrace trace_job(const JobMetrics& metrics, const ClusterModel& model) {
+  const auto schedule = model.speculative_execution ? lpt_schedule_speculative : lpt_schedule;
+  ScheduleTrace trace;
+  trace.map = schedule(map_task_costs(metrics, model),
+                       lane_speeds_for(model, model.map_slots_per_server));
+  trace.reduce = schedule(reduce_task_costs(metrics, model),
+                          lane_speeds_for(model, model.reduce_slots_per_server));
+  trace.times.startup_seconds = model.job_startup_seconds;
+  trace.times.map_seconds = trace.map.makespan_seconds;
+  trace.times.reduce_seconds = trace.reduce.makespan_seconds;
+  return trace;
+}
+
+PhaseTimes simulate_job(const JobMetrics& metrics, const ClusterModel& model) {
+  return trace_job(metrics, model).times;
+}
+
+PhaseTimes simulate_pipeline(std::span<const JobMetrics> jobs, const ClusterModel& model) {
+  PhaseTimes total;
+  for (const auto& job : jobs) total += simulate_job(job, model);
+  return total;
+}
+
+}  // namespace mrsky::mr

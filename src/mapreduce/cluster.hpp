@@ -1,0 +1,129 @@
+// Deterministic cluster simulation — DESIGN.md §2's substitution for the
+// paper's 4–32 node Hadoop cluster.
+//
+// The engine (job.hpp) records what each task actually did: records read,
+// records emitted, abstract work units charged (dominance tests, for the
+// skyline jobs). This module converts those measurements into simulated
+// wall-clock per phase for a cluster of S servers:
+//
+//   task cost  = task_startup
+//              + records_in  × per-record cost (map or reduce side)
+//              + work_units  × seconds_per_work_unit
+//   phase time = LPT-schedule makespan of all phase tasks over S × slots lanes
+//   job time   = job_startup + map phase + reduce phase
+//
+// The per-record and per-work constants default to values calibrated so the
+// headline experiment (QWS-like data, N = 100k, d = 10) lands in the same
+// hundreds-of-seconds regime as the paper's Hadoop numbers; DESIGN.md
+// promises shape fidelity, not absolute-seconds fidelity, and the shapes
+// (who wins, saturation beyond ~24 servers, Map-vs-Reduce attribution) come
+// from the measured work distribution, not from the constants.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/mapreduce/metrics.hpp"
+
+namespace mrsky::mr {
+
+struct ClusterModel {
+  std::size_t servers = 8;
+  std::size_t map_slots_per_server = 2;     ///< Hadoop default: 2 map slots/node
+  std::size_t reduce_slots_per_server = 2;  ///< and 2 reduce slots/node
+
+  double seconds_per_work_unit = 1e-5;        ///< one dominance test (JVM-era cost)
+  double seconds_per_map_record = 2e-3;       ///< HDFS read + deserialize + map + emit
+  double seconds_per_shuffle_record = 1e-4;   ///< serialize + network + merge-sort
+  double job_startup_seconds = 20.0;          ///< job submission + JVM spin-up
+  double task_startup_seconds = 1.0;          ///< per-task scheduling overhead
+
+  /// Per-server relative speed (> 0). Empty = homogeneous cluster (1.0 for
+  /// every server). Shorter than `servers`: missing entries default to 1.0.
+  /// A slot on server i finishes a cost-c task in c / speed[i] seconds.
+  std::vector<double> server_speed_factors;
+
+  /// Hadoop-style speculative execution: while a phase's longest-running
+  /// task is still the bottleneck, a backup copy is launched on the lane
+  /// that can finish it earliest, and the task completes at whichever copy
+  /// wins. Effective against stragglers; backups do consume lane time.
+  bool speculative_execution = false;
+
+  [[nodiscard]] std::size_t map_lanes() const noexcept { return servers * map_slots_per_server; }
+  [[nodiscard]] std::size_t reduce_lanes() const noexcept {
+    return servers * reduce_slots_per_server;
+  }
+
+  /// Speed of server `index` under the factors table (1.0 when unset).
+  [[nodiscard]] double server_speed(std::size_t index) const;
+
+  /// Copy of this model with the last `count` servers slowed by `slowdown`
+  /// (>= 1): a straggler-injection helper for robustness studies.
+  [[nodiscard]] ClusterModel with_stragglers(std::size_t count, double slowdown) const;
+};
+
+/// Simulated wall-clock of one job's phases on a modelled cluster.
+struct PhaseTimes {
+  double startup_seconds = 0.0;
+  double map_seconds = 0.0;
+  double reduce_seconds = 0.0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return startup_seconds + map_seconds + reduce_seconds;
+  }
+
+  PhaseTimes& operator+=(const PhaseTimes& other) noexcept;
+};
+
+/// Longest-processing-time-first makespan of `task_costs` over `lanes`
+/// parallel lanes. Returns 0 for no tasks; requires lanes >= 1.
+[[nodiscard]] double lpt_makespan(std::span<const double> task_costs, std::size_t lanes);
+
+/// One scheduled task in a simulated phase.
+struct TaskPlacement {
+  std::size_t task_index = 0;  ///< index into the phase's task list
+  std::size_t lane = 0;        ///< slot the task ran on
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  bool speculated = false;     ///< completed via a speculative backup copy
+};
+
+/// A full phase schedule: LPT placement of tasks over (possibly
+/// heterogeneous) lanes. Tasks are assigned longest-first to the lane that
+/// finishes them earliest.
+struct PhaseSchedule {
+  std::vector<TaskPlacement> placements;  ///< one per task
+  double makespan_seconds = 0.0;
+  std::vector<double> lane_speeds;        ///< lanes used by this schedule
+};
+
+/// Schedules `task_costs` over lanes running at `lane_speeds` (> 0 each).
+[[nodiscard]] PhaseSchedule lpt_schedule(std::span<const double> task_costs,
+                                         std::span<const double> lane_speeds);
+
+/// lpt_schedule followed by speculative backup rounds (see
+/// ClusterModel::speculative_execution): repeatedly caps the makespan task
+/// at the earliest finish a backup copy on another lane could achieve.
+[[nodiscard]] PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
+                                                     std::span<const double> lane_speeds);
+
+/// Full trace of a job's simulated execution (map + reduce schedules).
+struct ScheduleTrace {
+  PhaseSchedule map;
+  PhaseSchedule reduce;
+  PhaseTimes times;
+};
+
+/// Like simulate_job but also returns the per-task placements — the input of
+/// Gantt-style visualisation (see examples/cluster_trace).
+[[nodiscard]] ScheduleTrace trace_job(const JobMetrics& metrics, const ClusterModel& model);
+
+/// Converts one job's measured metrics into simulated phase times.
+[[nodiscard]] PhaseTimes simulate_job(const JobMetrics& metrics, const ClusterModel& model);
+
+/// Sum over a multi-job pipeline (e.g. the skyline driver's two jobs).
+[[nodiscard]] PhaseTimes simulate_pipeline(std::span<const JobMetrics> jobs,
+                                           const ClusterModel& model);
+
+}  // namespace mrsky::mr

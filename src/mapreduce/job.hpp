@@ -1,0 +1,320 @@
+// The MapReduce job engine.
+//
+// A faithful miniature of the Hadoop execution model the paper ran on:
+//
+//   input splits ──map──▶ (combine) ──shuffle/sort──▶ reduce ──▶ output
+//
+// * Input is split into `num_map_tasks` contiguous splits (HDFS blocks).
+// * Each map task applies `map_fn` per record, then — if a combiner is
+//   configured — groups its own output by key and applies `combine_fn`
+//   (Hadoop's map-side combine; its cost is charged to the map task).
+// * The shuffle routes records to `num_reduce_tasks` buckets via
+//   `partition_fn` (default: std::hash of the key) and sorts each bucket by
+//   key (sort-merge grouping, requires operator< on the mid key).
+// * Each reduce task applies `reduce_fn` once per key group.
+//
+// Execution is sequential or thread-pooled (ExecutionMode); results and
+// metrics are bitwise identical in both modes because tasks are pure and
+// outputs are gathered in task order, never completion order. The cluster
+// *simulation* (cluster.hpp) is a separate concern that consumes the metrics
+// afterwards — so experiments are reproducible on any host, including this
+// repository's single-core CI.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/common/timer.hpp"
+#include "src/mapreduce/keyvalue.hpp"
+#include "src/mapreduce/metrics.hpp"
+
+namespace mrsky::mr {
+
+enum class ExecutionMode { kSequential, kThreads };
+
+struct RunOptions {
+  ExecutionMode mode = ExecutionMode::kSequential;
+  /// Worker count for kThreads; 0 means hardware concurrency.
+  std::size_t num_threads = 0;
+
+  /// Fault injection: probability that any task attempt fails and is retried
+  /// (Hadoop task-retry semantics). Failures are a deterministic hash of
+  /// (job name, phase, task index, attempt, failure_seed), so runs are
+  /// reproducible and identical under kSequential and kThreads. A failed
+  /// attempt's partial output is discarded and the task re-executes from its
+  /// input; TaskMetrics::attempts records the re-runs and the cluster
+  /// simulator charges them. 0 disables injection.
+  double task_failure_probability = 0.0;
+  /// Attempts per task before the whole job aborts (mapred.*.max.attempts).
+  std::size_t max_task_attempts = 4;
+  std::uint64_t failure_seed = 0xFA11;
+};
+
+namespace detail {
+
+/// Deterministic attempt-failure decision (splitmix-style avalanche).
+inline bool attempt_fails(const RunOptions& opts, const std::string& job, int phase,
+                          std::size_t task, std::size_t attempt) {
+  if (opts.task_failure_probability <= 0.0) return false;
+  std::uint64_t h = opts.failure_seed ^ (0x9e3779b97f4a7c15ULL * (task + 1));
+  for (char c : job) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  h ^= static_cast<std::uint64_t>(phase) << 32;
+  h ^= attempt * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < opts.task_failure_probability;
+}
+
+}  // namespace detail
+
+template <typename InK, typename InV, typename MidK, typename MidV, typename OutK,
+          typename OutV>
+struct JobConfig {
+  std::string name = "job";
+  std::size_t num_map_tasks = 1;
+  std::size_t num_reduce_tasks = 1;
+
+  using MapFn = std::function<void(const InK&, const InV&, Emitter<MidK, MidV>&, TaskContext&)>;
+  using CombineFn =
+      std::function<void(const MidK&, std::vector<MidV>&, Emitter<MidK, MidV>&, TaskContext&)>;
+  using ReduceFn =
+      std::function<void(const MidK&, std::vector<MidV>&, Emitter<OutK, OutV>&, TaskContext&)>;
+  using PartitionFn = std::function<std::size_t(const MidK&, std::size_t)>;
+  using ValueBytesFn = std::function<std::size_t(const MidV&)>;
+
+  MapFn map_fn;
+  CombineFn combine_fn;  ///< optional map-side combine
+  ReduceFn reduce_fn;
+  /// Routes a mid key to a reduce bucket; default std::hash(key) % buckets.
+  PartitionFn partition_fn;
+  /// Approximate payload size of a shuffled value; default sizeof(MidV).
+  ValueBytesFn value_bytes_fn;
+};
+
+template <typename OutK, typename OutV>
+struct JobResult {
+  std::vector<KV<OutK, OutV>> output;
+  JobMetrics metrics;
+};
+
+namespace detail {
+
+/// Sorts records by key and invokes `fn(key, values)` per key group,
+/// consuming the records. Requires operator< on K.
+template <typename K, typename V, typename Fn>
+void group_by_key(std::vector<KV<K, V>>& records, Fn&& fn) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const KV<K, V>& a, const KV<K, V>& b) { return a.key < b.key; });
+  std::size_t i = 0;
+  while (i < records.size()) {
+    std::size_t j = i + 1;
+    while (j < records.size() && !(records[i].key < records[j].key)) ++j;
+    std::vector<V> values;
+    values.reserve(j - i);
+    for (std::size_t r = i; r < j; ++r) values.push_back(std::move(records[r].value));
+    fn(records[i].key, values);
+    i = j;
+  }
+}
+
+/// Evenly-sized contiguous split boundaries: returns num_splits+1 offsets.
+inline std::vector<std::size_t> split_offsets(std::size_t n, std::size_t num_splits) {
+  std::vector<std::size_t> offsets(num_splits + 1, 0);
+  for (std::size_t s = 0; s <= num_splits; ++s) {
+    offsets[s] = n * s / num_splits;
+  }
+  return offsets;
+}
+
+/// Runs `fn(i)` for i in [0, count), sequentially or on a pool.
+inline void for_each_task(std::size_t count, const RunOptions& opts,
+                          const std::function<void(std::size_t)>& fn) {
+  if (opts.mode == ExecutionMode::kSequential || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const std::size_t threads =
+      opts.num_threads == 0 ? common::ThreadPool::default_concurrency() : opts.num_threads;
+  common::ThreadPool pool(std::min(threads, count));
+  pool.parallel_for(count, fn);
+}
+
+}  // namespace detail
+
+/// A reduce-less job (Hadoop's numReduceTasks = 0): map output is the job
+/// output, no shuffle, no sort. Used for pure transform/filter passes.
+template <typename InK, typename InV, typename OutK, typename OutV>
+struct MapOnlyConfig {
+  std::string name = "map-only";
+  std::size_t num_map_tasks = 1;
+  std::function<void(const InK&, const InV&, Emitter<OutK, OutV>&, TaskContext&)> map_fn;
+};
+
+/// Executes a map-only job: per-task metrics are recorded exactly as in the
+/// full engine (including fault-injection retries); shuffle counters stay 0.
+template <typename InK, typename InV, typename OutK, typename OutV>
+JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& config,
+                                   const std::vector<KV<InK, InV>>& input,
+                                   const RunOptions& opts = {}) {
+  MRSKY_REQUIRE(static_cast<bool>(config.map_fn), "map-only job needs a map function");
+  MRSKY_REQUIRE(config.num_map_tasks >= 1, "need at least one map task");
+
+  JobResult<OutK, OutV> result;
+  result.metrics.job_name = config.name;
+  result.metrics.map_tasks.resize(config.num_map_tasks);
+
+  const auto offsets = detail::split_offsets(input.size(), config.num_map_tasks);
+  std::vector<std::vector<KV<OutK, OutV>>> outputs(config.num_map_tasks);
+  detail::for_each_task(config.num_map_tasks, opts, [&](std::size_t t) {
+    std::uint64_t attempt = 0;
+    while (detail::attempt_fails(opts, config.name, /*phase=*/0, t, attempt)) {
+      ++attempt;
+      if (attempt >= opts.max_task_attempts) {
+        MRSKY_FAIL("task " + std::to_string(t) + " of job '" + config.name + "' failed " +
+                   std::to_string(opts.max_task_attempts) + " attempts");
+      }
+    }
+    common::Timer timer;
+    TaskContext ctx;
+    Emitter<OutK, OutV> emitter;
+    for (std::size_t r = offsets[t]; r < offsets[t + 1]; ++r) {
+      config.map_fn(input[r].key, input[r].value, emitter, ctx);
+    }
+    outputs[t] = emitter.take();
+    auto& m = result.metrics.map_tasks[t];
+    m.records_in = offsets[t + 1] - offsets[t];
+    m.records_out = outputs[t].size();
+    m.work_units = ctx.work_units();
+    m.wall_ns = timer.elapsed_ns();
+    m.attempts = attempt + 1;
+    m.counters = ctx.counters();
+  });
+
+  for (auto& out : outputs) {
+    result.output.insert(result.output.end(), std::make_move_iterator(out.begin()),
+                         std::make_move_iterator(out.end()));
+  }
+  return result;
+}
+
+/// Executes one MapReduce job over an in-memory input. See file header for
+/// the execution model. Throws mrsky::InvalidArgument on bad configuration.
+template <typename InK, typename InV, typename MidK, typename MidV, typename OutK,
+          typename OutV>
+JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>& config,
+                              const std::vector<KV<InK, InV>>& input,
+                              const RunOptions& opts = {}) {
+  MRSKY_REQUIRE(static_cast<bool>(config.map_fn), "job needs a map function");
+  MRSKY_REQUIRE(static_cast<bool>(config.reduce_fn), "job needs a reduce function");
+  MRSKY_REQUIRE(config.num_map_tasks >= 1, "need at least one map task");
+  MRSKY_REQUIRE(config.num_reduce_tasks >= 1, "need at least one reduce task");
+
+  JobResult<OutK, OutV> result;
+  result.metrics.job_name = config.name;
+  result.metrics.map_tasks.resize(config.num_map_tasks);
+  result.metrics.reduce_tasks.resize(config.num_reduce_tasks);
+
+  const auto partition_of = [&](const MidK& key) -> std::size_t {
+    if (config.partition_fn) {
+      const std::size_t p = config.partition_fn(key, config.num_reduce_tasks);
+      MRSKY_ASSERT(p < config.num_reduce_tasks, "partition_fn returned out-of-range bucket");
+      return p;
+    }
+    return std::hash<MidK>{}(key) % config.num_reduce_tasks;
+  };
+
+  // Injected-failure retry loop (see RunOptions): a failing attempt is
+  // decided deterministically before execution, so its cost appears in the
+  // `attempts` metric (and the cluster simulator's bill) without re-running
+  // the body locally.
+  const auto surviving_attempt = [&opts, &config](int phase, std::size_t task) -> std::uint64_t {
+    std::uint64_t attempt = 0;
+    while (detail::attempt_fails(opts, config.name, phase, task, attempt)) {
+      ++attempt;
+      if (attempt >= opts.max_task_attempts) {
+        MRSKY_FAIL("task " + std::to_string(task) + " of job '" + config.name + "' failed " +
+                   std::to_string(opts.max_task_attempts) + " attempts");
+      }
+    }
+    return attempt + 1;  // total attempts consumed
+  };
+
+  // ---- Map phase (with optional map-side combine) ----
+  const auto offsets = detail::split_offsets(input.size(), config.num_map_tasks);
+  std::vector<std::vector<KV<MidK, MidV>>> map_outputs(config.num_map_tasks);
+  detail::for_each_task(config.num_map_tasks, opts, [&](std::size_t t) {
+    const std::uint64_t attempts = surviving_attempt(/*phase=*/0, t);
+    common::Timer timer;
+    TaskContext ctx;
+    Emitter<MidK, MidV> emitter;
+    for (std::size_t r = offsets[t]; r < offsets[t + 1]; ++r) {
+      config.map_fn(input[r].key, input[r].value, emitter, ctx);
+    }
+    auto emitted = emitter.take();
+    if (config.combine_fn) {
+      Emitter<MidK, MidV> combined;
+      detail::group_by_key(emitted, [&](const MidK& key, std::vector<MidV>& values) {
+        config.combine_fn(key, values, combined, ctx);
+      });
+      emitted = combined.take();
+    }
+    auto& m = result.metrics.map_tasks[t];
+    m.records_in = offsets[t + 1] - offsets[t];
+    m.records_out = emitted.size();
+    m.work_units = ctx.work_units();
+    m.wall_ns = timer.elapsed_ns();
+    m.attempts = attempts;
+    m.counters = ctx.counters();
+    map_outputs[t] = std::move(emitted);
+  });
+
+  // ---- Shuffle: route to buckets (task order, so fully deterministic) ----
+  std::vector<std::vector<KV<MidK, MidV>>> buckets(config.num_reduce_tasks);
+  for (auto& task_output : map_outputs) {
+    for (auto& record : task_output) {
+      result.metrics.shuffle_records += 1;
+      result.metrics.shuffle_bytes +=
+          sizeof(MidK) +
+          (config.value_bytes_fn ? config.value_bytes_fn(record.value) : sizeof(MidV));
+      buckets[partition_of(record.key)].push_back(std::move(record));
+    }
+    task_output.clear();
+  }
+
+  // ---- Reduce phase ----
+  std::vector<std::vector<KV<OutK, OutV>>> reduce_outputs(config.num_reduce_tasks);
+  detail::for_each_task(config.num_reduce_tasks, opts, [&](std::size_t t) {
+    const std::uint64_t attempts = surviving_attempt(/*phase=*/1, t);
+    common::Timer timer;
+    TaskContext ctx;
+    Emitter<OutK, OutV> emitter;
+    auto& m = result.metrics.reduce_tasks[t];
+    m.attempts = attempts;
+    m.records_in = buckets[t].size();
+    detail::group_by_key(buckets[t], [&](const MidK& key, std::vector<MidV>& values) {
+      config.reduce_fn(key, values, emitter, ctx);
+    });
+    reduce_outputs[t] = emitter.take();
+    m.records_out = reduce_outputs[t].size();
+    m.work_units = ctx.work_units();
+    m.wall_ns = timer.elapsed_ns();
+    m.counters = ctx.counters();
+  });
+
+  for (auto& out : reduce_outputs) {
+    result.output.insert(result.output.end(), std::make_move_iterator(out.begin()),
+                         std::make_move_iterator(out.end()));
+  }
+  return result;
+}
+
+}  // namespace mrsky::mr

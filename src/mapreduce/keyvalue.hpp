@@ -1,0 +1,57 @@
+// Typed key/value records and the per-task context the engine hands to user
+// map/combine/reduce functions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mrsky::mr {
+
+template <typename K, typename V>
+struct KV {
+  K key;
+  V value;
+};
+
+/// Collects the records a map/combine/reduce function emits.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void emit(K key, V value) { records_.push_back(KV<K, V>{std::move(key), std::move(value)}); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return records_.size(); }
+
+  /// Transfers the collected records out (emitter becomes empty).
+  [[nodiscard]] std::vector<KV<K, V>> take() { return std::exchange(records_, {}); }
+
+ private:
+  std::vector<KV<K, V>> records_;
+};
+
+/// Cost-accounting handle. User functions charge the abstract work they do
+/// (dominance tests, for the skyline jobs); the cluster simulator turns the
+/// total into simulated seconds. Real elapsed time is measured separately by
+/// the engine, so charging work is only needed for simulation fidelity.
+class TaskContext {
+ public:
+  void charge_work(std::uint64_t units) noexcept { work_units_ += units; }
+  [[nodiscard]] std::uint64_t work_units() const noexcept { return work_units_; }
+
+  /// Hadoop-style named counter, aggregated per job in JobMetrics. Each task
+  /// owns its context, so incrementing is race-free even under kThreads.
+  void increment(const std::string& counter, std::uint64_t delta = 1) {
+    counters_[counter] += delta;
+  }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  std::uint64_t work_units_ = 0;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace mrsky::mr

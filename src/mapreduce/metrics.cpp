@@ -1,0 +1,41 @@
+#include "src/mapreduce/metrics.hpp"
+
+namespace mrsky::mr {
+
+TaskMetrics& TaskMetrics::operator+=(const TaskMetrics& other) {
+  records_in += other.records_in;
+  records_out += other.records_out;
+  work_units += other.work_units;
+  wall_ns += other.wall_ns;
+  attempts += other.attempts;
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  return *this;
+}
+
+TaskMetrics JobMetrics::map_total() const {
+  TaskMetrics total;
+  for (const auto& t : map_tasks) total += t;
+  return total;
+}
+
+TaskMetrics JobMetrics::reduce_total() const {
+  TaskMetrics total;
+  for (const auto& t : reduce_tasks) total += t;
+  return total;
+}
+
+std::uint64_t JobMetrics::total_work_units() const {
+  return map_total().work_units + reduce_total().work_units;
+}
+
+double JobMetrics::total_wall_seconds() const {
+  return static_cast<double>(map_total().wall_ns + reduce_total().wall_ns) * 1e-9;
+}
+
+std::map<std::string, std::uint64_t> JobMetrics::counter_totals() const {
+  std::map<std::string, std::uint64_t> totals = map_total().counters;
+  for (const auto& [name, value] : reduce_total().counters) totals[name] += value;
+  return totals;
+}
+
+}  // namespace mrsky::mr

@@ -1,0 +1,42 @@
+// Execution metrics recorded by the engine.
+//
+// Every map and reduce task reports what it consumed, produced, charged as
+// abstract work, and how long it really took. JobMetrics is the plain-data
+// interface between the (templated) engine and the (non-templated) cluster
+// simulator; nothing in here depends on record types.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mrsky::mr {
+
+struct TaskMetrics {
+  std::uint64_t records_in = 0;
+  std::uint64_t records_out = 0;
+  std::uint64_t work_units = 0;  ///< user-charged abstract work (see TaskContext)
+  std::int64_t wall_ns = 0;      ///< measured wall time of the task body
+  std::uint64_t attempts = 1;    ///< executions incl. injected-failure retries
+  std::map<std::string, std::uint64_t> counters;  ///< named counters
+
+  TaskMetrics& operator+=(const TaskMetrics& other);
+};
+
+struct JobMetrics {
+  std::string job_name;
+  std::vector<TaskMetrics> map_tasks;     ///< combine work is charged to its map task
+  std::vector<TaskMetrics> reduce_tasks;
+  std::uint64_t shuffle_records = 0;      ///< records crossing the shuffle
+  std::uint64_t shuffle_bytes = 0;        ///< approximate payload volume
+
+  [[nodiscard]] TaskMetrics map_total() const;
+  [[nodiscard]] TaskMetrics reduce_total() const;
+  [[nodiscard]] std::uint64_t total_work_units() const;
+  [[nodiscard]] double total_wall_seconds() const;
+  /// All named counters across map and reduce tasks, summed by name.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_totals() const;
+};
+
+}  // namespace mrsky::mr

@@ -1,0 +1,79 @@
+#include "src/mapreduce/metrics_json.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mrsky::mr {
+
+namespace {
+
+/// Escapes the few characters that can appear in job names.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_counters(std::ostringstream& os,
+                     const std::map<std::string, std::uint64_t>& counters) {
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << escape(name) << "\":" << value;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string to_json(const TaskMetrics& metrics) {
+  std::ostringstream os;
+  os << "{\"records_in\":" << metrics.records_in << ",\"records_out\":" << metrics.records_out
+     << ",\"work_units\":" << metrics.work_units << ",\"wall_ns\":" << metrics.wall_ns
+     << ",\"counters\":";
+  append_counters(os, metrics.counters);
+  os << "}";
+  return os.str();
+}
+
+std::string to_json(const JobMetrics& metrics) {
+  std::ostringstream os;
+  os << "{\"job_name\":\"" << escape(metrics.job_name) << "\",\"map_tasks\":[";
+  for (std::size_t i = 0; i < metrics.map_tasks.size(); ++i) {
+    if (i > 0) os << ",";
+    os << to_json(metrics.map_tasks[i]);
+  }
+  os << "],\"reduce_tasks\":[";
+  for (std::size_t i = 0; i < metrics.reduce_tasks.size(); ++i) {
+    if (i > 0) os << ",";
+    os << to_json(metrics.reduce_tasks[i]);
+  }
+  os << "],\"shuffle_records\":" << metrics.shuffle_records
+     << ",\"shuffle_bytes\":" << metrics.shuffle_bytes << ",\"counter_totals\":";
+  append_counters(os, metrics.counter_totals());
+  os << "}";
+  return os.str();
+}
+
+std::string to_json(const PhaseTimes& times) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "{\"startup_seconds\":" << times.startup_seconds
+     << ",\"map_seconds\":" << times.map_seconds
+     << ",\"reduce_seconds\":" << times.reduce_seconds
+     << ",\"total_seconds\":" << times.total_seconds() << "}";
+  return os.str();
+}
+
+}  // namespace mrsky::mr

@@ -1,0 +1,27 @@
+// JSON serialisation of engine metrics — the machine-readable counterpart of
+// the bench tables, so experiment results can be archived and diffed (the
+// CLI tool's --metrics-json flag uses this).
+//
+// Hand-rolled writer: the schema is tiny and fixed, and the library has no
+// third-party dependencies to lean on.
+#pragma once
+
+#include <string>
+
+#include "src/mapreduce/cluster.hpp"
+#include "src/mapreduce/metrics.hpp"
+
+namespace mrsky::mr {
+
+/// {"records_in":..,"records_out":..,"work_units":..,"wall_ns":..,
+///  "counters":{...}}
+[[nodiscard]] std::string to_json(const TaskMetrics& metrics);
+
+/// Full job dump: name, per-task arrays, shuffle volume, counter totals.
+[[nodiscard]] std::string to_json(const JobMetrics& metrics);
+
+/// {"startup_seconds":..,"map_seconds":..,"reduce_seconds":..,
+///  "total_seconds":..}
+[[nodiscard]] std::string to_json(const PhaseTimes& times);
+
+}  // namespace mrsky::mr

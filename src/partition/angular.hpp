@@ -1,0 +1,57 @@
+// MR-Angle partitioning (paper §III-C, Algorithm 1) — the paper's
+// contribution.
+//
+// Each point is transformed to hyperspherical coordinates (Eq. 1); the
+// (n−1)-dimensional angular cube is split into exactly `num_partitions`
+// sectors by a balanced mixed-radix grid over the angles, and the radial
+// coordinate is ignored. A sector is a cone from the origin, so it contains
+// services of every quality level: each partition's local skyline hugs the
+// global skyline contour, which is why the Reduce-stage merge input shrinks
+// relative to MR-Dim / MR-Grid.
+//
+// Two split policies:
+//  * kEqualWidth — angles split uniformly over [0, π/2] (the paper's method);
+//  * kEquiDepth  — per-angle split boundaries placed at sample quantiles of
+//    the fitted data, for better load balance on skewed data (our ablation).
+#pragma once
+
+#include <vector>
+
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+enum class AngularPolicy { kEqualWidth, kEquiDepth };
+
+class AngularPartitioner final : public Partitioner {
+ public:
+  AngularPartitioner(std::size_t num_partitions, AngularPolicy policy = AngularPolicy::kEqualWidth);
+
+  void fit(const data::PointSet& ps) override;
+  [[nodiscard]] std::size_t assign(std::span<const double> point) const override;
+  /// For 1-dimensional data there are no angles; everything maps to one
+  /// partition regardless of the requested count.
+  [[nodiscard]] std::size_t num_partitions() const noexcept override {
+    return effective_partitions_;
+  }
+  [[nodiscard]] std::string name() const override {
+    return policy_ == AngularPolicy::kEqualWidth ? "angular" : "angular-equidepth";
+  }
+
+  [[nodiscard]] AngularPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+
+  /// Split boundaries for angle k (shape_[k] - 1 interior boundaries,
+  /// ascending). Exposed for tests and diagnostics.
+  [[nodiscard]] const std::vector<double>& boundaries(std::size_t angle_index) const;
+
+ private:
+  std::size_t requested_partitions_;
+  std::size_t effective_partitions_;
+  AngularPolicy policy_;
+  bool fitted_ = false;
+  std::vector<std::size_t> shape_;               ///< per-angle split counts
+  std::vector<std::vector<double>> boundaries_;  ///< per-angle interior boundaries
+};
+
+}  // namespace mrsky::part

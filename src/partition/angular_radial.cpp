@@ -1,0 +1,76 @@
+#include "src/partition/angular_radial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::part {
+
+namespace {
+
+double radius_of(std::span<const double> point) noexcept {
+  double sum_sq = 0.0;
+  for (double v : point) sum_sq += v * v;
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
+
+AngularRadialPartitioner::AngularRadialPartitioner(std::size_t num_partitions,
+                                                   std::size_t radial_bands)
+    : radial_bands_(radial_bands),
+      sectors_(radial_bands >= 1 && num_partitions % radial_bands == 0
+                   ? num_partitions / radial_bands
+                   : 1) {
+  MRSKY_REQUIRE(radial_bands >= 1, "need at least one radial band");
+  MRSKY_REQUIRE(num_partitions >= 1, "need at least one partition");
+  MRSKY_REQUIRE(num_partitions % radial_bands == 0,
+                "num_partitions must be divisible by radial_bands");
+}
+
+void AngularRadialPartitioner::fit(const data::PointSet& ps) {
+  sectors_.fit(ps);
+  const std::size_t sector_count = sectors_.num_partitions();
+
+  // Collect radii per sector, then place equi-depth boundaries.
+  std::vector<std::vector<double>> radii(sector_count);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto p = ps.point(i);
+    radii[sectors_.assign(p)].push_back(radius_of(p));
+  }
+  radius_bounds_.assign(sector_count, {});
+  for (std::size_t s = 0; s < sector_count; ++s) {
+    auto& rs = radii[s];
+    std::sort(rs.begin(), rs.end());
+    for (std::size_t b = 1; b < radial_bands_; ++b) {
+      if (rs.empty()) {
+        // Empty sector: any boundary works; use b/bands of unit radius.
+        radius_bounds_[s].push_back(static_cast<double>(b) /
+                                    static_cast<double>(radial_bands_));
+        continue;
+      }
+      const double frac = static_cast<double>(b) / static_cast<double>(radial_bands_);
+      const auto pos = static_cast<std::size_t>(frac * static_cast<double>(rs.size() - 1));
+      radius_bounds_[s].push_back(rs[pos]);
+    }
+  }
+  fitted_ = true;
+}
+
+std::size_t AngularRadialPartitioner::assign(std::span<const double> point) const {
+  if (!fitted_) MRSKY_FAIL("AngularRadialPartitioner::assign before fit");
+  const std::size_t sector = sectors_.assign(point);
+  const auto& bounds = radius_bounds_[sector];
+  const double r = radius_of(point);
+  const auto band = static_cast<std::size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), r) - bounds.begin());
+  return sector * radial_bands_ + std::min(band, radial_bands_ - 1);
+}
+
+const std::vector<double>& AngularRadialPartitioner::radius_boundaries(std::size_t sector) const {
+  MRSKY_REQUIRE(sector < radius_bounds_.size(), "sector index out of range");
+  return radius_bounds_[sector];
+}
+
+}  // namespace mrsky::part

@@ -1,0 +1,49 @@
+// Angular-radial partitioning — an extension in the paper's future-work
+// direction.
+//
+// Pure angular sectors can still be population-skewed when many services
+// share a direction. This scheme splits each sector further into radius
+// bands (equi-depth on r over the fitted data), trading some of the cone
+// property for balance: within a band, points are no longer totally ordered
+// towards the origin, so local skylines grow slightly, but no single reduce
+// task carries a whole dense sector. The ablation benches quantify the
+// trade-off against the paper's pure MR-Angle.
+#pragma once
+
+#include <vector>
+
+#include "src/partition/angular.hpp"
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+class AngularRadialPartitioner final : public Partitioner {
+ public:
+  /// `num_partitions` total cells = sectors × `radial_bands`. The sector
+  /// count is num_partitions / radial_bands; num_partitions must be
+  /// divisible by radial_bands (radial_bands >= 1).
+  AngularRadialPartitioner(std::size_t num_partitions, std::size_t radial_bands = 2);
+
+  void fit(const data::PointSet& ps) override;
+  [[nodiscard]] std::size_t assign(std::span<const double> point) const override;
+  [[nodiscard]] std::size_t num_partitions() const noexcept override {
+    return sectors_.num_partitions() * radial_bands_;
+  }
+  [[nodiscard]] std::string name() const override { return "angular-radial"; }
+
+  [[nodiscard]] std::size_t radial_bands() const noexcept { return radial_bands_; }
+  [[nodiscard]] std::size_t sectors() const noexcept { return sectors_.num_partitions(); }
+
+  /// Radius boundaries of sector `sector` (radial_bands - 1 ascending values).
+  [[nodiscard]] const std::vector<double>& radius_boundaries(std::size_t sector) const;
+
+ private:
+  std::size_t radial_bands_;
+  AngularPartitioner sectors_;
+  bool fitted_ = false;
+  /// Per-sector equi-depth radius boundaries, so dense sectors split where
+  /// *their* population sits rather than at global radii.
+  std::vector<std::vector<double>> radius_bounds_;
+};
+
+}  // namespace mrsky::part

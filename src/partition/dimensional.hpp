@@ -1,0 +1,34 @@
+// MR-Dim partitioning (paper §III-A).
+//
+// The simplest scheme: only one attribute dimension is used; its value range
+// is split into `Np` equal-width slabs of width Vmax/Np. Every slab contains
+// points of every quality level *in the other dimensions*, so slabs far from
+// the origin still carry large local skylines — the redundancy the paper's
+// MR-Angle is designed to eliminate.
+#pragma once
+
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+class DimensionalPartitioner final : public Partitioner {
+ public:
+  /// Splits attribute `split_dim` into `num_partitions` equal ranges.
+  DimensionalPartitioner(std::size_t num_partitions, std::size_t split_dim = 0);
+
+  void fit(const data::PointSet& ps) override;
+  [[nodiscard]] std::size_t assign(std::span<const double> point) const override;
+  [[nodiscard]] std::size_t num_partitions() const noexcept override { return num_partitions_; }
+  [[nodiscard]] std::string name() const override { return "dimensional"; }
+
+  [[nodiscard]] std::size_t split_dim() const noexcept { return split_dim_; }
+
+ private:
+  std::size_t num_partitions_;
+  std::size_t split_dim_;
+  bool fitted_ = false;
+  double lo_ = 0.0;
+  double width_ = 1.0;  ///< slab width; 0 when the attribute is constant
+};
+
+}  // namespace mrsky::part

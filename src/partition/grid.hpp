@@ -1,0 +1,47 @@
+// MR-Grid partitioning (paper §III-B).
+//
+// The data space is split by an axis-aligned grid whose per-dimension split
+// counts multiply to exactly the requested partition count (balanced
+// mixed-radix shape, geometry/grid_shape.hpp). The paper's example is the
+// 2-dimensional 2×2 case.
+//
+// MR-Grid's distinguishing feature is inter-cell dominance pruning: a cell
+// whose lower corner is (weakly) beyond another non-empty cell's upper corner
+// in every dimension contains only dominated points and is dropped before
+// local skyline computation. With cells half-open on the upper side (our
+// assignment uses floor, so interior boundaries belong to the upper cell),
+// cell c1 prunes cell c2 exactly when index(c1)[a] + 1 <= index(c2)[a] for
+// every dimension a.
+#pragma once
+
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+class GridPartitioner final : public Partitioner {
+ public:
+  explicit GridPartitioner(std::size_t num_partitions);
+
+  void fit(const data::PointSet& ps) override;
+  [[nodiscard]] std::size_t assign(std::span<const double> point) const override;
+  [[nodiscard]] std::size_t num_partitions() const noexcept override { return num_partitions_; }
+  [[nodiscard]] std::string name() const override { return "grid"; }
+  [[nodiscard]] std::vector<std::size_t> prunable_partitions() const override {
+    return prunable_;
+  }
+
+  /// Per-dimension split counts chosen by fit().
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> cell_of(std::span<const double> point) const;
+
+  std::size_t num_partitions_;
+  bool fitted_ = false;
+  std::vector<std::size_t> shape_;
+  std::vector<double> lo_;
+  std::vector<double> width_;  ///< per-dim cell width; 0 for constant attributes
+  std::vector<std::size_t> prunable_;
+};
+
+}  // namespace mrsky::part

@@ -1,0 +1,12 @@
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+std::vector<std::size_t> Partitioner::assign_all(const data::PointSet& ps) const {
+  std::vector<std::size_t> out;
+  out.reserve(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) out.push_back(assign(ps.point(i)));
+  return out;
+}
+
+}  // namespace mrsky::part

@@ -1,0 +1,47 @@
+// Data-space partitioning interface.
+//
+// A Partitioner implements the Map-stage decision of the paper's model: which
+// partition (and therefore which local-skyline task) each point belongs to.
+// Lifecycle: construct → fit(dataset) → assign(point) any number of times.
+// fit() learns whatever the scheme needs (attribute bounds for MR-Dim and
+// MR-Grid, angle quantiles for equi-depth MR-Angle, non-empty-cell dominance
+// pruning for MR-Grid); assign() must then be pure and thread-safe.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::part {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Learns data-dependent parameters. Must be called before assign();
+  /// implementations throw mrsky::RuntimeError if assign precedes fit.
+  virtual void fit(const data::PointSet& ps) = 0;
+
+  /// Partition id in [0, num_partitions()) for one point. Pure after fit().
+  [[nodiscard]] virtual std::size_t assign(std::span<const double> point) const = 0;
+
+  [[nodiscard]] virtual std::size_t num_partitions() const noexcept = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Partitions whose entire content is provably dominated by some other
+  /// partition's content and can be skipped before local skyline computation
+  /// (paper §III-B). Computed during fit(); empty for schemes without a
+  /// cell-dominance structure.
+  [[nodiscard]] virtual std::vector<std::size_t> prunable_partitions() const { return {}; }
+
+  /// Convenience: assignment vector for a whole point set.
+  [[nodiscard]] std::vector<std::size_t> assign_all(const data::PointSet& ps) const;
+};
+
+using PartitionerPtr = std::unique_ptr<Partitioner>;
+
+}  // namespace mrsky::part

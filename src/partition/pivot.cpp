@@ -1,0 +1,77 @@
+#include "src/partition/pivot.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::part {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+PivotPartitioner::PivotPartitioner(std::size_t num_partitions, std::uint64_t seed)
+    : num_partitions_(num_partitions), seed_(seed) {
+  MRSKY_REQUIRE(num_partitions >= 1, "need at least one partition");
+}
+
+void PivotPartitioner::fit(const data::PointSet& ps) {
+  MRSKY_REQUIRE(!ps.empty(), "cannot fit a partitioner on an empty dataset");
+  // Farthest-point (k-center greedy) pivot selection: first pivot random,
+  // each next pivot is the point farthest from all chosen ones. Spreads
+  // pivots across the data's extent deterministically.
+  common::Rng rng(seed_);
+  pivots_ = data::PointSet(ps.dim());
+  std::vector<double> min_dist(ps.size(), std::numeric_limits<double>::infinity());
+
+  std::size_t next = static_cast<std::size_t>(rng.uniform_index(ps.size()));
+  for (std::size_t k = 0; k < num_partitions_; ++k) {
+    pivots_.push_back(ps.point(next), static_cast<data::PointId>(k));
+    std::size_t farthest = 0;
+    double farthest_dist = -1.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const double d = squared_distance(ps.point(i), ps.point(next));
+      min_dist[i] = std::min(min_dist[i], d);
+      if (min_dist[i] > farthest_dist) {
+        farthest_dist = min_dist[i];
+        farthest = i;
+      }
+    }
+    next = farthest;  // duplicates arise naturally when data has < k distinct points
+  }
+  fitted_ = true;
+}
+
+std::size_t PivotPartitioner::assign(std::span<const double> point) const {
+  if (!fitted_) MRSKY_FAIL("PivotPartitioner::assign before fit");
+  MRSKY_REQUIRE(point.size() == pivots_.dim(), "point dimension mismatch");
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < pivots_.size(); ++k) {
+    const double d = squared_distance(point, pivots_.point(k));
+    // Ties break toward the lower pivot index: deterministic.
+    if (d < best_dist) {
+      best_dist = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+const data::PointSet& PivotPartitioner::pivots() const {
+  if (!fitted_) MRSKY_FAIL("PivotPartitioner::pivots before fit");
+  return pivots_;
+}
+
+}  // namespace mrsky::part

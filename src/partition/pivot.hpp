@@ -1,0 +1,35 @@
+// Pivot (Voronoi-cell) partitioning — a further baseline from the
+// distributed-skyline literature: pick k pivot points from the data and
+// assign every point to its nearest pivot (Euclidean). Cells adapt to the
+// data's clusters, giving good balance on clustered workloads without any
+// per-axis structure; unlike angular sectors they have no origin-cone
+// property, so local skylines are grid-like in quality. Rounds out the
+// scheme comparison between pure geometry (grid/angular) and pure hashing.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+class PivotPartitioner final : public Partitioner {
+ public:
+  explicit PivotPartitioner(std::size_t num_partitions, std::uint64_t seed = 0x9140);
+
+  void fit(const data::PointSet& ps) override;
+  [[nodiscard]] std::size_t assign(std::span<const double> point) const override;
+  [[nodiscard]] std::size_t num_partitions() const noexcept override { return num_partitions_; }
+  [[nodiscard]] std::string name() const override { return "pivot"; }
+
+  /// The fitted pivots (num_partitions rows; duplicates possible when the
+  /// dataset has fewer distinct points than partitions).
+  [[nodiscard]] const data::PointSet& pivots() const;
+
+ private:
+  std::size_t num_partitions_;
+  std::uint64_t seed_;
+  bool fitted_ = false;
+  data::PointSet pivots_{1};
+};
+
+}  // namespace mrsky::part

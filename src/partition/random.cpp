@@ -1,0 +1,37 @@
+#include "src/partition/random.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::part {
+
+RandomPartitioner::RandomPartitioner(std::size_t num_partitions, std::uint64_t seed)
+    : num_partitions_(num_partitions), seed_(seed) {
+  MRSKY_REQUIRE(num_partitions >= 1, "need at least one partition");
+}
+
+void RandomPartitioner::fit(const data::PointSet& ps) {
+  // Hash partitioning needs no data-dependent state, but the Partitioner
+  // contract is uniform: fitting on an empty dataset is a caller bug.
+  MRSKY_REQUIRE(!ps.empty(), "cannot fit a partitioner on an empty dataset");
+  fitted_ = true;
+}
+
+std::size_t RandomPartitioner::assign(std::span<const double> point) const {
+  if (!fitted_) MRSKY_FAIL("RandomPartitioner::assign before fit");
+  // FNV-1a over the coordinate bytes, salted with the seed: deterministic,
+  // stable across runs, and independent of insertion order.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed_;
+  for (double x : point) {
+    const auto bits = std::bit_cast<std::uint64_t>(x);
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return static_cast<std::size_t>(h % num_partitions_);
+}
+
+}  // namespace mrsky::part

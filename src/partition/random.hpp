@@ -1,0 +1,28 @@
+// Random (hash) partitioning — a baseline the paper does not evaluate but
+// that every MapReduce system offers by default. Perfect load balance in
+// expectation, but no geometric locality at all: each partition's local
+// skyline is roughly as large as the global skyline of a random sample,
+// which makes it a useful lower bound for "how much does geometry matter"
+// in the ablation benches.
+#pragma once
+
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+class RandomPartitioner final : public Partitioner {
+ public:
+  explicit RandomPartitioner(std::size_t num_partitions, std::uint64_t seed = 0x5eed);
+
+  void fit(const data::PointSet& ps) override;
+  [[nodiscard]] std::size_t assign(std::span<const double> point) const override;
+  [[nodiscard]] std::size_t num_partitions() const noexcept override { return num_partitions_; }
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  std::size_t num_partitions_;
+  std::uint64_t seed_;
+  bool fitted_ = false;
+};
+
+}  // namespace mrsky::part

@@ -1,0 +1,37 @@
+#include "src/partition/stats.hpp"
+
+#include <algorithm>
+
+#include "src/common/stats.hpp"
+
+namespace mrsky::part {
+
+PartitionReport analyze_partitioning(const Partitioner& partitioner, const data::PointSet& ps) {
+  PartitionReport report;
+  report.sizes.assign(partitioner.num_partitions(), 0);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    report.sizes[partitioner.assign(ps.point(i))] += 1;
+  }
+  std::vector<double> sizes_d;
+  sizes_d.reserve(report.sizes.size());
+  for (std::size_t s : report.sizes) {
+    if (s > 0) report.non_empty += 1;
+    report.largest = std::max(report.largest, s);
+    sizes_d.push_back(static_cast<double>(s));
+  }
+  report.balance_cv = common::coefficient_of_variation(sizes_d);
+  report.prunable = partitioner.prunable_partitions();
+  for (std::size_t p : report.prunable) report.pruned_points += report.sizes[p];
+  return report;
+}
+
+std::vector<data::PointSet> split_by_partition(const Partitioner& partitioner,
+                                               const data::PointSet& ps) {
+  std::vector<data::PointSet> parts(partitioner.num_partitions(), data::PointSet(ps.dim()));
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    parts[partitioner.assign(ps.point(i))].push_back(ps.point(i), ps.id(i));
+  }
+  return parts;
+}
+
+}  // namespace mrsky::part

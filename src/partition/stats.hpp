@@ -1,0 +1,33 @@
+// Partition diagnostics: how balanced is an assignment, and how big are the
+// pieces each local-skyline task will see. Used by tests, ablation benches
+// and the examples to explain *why* the schemes differ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+#include "src/partition/partitioner.hpp"
+
+namespace mrsky::part {
+
+struct PartitionReport {
+  std::vector<std::size_t> sizes;        ///< points per partition
+  std::size_t non_empty = 0;             ///< partitions with >= 1 point
+  std::size_t largest = 0;               ///< max points in one partition
+  double balance_cv = 0.0;               ///< coefficient of variation of sizes
+  std::vector<std::size_t> prunable;     ///< partitions droppable before local skyline
+  std::size_t pruned_points = 0;         ///< points inside prunable partitions
+};
+
+/// Fits nothing — `partitioner` must already be fitted on (a superset of)
+/// `ps`. Computes the report for `ps` under that partitioner.
+[[nodiscard]] PartitionReport analyze_partitioning(const Partitioner& partitioner,
+                                                   const data::PointSet& ps);
+
+/// Splits `ps` into per-partition point sets under a fitted partitioner.
+/// Result has exactly partitioner.num_partitions() entries (possibly empty).
+[[nodiscard]] std::vector<data::PointSet> split_by_partition(const Partitioner& partitioner,
+                                                             const data::PointSet& ps);
+
+}  // namespace mrsky::part

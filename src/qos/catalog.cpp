@@ -1,0 +1,84 @@
+#include "src/qos/catalog.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::qos {
+
+ServiceCatalog::ServiceCatalog(std::vector<data::QwsAttribute> schema)
+    : schema_(std::move(schema)) {
+  MRSKY_REQUIRE(!schema_.empty(), "catalog needs at least one QoS attribute");
+}
+
+std::size_t ServiceCatalog::add(WebService service) {
+  MRSKY_REQUIRE(service.qos.size() == schema_.size(),
+                "service QoS width must match the catalog schema");
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    // Range enforcement keeps oriented coordinates non-negative, which the
+    // MR-Angle hyperspherical transform requires.
+    MRSKY_REQUIRE(service.qos[a] >= schema_[a].min && service.qos[a] <= schema_[a].max,
+                  "service attribute '" + schema_[a].name + "' outside schema range");
+  }
+  for (const auto& existing : services_) {
+    MRSKY_REQUIRE(existing.id != service.id,
+                  "duplicate service id " + std::to_string(service.id));
+  }
+  services_.push_back(std::move(service));
+  return services_.size() - 1;
+}
+
+data::PointId ServiceCatalog::add(std::string name, std::vector<double> qos) {
+  data::PointId next = 0;
+  for (const auto& s : services_) next = std::max(next, s.id + 1);
+  add(WebService{next, std::move(name), std::move(qos)});
+  return next;
+}
+
+std::optional<WebService> ServiceCatalog::find(data::PointId id) const {
+  for (const auto& s : services_) {
+    if (s.id == id) return s;
+  }
+  return std::nullopt;
+}
+
+bool ServiceCatalog::remove(data::PointId id) {
+  for (auto it = services_.begin(); it != services_.end(); ++it) {
+    if (it->id == id) {
+      services_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> ServiceCatalog::oriented_qos(const WebService& service) const {
+  MRSKY_REQUIRE(service.qos.size() == schema_.size(), "service QoS width mismatch");
+  std::vector<double> out(service.qos.size());
+  for (std::size_t a = 0; a < schema_.size(); ++a) {
+    out[a] = schema_[a].higher_is_better ? schema_[a].max - service.qos[a] : service.qos[a];
+  }
+  return out;
+}
+
+data::PointSet ServiceCatalog::to_oriented_points() const {
+  data::PointSet ps(schema_.size());
+  ps.reserve(services_.size());
+  for (const auto& s : services_) ps.push_back(oriented_qos(s), s.id);
+  return ps;
+}
+
+ServiceCatalog ServiceCatalog::synthetic(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  data::QwsLikeGenerator generator(dim, seed);
+  const data::PointSet raw = generator.generate_raw(n);
+  ServiceCatalog catalog(generator.schema());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const auto p = raw.point(i);
+    catalog.add(WebService{raw.id(i), "service-" + std::to_string(raw.id(i)),
+                           std::vector<double>(p.begin(), p.end())});
+  }
+  return catalog;
+}
+
+}  // namespace mrsky::qos

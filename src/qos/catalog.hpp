@@ -1,0 +1,62 @@
+// Web-service QoS catalog — the application-facing data model (paper §I-II).
+//
+// A catalog is a registry of services (the paper's UDDI) with a QoS schema:
+// per-attribute name, unit, range and orientation. The catalog owns the
+// benefit→cost flip: skyline code always sees minimisation-oriented data,
+// users always see natural units ("availability 99.1 %"), and the mapping is
+// applied exactly once, here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+#include "src/dataset/qws.hpp"
+
+namespace mrsky::qos {
+
+struct WebService {
+  data::PointId id = 0;
+  std::string name;
+  std::vector<double> qos;  ///< natural units/orientation, one per schema attribute
+};
+
+class ServiceCatalog {
+ public:
+  /// An empty catalog with the given QoS schema (see data::qws_schema).
+  explicit ServiceCatalog(std::vector<data::QwsAttribute> schema);
+
+  /// Registers a service; its qos vector must match the schema width and the
+  /// id must be unused. Returns the stored record's index.
+  std::size_t add(WebService service);
+
+  /// Registers with an auto-assigned id (max id + 1).
+  data::PointId add(std::string name, std::vector<double> qos);
+
+  [[nodiscard]] std::size_t size() const noexcept { return services_.size(); }
+  [[nodiscard]] const std::vector<data::QwsAttribute>& schema() const noexcept { return schema_; }
+  [[nodiscard]] const std::vector<WebService>& services() const noexcept { return services_; }
+
+  /// Lookup by id; nullopt when absent.
+  [[nodiscard]] std::optional<WebService> find(data::PointId id) const;
+
+  /// Deregisters a service by id; returns false when absent.
+  bool remove(data::PointId id);
+
+  /// Cost-oriented coordinates of one service (benefit attributes flipped).
+  [[nodiscard]] std::vector<double> oriented_qos(const WebService& service) const;
+
+  /// The whole catalog as a minimisation-oriented PointSet (ids preserved).
+  [[nodiscard]] data::PointSet to_oriented_points() const;
+
+  /// Builds a catalog of `n` synthetic services from the QWS-like generator.
+  [[nodiscard]] static ServiceCatalog synthetic(std::size_t n, std::size_t dim,
+                                                std::uint64_t seed);
+
+ private:
+  std::vector<data::QwsAttribute> schema_;
+  std::vector<WebService> services_;
+};
+
+}  // namespace mrsky::qos

@@ -1,0 +1,27 @@
+// Catalog persistence: load/store service catalogs as CSV in the QWS file
+// style — a header row naming the attributes, then one service per row with
+// an id and a service name. Users who hold the real QWS dataset can export
+// it to this layout and run every bench against it unmodified.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/qos/catalog.hpp"
+
+namespace mrsky::qos {
+
+/// Writes `id,name,<attr...>` rows with a header naming each schema attribute.
+void write_catalog_csv(std::ostream& os, const ServiceCatalog& catalog);
+void write_catalog_csv_file(const std::string& path, const ServiceCatalog& catalog);
+
+/// Reads a catalog whose header matches `schema` by attribute name (order
+/// need not match the schema; columns are mapped by name). The first two
+/// columns must be `id` and `name`. Throws on unknown/missing attributes,
+/// duplicate ids or out-of-range values.
+[[nodiscard]] ServiceCatalog read_catalog_csv(std::istream& is,
+                                              std::vector<data::QwsAttribute> schema);
+[[nodiscard]] ServiceCatalog read_catalog_csv_file(const std::string& path,
+                                                   std::vector<data::QwsAttribute> schema);
+
+}  // namespace mrsky::qos

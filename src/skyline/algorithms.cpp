@@ -1,0 +1,211 @@
+#include "src/skyline/algorithms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::skyline {
+
+namespace {
+
+SkylineStats g_discard;  // sink when the caller passes no stats
+
+SkylineStats& stats_or_discard(SkylineStats* stats) {
+  if (stats != nullptr) return *stats;
+  g_discard = SkylineStats{};
+  return g_discard;
+}
+
+}  // namespace
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "bnl") return Algorithm::kBnl;
+  if (name == "sfs") return Algorithm::kSfs;
+  if (name == "dc" || name == "divide-conquer") return Algorithm::kDivideConquer;
+  if (name == "naive") return Algorithm::kNaive;
+  MRSKY_FAIL("unknown skyline algorithm: " + name);
+}
+
+std::string to_string(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kBnl: return "bnl";
+    case Algorithm::kSfs: return "sfs";
+    case Algorithm::kDivideConquer: return "dc";
+    case Algorithm::kNaive: return "naive";
+  }
+  return "unknown";
+}
+
+data::PointSet bnl_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
+  SkylineStats& stats = stats_or_discard(stats_out);
+  stats.points_in += ps.size();
+
+  // The window holds indices of currently-undominated points.
+  std::vector<std::size_t> window;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto p = ps.point(i);
+    bool dominated = false;
+    // Compare against the window; drop window entries p dominates, stop as
+    // soon as some window entry dominates p.
+    std::size_t keep = 0;
+    for (std::size_t w = 0; w < window.size(); ++w) {
+      const auto q = ps.point(window[w]);
+      ++stats.dominance_tests;
+      const DomRelation rel = compare(p, q);
+      if (rel == DomRelation::kDominatedBy) {
+        dominated = true;
+        // Everything not yet scanned survives untouched.
+        for (std::size_t r = w; r < window.size(); ++r) window[keep++] = window[r];
+        break;
+      }
+      if (rel != DomRelation::kDominates) {
+        window[keep++] = window[w];  // q survives
+      }
+      // rel == kDominates: q is dominated by p, drop it (don't copy).
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(i);
+  }
+
+  std::sort(window.begin(), window.end());
+  stats.points_out += window.size();
+  return ps.select(window);
+}
+
+data::PointSet sfs_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
+  SkylineStats& stats = stats_or_discard(stats_out);
+  stats.points_in += ps.size();
+
+  // Presort by the monotone score sum(coords): if score(a) < score(b) then b
+  // cannot dominate a, so the window only ever grows.
+  std::vector<std::size_t> order(ps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> score(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto p = ps.point(i);
+    score[i] = std::accumulate(p.begin(), p.end(), 0.0);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
+
+  std::vector<std::size_t> window;
+  for (std::size_t i : order) {
+    const auto p = ps.point(i);
+    bool dominated = false;
+    for (std::size_t w : window) {
+      ++stats.dominance_tests;
+      if (dominates(ps.point(w), p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) window.push_back(i);
+  }
+
+  std::sort(window.begin(), window.end());
+  stats.points_out += window.size();
+  return ps.select(window);
+}
+
+namespace {
+
+// Recursive helper on index ranges; returns surviving indices (sorted).
+std::vector<std::size_t> dc_recurse(const data::PointSet& ps, std::vector<std::size_t> idx,
+                                    SkylineStats& stats) {
+  if (idx.size() <= 16) {
+    // Base case: tiny BNL over the subset.
+    std::vector<std::size_t> window;
+    for (std::size_t i : idx) {
+      const auto p = ps.point(i);
+      bool dominated = false;
+      std::size_t keep = 0;
+      for (std::size_t w = 0; w < window.size(); ++w) {
+        ++stats.dominance_tests;
+        const DomRelation rel = compare(p, ps.point(window[w]));
+        if (rel == DomRelation::kDominatedBy) {
+          dominated = true;
+          for (std::size_t r = w; r < window.size(); ++r) window[keep++] = window[r];
+          break;
+        }
+        if (rel != DomRelation::kDominates) window[keep++] = window[w];
+      }
+      window.resize(keep);
+      if (!dominated) window.push_back(i);
+    }
+    return window;
+  }
+
+  const std::size_t half = idx.size() / 2;
+  std::vector<std::size_t> left(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<std::size_t> right(idx.begin() + static_cast<std::ptrdiff_t>(half), idx.end());
+  auto sky_left = dc_recurse(ps, std::move(left), stats);
+  auto sky_right = dc_recurse(ps, std::move(right), stats);
+
+  // Cross-filter: a survivor must not be dominated by any survivor of the
+  // other half.
+  auto filter = [&](const std::vector<std::size_t>& candidates,
+                    const std::vector<std::size_t>& against) {
+    std::vector<std::size_t> out;
+    out.reserve(candidates.size());
+    for (std::size_t c : candidates) {
+      bool dominated = false;
+      for (std::size_t a : against) {
+        ++stats.dominance_tests;
+        if (dominates(ps.point(a), ps.point(c))) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) out.push_back(c);
+    }
+    return out;
+  };
+  auto kept_left = filter(sky_left, sky_right);
+  auto kept_right = filter(sky_right, sky_left);
+  kept_left.insert(kept_left.end(), kept_right.begin(), kept_right.end());
+  return kept_left;
+}
+
+}  // namespace
+
+data::PointSet dc_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
+  SkylineStats& stats = stats_or_discard(stats_out);
+  stats.points_in += ps.size();
+  std::vector<std::size_t> idx(ps.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  auto survivors = dc_recurse(ps, std::move(idx), stats);
+  std::sort(survivors.begin(), survivors.end());
+  stats.points_out += survivors.size();
+  return ps.select(survivors);
+}
+
+data::PointSet naive_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
+  SkylineStats& stats = stats_or_discard(stats_out);
+  stats.points_in += ps.size();
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < ps.size() && !dominated; ++j) {
+      if (i == j) continue;
+      ++stats.dominance_tests;
+      if (dominates(ps.point(j), ps.point(i))) dominated = true;
+    }
+    if (!dominated) survivors.push_back(i);
+  }
+  stats.points_out += survivors.size();
+  return ps.select(survivors);
+}
+
+data::PointSet compute_skyline(const data::PointSet& ps, Algorithm algo, SkylineStats* stats) {
+  switch (algo) {
+    case Algorithm::kBnl: return bnl_skyline(ps, stats);
+    case Algorithm::kSfs: return sfs_skyline(ps, stats);
+    case Algorithm::kDivideConquer: return dc_skyline(ps, stats);
+    case Algorithm::kNaive: return naive_skyline(ps, stats);
+  }
+  MRSKY_FAIL("unreachable algorithm");
+}
+
+}  // namespace mrsky::skyline

@@ -1,0 +1,40 @@
+// Sequential skyline algorithms.
+//
+// * BNL (block-nested-loops, Börzsönyi et al. ICDE'01) — the algorithm the
+//   paper uses for both the local-skyline stage and the global merge
+//   (Algorithm 1, lines 8 and 15). In-memory variant: the window always fits.
+// * SFS (sort-filter-skyline, Chomicki et al. ICDE'03) — presort by a
+//   monotone score; a later point can never dominate an earlier one, so the
+//   window is append-only. Used in the local-algorithm ablation.
+// * Divide & conquer — two-way split with pairwise cross-filtering merge.
+// * Naive — the O(n²) full pairwise reference used by tests as ground truth.
+//
+// Semantics shared by all: duplicate (coordinate-identical) points do not
+// dominate each other, so every copy of an undominated point is returned.
+#pragma once
+
+#include <string>
+
+#include "src/dataset/point_set.hpp"
+#include "src/skyline/dominance.hpp"
+
+namespace mrsky::skyline {
+
+enum class Algorithm { kBnl, kSfs, kDivideConquer, kNaive };
+
+[[nodiscard]] Algorithm parse_algorithm(const std::string& name);
+[[nodiscard]] std::string to_string(Algorithm algo);
+
+/// Computes the skyline of `ps`. If `stats` is non-null the algorithm's work
+/// counters are accumulated into it (never reset).
+[[nodiscard]] data::PointSet bnl_skyline(const data::PointSet& ps, SkylineStats* stats = nullptr);
+[[nodiscard]] data::PointSet sfs_skyline(const data::PointSet& ps, SkylineStats* stats = nullptr);
+[[nodiscard]] data::PointSet dc_skyline(const data::PointSet& ps, SkylineStats* stats = nullptr);
+[[nodiscard]] data::PointSet naive_skyline(const data::PointSet& ps,
+                                           SkylineStats* stats = nullptr);
+
+/// Dispatch by enum.
+[[nodiscard]] data::PointSet compute_skyline(const data::PointSet& ps, Algorithm algo,
+                                             SkylineStats* stats = nullptr);
+
+}  // namespace mrsky::skyline

@@ -1,0 +1,86 @@
+#include "src/skyline/bnl_bounded.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::skyline {
+
+// Pass structure (Börzsönyi et al. §3.1, with a conservative confirmation
+// rule): each pass scans the remaining input with an empty window.
+//  * dominated input dies; input that dominates window entries evicts them;
+//  * incomparable input enters the window, or spills when the window is full;
+//  * at end of pass, a surviving window entry is CONFIRMED skyline iff it was
+//    inserted before the pass's first spill (it has then been compared
+//    against every surviving tuple); later insertions are re-queued.
+// Confirmed points need no further comparisons: every tuple that survives
+// into a later pass was compared against them while they sat in the window.
+// The original paper refines re-queue order with timestamps to confirm
+// mid-pass; the conservative rule trades at most extra passes for the same
+// output, and the report exposes the pass count so the trade is observable.
+data::PointSet bnl_skyline_bounded(const data::PointSet& ps, std::size_t window_capacity,
+                                   BoundedBnlReport* report) {
+  MRSKY_REQUIRE(window_capacity >= 1, "window must hold at least one point");
+  BoundedBnlReport local;
+  BoundedBnlReport& rep = report != nullptr ? *report : local;
+  rep.stats.points_in += ps.size();
+
+  struct WindowEntry {
+    std::size_t idx;
+    bool pre_spill;  ///< inserted before this pass's first spill
+  };
+
+  std::vector<std::size_t> input(ps.size());
+  std::iota(input.begin(), input.end(), std::size_t{0});
+  std::vector<std::size_t> confirmed;
+
+  while (!input.empty()) {
+    ++rep.passes;
+    std::vector<WindowEntry> window;
+    window.reserve(window_capacity);
+    std::vector<std::size_t> overflow;
+    bool spilled = false;
+
+    for (std::size_t idx : input) {
+      const auto p = ps.point(idx);
+      bool dominated = false;
+      std::size_t keep = 0;
+      for (std::size_t w = 0; w < window.size(); ++w) {
+        ++rep.stats.dominance_tests;
+        const DomRelation rel = compare(p, ps.point(window[w].idx));
+        if (rel == DomRelation::kDominatedBy) {
+          dominated = true;
+          for (std::size_t r = w; r < window.size(); ++r) window[keep++] = window[r];
+          break;
+        }
+        if (rel != DomRelation::kDominates) window[keep++] = window[w];
+      }
+      window.resize(keep);
+      if (dominated) continue;
+      if (window.size() < window_capacity) {
+        window.push_back({idx, !spilled});
+      } else {
+        overflow.push_back(idx);
+        spilled = true;
+        ++rep.overflow_points;
+      }
+    }
+
+    std::vector<std::size_t> next_input = std::move(overflow);
+    for (const WindowEntry& w : window) {
+      if (w.pre_spill || next_input.empty()) {
+        confirmed.push_back(w.idx);
+      } else {
+        next_input.push_back(w.idx);
+      }
+    }
+    input = std::move(next_input);
+  }
+
+  std::sort(confirmed.begin(), confirmed.end());
+  rep.stats.points_out += confirmed.size();
+  return ps.select(confirmed);
+}
+
+}  // namespace mrsky::skyline

@@ -1,0 +1,44 @@
+// Memory-bounded multi-pass BNL — the original disk-based algorithm of
+// Börzsönyi, Kossmann & Stocker (ICDE 2001), which the paper's local-skyline
+// stage names as its building block.
+//
+// The in-memory BNL in algorithms.hpp assumes the window always fits. The
+// real algorithm runs with a window of at most W points:
+//  * a point dominated by a window point is discarded;
+//  * a point that dominates window points evicts them and enters;
+//  * an incomparable point enters the window if there is room, otherwise it
+//    is written to a temporary file for the next pass, stamped with the
+//    current input position;
+//  * a window point can be emitted as a confirmed skyline point once every
+//    input point that could dominate it has been seen — i.e. when the scan
+//    reaches the position at which the window point was inserted *in the
+//    following pass* (the classic timestamp rule);
+//  * passes repeat over the overflow file until it is empty.
+//
+// This module simulates the temp file with an in-memory buffer but preserves
+// the pass structure, timestamps and eviction rules exactly, and reports
+// per-pass statistics so tests and benches can observe the I/O behaviour the
+// paper's servers would have had with "1G memory allocated to JVM".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+#include "src/skyline/dominance.hpp"
+
+namespace mrsky::skyline {
+
+struct BoundedBnlReport {
+  std::size_t passes = 0;            ///< scans over (remaining) input
+  std::size_t overflow_points = 0;   ///< total points spilled across passes
+  SkylineStats stats;                ///< dominance-test and point counters
+};
+
+/// Computes the skyline of `ps` with a window of at most `window_capacity`
+/// points (>= 1). Result ids equal the unbounded algorithms' (order by id).
+[[nodiscard]] data::PointSet bnl_skyline_bounded(const data::PointSet& ps,
+                                                 std::size_t window_capacity,
+                                                 BoundedBnlReport* report = nullptr);
+
+}  // namespace mrsky::skyline

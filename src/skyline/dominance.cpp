@@ -1,0 +1,34 @@
+#include "src/skyline/dominance.hpp"
+
+#include "src/common/error.hpp"
+
+namespace mrsky::skyline {
+
+bool dominates(std::span<const double> a, std::span<const double> b) noexcept {
+  MRSKY_ASSERT(a.size() == b.size(), "dominance requires equal dimensions");
+  bool strictly_better_somewhere = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+DomRelation compare(std::span<const double> a, std::span<const double> b) noexcept {
+  MRSKY_ASSERT(a.size() == b.size(), "dominance requires equal dimensions");
+  bool a_better = false;
+  bool b_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) {
+      a_better = true;
+    } else if (a[i] > b[i]) {
+      b_better = true;
+    }
+    if (a_better && b_better) return DomRelation::kIncomparable;
+  }
+  if (a_better) return DomRelation::kDominates;
+  if (b_better) return DomRelation::kDominatedBy;
+  return DomRelation::kEqual;
+}
+
+}  // namespace mrsky::skyline

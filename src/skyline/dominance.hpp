@@ -1,0 +1,46 @@
+// Dominance predicates — the primitive every skyline algorithm is built on.
+//
+// Definition (paper §II, minimisation orientation): point a DOMINATES point b
+// iff a is less than or equal to b in every attribute and strictly less in at
+// least one. Two distinct points where neither dominates the other are
+// INCOMPARABLE; identical points are EQUAL (neither dominates).
+//
+// All algorithms report how many dominance tests they performed through
+// SkylineStats; the MapReduce cluster simulator converts those counts into
+// simulated time, so the counters are part of the reproduction, not optional
+// telemetry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mrsky::skyline {
+
+enum class DomRelation {
+  kDominates,     ///< a dominates b
+  kDominatedBy,   ///< b dominates a
+  kIncomparable,  ///< neither dominates
+  kEqual,         ///< identical coordinates
+};
+
+/// Work counters shared by all skyline algorithms.
+struct SkylineStats {
+  std::uint64_t dominance_tests = 0;  ///< pairwise dominance evaluations
+  std::uint64_t points_in = 0;        ///< points consumed
+  std::uint64_t points_out = 0;       ///< skyline points produced
+
+  SkylineStats& operator+=(const SkylineStats& other) noexcept {
+    dominance_tests += other.dominance_tests;
+    points_in += other.points_in;
+    points_out += other.points_out;
+    return *this;
+  }
+};
+
+/// True iff a dominates b (minimisation). Sizes must match (checked in debug).
+[[nodiscard]] bool dominates(std::span<const double> a, std::span<const double> b) noexcept;
+
+/// Full three-way (four-way) relation between a and b in one pass.
+[[nodiscard]] DomRelation compare(std::span<const double> a, std::span<const double> b) noexcept;
+
+}  // namespace mrsky::skyline

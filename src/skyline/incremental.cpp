@@ -1,0 +1,39 @@
+#include "src/skyline/incremental.hpp"
+
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::skyline {
+
+IncrementalSkyline::IncrementalSkyline(std::size_t dim) : skyline_(dim) {}
+
+IncrementalSkyline::IncrementalSkyline(const data::PointSet& ps)
+    : skyline_(bnl_skyline(ps, &stats_)) {}
+
+bool IncrementalSkyline::insert(std::span<const double> coords, data::PointId id) {
+  MRSKY_REQUIRE(coords.size() == skyline_.dim(), "point dimension mismatch");
+  stats_.points_in += 1;
+
+  // First pass: am I dominated? (Cheap rejection before any mutation.)
+  for (std::size_t i = 0; i < skyline_.size(); ++i) {
+    ++stats_.dominance_tests;
+    if (dominates(skyline_.point(i), coords)) return false;
+  }
+
+  // Survivors: every current skyline point the newcomer does not dominate.
+  std::vector<std::size_t> keep;
+  keep.reserve(skyline_.size());
+  for (std::size_t i = 0; i < skyline_.size(); ++i) {
+    ++stats_.dominance_tests;
+    if (!dominates(coords, skyline_.point(i))) keep.push_back(i);
+  }
+  data::PointSet next = skyline_.select(keep);
+  next.push_back(coords, id);
+  skyline_ = std::move(next);
+  stats_.points_out = skyline_.size();
+  return true;
+}
+
+}  // namespace mrsky::skyline

@@ -1,0 +1,41 @@
+// Incremental skyline maintenance under insertions.
+//
+// Paper §II motivates the MapReduce split with dynamic service registries:
+// "Given a new service which is added into UDDI ... the new service is first
+// mapped into a group and added into the local skyline computation." This
+// class is that per-group maintenance structure: it keeps a skyline current
+// as points arrive one at a time.
+//
+// Deletions are out of scope (as in the paper): removing a skyline point can
+// resurrect points that were previously dominated, which requires keeping
+// the full dataset; callers that need deletion recompute from the source.
+#pragma once
+
+#include "src/dataset/point_set.hpp"
+#include "src/skyline/dominance.hpp"
+
+namespace mrsky::skyline {
+
+class IncrementalSkyline {
+ public:
+  /// Empty skyline over `dim`-dimensional points.
+  explicit IncrementalSkyline(std::size_t dim);
+
+  /// Bulk-load: computes the skyline of `ps` as the starting state.
+  explicit IncrementalSkyline(const data::PointSet& ps);
+
+  /// Offers a point. Returns true iff it enters the skyline (in which case
+  /// any existing skyline points it dominates are evicted); false if it is
+  /// dominated by a current skyline point.
+  bool insert(std::span<const double> coords, data::PointId id);
+
+  [[nodiscard]] const data::PointSet& skyline() const noexcept { return skyline_; }
+  [[nodiscard]] std::size_t size() const noexcept { return skyline_.size(); }
+  [[nodiscard]] const SkylineStats& stats() const noexcept { return stats_; }
+
+ private:
+  data::PointSet skyline_;
+  SkylineStats stats_;
+};
+
+}  // namespace mrsky::skyline

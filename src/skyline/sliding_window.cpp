@@ -1,0 +1,69 @@
+#include "src/skyline/sliding_window.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::skyline {
+
+SlidingWindowSkyline::SlidingWindowSkyline(std::size_t dim, std::size_t capacity)
+    : dim_(dim), capacity_(capacity), cache_(dim) {
+  MRSKY_REQUIRE(dim >= 1, "points need at least one attribute");
+  MRSKY_REQUIRE(capacity >= 1, "window must hold at least one point");
+}
+
+void SlidingWindowSkyline::push(std::span<const double> coords, data::PointId id) {
+  MRSKY_REQUIRE(coords.size() == dim_, "point dimension mismatch");
+  stats_.points_in += 1;
+
+  // Evict the oldest point first; only a skyline member's departure can
+  // change the skyline.
+  if (window_.size() == capacity_) {
+    const data::PointId victim = window_.front().id;
+    window_.pop_front();
+    if (!dirty_) {
+      for (data::PointId sid : cache_.ids()) {
+        if (sid == victim) {
+          dirty_ = true;
+          break;
+        }
+      }
+    }
+  }
+  window_.push_back(Entry{id, {coords.begin(), coords.end()}});
+
+  if (dirty_) return;  // cache already needs a rebuild; fold the insert in
+
+  // Incremental insert into the cached skyline (same rules as
+  // IncrementalSkyline): dominated newcomers change nothing.
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    ++stats_.dominance_tests;
+    if (dominates(cache_.point(i), coords)) return;
+  }
+  std::vector<std::size_t> keep;
+  keep.reserve(cache_.size());
+  for (std::size_t i = 0; i < cache_.size(); ++i) {
+    ++stats_.dominance_tests;
+    if (!dominates(coords, cache_.point(i))) keep.push_back(i);
+  }
+  data::PointSet next = cache_.select(keep);
+  next.push_back(coords, id);
+  cache_ = std::move(next);
+}
+
+void SlidingWindowSkyline::rebuild() {
+  data::PointSet points(dim_);
+  points.reserve(window_.size());
+  for (const Entry& e : window_) points.push_back(e.coords, e.id);
+  cache_ = bnl_skyline(points, &stats_);
+  dirty_ = false;
+  ++rebuilds_;
+}
+
+const data::PointSet& SlidingWindowSkyline::skyline() {
+  if (dirty_) rebuild();
+  return cache_;
+}
+
+}  // namespace mrsky::skyline

@@ -1,0 +1,63 @@
+// Sliding-window skyline — continuous monitoring over a data stream.
+//
+// The paper's §I motivates dynamism twice: services come and go, and QoS
+// measurements go stale ("the QoS of selected service may get degraded
+// rapidly"). The natural continuous-query formulation keeps the skyline of
+// the most recent W measurements (Lin et al., "Stabbing the sky", ICDE'05).
+//
+// Implementation: a FIFO of the live window plus a cached skyline.
+//  * Appending a point that is dominated by the cached skyline cannot change
+//    it (beyond its own insertion check) — O(|SKY|).
+//  * Evicting a non-skyline point never changes the skyline (removing a
+//    dominated point resurrects nothing).
+//  * Evicting a skyline member invalidates the cache; it is rebuilt lazily
+//    from the window on the next query — the expensive case, amortised by
+//    how rarely the oldest point is still on the skyline.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "src/dataset/point_set.hpp"
+#include "src/skyline/dominance.hpp"
+
+namespace mrsky::skyline {
+
+class SlidingWindowSkyline {
+ public:
+  /// Window of the most recent `capacity` points (>= 1) of dimension `dim`.
+  SlidingWindowSkyline(std::size_t dim, std::size_t capacity);
+
+  /// Appends a measurement; evicts the oldest when the window is full.
+  void push(std::span<const double> coords, data::PointId id);
+
+  /// Skyline of the current window (lazily recomputed when dirty).
+  [[nodiscard]] const data::PointSet& skyline();
+
+  [[nodiscard]] std::size_t size() const noexcept { return window_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// Cache rebuilds triggered by evicting a skyline member (observability
+  /// for the amortisation claim above).
+  [[nodiscard]] std::size_t rebuilds() const noexcept { return rebuilds_; }
+  [[nodiscard]] const SkylineStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    data::PointId id;
+    std::vector<double> coords;
+  };
+
+  void rebuild();
+
+  std::size_t dim_;
+  std::size_t capacity_;
+  std::deque<Entry> window_;
+  data::PointSet cache_;
+  bool dirty_ = false;
+  std::size_t rebuilds_ = 0;
+  SkylineStats stats_;
+};
+
+}  // namespace mrsky::skyline

@@ -1,0 +1,63 @@
+#include "src/skyline/verify.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/skyline/dominance.hpp"
+
+namespace mrsky::skyline {
+
+VerifyResult verify_skyline(const data::PointSet& dataset, const data::PointSet& candidate) {
+  if (dataset.dim() != candidate.dim()) {
+    return {false, "dimension mismatch between dataset and candidate"};
+  }
+
+  std::unordered_map<data::PointId, std::size_t> dataset_row;
+  dataset_row.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) dataset_row.emplace(dataset.id(i), i);
+
+  std::unordered_set<data::PointId> candidate_ids;
+  candidate_ids.reserve(candidate.size());
+
+  // 1 + 2: membership and non-domination of each candidate point.
+  for (std::size_t c = 0; c < candidate.size(); ++c) {
+    const data::PointId id = candidate.id(c);
+    candidate_ids.insert(id);
+    auto it = dataset_row.find(id);
+    if (it == dataset_row.end()) {
+      return {false, "candidate id " + std::to_string(id) + " not present in dataset"};
+    }
+    const auto original = dataset.point(it->second);
+    const auto claimed = candidate.point(c);
+    if (!std::equal(original.begin(), original.end(), claimed.begin())) {
+      return {false, "candidate id " + std::to_string(id) + " has altered coordinates"};
+    }
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (dominates(dataset.point(i), claimed)) {
+        return {false, "candidate id " + std::to_string(id) + " is dominated by dataset id " +
+                           std::to_string(dataset.id(i))};
+      }
+    }
+  }
+
+  // 3: completeness — every excluded point must be dominated.
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (candidate_ids.contains(dataset.id(i))) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < dataset.size() && !dominated; ++j) {
+      if (dominates(dataset.point(j), dataset.point(i))) dominated = true;
+    }
+    if (!dominated) {
+      return {false, "dataset id " + std::to_string(dataset.id(i)) +
+                         " is undominated but missing from the candidate"};
+    }
+  }
+  return {true, ""};
+}
+
+bool same_ids(const data::PointSet& a, const data::PointSet& b) {
+  return sorted_ids(a) == sorted_ids(b);
+}
+
+}  // namespace mrsky::skyline

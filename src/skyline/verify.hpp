@@ -1,0 +1,28 @@
+// Skyline verification — used by tests (ground-truth checks) and available
+// to library users as a debugging aid.
+#pragma once
+
+#include <string>
+
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::skyline {
+
+struct VerifyResult {
+  bool ok = true;
+  std::string message;  ///< first violation found, empty when ok
+};
+
+/// Checks that `candidate` is exactly the skyline of `dataset`:
+///  1. every candidate point appears in the dataset (matched by id and
+///     coordinates),
+///  2. no candidate point is dominated by any dataset point,
+///  3. every dataset point absent from the candidate is dominated by some
+///     dataset point.
+[[nodiscard]] VerifyResult verify_skyline(const data::PointSet& dataset,
+                                          const data::PointSet& candidate);
+
+/// True iff the two sets contain the same point ids (any order).
+[[nodiscard]] bool same_ids(const data::PointSet& a, const data::PointSet& b);
+
+}  // namespace mrsky::skyline

@@ -1,0 +1,108 @@
+#include "src/spatial/bbs.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::spatial {
+
+namespace {
+
+struct HeapEntry {
+  double mindist = 0.0;
+  bool is_point = false;
+  std::size_t id = 0;  ///< node id, or point index when is_point
+
+  bool operator>(const HeapEntry& other) const noexcept {
+    if (mindist != other.mindist) return mindist > other.mindist;
+    // Points before nodes at equal mindist (confirms skyline points sooner);
+    // then by id for determinism.
+    if (is_point != other.is_point) return !is_point;
+    return id > other.id;
+  }
+};
+
+}  // namespace
+
+data::PointSet bbs_skyline(const RTree& tree, BbsReport* report, std::size_t max_results) {
+  BbsReport local;
+  BbsReport& rep = report != nullptr ? *report : local;
+  const data::PointSet& ps = tree.points();
+  rep.stats.points_in += ps.size();
+
+  std::vector<std::size_t> skyline_rows;  // indices into ps, in pop order
+  if (tree.empty()) return data::PointSet(ps.dim());
+
+  // A candidate (point or node lower corner) survives iff no confirmed
+  // skyline point dominates it.
+  auto dominated_by_skyline = [&](std::span<const double> coords) {
+    for (std::size_t s : skyline_rows) {
+      ++rep.stats.dominance_tests;
+      if (skyline::dominates(ps.point(s), coords)) return true;
+    }
+    return false;
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap.push({tree.node(tree.root()).mbr.mindist(), false, tree.root()});
+
+  while (!heap.empty()) {
+    if (max_results != 0 && skyline_rows.size() >= max_results) break;
+    const HeapEntry entry = heap.top();
+    heap.pop();
+
+    if (entry.is_point) {
+      const auto p = ps.point(entry.id);
+      if (dominated_by_skyline(p)) {
+        ++rep.entries_pruned;
+        continue;
+      }
+      // Mindist order guarantees nothing still in the heap can dominate p.
+      skyline_rows.push_back(entry.id);
+      continue;
+    }
+
+    const RTree::Node& node = tree.node(entry.id);
+    if (dominated_by_skyline(node.mbr.lo)) {
+      ++rep.entries_pruned;  // the whole subtree is dominated
+      continue;
+    }
+    ++rep.nodes_visited;
+    if (node.leaf) {
+      for (std::size_t row : node.entries) {
+        const auto p = ps.point(row);
+        if (dominated_by_skyline(p)) {
+          ++rep.entries_pruned;
+          continue;
+        }
+        double mindist = 0.0;
+        for (double v : p) mindist += v;
+        heap.push({mindist, true, row});
+      }
+    } else {
+      for (std::size_t child : node.entries) {
+        const Mbr& mbr = tree.node(child).mbr;
+        if (dominated_by_skyline(mbr.lo)) {
+          ++rep.entries_pruned;
+          continue;
+        }
+        heap.push({mbr.mindist(), false, child});
+      }
+    }
+  }
+
+  // Canonical order (ascending row) to match the other algorithms' output.
+  std::sort(skyline_rows.begin(), skyline_rows.end());
+  rep.stats.points_out += skyline_rows.size();
+  return ps.select(skyline_rows);
+}
+
+data::PointSet bbs_skyline(const data::PointSet& ps, BbsReport* report,
+                           std::size_t max_results) {
+  const RTree tree(ps);
+  return bbs_skyline(tree, report, max_results);
+}
+
+}  // namespace mrsky::spatial

@@ -1,0 +1,40 @@
+// BBS — Branch-and-Bound Skyline over an R-tree (Papadias, Tao, Fu & Seeger,
+// SIGMOD 2003; the paper's reference [25] and the I/O-optimal sequential
+// baseline).
+//
+// Entries (tree nodes or points) are expanded in ascending "mindist" (sum of
+// lower-corner coordinates). Because mindist is a monotone lower bound of
+// every point inside an entry, the first time an undominated point pops it
+// is guaranteed to be a skyline point, and any entry whose lower corner is
+// dominated by a confirmed skyline point can be pruned wholesale — the
+// R-tree analogue of MR-Grid's cell pruning (§III-B).
+//
+// BBS is progressive: skyline points are produced in mindist order, so
+// callers can stop early (top-k style). Reported stats make its pruning
+// power comparable to the scan-based algorithms in benches.
+#pragma once
+
+#include <cstdint>
+
+#include "src/dataset/point_set.hpp"
+#include "src/skyline/dominance.hpp"
+#include "src/spatial/rtree.hpp"
+
+namespace mrsky::spatial {
+
+struct BbsReport {
+  std::size_t nodes_visited = 0;    ///< tree nodes expanded
+  std::size_t entries_pruned = 0;   ///< heap entries discarded as dominated
+  skyline::SkylineStats stats;      ///< dominance tests / point counts
+};
+
+/// Computes the skyline of `tree.points()` using the BBS traversal.
+/// `max_results` bounds the output for progressive use (0 = full skyline).
+[[nodiscard]] data::PointSet bbs_skyline(const RTree& tree, BbsReport* report = nullptr,
+                                         std::size_t max_results = 0);
+
+/// Convenience: bulk-load a tree and run BBS.
+[[nodiscard]] data::PointSet bbs_skyline(const data::PointSet& ps, BbsReport* report = nullptr,
+                                         std::size_t max_results = 0);
+
+}  // namespace mrsky::spatial

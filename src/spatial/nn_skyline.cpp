@@ -1,0 +1,165 @@
+#include "src/spatial/nn_skyline.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::spatial {
+
+namespace {
+
+/// An upper-open search region {x : x_k < hi[k] for every k}.
+using Region = std::vector<double>;
+
+std::uint64_t hash_doubles(const std::vector<double>& values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (double v : values) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    h ^= bits;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool point_in_region(std::span<const double> p, const Region& hi) {
+  for (std::size_t k = 0; k < hi.size(); ++k) {
+    if (!(p[k] < hi[k])) return false;
+  }
+  return true;
+}
+
+/// Best-first L1 nearest neighbour (to the origin) among the tree's points
+/// inside `region`. Returns the row index, or npos when the region is empty.
+std::size_t nn_in_region(const RTree& tree, const Region& region, NnSkylineReport& rep) {
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  ++rep.nn_queries;
+  const data::PointSet& ps = tree.points();
+
+  struct Entry {
+    double mindist;
+    std::size_t node;
+    bool operator>(const Entry& other) const noexcept {
+      if (mindist != other.mindist) return mindist > other.mindist;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({tree.node(tree.root()).mbr.mindist(), tree.root()});
+
+  std::size_t best_row = kNone;
+  double best_sum = std::numeric_limits<double>::infinity();
+
+  auto node_excluded = [&](const Mbr& mbr) {
+    for (std::size_t k = 0; k < region.size(); ++k) {
+      if (!(mbr.lo[k] < region[k])) return true;  // every point violates dim k
+    }
+    return false;
+  };
+
+  while (!heap.empty()) {
+    const Entry entry = heap.top();
+    heap.pop();
+    if (entry.mindist >= best_sum) break;  // nothing closer remains
+    const RTree::Node& node = tree.node(entry.node);
+    if (node_excluded(node.mbr)) continue;
+    if (node.leaf) {
+      for (std::size_t row : node.entries) {
+        const auto p = ps.point(row);
+        if (!point_in_region(p, region)) continue;
+        double sum = 0.0;
+        for (double v : p) sum += v;
+        if (sum < best_sum || (sum == best_sum && row < best_row)) {
+          best_sum = sum;
+          best_row = row;
+        }
+      }
+    } else {
+      for (std::size_t child : node.entries) {
+        const Mbr& mbr = tree.node(child).mbr;
+        if (node_excluded(mbr)) continue;
+        const double mindist = mbr.mindist();
+        if (mindist < best_sum) heap.push({mindist, child});
+      }
+    }
+  }
+  return best_row;
+}
+
+}  // namespace
+
+data::PointSet nn_skyline(const RTree& tree, NnSkylineReport* report) {
+  NnSkylineReport local;
+  NnSkylineReport& rep = report != nullptr ? *report : local;
+  const data::PointSet& ps = tree.points();
+  rep.stats.points_in += ps.size();
+  if (tree.empty()) return data::PointSet(ps.dim());
+  const std::size_t dim = ps.dim();
+
+  // Coordinate-duplicate index: the NN recursion's sub-regions use strict
+  // upper bounds, so exact duplicates of a found skyline point can never be
+  // rediscovered — they are added here instead (duplicates of an undominated
+  // point are undominated).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_coords;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    by_coords[hash_doubles({ps.point(i).begin(), ps.point(i).end()})].push_back(i);
+  }
+
+  std::unordered_set<std::size_t> found;
+  std::unordered_set<std::uint64_t> seen_regions;
+  std::deque<Region> todo;
+  todo.push_back(Region(dim, std::numeric_limits<double>::infinity()));
+  seen_regions.insert(hash_doubles(todo.back()));
+
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  while (!todo.empty()) {
+    const Region region = std::move(todo.front());
+    todo.pop_front();
+    ++rep.regions_processed;
+
+    const std::size_t row = nn_in_region(tree, region, rep);
+    if (row == kNone) continue;
+    const auto p = ps.point(row);
+
+    if (!found.insert(row).second) {
+      ++rep.duplicate_hits;
+    } else {
+      // Exact duplicates join the skyline alongside the found point.
+      const auto& twins = by_coords[hash_doubles({p.begin(), p.end()})];
+      for (std::size_t twin : twins) {
+        if (std::equal(ps.point(twin).begin(), ps.point(twin).end(), p.begin())) {
+          found.insert(twin);
+        }
+      }
+    }
+
+    // Recurse into the d sub-regions region ∩ {x_k < p_k}. They cover
+    // everything except p's dominance region within `region` (which the
+    // paper's §IV prunes), and each strictly shrinks one bound.
+    for (std::size_t k = 0; k < dim; ++k) {
+      Region sub = region;
+      sub[k] = p[k];
+      if (seen_regions.insert(hash_doubles(sub)).second) {
+        todo.push_back(std::move(sub));
+      }
+    }
+  }
+
+  std::vector<std::size_t> rows(found.begin(), found.end());
+  std::sort(rows.begin(), rows.end());
+  rep.stats.points_out += rows.size();
+  return ps.select(rows);
+}
+
+data::PointSet nn_skyline(const data::PointSet& ps, NnSkylineReport* report) {
+  const RTree tree(ps);
+  return nn_skyline(tree, report);
+}
+
+}  // namespace mrsky::spatial

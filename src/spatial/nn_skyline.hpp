@@ -1,0 +1,45 @@
+// NN skyline — the nearest-neighbor / divide-and-prune algorithm of
+// Kossmann, Ramsak & Rost ("Shooting stars in the sky", VLDB 2002; the
+// paper's reference [21]), whose geometry drives the paper's §IV analysis:
+// "service s4 is the nearest one to the axes ... the first nearest neighbor
+// is part of the skyline. On the other hand, all the points in the dominance
+// region of s4 can be pruned from further consideration ... the left regions
+// are computed recursively."
+//
+// Algorithm: keep a to-do list of axis-aligned regions, initially the whole
+// space. For a region, find the point inside it minimising the coordinate
+// sum (an L1 nearest neighbour to the origin, via best-first R-tree search);
+// that point is a skyline point. Its dominance region within the box needs
+// no further work; the remainder is covered by d overlapping sub-regions,
+// region ∩ {x_k < p_k}. Overlap means a point can be rediscovered (the
+// classic d > 2 duplicate problem), so results are deduplicated by row and
+// the report counts how much duplicate work occurred.
+//
+// LIMITATION: even with region deduplication the to-do list can grow
+// super-polynomially in the skyline size at dimension >= ~5 — the published
+// reason BBS (bbs.hpp) superseded this algorithm. Prefer BBS except at low
+// dimension or for didactic comparisons; the benches quantify the gap.
+#pragma once
+
+#include "src/dataset/point_set.hpp"
+#include "src/skyline/dominance.hpp"
+#include "src/spatial/rtree.hpp"
+
+namespace mrsky::spatial {
+
+struct NnSkylineReport {
+  std::size_t nn_queries = 0;        ///< nearest-neighbour searches issued
+  std::size_t regions_processed = 0; ///< to-do entries expanded
+  std::size_t duplicate_hits = 0;    ///< skyline points re-found via overlap
+  skyline::SkylineStats stats;
+};
+
+/// Computes the skyline of `tree.points()` with the NN partition-and-prune
+/// traversal. Output matches the other algorithms (ascending row order).
+[[nodiscard]] data::PointSet nn_skyline(const RTree& tree, NnSkylineReport* report = nullptr);
+
+/// Convenience: bulk-load a tree and run.
+[[nodiscard]] data::PointSet nn_skyline(const data::PointSet& ps,
+                                        NnSkylineReport* report = nullptr);
+
+}  // namespace mrsky::spatial

@@ -1,0 +1,137 @@
+#include "src/spatial/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::spatial {
+
+double Mbr::mindist() const noexcept {
+  double sum = 0.0;
+  for (double v : lo) sum += v;
+  return sum;
+}
+
+bool Mbr::contains(std::span<const double> point) const noexcept {
+  for (std::size_t a = 0; a < lo.size(); ++a) {
+    if (point[a] < lo[a] || point[a] > hi[a]) return false;
+  }
+  return true;
+}
+
+bool Mbr::covers(const Mbr& other) const noexcept {
+  for (std::size_t a = 0; a < lo.size(); ++a) {
+    if (other.lo[a] < lo[a] || other.hi[a] > hi[a]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Recursive Sort-Tile-Recursive leaf packing: returns groups of at most
+/// `leaf_cap` point indices, spatially tiled dimension by dimension.
+void str_tile(std::vector<std::size_t>& items, std::size_t dim, const data::PointSet& ps,
+              std::size_t leaf_cap, std::vector<std::vector<std::size_t>>& leaves) {
+  if (items.size() <= leaf_cap) {
+    leaves.push_back(items);
+    return;
+  }
+  auto by_dim = [&](std::size_t a, std::size_t b) { return ps.at(a, dim) < ps.at(b, dim); };
+  std::sort(items.begin(), items.end(), by_dim);
+
+  if (dim + 1 == ps.dim()) {
+    for (std::size_t start = 0; start < items.size(); start += leaf_cap) {
+      const std::size_t end = std::min(start + leaf_cap, items.size());
+      leaves.emplace_back(items.begin() + static_cast<std::ptrdiff_t>(start),
+                          items.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    return;
+  }
+
+  const auto leaf_count =
+      static_cast<double>((items.size() + leaf_cap - 1) / leaf_cap);
+  const auto remaining_dims = static_cast<double>(ps.dim() - dim);
+  const auto slabs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(std::pow(leaf_count, 1.0 / remaining_dims))));
+  const std::size_t per_slab = (items.size() + slabs - 1) / slabs;
+  for (std::size_t start = 0; start < items.size(); start += per_slab) {
+    const std::size_t end = std::min(start + per_slab, items.size());
+    std::vector<std::size_t> slab(items.begin() + static_cast<std::ptrdiff_t>(start),
+                                  items.begin() + static_cast<std::ptrdiff_t>(end));
+    str_tile(slab, dim + 1, ps, leaf_cap, leaves);
+  }
+}
+
+}  // namespace
+
+Mbr RTree::mbr_of_points(std::span<const std::size_t> idx) const {
+  Mbr mbr;
+  mbr.lo.assign(ps_->dim(), std::numeric_limits<double>::infinity());
+  mbr.hi.assign(ps_->dim(), -std::numeric_limits<double>::infinity());
+  for (std::size_t i : idx) {
+    for (std::size_t a = 0; a < ps_->dim(); ++a) {
+      mbr.lo[a] = std::min(mbr.lo[a], ps_->at(i, a));
+      mbr.hi[a] = std::max(mbr.hi[a], ps_->at(i, a));
+    }
+  }
+  return mbr;
+}
+
+Mbr RTree::mbr_of_nodes(std::span<const std::size_t> ids) const {
+  Mbr mbr;
+  mbr.lo.assign(ps_->dim(), std::numeric_limits<double>::infinity());
+  mbr.hi.assign(ps_->dim(), -std::numeric_limits<double>::infinity());
+  for (std::size_t id : ids) {
+    for (std::size_t a = 0; a < ps_->dim(); ++a) {
+      mbr.lo[a] = std::min(mbr.lo[a], nodes_[id].mbr.lo[a]);
+      mbr.hi[a] = std::max(mbr.hi[a], nodes_[id].mbr.hi[a]);
+    }
+  }
+  return mbr;
+}
+
+std::size_t RTree::build(std::vector<std::size_t> items) {
+  std::vector<std::vector<std::size_t>> leaves;
+  str_tile(items, 0, *ps_, capacity_, leaves);
+
+  std::vector<std::size_t> level;
+  level.reserve(leaves.size());
+  for (auto& leaf_items : leaves) {
+    Node node;
+    node.leaf = true;
+    node.mbr = mbr_of_points(leaf_items);
+    node.entries = std::move(leaf_items);
+    nodes_.push_back(std::move(node));
+    level.push_back(nodes_.size() - 1);
+  }
+  height_ = 1;
+
+  while (level.size() > 1) {
+    std::vector<std::size_t> next;
+    for (std::size_t start = 0; start < level.size(); start += capacity_) {
+      const std::size_t end = std::min(start + capacity_, level.size());
+      Node node;
+      node.leaf = false;
+      node.entries.assign(level.begin() + static_cast<std::ptrdiff_t>(start),
+                          level.begin() + static_cast<std::ptrdiff_t>(end));
+      node.mbr = mbr_of_nodes(node.entries);
+      nodes_.push_back(std::move(node));
+      next.push_back(nodes_.size() - 1);
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  return level.front();
+}
+
+RTree::RTree(const data::PointSet& ps, std::size_t capacity) : ps_(&ps), capacity_(capacity) {
+  MRSKY_REQUIRE(capacity >= 2, "R-tree node capacity must be >= 2");
+  if (ps.empty()) return;
+  std::vector<std::size_t> items(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) items[i] = i;
+  root_ = build(std::move(items));
+}
+
+}  // namespace mrsky::spatial

@@ -1,0 +1,75 @@
+// A packed R-tree over a PointSet.
+//
+// Substrate for index-based skyline computation (BBS, bbs.hpp) — the
+// strongest sequential baseline in the literature the paper builds on
+// (Papadias et al., SIGMOD'03 [25]). Built once over static data with
+// Sort-Tile-Recursive bulk loading (Leutenegger et al., 1997): points are
+// sorted by the first coordinate, tiled into vertical slabs, each slab
+// sorted by the next coordinate, and so on; leaves pack `capacity` points
+// and upper levels pack `capacity` children. STR packing is deterministic
+// and yields near-100% node occupancy.
+//
+// The tree stores indices into the PointSet it was built over; the caller
+// must keep that PointSet alive and unchanged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::spatial {
+
+/// Axis-aligned minimum bounding rectangle.
+struct Mbr {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  /// Sum of the lower corner's coordinates — BBS's "mindist" to the origin.
+  [[nodiscard]] double mindist() const noexcept;
+
+  /// True iff `point` lies inside (closed bounds).
+  [[nodiscard]] bool contains(std::span<const double> point) const noexcept;
+
+  /// True iff `other` lies fully inside this MBR.
+  [[nodiscard]] bool covers(const Mbr& other) const noexcept;
+};
+
+class RTree {
+ public:
+  struct Node {
+    Mbr mbr;
+    bool leaf = false;
+    /// Leaf: indices into the source PointSet. Internal: child node ids.
+    std::vector<std::size_t> entries;
+  };
+
+  /// Bulk-loads the tree over `ps` (kept by reference). capacity >= 2.
+  RTree(const data::PointSet& ps, std::size_t capacity = 16);
+
+  [[nodiscard]] const data::PointSet& points() const noexcept { return *ps_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+
+  /// Root node id (valid only when !empty()).
+  [[nodiscard]] std::size_t root() const noexcept { return root_; }
+  [[nodiscard]] const Node& node(std::size_t id) const { return nodes_[id]; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+
+ private:
+  /// Packs `items` (point indices) into leaves, then levels of internal
+  /// nodes, returning the root id.
+  std::size_t build(std::vector<std::size_t> items);
+  Mbr mbr_of_points(std::span<const std::size_t> idx) const;
+  Mbr mbr_of_nodes(std::span<const std::size_t> ids) const;
+
+  const data::PointSet* ps_;
+  std::size_t capacity_;
+  std::vector<Node> nodes_;
+  std::size_t root_ = 0;
+  std::size_t height_ = 0;  ///< number of levels (leaf-only tree = 1)
+};
+
+}  // namespace mrsky::spatial

@@ -1,0 +1,60 @@
+#include "src/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrsky::common {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log(LogLevel::kError, "should be suppressed");
+  MRSKY_LOG_DEBUG << "also suppressed " << 42;
+}
+
+TEST(Log, EmittingBelowThresholdIsSilent) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kInfo, "hidden");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Log, EmittingAtThresholdWrites) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log(LogLevel::kWarn, "visible");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("visible"), std::string::npos);
+  EXPECT_NE(err.find("WARN"), std::string::npos);
+}
+
+TEST(Log, StreamMacroFormats) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  MRSKY_LOG_INFO << "x=" << 7;
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("x=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrsky::common

@@ -1,0 +1,76 @@
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::common {
+namespace {
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, PrintWithoutTitleOmitsBanner) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str().find("=="), std::string::npos);
+}
+
+TEST(Table, CsvRoundtripShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n");
+}
+
+TEST(Table, FormatDoubleRespectsPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+}
+
+TEST(Table, FormatIntegers) {
+  EXPECT_EQ(Table::fmt(std::size_t{42}), "42");
+  EXPECT_EQ(Table::fmt(-7), "-7");
+}
+
+TEST(Table, DataAccessorExposesRows) {
+  Table t({"a"});
+  t.add_row({"z"});
+  ASSERT_EQ(t.data().size(), 1u);
+  EXPECT_EQ(t.data()[0][0], "z");
+}
+
+}  // namespace
+}  // namespace mrsky::common

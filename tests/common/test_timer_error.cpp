@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/error.hpp"
+#include "src/common/timer.hpp"
+
+namespace mrsky::common {
+namespace {
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotone) {
+  Timer timer;
+  const auto a = timer.elapsed_ns();
+  const auto b = timer.elapsed_ns();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, MeasuresSleeps) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.elapsed_ms(), 15.0);
+  EXPECT_LT(timer.elapsed_seconds(), 5.0);  // sanity upper bound
+}
+
+TEST(Timer, RestartResets) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  timer.restart();
+  EXPECT_LT(timer.elapsed_ms(), 10.0);
+}
+
+TEST(Timer, UnitConversionsAgree) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double ns = static_cast<double>(timer.elapsed_ns());
+  const double ms = timer.elapsed_ms();
+  EXPECT_NEAR(ms, ns * 1e-6, ns * 1e-6 * 0.5 + 1.0);
+}
+
+TEST(ErrorMacros, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(MRSKY_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(ErrorMacros, RequireThrowsWithContext) {
+  try {
+    MRSKY_REQUIRE(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const mrsky::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_timer_error.cpp"), std::string::npos);  // source location
+    EXPECT_NE(what.find("false"), std::string::npos);                 // the expression
+  }
+}
+
+TEST(ErrorMacros, FailThrowsRuntimeError) {
+  try {
+    MRSKY_FAIL("boom");
+    FAIL() << "should have thrown";
+  } catch (const mrsky::RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(ErrorMacros, ExceptionsAreStandardDerived) {
+  // Library exceptions must be catchable as std::exception at API borders.
+  try {
+    MRSKY_FAIL("generic");
+  } catch (const std::exception& e) {
+    SUCCEED();
+    return;
+  }
+  FAIL();
+}
+
+}  // namespace
+}  // namespace mrsky::common

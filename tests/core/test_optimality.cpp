@@ -1,0 +1,100 @@
+#include "src/core/optimality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/mr_skyline.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::core {
+namespace {
+
+using data::PointSet;
+
+TEST(Optimality, AllLocalPointsGlobalGivesOne) {
+  PointSet global(2, {1.0, 5.0, 5.0, 1.0}, {0u, 1u});
+  std::vector<PointSet> locals;
+  locals.emplace_back(PointSet(2, {1.0, 5.0}, {0u}));
+  locals.emplace_back(PointSet(2, {5.0, 1.0}, {1u}));
+  const auto report = local_skyline_optimality(locals, global);
+  EXPECT_DOUBLE_EQ(report.mean_optimality, 1.0);
+  EXPECT_EQ(report.partitions_used, 2u);
+  EXPECT_EQ(report.local_total, 2u);
+  EXPECT_EQ(report.global_total, 2u);
+}
+
+TEST(Optimality, NoSurvivorsGivesZero) {
+  PointSet global(2, {0.0, 0.0}, {9u});
+  std::vector<PointSet> locals;
+  locals.emplace_back(PointSet(2, {1.0, 5.0}, {0u}));
+  const auto report = local_skyline_optimality(locals, global);
+  EXPECT_DOUBLE_EQ(report.mean_optimality, 0.0);
+}
+
+TEST(Optimality, MixedPartitionsAverage) {
+  PointSet global(2, {1.0, 1.0, 2.0, 0.5}, {0u, 2u});
+  std::vector<PointSet> locals;
+  // Partition A: both points global -> 1.0
+  locals.emplace_back(PointSet(2, {1.0, 1.0, 2.0, 0.5}, {0u, 2u}));
+  // Partition B: neither id is global -> 0.0
+  locals.emplace_back(PointSet(2, {1.0, 1.0, 9.0, 9.0}, {3u, 5u}));
+  const auto report = local_skyline_optimality(locals, global);
+  EXPECT_DOUBLE_EQ(report.mean_optimality, 0.5);  // (1.0 + 0.0) / 2
+  EXPECT_DOUBLE_EQ(report.max_optimality, 1.0);
+  EXPECT_DOUBLE_EQ(report.min_optimality, 0.0);
+}
+
+TEST(Optimality, EmptyLocalsExcludedFromAverage) {
+  PointSet global(2, {1.0, 1.0}, {0u});
+  std::vector<PointSet> locals;
+  locals.emplace_back(PointSet(2));  // empty (e.g. pruned partition)
+  locals.emplace_back(PointSet(2, {1.0, 1.0}, {0u}));
+  const auto report = local_skyline_optimality(locals, global);
+  EXPECT_EQ(report.partitions_used, 1u);
+  EXPECT_DOUBLE_EQ(report.mean_optimality, 1.0);
+}
+
+TEST(Optimality, NoPartitionsAtAllIsZero) {
+  PointSet global(2);
+  const std::vector<PointSet> locals;
+  const auto report = local_skyline_optimality(locals, global);
+  EXPECT_EQ(report.partitions_used, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_optimality, 0.0);
+}
+
+TEST(Optimality, BoundsRespected) {
+  // On real pipeline output the metric must be a valid average of fractions.
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 2000, 4, 3);
+  MRSkylineConfig config;
+  config.scheme = part::Scheme::kAngular;
+  const auto result = run_mr_skyline(ps, config);
+  const auto report = local_skyline_optimality(result.local_skylines, result.skyline);
+  EXPECT_GE(report.mean_optimality, 0.0);
+  EXPECT_LE(report.mean_optimality, 1.0);
+  EXPECT_GE(report.min_optimality, 0.0);
+  EXPECT_LE(report.max_optimality, 1.0);
+  EXPECT_LE(report.min_optimality, report.mean_optimality);
+  EXPECT_GE(report.max_optimality, report.mean_optimality);
+  // Merge input can never be smaller than the global skyline.
+  EXPECT_GE(report.local_total, report.global_total);
+}
+
+TEST(Optimality, AngularBeatsDimensionalOnQwsData) {
+  // The paper's §VI headline: MR-Angle's local skylines are globally better.
+  data::QwsLikeGenerator gen(6, 51);
+  const PointSet ps = data::normalize_min_max(gen.generate_oriented(3000));
+  MRSkylineConfig angular;
+  angular.scheme = part::Scheme::kAngular;
+  MRSkylineConfig dimensional;
+  dimensional.scheme = part::Scheme::kDimensional;
+  const auto r_angle = run_mr_skyline(ps, angular);
+  const auto r_dim = run_mr_skyline(ps, dimensional);
+  const auto o_angle = local_skyline_optimality(r_angle.local_skylines, r_angle.skyline);
+  const auto o_dim = local_skyline_optimality(r_dim.local_skylines, r_dim.skyline);
+  EXPECT_GT(o_angle.mean_optimality, o_dim.mean_optimality);
+}
+
+}  // namespace
+}  // namespace mrsky::core

@@ -1,0 +1,103 @@
+// Tree-merge (merge_fan_in) tests: multi-round merging must return the same
+// skyline as the paper's single-reducer merge while splitting the merge work
+// across rounds and reducers.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/core/mr_skyline.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky::core {
+namespace {
+
+using data::PointSet;
+
+MRSkylineConfig tree_config(std::size_t fan_in, std::size_t servers = 8) {
+  MRSkylineConfig config;
+  config.scheme = part::Scheme::kAngular;
+  config.servers = servers;
+  config.merge_fan_in = fan_in;
+  return config;
+}
+
+TEST(TreeMerge, SingleReducerHasOneRound) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 500, 3, 3);
+  const auto result = run_mr_skyline(ps, tree_config(0));
+  EXPECT_EQ(result.merge_rounds.size(), 1u);
+  EXPECT_EQ(result.merge_job.reduce_tasks.size(), 1u);
+}
+
+TEST(TreeMerge, FanInOneRejected) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 100, 2, 5);
+  EXPECT_THROW(run_mr_skyline(ps, tree_config(1)), mrsky::InvalidArgument);
+}
+
+TEST(TreeMerge, RoundCountIsLogFanInOfPartitions) {
+  // 8 servers -> 16 partitions; fan-in 4 -> 16 -> 4 -> 1: two rounds.
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 800, 3, 7);
+  const auto result = run_mr_skyline(ps, tree_config(4));
+  EXPECT_EQ(result.merge_rounds.size(), 2u);
+  // fan-in 2 -> 16 -> 8 -> 4 -> 2 -> 1: four rounds.
+  const auto result2 = run_mr_skyline(ps, tree_config(2));
+  EXPECT_EQ(result2.merge_rounds.size(), 4u);
+}
+
+TEST(TreeMerge, SkylineIdenticalToSingleReducer) {
+  const PointSet ps = data::generate(data::Distribution::kAnticorrelated, 1200, 4, 9);
+  const auto flat = run_mr_skyline(ps, tree_config(0));
+  for (std::size_t fan_in : {2u, 3u, 4u, 8u}) {
+    const auto tree = run_mr_skyline(ps, tree_config(fan_in));
+    EXPECT_TRUE(skyline::same_ids(flat.skyline, tree.skyline)) << "fan_in=" << fan_in;
+  }
+}
+
+TEST(TreeMerge, MatchesSequentialReference) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 900, 5, 11);
+  const auto result = run_mr_skyline(ps, tree_config(4));
+  EXPECT_TRUE(skyline::same_ids(result.skyline, skyline::bnl_skyline(ps)));
+}
+
+TEST(TreeMerge, IntermediateRoundsUseParallelReducers) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 800, 3, 13);
+  const auto result = run_mr_skyline(ps, tree_config(4));
+  ASSERT_EQ(result.merge_rounds.size(), 2u);
+  EXPECT_EQ(result.merge_rounds[0].reduce_tasks.size(), 4u);  // 16 partitions / 4
+  EXPECT_EQ(result.merge_rounds[1].reduce_tasks.size(), 1u);
+}
+
+TEST(TreeMerge, MergeJobAliasesLastRound) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 400, 3, 15);
+  const auto result = run_mr_skyline(ps, tree_config(4));
+  EXPECT_EQ(result.merge_job.job_name, result.merge_rounds.back().job_name);
+  EXPECT_EQ(result.merge_job.reduce_tasks.size(),
+            result.merge_rounds.back().reduce_tasks.size());
+}
+
+TEST(TreeMerge, SimulationAccountsForEveryRound) {
+  // More rounds => more job startups; with tiny data the startup dominates,
+  // so the 4-round fan-in-2 pipeline must simulate strictly slower than the
+  // single-round merge.
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 300, 2, 17);
+  const auto flat = run_mr_skyline(ps, tree_config(0));
+  const auto tree = run_mr_skyline(ps, tree_config(2));
+  mr::ClusterModel model;
+  model.servers = 8;
+  EXPECT_GT(tree.simulate(model).startup_seconds, flat.simulate(model).startup_seconds);
+}
+
+TEST(TreeMerge, WorksWithEveryScheme) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 600, 3, 19);
+  const auto reference = skyline::bnl_skyline(ps);
+  for (part::Scheme scheme : {part::Scheme::kDimensional, part::Scheme::kGrid,
+                              part::Scheme::kAngular, part::Scheme::kRandom}) {
+    auto config = tree_config(4);
+    config.scheme = scheme;
+    const auto result = run_mr_skyline(ps, config);
+    EXPECT_TRUE(skyline::same_ids(result.skyline, reference)) << part::to_string(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace mrsky::core

@@ -1,0 +1,108 @@
+#include "src/dataset/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+
+namespace mrsky::data {
+namespace {
+
+TEST(CsvIo, RoundTripWithIdsAndHeader) {
+  const PointSet original = generate(Distribution::kIndependent, 50, 4, 42);
+  std::stringstream buffer;
+  write_csv(buffer, original);
+  const PointSet loaded = read_csv(buffer);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(CsvIo, RoundTripWithoutHeader) {
+  const PointSet original = generate(Distribution::kCorrelated, 20, 3, 1);
+  std::stringstream buffer;
+  CsvWriteOptions options;
+  options.with_header = false;
+  options.with_ids = false;
+  write_csv(buffer, original, options);
+  const PointSet loaded = read_csv(buffer);
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.dim(), original.dim());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.id(i), static_cast<PointId>(i));  // sequential ids assigned
+    for (std::size_t a = 0; a < loaded.dim(); ++a) {
+      EXPECT_NEAR(loaded.at(i, a), original.at(i, a), 1e-9);
+    }
+  }
+}
+
+TEST(CsvIo, HeaderWithoutIdColumn) {
+  std::stringstream buffer("x,y\n1.5,2.5\n3.5,4.5\n");
+  const PointSet ps = read_csv(buffer);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.dim(), 2u);
+  EXPECT_DOUBLE_EQ(ps.at(1, 1), 4.5);
+  EXPECT_EQ(ps.id(0), 0u);
+}
+
+TEST(CsvIo, IdColumnDetectedByName) {
+  std::stringstream buffer("id,x\n7,1.0\n9,2.0\n");
+  const PointSet ps = read_csv(buffer);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.dim(), 1u);
+  EXPECT_EQ(ps.id(0), 7u);
+  EXPECT_EQ(ps.id(1), 9u);
+}
+
+TEST(CsvIo, SkipsBlankLines) {
+  std::stringstream buffer("1.0,2.0\n\n3.0,4.0\n\n");
+  const PointSet ps = read_csv(buffer);
+  EXPECT_EQ(ps.size(), 2u);
+}
+
+TEST(CsvIo, HandlesWindowsLineEndings) {
+  std::stringstream buffer("1.0,2.0\r\n3.0,4.0\r\n");
+  const PointSet ps = read_csv(buffer);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_DOUBLE_EQ(ps.at(1, 1), 4.0);
+}
+
+TEST(CsvIo, RaggedRowThrows) {
+  std::stringstream buffer("1.0,2.0\n3.0\n");
+  EXPECT_THROW(read_csv(buffer), InvalidArgument);
+}
+
+TEST(CsvIo, GarbageCellThrows) {
+  std::stringstream buffer("1.0,2.0\n3.0,oops\n");
+  EXPECT_THROW(read_csv(buffer), InvalidArgument);
+}
+
+TEST(CsvIo, EmptyInputThrows) {
+  std::stringstream buffer("");
+  EXPECT_THROW(read_csv(buffer), InvalidArgument);
+}
+
+TEST(CsvIo, HeaderOnlyThrows) {
+  std::stringstream buffer("x,y\n");
+  EXPECT_THROW(read_csv(buffer), InvalidArgument);
+}
+
+TEST(CsvIo, FileRoundTrip) {
+  const PointSet original = generate(Distribution::kIndependent, 10, 2, 5);
+  const std::string path = testing::TempDir() + "/mrsky_io_test.csv";
+  write_csv_file(path, original);
+  const PointSet loaded = read_csv_file(path);
+  EXPECT_EQ(loaded, original);
+}
+
+TEST(CsvIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), RuntimeError);
+}
+
+TEST(CsvIo, UnwritablePathThrows) {
+  const PointSet ps(1, {1.0});
+  EXPECT_THROW(write_csv_file("/nonexistent/dir/file.csv", ps), RuntimeError);
+}
+
+}  // namespace
+}  // namespace mrsky::data

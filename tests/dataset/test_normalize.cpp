@@ -1,0 +1,76 @@
+#include "src/dataset/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky::data {
+namespace {
+
+TEST(Normalize, MapsToUnitInterval) {
+  PointSet ps(2, {10.0, 100.0, 20.0, 300.0, 15.0, 200.0});
+  const PointSet normalized = normalize_min_max(ps);
+  for (std::size_t i = 0; i < normalized.size(); ++i) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      EXPECT_GE(normalized.at(i, a), 0.0);
+      EXPECT_LE(normalized.at(i, a), 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(normalized.at(0, 0), 0.0);  // min maps to 0
+  EXPECT_DOUBLE_EQ(normalized.at(1, 0), 1.0);  // max maps to 1
+  EXPECT_DOUBLE_EQ(normalized.at(2, 0), 0.5);  // midpoint maps to 0.5
+}
+
+TEST(Normalize, ConstantAttributeMapsToZero) {
+  PointSet ps(2, {5.0, 1.0, 5.0, 2.0});
+  const PointSet normalized = normalize_min_max(ps);
+  EXPECT_DOUBLE_EQ(normalized.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(normalized.at(1, 0), 0.0);
+}
+
+TEST(Normalize, PreservesIds) {
+  PointSet ps(1, {3.0, 7.0}, {42u, 17u});
+  const PointSet normalized = normalize_min_max(ps);
+  EXPECT_EQ(normalized.id(0), 42u);
+  EXPECT_EQ(normalized.id(1), 17u);
+}
+
+TEST(Normalize, InvertRecoversOriginal) {
+  const PointSet original = generate(Distribution::kIndependent, 100, 3, 9);
+  const NormalizationMap map = fit_min_max(original);
+  const PointSet recovered = map.invert(map.apply(original));
+  ASSERT_EQ(recovered.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    for (std::size_t a = 0; a < original.dim(); ++a) {
+      EXPECT_NEAR(recovered.at(i, a), original.at(i, a), 1e-12);
+    }
+  }
+}
+
+TEST(Normalize, DimensionMismatchThrows) {
+  const PointSet a(2, {1.0, 2.0});
+  NormalizationMap map{{0.0}, {1.0}};  // 1-D map
+  EXPECT_THROW(map.apply(a), InvalidArgument);
+  EXPECT_THROW(map.invert(a), InvalidArgument);
+}
+
+TEST(Normalize, FitOnEmptyThrows) {
+  const PointSet ps(2);
+  EXPECT_THROW(fit_min_max(ps), InvalidArgument);
+}
+
+// The property that justifies normalising before partitioning: min-max
+// scaling is rank-preserving per attribute, so the skyline ids are unchanged.
+TEST(Normalize, SkylineInvariantUnderNormalization) {
+  const PointSet original = generate(Distribution::kAnticorrelated, 400, 3, 21);
+  const PointSet normalized = normalize_min_max(original);
+  const auto sky_before = skyline::bnl_skyline(original);
+  const auto sky_after = skyline::bnl_skyline(normalized);
+  EXPECT_TRUE(skyline::same_ids(sky_before, sky_after));
+}
+
+}  // namespace
+}  // namespace mrsky::data

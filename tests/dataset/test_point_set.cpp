@@ -1,0 +1,130 @@
+#include "src/dataset/point_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::data {
+namespace {
+
+TEST(PointSet, EmptyConstruction) {
+  PointSet ps(3);
+  EXPECT_EQ(ps.dim(), 3u);
+  EXPECT_EQ(ps.size(), 0u);
+  EXPECT_TRUE(ps.empty());
+}
+
+TEST(PointSet, RejectsZeroDimension) {
+  EXPECT_THROW(PointSet(0), InvalidArgument);
+}
+
+TEST(PointSet, FlatConstructorAssignsSequentialIds) {
+  PointSet ps(2, {1.0, 2.0, 3.0, 4.0});
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.id(0), 0u);
+  EXPECT_EQ(ps.id(1), 1u);
+  EXPECT_DOUBLE_EQ(ps.at(1, 0), 3.0);
+}
+
+TEST(PointSet, FlatConstructorRejectsRaggedValues) {
+  EXPECT_THROW(PointSet(2, {1.0, 2.0, 3.0}), InvalidArgument);
+}
+
+TEST(PointSet, ExplicitIdsPreserved) {
+  PointSet ps(1, {5.0, 6.0}, {10u, 20u});
+  EXPECT_EQ(ps.id(0), 10u);
+  EXPECT_EQ(ps.id(1), 20u);
+}
+
+TEST(PointSet, ExplicitIdsSizeMismatchThrows) {
+  EXPECT_THROW(PointSet(1, {5.0, 6.0}, {10u}), InvalidArgument);
+}
+
+TEST(PointSet, PushBackGrowsAndViews) {
+  PointSet ps(3);
+  const std::vector<double> p = {1.0, 2.0, 3.0};
+  ps.push_back(p);
+  ASSERT_EQ(ps.size(), 1u);
+  const auto view = ps.point(0);
+  EXPECT_DOUBLE_EQ(view[0], 1.0);
+  EXPECT_DOUBLE_EQ(view[2], 3.0);
+}
+
+TEST(PointSet, PushBackWrongWidthThrows) {
+  PointSet ps(3);
+  const std::vector<double> p = {1.0, 2.0};
+  EXPECT_THROW(ps.push_back(p), InvalidArgument);
+}
+
+TEST(PointSet, SequentialIdMatchesSize) {
+  PointSet ps(1);
+  const std::vector<double> p = {0.0};
+  ps.push_back(p);
+  ps.push_back(p);
+  EXPECT_EQ(ps.id(0), 0u);
+  EXPECT_EQ(ps.id(1), 1u);
+}
+
+TEST(PointSet, SelectPreservesIdsAndCoords) {
+  PointSet ps(2, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, {7u, 8u, 9u});
+  const std::vector<std::size_t> idx = {2, 0};
+  const PointSet sub = ps.select(idx);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.id(0), 9u);
+  EXPECT_DOUBLE_EQ(sub.at(0, 1), 6.0);
+  EXPECT_EQ(sub.id(1), 7u);
+}
+
+TEST(PointSet, SelectOutOfRangeThrows) {
+  PointSet ps(1, {1.0});
+  const std::vector<std::size_t> idx = {5};
+  EXPECT_THROW(ps.select(idx), InvalidArgument);
+}
+
+TEST(PointSet, AttributeMinMax) {
+  PointSet ps(2, {1.0, 9.0, 3.0, 2.0, -1.0, 5.0});
+  const auto mins = ps.attribute_min();
+  const auto maxs = ps.attribute_max();
+  EXPECT_DOUBLE_EQ(mins[0], -1.0);
+  EXPECT_DOUBLE_EQ(mins[1], 2.0);
+  EXPECT_DOUBLE_EQ(maxs[0], 3.0);
+  EXPECT_DOUBLE_EQ(maxs[1], 9.0);
+}
+
+TEST(PointSet, AttributeMinMaxEmptyThrows) {
+  PointSet ps(2);
+  EXPECT_THROW(ps.attribute_min(), InvalidArgument);
+  EXPECT_THROW(ps.attribute_max(), InvalidArgument);
+}
+
+TEST(PointSet, ClearResets) {
+  PointSet ps(1, {1.0, 2.0});
+  ps.clear();
+  EXPECT_TRUE(ps.empty());
+  EXPECT_EQ(ps.dim(), 1u);
+}
+
+TEST(PointSet, EqualityIsStructural) {
+  PointSet a(2, {1.0, 2.0});
+  PointSet b(2, {1.0, 2.0});
+  PointSet c(2, {1.0, 3.0});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PointSet, SortedIdsSortsCopies) {
+  PointSet ps(1, {1.0, 2.0, 3.0}, {9u, 4u, 7u});
+  EXPECT_EQ(sorted_ids(ps), (std::vector<PointId>{4u, 7u, 9u}));
+}
+
+TEST(PointSet, RawExposesRowMajorStorage) {
+  PointSet ps(2, {1.0, 2.0, 3.0, 4.0});
+  const auto raw = ps.raw();
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_DOUBLE_EQ(raw[2], 3.0);
+}
+
+}  // namespace
+}  // namespace mrsky::data

@@ -1,0 +1,152 @@
+#include "src/dataset/record_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+
+namespace mrsky::data {
+namespace {
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + "/" + name; }
+
+TEST(RecordFile, RoundTripExactBits) {
+  const PointSet original = generate(Distribution::kIndependent, 1000, 5, 42);
+  const std::string path = temp_path("rf_roundtrip.mrsk");
+  write_record_file(path, original);
+  const PointSet loaded = read_record_file(path);
+  EXPECT_EQ(loaded, original);  // bitwise: binary format loses nothing
+}
+
+TEST(RecordFile, EmptySetRoundTrips) {
+  const std::string path = temp_path("rf_empty.mrsk");
+  write_record_file(path, PointSet(3));
+  const RecordFileReader reader(path);
+  EXPECT_EQ(reader.record_count(), 0u);
+  EXPECT_EQ(reader.dim(), 3u);
+  EXPECT_TRUE(reader.read_all().empty());
+}
+
+TEST(RecordFile, BlockStructureFollowsBlockSize) {
+  const PointSet ps = generate(Distribution::kIndependent, 1000, 2, 7);
+  const std::string path = temp_path("rf_blocks.mrsk");
+  write_record_file(path, ps, /*records_per_block=*/100);
+  const RecordFileReader reader(path);
+  EXPECT_EQ(reader.block_count(), 10u);
+  EXPECT_EQ(reader.record_count(), 1000u);
+}
+
+TEST(RecordFile, PartialLastBlock) {
+  const PointSet ps = generate(Distribution::kIndependent, 250, 2, 9);
+  const std::string path = temp_path("rf_partial.mrsk");
+  write_record_file(path, ps, 100);
+  const RecordFileReader reader(path);
+  EXPECT_EQ(reader.block_count(), 3u);  // 100 + 100 + 50
+  EXPECT_EQ(reader.read_all(), ps);
+}
+
+TEST(RecordFile, SplitsAreBlockAlignedAndComplete) {
+  const PointSet ps = generate(Distribution::kIndependent, 1000, 3, 11);
+  const std::string path = temp_path("rf_splits.mrsk");
+  write_record_file(path, ps, 64);
+  const RecordFileReader reader(path);
+  const auto splits = reader.splits(4);
+  ASSERT_EQ(splits.size(), 4u);
+
+  PointSet reassembled(3);
+  std::size_t total = 0;
+  for (const auto& split : splits) {
+    const PointSet chunk = reader.read_split(split);
+    EXPECT_EQ(chunk.size(), split.record_count);
+    total += chunk.size();
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      reassembled.push_back(chunk.point(i), chunk.id(i));
+    }
+  }
+  EXPECT_EQ(total, ps.size());
+  EXPECT_EQ(reassembled, ps);  // contiguous splits preserve order
+}
+
+TEST(RecordFile, MoreSplitsThanBlocksClamps) {
+  const PointSet ps = generate(Distribution::kIndependent, 90, 2, 13);
+  const std::string path = temp_path("rf_clamp.mrsk");
+  write_record_file(path, ps, 50);  // 2 blocks
+  const RecordFileReader reader(path);
+  EXPECT_EQ(reader.splits(16).size(), 2u);
+}
+
+TEST(RecordFile, StreamingWriterMatchesBulk) {
+  const PointSet ps = generate(Distribution::kCorrelated, 300, 4, 15);
+  const std::string streamed = temp_path("rf_streamed.mrsk");
+  {
+    RecordFileWriter writer(streamed, 4, 37);  // odd block size on purpose
+    for (std::size_t i = 0; i < ps.size(); ++i) writer.append(ps.id(i), ps.point(i));
+    writer.close();
+    EXPECT_EQ(writer.records_written(), 300u);
+  }
+  EXPECT_EQ(read_record_file(streamed), ps);
+}
+
+TEST(RecordFile, AppendAfterCloseThrows) {
+  const std::string path = temp_path("rf_closed.mrsk");
+  RecordFileWriter writer(path, 2);
+  writer.close();
+  EXPECT_THROW(writer.append(0, std::vector<double>{1.0, 2.0}), mrsky::InvalidArgument);
+}
+
+TEST(RecordFile, DimensionMismatchThrows) {
+  RecordFileWriter writer(temp_path("rf_dim.mrsk"), 3);
+  EXPECT_THROW(writer.append(0, std::vector<double>{1.0}), mrsky::InvalidArgument);
+}
+
+TEST(RecordFile, MissingFileThrows) {
+  EXPECT_THROW(RecordFileReader("/no/such/file.mrsk"), mrsky::RuntimeError);
+}
+
+TEST(RecordFile, BadMagicRejected) {
+  const std::string path = temp_path("rf_badmagic.mrsk");
+  std::ofstream file(path, std::ios::binary);
+  file << "NOTAMAGICFILE-------------------------";
+  file.close();
+  EXPECT_THROW(RecordFileReader{path}, mrsky::RuntimeError);
+}
+
+TEST(RecordFile, CorruptionDetectedByChecksum) {
+  const PointSet ps = generate(Distribution::kIndependent, 200, 2, 17);
+  const std::string path = temp_path("rf_corrupt.mrsk");
+  write_record_file(path, ps, 100);
+  // Flip one payload byte in the middle of the first block.
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(100);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(100);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  const RecordFileReader reader(path);
+  EXPECT_THROW((void)reader.read_all(), mrsky::RuntimeError);
+}
+
+TEST(RecordFile, TruncationDetected) {
+  const PointSet ps = generate(Distribution::kIndependent, 200, 2, 19);
+  const std::string src = temp_path("rf_full.mrsk");
+  const std::string dst = temp_path("rf_truncated.mrsk");
+  write_record_file(src, ps, 100);
+  // Copy all but the last 16 bytes.
+  {
+    std::ifstream in(src, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(dst, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 16));
+  }
+  EXPECT_THROW(RecordFileReader{dst}, mrsky::RuntimeError);
+}
+
+}  // namespace
+}  // namespace mrsky::data

@@ -1,0 +1,120 @@
+#include "src/geometry/hyperspherical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace mrsky::geo {
+namespace {
+
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+using Vec = std::vector<double>;
+
+TEST(Hyperspherical, TwoDimensionalMatchesEquation2) {
+  // Paper Eq. (2): r = sqrt(x² + y²), tan(φ) = y/x.
+  const auto hs = to_hyperspherical(Vec{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(hs.r, 5.0);
+  ASSERT_EQ(hs.phi.size(), 1u);
+  EXPECT_NEAR(std::tan(hs.phi[0]), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Hyperspherical, PointOnXAxisHasZeroAngle) {
+  const auto hs = to_hyperspherical(Vec{2.0, 0.0});
+  EXPECT_NEAR(hs.phi[0], 0.0, 1e-12);
+}
+
+TEST(Hyperspherical, PointOnYAxisHasHalfPiAngle) {
+  const auto hs = to_hyperspherical(Vec{0.0, 2.0});
+  EXPECT_NEAR(hs.phi[0], kHalfPi, 1e-12);
+}
+
+TEST(Hyperspherical, DiagonalIsQuarterPi) {
+  const auto hs = to_hyperspherical(Vec{1.0, 1.0});
+  EXPECT_NEAR(hs.phi[0], std::numbers::pi / 4.0, 1e-12);
+}
+
+TEST(Hyperspherical, OriginMapsToZero) {
+  const auto hs = to_hyperspherical(Vec{0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(hs.r, 0.0);
+  for (double phi : hs.phi) EXPECT_DOUBLE_EQ(phi, 0.0);
+}
+
+TEST(Hyperspherical, OneDimensionalHasNoAngles) {
+  const auto hs = to_hyperspherical(Vec{7.0});
+  EXPECT_DOUBLE_EQ(hs.r, 7.0);
+  EXPECT_TRUE(hs.phi.empty());
+}
+
+TEST(Hyperspherical, RadiusIsEuclideanNorm) {
+  const auto hs = to_hyperspherical(Vec{1.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(hs.r, 3.0);
+}
+
+TEST(Hyperspherical, AnglesInFirstQuadrantRange) {
+  common::Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    Vec v = {rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform(), rng.uniform()};
+    const auto hs = to_hyperspherical(v);
+    for (double phi : hs.phi) {
+      EXPECT_GE(phi, 0.0);
+      EXPECT_LE(phi, kHalfPi);
+    }
+  }
+}
+
+TEST(Hyperspherical, MatchesEquation1Definition) {
+  // tan(φk) = sqrt(vn² + ... + v(k+1)²) / vk, checked directly at d=4.
+  const Vec v = {1.0, 2.0, 3.0, 4.0};
+  const auto hs = to_hyperspherical(v);
+  ASSERT_EQ(hs.phi.size(), 3u);
+  EXPECT_NEAR(std::tan(hs.phi[0]), std::sqrt(4.0 + 9.0 + 16.0) / 1.0, 1e-12);
+  EXPECT_NEAR(std::tan(hs.phi[1]), std::sqrt(9.0 + 16.0) / 2.0, 1e-12);
+  EXPECT_NEAR(std::tan(hs.phi[2]), std::sqrt(16.0) / 3.0, 1e-12);
+}
+
+TEST(Hyperspherical, RoundTripRecoversCartesian) {
+  common::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Vec v(6);
+    for (auto& x : v) x = rng.uniform(0.0, 10.0);
+    const auto hs = to_hyperspherical(v);
+    const Vec back = to_cartesian(hs);
+    ASSERT_EQ(back.size(), v.size());
+    for (std::size_t a = 0; a < v.size(); ++a) EXPECT_NEAR(back[a], v[a], 1e-9);
+  }
+}
+
+TEST(Hyperspherical, ScaleInvarianceOfAngles) {
+  // Angles depend only on direction: scaling the vector must not move them.
+  const Vec v = {1.0, 2.0, 3.0};
+  const auto a = to_hyperspherical(v);
+  const Vec scaled = {10.0, 20.0, 30.0};
+  const auto b = to_hyperspherical(scaled);
+  ASSERT_EQ(a.phi.size(), b.phi.size());
+  for (std::size_t k = 0; k < a.phi.size(); ++k) EXPECT_NEAR(a.phi[k], b.phi[k], 1e-12);
+  EXPECT_NEAR(b.r, 10.0 * a.r, 1e-9);
+}
+
+TEST(Hyperspherical, AnglesOfAvoidsReallocation) {
+  std::vector<double> phi;
+  angles_of(Vec{1.0, 1.0, 1.0}, phi);
+  EXPECT_EQ(phi.size(), 2u);
+  angles_of(Vec{2.0, 1.0}, phi);
+  EXPECT_EQ(phi.size(), 1u);
+}
+
+TEST(Hyperspherical, RejectsNegativeCoordinates) {
+  EXPECT_THROW(to_hyperspherical(Vec{1.0, -0.5}), mrsky::InvalidArgument);
+}
+
+TEST(Hyperspherical, RejectsEmptyVector) {
+  EXPECT_THROW(to_hyperspherical(Vec{}), mrsky::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrsky::geo

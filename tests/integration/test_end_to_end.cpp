@@ -1,0 +1,141 @@
+// Cross-module integration tests: the full paper pipeline from raw QWS-like
+// measurements to figure-style outputs, exercised end-to-end the way the
+// bench harness drives it.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/mr_skyline.hpp"
+#include "src/core/optimality.hpp"
+#include "src/dataset/io.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+#include "src/mapreduce/cluster.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky {
+namespace {
+
+data::PointSet qws_workload(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  data::QwsLikeGenerator gen(dim, seed);
+  return data::normalize_min_max(gen.generate_oriented(n));
+}
+
+core::MRSkylineResult run_scheme(const data::PointSet& ps, part::Scheme scheme,
+                                 std::size_t servers = 8) {
+  core::MRSkylineConfig config;
+  config.scheme = scheme;
+  config.servers = servers;
+  return core::run_mr_skyline(ps, config);
+}
+
+TEST(EndToEnd, AllThreeSchemesAgreeOnQwsWorkload) {
+  const auto ps = qws_workload(3000, 6, 101);
+  const auto reference = skyline::bnl_skyline(ps);
+  for (part::Scheme scheme : {part::Scheme::kDimensional, part::Scheme::kGrid,
+                              part::Scheme::kAngular}) {
+    const auto result = run_scheme(ps, scheme);
+    EXPECT_TRUE(skyline::same_ids(result.skyline, reference)) << part::to_string(scheme);
+  }
+}
+
+TEST(EndToEnd, AngularShufflesLessThanOthersAtHighDim) {
+  // The mechanism behind Fig. 5: MR-Angle sends fewer local-skyline points
+  // into the merge, so Job 2's input (= Job 1 shuffle output survivors) is
+  // smallest for angular partitioning.
+  const auto ps = qws_workload(4000, 8, 103);
+  const auto angle = run_scheme(ps, part::Scheme::kAngular);
+  const auto dim = run_scheme(ps, part::Scheme::kDimensional);
+  const auto opt_angle = core::local_skyline_optimality(angle.local_skylines, angle.skyline);
+  const auto opt_dim = core::local_skyline_optimality(dim.local_skylines, dim.skyline);
+  EXPECT_LT(opt_angle.local_total, opt_dim.local_total);
+}
+
+TEST(EndToEnd, SimulatedTimeRankingMatchesPaperAtScale) {
+  // Fig. 5(b) shape at reduced scale: on QWS-like data at d=8, MR-Angle
+  // clearly beats MR-Dim and is at worst within a whisker of MR-Grid (the
+  // full-scale ranking lives in bench/fig5_processing_time; EXPERIMENTS.md
+  // discusses the angle-vs-grid margin).
+  const auto ps = qws_workload(6000, 8, 105);
+  mr::ClusterModel model;
+  model.servers = 8;
+  const double t_angle = run_scheme(ps, part::Scheme::kAngular).simulate(model).total_seconds();
+  const double t_grid = run_scheme(ps, part::Scheme::kGrid).simulate(model).total_seconds();
+  const double t_dim = run_scheme(ps, part::Scheme::kDimensional).simulate(model).total_seconds();
+  EXPECT_LE(t_angle, t_grid * 1.05);
+  EXPECT_LT(t_angle, t_dim);
+}
+
+TEST(EndToEnd, OptimalityRankingMatchesPaper) {
+  // Fig. 7 shape: optimality(MR-Angle) > optimality(MR-Grid and MR-Dim).
+  const auto ps = qws_workload(4000, 6, 107);
+  std::map<part::Scheme, double> optimality;
+  for (part::Scheme scheme : {part::Scheme::kDimensional, part::Scheme::kGrid,
+                              part::Scheme::kAngular}) {
+    const auto result = run_scheme(ps, scheme);
+    optimality[scheme] =
+        core::local_skyline_optimality(result.local_skylines, result.skyline).mean_optimality;
+  }
+  EXPECT_GT(optimality[part::Scheme::kAngular], optimality[part::Scheme::kDimensional]);
+  EXPECT_GT(optimality[part::Scheme::kAngular], optimality[part::Scheme::kGrid]);
+}
+
+TEST(EndToEnd, ScalabilityCurveDecreasesAndSaturates) {
+  // Fig. 6 shape: total simulated time decreases with servers; the marginal
+  // improvement from 24 to 32 servers is much smaller than from 4 to 8.
+  const auto ps = qws_workload(5000, 8, 109);
+  const auto result = run_scheme(ps, part::Scheme::kAngular, 16);
+  std::map<std::size_t, double> total;
+  for (std::size_t servers : {4u, 8u, 24u, 32u}) {
+    mr::ClusterModel model;
+    model.servers = servers;
+    total[servers] = result.simulate(model).total_seconds();
+  }
+  EXPECT_GT(total[4], total[8]);
+  EXPECT_GE(total[8], total[24]);
+  EXPECT_GE(total[24], total[32]);
+  const double early_gain = total[4] - total[8];
+  const double late_gain = total[24] - total[32];
+  EXPECT_GT(early_gain, late_gain);
+}
+
+TEST(EndToEnd, MapTimeDropsFasterThanReduceTime) {
+  // Fig. 6 attribution: the Map phase (partition + combiner local skylines)
+  // parallelises; the Reduce phase contains the serial global merge.
+  const auto ps = qws_workload(5000, 8, 111);
+  const auto result = run_scheme(ps, part::Scheme::kAngular, 16);
+  mr::ClusterModel four;
+  four.servers = 4;
+  mr::ClusterModel thirty_two;
+  thirty_two.servers = 32;
+  const auto t4 = result.simulate(four);
+  const auto t32 = result.simulate(thirty_two);
+  const double map_drop = t4.map_seconds - t32.map_seconds;
+  const double reduce_drop = t4.reduce_seconds - t32.reduce_seconds;
+  EXPECT_GT(map_drop, 0.0);
+  EXPECT_GE(map_drop, reduce_drop);
+}
+
+TEST(EndToEnd, CsvPersistedWorkloadReproducesSkyline) {
+  // Save → load → compute must equal compute on the in-memory data.
+  const auto ps = qws_workload(500, 4, 113);
+  const std::string path = testing::TempDir() + "/mrsky_e2e.csv";
+  data::write_csv_file(path, ps);
+  const auto loaded = data::read_csv_file(path);
+  const auto a = run_scheme(ps, part::Scheme::kAngular);
+  const auto b = run_scheme(loaded, part::Scheme::kAngular);
+  EXPECT_TRUE(skyline::same_ids(a.skyline, b.skyline));
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns) {
+  const auto ps = qws_workload(1000, 5, 115);
+  const auto a = run_scheme(ps, part::Scheme::kAngular);
+  const auto b = run_scheme(ps, part::Scheme::kAngular);
+  EXPECT_EQ(sorted_ids(a.skyline), sorted_ids(b.skyline));
+  EXPECT_EQ(a.partition_job.shuffle_records, b.partition_job.shuffle_records);
+  EXPECT_EQ(a.partition_job.total_work_units(), b.partition_job.total_work_units());
+}
+
+}  // namespace
+}  // namespace mrsky

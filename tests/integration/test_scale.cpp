@@ -1,0 +1,58 @@
+// Paper-scale smoke: the full pipeline at N = 100k, d = 10 (the Fig. 5(b) /
+// Fig. 6 headline cell) must stay correct and tractable in-process. Guarded
+// by generous wall-time assertions so a pathological regression (e.g. the
+// d=2 duplicate-pile bug this repo's history fixed, which inflated one run
+// by 800x) fails loudly rather than slowing CI quietly.
+#include <gtest/gtest.h>
+
+#include "src/common/timer.hpp"
+#include "src/core/mr_skyline.hpp"
+#include "src/core/optimality.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky {
+namespace {
+
+TEST(Scale, HeadlineCellEndToEnd) {
+  common::Timer timer;
+  data::QwsLikeGenerator gen(10, 2012);
+  const data::PointSet ps = data::normalize_min_max(gen.generate_oriented(100000));
+
+  core::MRSkylineConfig config;
+  config.scheme = part::Scheme::kAngular;
+  config.servers = 8;
+  const auto result = core::run_mr_skyline(ps, config);
+
+  // Correctness against an independent sequential algorithm.
+  EXPECT_TRUE(skyline::same_ids(result.skyline, skyline::sfs_skyline(ps)));
+
+  // Plausibility of the headline quantities (loose bands around the values
+  // EXPERIMENTS.md records, so the shape claims stay anchored).
+  EXPECT_GT(result.skyline.size(), 500u);
+  EXPECT_LT(result.skyline.size(), 10000u);
+  const auto opt = core::local_skyline_optimality(result.local_skylines, result.skyline);
+  EXPECT_GT(opt.mean_optimality, 0.10);
+
+  // Tractability: the whole cell runs in seconds, not minutes, in-process.
+  EXPECT_LT(timer.elapsed_seconds(), 120.0);
+}
+
+TEST(Scale, AllSchemesAgreeAtScale) {
+  data::QwsLikeGenerator gen(8, 2013);
+  const data::PointSet ps = data::normalize_min_max(gen.generate_oriented(50000));
+  const auto reference = skyline::sfs_skyline(ps);
+  for (part::Scheme scheme : {part::Scheme::kDimensional, part::Scheme::kGrid,
+                              part::Scheme::kAngular}) {
+    core::MRSkylineConfig config;
+    config.scheme = scheme;
+    config.servers = 8;
+    const auto result = core::run_mr_skyline(ps, config);
+    EXPECT_TRUE(skyline::same_ids(result.skyline, reference)) << part::to_string(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace mrsky

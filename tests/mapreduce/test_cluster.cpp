@@ -1,0 +1,162 @@
+#include "src/mapreduce/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::mr {
+namespace {
+
+TEST(LptMakespan, EmptyTasksZero) {
+  EXPECT_DOUBLE_EQ(lpt_makespan(std::span<const double>{}, 4), 0.0);
+}
+
+TEST(LptMakespan, SingleLaneIsSum) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(lpt_makespan(costs, 1), 6.0);
+}
+
+TEST(LptMakespan, PerfectSplit) {
+  const std::vector<double> costs = {3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(lpt_makespan(costs, 2), 6.0);
+  EXPECT_DOUBLE_EQ(lpt_makespan(costs, 4), 3.0);
+}
+
+TEST(LptMakespan, BigTaskDominates) {
+  const std::vector<double> costs = {10.0, 1.0, 1.0, 1.0};
+  // The long task bounds the makespan no matter how many lanes.
+  EXPECT_DOUBLE_EQ(lpt_makespan(costs, 8), 10.0);
+}
+
+TEST(LptMakespan, GreedyScheduleIsReproducible) {
+  // LPT on {5,4,3,3,3} over 2 lanes: 5|4 -> 5|7 -> 8|7 -> 8|10. The greedy
+  // makespan (10) is within the classic 4/3 bound of the optimum (9).
+  const std::vector<double> costs = {3.0, 3.0, 5.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(lpt_makespan(costs, 2), 10.0);
+}
+
+TEST(LptMakespan, MoreLanesNeverSlower) {
+  const std::vector<double> costs = {4.0, 3.0, 7.0, 2.0, 9.0, 1.0};
+  double prev = lpt_makespan(costs, 1);
+  for (std::size_t lanes = 2; lanes <= 8; ++lanes) {
+    const double cur = lpt_makespan(costs, lanes);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(LptMakespan, ZeroLanesThrows) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(lpt_makespan(one, 0), mrsky::InvalidArgument);
+}
+
+JobMetrics sample_metrics() {
+  JobMetrics m;
+  m.job_name = "sample";
+  for (int i = 0; i < 8; ++i) {
+    TaskMetrics t;
+    t.records_in = 1000;
+    t.work_units = 50000;
+    m.map_tasks.push_back(t);
+  }
+  for (int i = 0; i < 4; ++i) {
+    TaskMetrics t;
+    t.records_in = 100;
+    t.work_units = 200000;
+    m.reduce_tasks.push_back(t);
+  }
+  m.shuffle_records = 400;
+  return m;
+}
+
+TEST(SimulateJob, StartupAlwaysCharged) {
+  ClusterModel model;
+  model.job_startup_seconds = 42.0;
+  const PhaseTimes t = simulate_job(JobMetrics{}, model);
+  EXPECT_DOUBLE_EQ(t.startup_seconds, 42.0);
+  EXPECT_DOUBLE_EQ(t.map_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(t.reduce_seconds, 0.0);
+}
+
+TEST(SimulateJob, MoreServersShrinkMapPhase) {
+  const JobMetrics m = sample_metrics();
+  ClusterModel small;
+  small.servers = 2;
+  ClusterModel big;
+  big.servers = 8;
+  EXPECT_GT(simulate_job(m, small).map_seconds, simulate_job(m, big).map_seconds);
+}
+
+TEST(SimulateJob, SaturatesWhenTasksFewerThanLanes) {
+  const JobMetrics m = sample_metrics();  // 8 map tasks
+  ClusterModel enough;
+  enough.servers = 4;  // 8 lanes at 2 slots each
+  ClusterModel excess;
+  excess.servers = 32;
+  EXPECT_DOUBLE_EQ(simulate_job(m, enough).map_seconds, simulate_job(m, excess).map_seconds);
+}
+
+TEST(SimulateJob, WorkUnitsDriveCost) {
+  JobMetrics light = sample_metrics();
+  JobMetrics heavy = sample_metrics();
+  for (auto& t : heavy.reduce_tasks) t.work_units *= 10;
+  const ClusterModel model;
+  EXPECT_GT(simulate_job(heavy, model).reduce_seconds, simulate_job(light, model).reduce_seconds);
+}
+
+TEST(SimulateJob, PerRecordCostsCount) {
+  JobMetrics few = sample_metrics();
+  JobMetrics many = sample_metrics();
+  for (auto& t : many.map_tasks) t.records_in *= 100;
+  const ClusterModel model;
+  EXPECT_GT(simulate_job(many, model).map_seconds, simulate_job(few, model).map_seconds);
+}
+
+TEST(PhaseTimes, TotalsAndAccumulation) {
+  PhaseTimes a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 6.0);
+  const PhaseTimes b{0.5, 0.5, 0.5};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 7.5);
+}
+
+TEST(SimulatePipeline, SumsJobs) {
+  const JobMetrics m = sample_metrics();
+  const ClusterModel model;
+  const std::vector<JobMetrics> two = {m, m};
+  const PhaseTimes once = simulate_job(m, model);
+  const PhaseTimes both = simulate_pipeline(two, model);
+  EXPECT_NEAR(both.total_seconds(), 2.0 * once.total_seconds(), 1e-9);
+}
+
+TEST(ClusterModel, LaneArithmetic) {
+  ClusterModel model;
+  model.servers = 5;
+  model.map_slots_per_server = 3;
+  model.reduce_slots_per_server = 2;
+  EXPECT_EQ(model.map_lanes(), 15u);
+  EXPECT_EQ(model.reduce_lanes(), 10u);
+}
+
+TEST(TaskMetrics, Accumulates) {
+  TaskMetrics a{1, 2, 3, 4};
+  const TaskMetrics b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.records_in, 11u);
+  EXPECT_EQ(a.records_out, 22u);
+  EXPECT_EQ(a.work_units, 33u);
+  EXPECT_EQ(a.wall_ns, 44);
+}
+
+TEST(JobMetrics, TotalsAggregateTasks) {
+  const JobMetrics m = sample_metrics();
+  EXPECT_EQ(m.map_total().records_in, 8000u);
+  EXPECT_EQ(m.reduce_total().work_units, 800000u);
+  EXPECT_EQ(m.total_work_units(), 8u * 50000u + 4u * 200000u);
+}
+
+}  // namespace
+}  // namespace mrsky::mr

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/mapreduce/job.hpp"
+
+namespace mrsky::mr {
+namespace {
+
+using CounterJob = JobConfig<int, int, int, int, int, int>;
+
+CounterJob counting_job() {
+  CounterJob config;
+  config.name = "counting";
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 2;
+  config.map_fn = [](const int&, const int& v, Emitter<int, int>& out, TaskContext& ctx) {
+    ctx.increment("map.records");
+    if (v % 2 == 0) ctx.increment("map.even");
+    out.emit(v % 4, v);
+  };
+  config.reduce_fn = [](const int& key, std::vector<int>& values, Emitter<int, int>& out,
+                        TaskContext& ctx) {
+    ctx.increment("reduce.groups");
+    ctx.increment("reduce.values", values.size());
+    out.emit(key, 0);
+  };
+  return config;
+}
+
+std::vector<KV<int, int>> numbers(int n) {
+  std::vector<KV<int, int>> input;
+  for (int i = 0; i < n; ++i) input.push_back({i, i});
+  return input;
+}
+
+TEST(Counters, AggregateAcrossMapTasks) {
+  const auto result = run_job(counting_job(), numbers(100));
+  const auto totals = result.metrics.counter_totals();
+  EXPECT_EQ(totals.at("map.records"), 100u);
+  EXPECT_EQ(totals.at("map.even"), 50u);
+}
+
+TEST(Counters, AggregateAcrossReduceTasks) {
+  const auto result = run_job(counting_job(), numbers(100));
+  const auto totals = result.metrics.counter_totals();
+  EXPECT_EQ(totals.at("reduce.groups"), 4u);
+  EXPECT_EQ(totals.at("reduce.values"), 100u);
+}
+
+TEST(Counters, PerTaskCountersRecorded) {
+  const auto result = run_job(counting_job(), numbers(30));
+  std::uint64_t sum = 0;
+  for (const auto& task : result.metrics.map_tasks) {
+    auto it = task.counters.find("map.records");
+    if (it != task.counters.end()) sum += it->second;
+  }
+  EXPECT_EQ(sum, 30u);
+}
+
+TEST(Counters, ThreadedMatchesSequential) {
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  const auto input = numbers(200);
+  const auto seq = run_job(counting_job(), input);
+  const auto par = run_job(counting_job(), input, threaded);
+  EXPECT_EQ(seq.metrics.counter_totals(), par.metrics.counter_totals());
+}
+
+TEST(Counters, AbsentCounterAbsentFromTotals) {
+  const auto result = run_job(counting_job(), numbers(10));
+  const auto totals = result.metrics.counter_totals();
+  EXPECT_FALSE(totals.contains("never.incremented"));
+}
+
+TEST(Counters, CustomDeltaAccumulates) {
+  TaskContext ctx;
+  ctx.increment("bytes", 100);
+  ctx.increment("bytes", 23);
+  EXPECT_EQ(ctx.counters().at("bytes"), 123u);
+}
+
+TEST(Counters, TaskMetricsMergeAddsCounters) {
+  TaskMetrics a;
+  a.counters["x"] = 1;
+  TaskMetrics b;
+  b.counters["x"] = 2;
+  b.counters["y"] = 5;
+  a += b;
+  EXPECT_EQ(a.counters.at("x"), 3u);
+  EXPECT_EQ(a.counters.at("y"), 5u);
+}
+
+}  // namespace
+}  // namespace mrsky::mr

@@ -1,0 +1,191 @@
+// Fault injection (task retries) and speculative execution.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/mapreduce/cluster.hpp"
+#include "src/mapreduce/job.hpp"
+
+namespace mrsky::mr {
+namespace {
+
+using SumJob = JobConfig<int, int, int, int, int, int>;
+
+SumJob sum_job() {
+  SumJob config;
+  config.name = "sum";
+  config.num_map_tasks = 8;
+  config.num_reduce_tasks = 4;
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext&) {
+    out.emit(k % 4, v);
+  };
+  config.reduce_fn = [](const int& key, std::vector<int>& values, Emitter<int, int>& out,
+                        TaskContext&) {
+    int total = 0;
+    for (int v : values) total += v;
+    out.emit(key, total);
+  };
+  return config;
+}
+
+std::vector<KV<int, int>> numbers(int n) {
+  std::vector<KV<int, int>> input;
+  for (int i = 0; i < n; ++i) input.push_back({i, 1});
+  return input;
+}
+
+int total_of(const std::vector<KV<int, int>>& output) {
+  int total = 0;
+  for (const auto& kv : output) total += kv.value;
+  return total;
+}
+
+TEST(FaultInjection, ZeroProbabilityMeansSingleAttempts) {
+  const auto result = run_job(sum_job(), numbers(100));
+  for (const auto& t : result.metrics.map_tasks) EXPECT_EQ(t.attempts, 1u);
+  for (const auto& t : result.metrics.reduce_tasks) EXPECT_EQ(t.attempts, 1u);
+}
+
+TEST(FaultInjection, OutputUnaffectedByRetries) {
+  RunOptions faulty;
+  faulty.task_failure_probability = 0.4;
+  const auto clean = run_job(sum_job(), numbers(200));
+  const auto retried = run_job(sum_job(), numbers(200), faulty);
+  EXPECT_EQ(total_of(clean.output), total_of(retried.output));
+  EXPECT_EQ(clean.output.size(), retried.output.size());
+}
+
+TEST(FaultInjection, RetriesAreRecorded) {
+  RunOptions faulty;
+  faulty.task_failure_probability = 0.5;
+  faulty.max_task_attempts = 64;  // never abort in this test
+  const auto result = run_job(sum_job(), numbers(200), faulty);
+  std::uint64_t attempts = 0;
+  for (const auto& t : result.metrics.map_tasks) attempts += t.attempts;
+  for (const auto& t : result.metrics.reduce_tasks) attempts += t.attempts;
+  // 12 tasks at p=0.5 expect ~24 attempts; assert well above the minimum.
+  EXPECT_GT(attempts, 12u);
+}
+
+TEST(FaultInjection, DeterministicAcrossRuns) {
+  RunOptions faulty;
+  faulty.task_failure_probability = 0.3;
+  const auto a = run_job(sum_job(), numbers(100), faulty);
+  const auto b = run_job(sum_job(), numbers(100), faulty);
+  for (std::size_t t = 0; t < a.metrics.map_tasks.size(); ++t) {
+    EXPECT_EQ(a.metrics.map_tasks[t].attempts, b.metrics.map_tasks[t].attempts);
+  }
+}
+
+TEST(FaultInjection, SeedChangesFailurePattern) {
+  RunOptions a_opts;
+  a_opts.task_failure_probability = 0.5;
+  RunOptions b_opts = a_opts;
+  b_opts.failure_seed = 999;
+  const auto a = run_job(sum_job(), numbers(100), a_opts);
+  const auto b = run_job(sum_job(), numbers(100), b_opts);
+  std::uint64_t a_total = 0;
+  std::uint64_t b_total = 0;
+  for (const auto& t : a.metrics.map_tasks) a_total += t.attempts;
+  for (const auto& t : b.metrics.map_tasks) b_total += t.attempts;
+  // Different seeds almost surely give different attempt patterns at p=0.5
+  // over 8 map tasks; equality would mean the seed is ignored.
+  bool any_diff = a_total != b_total;
+  for (std::size_t t = 0; !any_diff && t < a.metrics.map_tasks.size(); ++t) {
+    any_diff = a.metrics.map_tasks[t].attempts != b.metrics.map_tasks[t].attempts;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjection, ExhaustedAttemptsAbortTheJob) {
+  RunOptions doomed;
+  doomed.task_failure_probability = 1.0;  // every attempt fails
+  doomed.max_task_attempts = 3;
+  EXPECT_THROW(run_job(sum_job(), numbers(10), doomed), mrsky::RuntimeError);
+}
+
+TEST(FaultInjection, ThreadedMatchesSequential) {
+  RunOptions seq;
+  seq.task_failure_probability = 0.4;
+  RunOptions par = seq;
+  par.mode = ExecutionMode::kThreads;
+  par.num_threads = 4;
+  const auto a = run_job(sum_job(), numbers(150), seq);
+  const auto b = run_job(sum_job(), numbers(150), par);
+  for (std::size_t t = 0; t < a.metrics.map_tasks.size(); ++t) {
+    EXPECT_EQ(a.metrics.map_tasks[t].attempts, b.metrics.map_tasks[t].attempts);
+  }
+}
+
+TEST(FaultInjection, RetriesRaiseSimulatedCost) {
+  RunOptions faulty;
+  faulty.task_failure_probability = 0.5;
+  faulty.max_task_attempts = 64;
+  const auto clean = run_job(sum_job(), numbers(400));
+  const auto retried = run_job(sum_job(), numbers(400), faulty);
+  ClusterModel model;
+  model.servers = 2;
+  EXPECT_GT(simulate_job(retried.metrics, model).total_seconds(),
+            simulate_job(clean.metrics, model).total_seconds());
+}
+
+// ---- Speculative execution -------------------------------------------------
+
+TEST(Speculation, CutsStragglerMakespan) {
+  // 8 equal tasks, one lane 10x slower: without speculation a task stuck on
+  // the slow lane defines the makespan; with it a backup rescues that task.
+  const std::vector<double> costs(8, 10.0);
+  const std::vector<double> speeds = {1.0, 1.0, 1.0, 0.1};
+  const PhaseSchedule plain = lpt_schedule(costs, speeds);
+  const PhaseSchedule spec = lpt_schedule_speculative(costs, speeds);
+  EXPECT_LT(spec.makespan_seconds, plain.makespan_seconds);
+}
+
+TEST(Speculation, MarksSpeculatedTasks) {
+  const std::vector<double> costs(8, 10.0);
+  const std::vector<double> speeds = {1.0, 1.0, 1.0, 0.1};
+  const PhaseSchedule spec = lpt_schedule_speculative(costs, speeds);
+  bool any = false;
+  for (const auto& p : spec.placements) any = any || p.speculated;
+  EXPECT_TRUE(any);
+}
+
+TEST(Speculation, NoOpOnBalancedSchedule) {
+  const std::vector<double> costs(8, 5.0);
+  const std::vector<double> speeds(4, 1.0);
+  const PhaseSchedule plain = lpt_schedule(costs, speeds);
+  const PhaseSchedule spec = lpt_schedule_speculative(costs, speeds);
+  EXPECT_DOUBLE_EQ(spec.makespan_seconds, plain.makespan_seconds);
+}
+
+TEST(Speculation, NeverWorseThanPlain) {
+  const std::vector<double> costs = {9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0};
+  for (double slow : {1.0, 0.5, 0.25, 0.1}) {
+    const std::vector<double> speeds = {1.0, 1.0, slow};
+    EXPECT_LE(lpt_schedule_speculative(costs, speeds).makespan_seconds,
+              lpt_schedule(costs, speeds).makespan_seconds + 1e-12);
+  }
+}
+
+TEST(Speculation, ClusterModelFlagRoutesThroughTrace) {
+  JobMetrics m;
+  for (int i = 0; i < 8; ++i) {
+    TaskMetrics t;
+    t.work_units = 1000000;
+    m.map_tasks.push_back(t);
+  }
+  m.reduce_tasks.push_back(TaskMetrics{});
+  ClusterModel model;
+  model.servers = 2;
+  model.map_slots_per_server = 2;
+  ClusterModel degraded = model.with_stragglers(1, 8.0);
+  ClusterModel rescued = degraded;
+  rescued.speculative_execution = true;
+  EXPECT_LT(trace_job(m, rescued).times.map_seconds,
+            trace_job(m, degraded).times.map_seconds);
+}
+
+}  // namespace
+}  // namespace mrsky::mr

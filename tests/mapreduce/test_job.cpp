@@ -1,0 +1,219 @@
+#include "src/mapreduce/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::mr {
+namespace {
+
+// ---- Word count: proves the engine is a generic MapReduce, not a skyline
+// one-off. Input: (doc-id, text); output: (word, count). ----
+
+using WordCountJob = JobConfig<int, std::string, std::string, int, std::string, int>;
+
+WordCountJob word_count_config() {
+  WordCountJob config;
+  config.name = "word-count";
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 2;
+  config.map_fn = [](const int&, const std::string& text, Emitter<std::string, int>& out,
+                     TaskContext& ctx) {
+    std::istringstream stream(text);
+    std::string word;
+    while (stream >> word) {
+      out.emit(word, 1);
+      ctx.charge_work(1);
+    }
+  };
+  config.reduce_fn = [](const std::string& word, std::vector<int>& counts,
+                        Emitter<std::string, int>& out, TaskContext&) {
+    int total = 0;
+    for (int c : counts) total += c;
+    out.emit(word, total);
+  };
+  return config;
+}
+
+std::vector<KV<int, std::string>> word_count_input() {
+  return {
+      {0, "the quick brown fox"},
+      {1, "the lazy dog"},
+      {2, "the quick dog jumps"},
+      {3, "fox and dog"},
+  };
+}
+
+std::map<std::string, int> as_map(const std::vector<KV<std::string, int>>& output) {
+  std::map<std::string, int> m;
+  for (const auto& kv : output) m[kv.key] += kv.value;
+  return m;
+}
+
+TEST(Job, WordCountProducesCorrectTotals) {
+  const auto result = run_job(word_count_config(), word_count_input());
+  const auto counts = as_map(result.output);
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("dog"), 3);
+  EXPECT_EQ(counts.at("quick"), 2);
+  EXPECT_EQ(counts.at("fox"), 2);
+  EXPECT_EQ(counts.at("jumps"), 1);
+}
+
+TEST(Job, EachKeyReducedExactlyOnce) {
+  const auto result = run_job(word_count_config(), word_count_input());
+  std::map<std::string, int> seen;
+  for (const auto& kv : result.output) seen[kv.key] += 1;
+  for (const auto& [word, times] : seen) EXPECT_EQ(times, 1) << word;
+}
+
+TEST(Job, CombinerPreservesResultAndShrinksShuffle) {
+  auto with_combiner = word_count_config();
+  with_combiner.combine_fn = [](const std::string& word, std::vector<int>& counts,
+                                Emitter<std::string, int>& out, TaskContext&) {
+    int total = 0;
+    for (int c : counts) total += c;
+    out.emit(word, total);
+  };
+  const auto input = word_count_input();
+  const auto plain = run_job(word_count_config(), input);
+  const auto combined = run_job(with_combiner, input);
+  EXPECT_EQ(as_map(plain.output), as_map(combined.output));
+  EXPECT_LE(combined.metrics.shuffle_records, plain.metrics.shuffle_records);
+}
+
+TEST(Job, ThreadedExecutionMatchesSequential) {
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  const auto input = word_count_input();
+  const auto seq = run_job(word_count_config(), input);
+  const auto par = run_job(word_count_config(), input, threaded);
+  EXPECT_EQ(as_map(seq.output), as_map(par.output));
+  EXPECT_EQ(seq.metrics.shuffle_records, par.metrics.shuffle_records);
+}
+
+TEST(Job, MetricsCountRecordsPerPhase) {
+  const auto result = run_job(word_count_config(), word_count_input());
+  const auto& m = result.metrics;
+  ASSERT_EQ(m.map_tasks.size(), 3u);
+  ASSERT_EQ(m.reduce_tasks.size(), 2u);
+  EXPECT_EQ(m.map_total().records_in, 4u);   // four documents
+  EXPECT_EQ(m.map_total().records_out, 14u); // fourteen words
+  EXPECT_EQ(m.shuffle_records, 14u);
+  EXPECT_EQ(m.reduce_total().records_in, 14u);
+  EXPECT_GT(m.shuffle_bytes, 0u);
+  EXPECT_EQ(m.map_total().work_units, 14u);  // one unit charged per word
+}
+
+TEST(Job, EmptyInputYieldsEmptyOutput) {
+  const auto result = run_job(word_count_config(), {});
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.metrics.shuffle_records, 0u);
+}
+
+TEST(Job, MoreMapTasksThanRecordsIsFine) {
+  auto config = word_count_config();
+  config.num_map_tasks = 64;
+  const auto result = run_job(config, word_count_input());
+  EXPECT_EQ(as_map(result.output).at("the"), 3);
+}
+
+TEST(Job, CustomPartitionerRoutesKeys) {
+  auto config = word_count_config();
+  config.num_reduce_tasks = 2;
+  // Everything to bucket 1: bucket 0 must see zero records.
+  config.partition_fn = [](const std::string&, std::size_t) -> std::size_t { return 1; };
+  const auto result = run_job(config, word_count_input());
+  EXPECT_EQ(result.metrics.reduce_tasks[0].records_in, 0u);
+  EXPECT_GT(result.metrics.reduce_tasks[1].records_in, 0u);
+  EXPECT_EQ(as_map(result.output).at("dog"), 3);
+}
+
+TEST(Job, ValueBytesFnFeedsShuffleBytes) {
+  auto config = word_count_config();
+  config.value_bytes_fn = [](const int&) -> std::size_t { return 100; };
+  const auto result = run_job(config, word_count_input());
+  // 14 shuffled records × (key bytes + 100).
+  EXPECT_GE(result.metrics.shuffle_bytes, 1400u);
+}
+
+TEST(Job, MissingMapFnThrows) {
+  WordCountJob config;
+  config.reduce_fn = [](const std::string&, std::vector<int>&, Emitter<std::string, int>&,
+                        TaskContext&) {};
+  EXPECT_THROW(run_job(config, {}), mrsky::InvalidArgument);
+}
+
+TEST(Job, MissingReduceFnThrows) {
+  WordCountJob config;
+  config.map_fn = [](const int&, const std::string&, Emitter<std::string, int>&, TaskContext&) {};
+  EXPECT_THROW(run_job(config, {}), mrsky::InvalidArgument);
+}
+
+TEST(Job, ZeroTasksThrows) {
+  auto config = word_count_config();
+  config.num_map_tasks = 0;
+  EXPECT_THROW(run_job(config, word_count_input()), mrsky::InvalidArgument);
+  config.num_map_tasks = 1;
+  config.num_reduce_tasks = 0;
+  EXPECT_THROW(run_job(config, word_count_input()), mrsky::InvalidArgument);
+}
+
+TEST(Job, ReduceSeesValuesGroupedByKey) {
+  // Sum-by-key with explicit group size assertions.
+  JobConfig<int, int, int, int, int, int> config;
+  config.name = "group-check";
+  config.num_map_tasks = 2;
+  config.num_reduce_tasks = 3;
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext&) {
+    out.emit(k % 5, v);
+  };
+  config.reduce_fn = [](const int& key, std::vector<int>& values, Emitter<int, int>& out,
+                        TaskContext&) {
+    EXPECT_FALSE(values.empty());
+    int total = 0;
+    for (int v : values) total += v;
+    out.emit(key, total);
+  };
+  std::vector<KV<int, int>> input;
+  for (int i = 0; i < 100; ++i) input.push_back({i, 1});
+  const auto result = run_job(config, input);
+  ASSERT_EQ(result.output.size(), 5u);
+  for (const auto& kv : result.output) EXPECT_EQ(kv.value, 20);
+}
+
+TEST(Job, DeterministicOutputOrder) {
+  const auto a = run_job(word_count_config(), word_count_input());
+  const auto b = run_job(word_count_config(), word_count_input());
+  ASSERT_EQ(a.output.size(), b.output.size());
+  for (std::size_t i = 0; i < a.output.size(); ++i) {
+    EXPECT_EQ(a.output[i].key, b.output[i].key);
+    EXPECT_EQ(a.output[i].value, b.output[i].value);
+  }
+}
+
+TEST(Emitter, TakeDrainsRecords) {
+  Emitter<int, int> e;
+  e.emit(1, 2);
+  e.emit(3, 4);
+  EXPECT_EQ(e.count(), 2u);
+  const auto records = e.take();
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(e.count(), 0u);
+}
+
+TEST(TaskContext, AccumulatesWork) {
+  TaskContext ctx;
+  ctx.charge_work(5);
+  ctx.charge_work(7);
+  EXPECT_EQ(ctx.work_units(), 12u);
+}
+
+}  // namespace
+}  // namespace mrsky::mr

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/mapreduce/cluster.hpp"
+#include "src/mapreduce/job.hpp"
+
+namespace mrsky::mr {
+namespace {
+
+using FilterJob = MapOnlyConfig<int, int, int, int>;
+
+FilterJob evens_only() {
+  FilterJob config;
+  config.name = "evens";
+  config.num_map_tasks = 3;
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext& ctx) {
+    ctx.charge_work(1);
+    if (v % 2 == 0) out.emit(k, v);
+  };
+  return config;
+}
+
+std::vector<KV<int, int>> numbers(int n) {
+  std::vector<KV<int, int>> input;
+  for (int i = 0; i < n; ++i) input.push_back({i, i});
+  return input;
+}
+
+TEST(MapOnly, FiltersRecords) {
+  const auto result = run_map_only(evens_only(), numbers(100));
+  EXPECT_EQ(result.output.size(), 50u);
+  for (const auto& kv : result.output) EXPECT_EQ(kv.value % 2, 0);
+}
+
+TEST(MapOnly, PreservesInputOrder) {
+  const auto result = run_map_only(evens_only(), numbers(20));
+  for (std::size_t i = 1; i < result.output.size(); ++i) {
+    EXPECT_LT(result.output[i - 1].value, result.output[i].value);
+  }
+}
+
+TEST(MapOnly, MetricsRecorded) {
+  const auto result = run_map_only(evens_only(), numbers(90));
+  ASSERT_EQ(result.metrics.map_tasks.size(), 3u);
+  EXPECT_EQ(result.metrics.map_total().records_in, 90u);
+  EXPECT_EQ(result.metrics.map_total().records_out, 45u);
+  EXPECT_EQ(result.metrics.map_total().work_units, 90u);
+  EXPECT_TRUE(result.metrics.reduce_tasks.empty());
+  EXPECT_EQ(result.metrics.shuffle_records, 0u);
+}
+
+TEST(MapOnly, TypeChangingTransform) {
+  MapOnlyConfig<int, int, std::string, double> config;
+  config.name = "stringify";
+  config.num_map_tasks = 2;
+  config.map_fn = [](const int& k, const int& v, Emitter<std::string, double>& out,
+                     TaskContext&) { out.emit("k" + std::to_string(k), v * 0.5); };
+  const auto result = run_map_only(config, numbers(4));
+  ASSERT_EQ(result.output.size(), 4u);
+  EXPECT_EQ(result.output[0].key, "k0");
+  EXPECT_DOUBLE_EQ(result.output[3].value, 1.5);
+}
+
+TEST(MapOnly, ThreadedMatchesSequential) {
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  const auto input = numbers(200);
+  const auto seq = run_map_only(evens_only(), input);
+  const auto par = run_map_only(evens_only(), input, threaded);
+  ASSERT_EQ(seq.output.size(), par.output.size());
+  for (std::size_t i = 0; i < seq.output.size(); ++i) {
+    EXPECT_EQ(seq.output[i].value, par.output[i].value);
+  }
+}
+
+TEST(MapOnly, FaultInjectionRetries) {
+  RunOptions faulty;
+  faulty.task_failure_probability = 0.5;
+  faulty.max_task_attempts = 64;
+  const auto result = run_map_only(evens_only(), numbers(60), faulty);
+  EXPECT_EQ(result.output.size(), 30u);
+  std::uint64_t attempts = 0;
+  for (const auto& t : result.metrics.map_tasks) attempts += t.attempts;
+  EXPECT_GE(attempts, 3u);
+}
+
+TEST(MapOnly, SimulatorCostsMapPhaseOnly) {
+  const auto result = run_map_only(evens_only(), numbers(1000));
+  ClusterModel model;
+  model.servers = 2;
+  const auto times = simulate_job(result.metrics, model);
+  EXPECT_GT(times.map_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(times.reduce_seconds, 0.0);
+}
+
+TEST(MapOnly, Validation) {
+  FilterJob config;
+  EXPECT_THROW(run_map_only(config, numbers(5)), mrsky::InvalidArgument);
+  config = evens_only();
+  config.num_map_tasks = 0;
+  EXPECT_THROW(run_map_only(config, numbers(5)), mrsky::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrsky::mr

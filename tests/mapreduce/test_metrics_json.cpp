@@ -1,0 +1,85 @@
+#include "src/mapreduce/metrics_json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mrsky::mr {
+namespace {
+
+TaskMetrics sample_task() {
+  TaskMetrics t;
+  t.records_in = 10;
+  t.records_out = 4;
+  t.work_units = 123;
+  t.wall_ns = 456;
+  t.counters["x.y"] = 7;
+  return t;
+}
+
+TEST(MetricsJson, TaskFieldsSerialised) {
+  const std::string json = to_json(sample_task());
+  EXPECT_NE(json.find("\"records_in\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"records_out\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"work_units\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns\":456"), std::string::npos);
+  EXPECT_NE(json.find("\"x.y\":7"), std::string::npos);
+}
+
+TEST(MetricsJson, EmptyCountersAreEmptyObject) {
+  TaskMetrics t;
+  EXPECT_NE(to_json(t).find("\"counters\":{}"), std::string::npos);
+}
+
+TEST(MetricsJson, JobIncludesTaskArraysAndTotals) {
+  JobMetrics m;
+  m.job_name = "demo";
+  m.map_tasks.push_back(sample_task());
+  m.map_tasks.push_back(sample_task());
+  m.reduce_tasks.push_back(sample_task());
+  m.shuffle_records = 42;
+  m.shuffle_bytes = 4200;
+  const std::string json = to_json(m);
+  EXPECT_NE(json.find("\"job_name\":\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"shuffle_records\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"shuffle_bytes\":4200"), std::string::npos);
+  EXPECT_NE(json.find("\"counter_totals\":{\"x.y\":21}"), std::string::npos);
+  // Two map tasks -> two task objects in the array.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"records_in\""); pos != std::string::npos;
+       pos = json.find("\"records_in\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(MetricsJson, JobNameIsEscaped) {
+  JobMetrics m;
+  m.job_name = "with \"quotes\" and \\slash";
+  const std::string json = to_json(m);
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"), std::string::npos);
+}
+
+TEST(MetricsJson, PhaseTimesSerialised) {
+  PhaseTimes t{1.5, 2.25, 3.0};
+  const std::string json = to_json(t);
+  EXPECT_NE(json.find("\"startup_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"map_seconds\":2.25"), std::string::npos);
+  EXPECT_NE(json.find("\"reduce_seconds\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\":6.75"), std::string::npos);
+}
+
+TEST(MetricsJson, BalancedBraces) {
+  JobMetrics m;
+  m.job_name = "brace-check";
+  m.map_tasks.push_back(sample_task());
+  const std::string json = to_json(m);
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace mrsky::mr

@@ -1,0 +1,176 @@
+#include "src/partition/angular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+#include "src/partition/stats.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::part {
+namespace {
+
+using data::PointSet;
+
+PointSet unit_square_cloud(std::size_t n, std::uint64_t seed) {
+  // Random cloud plus two axis points pinning the fitted angle range to the
+  // full [0, π/2]: the equal-width policy splits the observed range.
+  PointSet ps = data::generate(data::Distribution::kIndependent, n, 2, seed);
+  ps.push_back(std::vector<double>{1.0, 0.0}, static_cast<data::PointId>(n));
+  ps.push_back(std::vector<double>{0.0, 1.0}, static_cast<data::PointId>(n + 1));
+  return ps;
+}
+
+TEST(AngularPartitioner, TwoDSectorsByAngle) {
+  AngularPartitioner p(4);
+  p.fit(unit_square_cloud(100, 1));
+  // Sector width is (π/2)/4; points at known angles land in known sectors.
+  const double eps = 0.01;
+  auto at_angle = [&](double phi) {
+    return std::vector<double>{std::cos(phi), std::sin(phi)};
+  };
+  const double w = std::numbers::pi / 8.0;
+  EXPECT_EQ(p.assign(at_angle(0.5 * w)), 0u);
+  EXPECT_EQ(p.assign(at_angle(1.5 * w)), 1u);
+  EXPECT_EQ(p.assign(at_angle(2.5 * w)), 2u);
+  EXPECT_EQ(p.assign(at_angle(3.5 * w)), 3u);
+  EXPECT_EQ(p.assign(at_angle(4.0 * w - eps)), 3u);  // near the y-axis
+}
+
+TEST(AngularPartitioner, RadiusDoesNotAffectAssignment) {
+  AngularPartitioner p(8);
+  p.fit(unit_square_cloud(100, 2));
+  const std::vector<double> near = {0.01, 0.005};
+  const std::vector<double> far = {1.0, 0.5};
+  EXPECT_EQ(p.assign(near), p.assign(far));
+}
+
+TEST(AngularPartitioner, BoundaryAngleGoesToUpperSector) {
+  AngularPartitioner p(2);
+  p.fit(unit_square_cloud(100, 3));
+  // Two sectors split at π/4; the diagonal itself belongs to sector 1.
+  EXPECT_EQ(p.assign(std::vector<double>{1.0, 1.0}), 1u);
+  EXPECT_EQ(p.assign(std::vector<double>{1.0, 0.999}), 0u);
+}
+
+TEST(AngularPartitioner, OriginAssignsToSectorZero) {
+  AngularPartitioner p(4);
+  p.fit(unit_square_cloud(100, 4));
+  EXPECT_EQ(p.assign(std::vector<double>{0.0, 0.0}), 0u);
+}
+
+TEST(AngularPartitioner, OneDimensionalCollapsesToSinglePartition) {
+  AngularPartitioner p(8);
+  p.fit(PointSet(1, {0.1, 0.5, 0.9}));
+  EXPECT_EQ(p.num_partitions(), 1u);
+  EXPECT_EQ(p.assign(std::vector<double>{0.7}), 0u);
+}
+
+TEST(AngularPartitioner, HighDimensionalAssignmentsInRange) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 2000, 10, 5);
+  AngularPartitioner p(16);
+  p.fit(ps);
+  EXPECT_EQ(p.num_partitions(), 16u);
+  for (std::size_t i = 0; i < ps.size(); ++i) EXPECT_LT(p.assign(ps.point(i)), 16u);
+}
+
+TEST(AngularPartitioner, AssignBeforeFitThrows) {
+  AngularPartitioner p(4);
+  const std::vector<double> point = {0.5, 0.5};
+  EXPECT_THROW((void)p.assign(point), mrsky::RuntimeError);
+}
+
+TEST(AngularPartitioner, DimensionMismatchThrows) {
+  AngularPartitioner p(4);
+  p.fit(unit_square_cloud(10, 6));
+  EXPECT_THROW((void)p.assign(std::vector<double>{0.5, 0.5, 0.5}), mrsky::InvalidArgument);
+}
+
+TEST(AngularPartitioner, NegativeCoordinatesRejected) {
+  AngularPartitioner p(4);
+  p.fit(unit_square_cloud(10, 7));
+  EXPECT_THROW((void)p.assign(std::vector<double>{-0.1, 0.5}), mrsky::InvalidArgument);
+}
+
+TEST(AngularPartitioner, EqualWidthBoundariesAreUniform) {
+  AngularPartitioner p(4);
+  p.fit(unit_square_cloud(100, 8));
+  const auto& bounds = p.boundaries(0);
+  ASSERT_EQ(bounds.size(), 3u);
+  const double w = std::numbers::pi / 8.0;
+  EXPECT_NEAR(bounds[0], w, 1e-12);
+  EXPECT_NEAR(bounds[1], 2 * w, 1e-12);
+  EXPECT_NEAR(bounds[2], 3 * w, 1e-12);
+}
+
+TEST(AngularPartitioner, EquiDepthBalancesSkewedData) {
+  // Skewed cloud hugging the x-axis: equal-width sectors are lopsided,
+  // equi-depth sectors stay balanced.
+  data::PointSet skewed(2);
+  common::Rng rng(11);
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.uniform(0.1, 1.0);
+    const double y = rng.uniform(0.0, 0.1);  // tiny angles only
+    skewed.push_back(std::vector<double>{x, y});
+  }
+  AngularPartitioner equal_width(4, AngularPolicy::kEqualWidth);
+  AngularPartitioner equi_depth(4, AngularPolicy::kEquiDepth);
+  equal_width.fit(skewed);
+  equi_depth.fit(skewed);
+  const auto rep_w = analyze_partitioning(equal_width, skewed);
+  const auto rep_d = analyze_partitioning(equi_depth, skewed);
+  EXPECT_GT(rep_w.balance_cv, rep_d.balance_cv);
+  EXPECT_LT(rep_d.balance_cv, 0.2);
+}
+
+TEST(AngularPartitioner, EquiDepthStillCoversAllPartitions) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 4000, 3, 13);
+  AngularPartitioner p(6, AngularPolicy::kEquiDepth);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  EXPECT_EQ(report.non_empty, 6u);
+}
+
+TEST(AngularPartitioner, EverySectorTouchesTheSkylineRegion) {
+  // The paper's key claim about angular partitioning: each sector contains
+  // both near-origin (good) and far (poor) points — check that each sector's
+  // points span a wide radius range on QWS-like data.
+  data::QwsLikeGenerator gen(4, 17);
+  const PointSet ps = data::normalize_min_max(gen.generate_oriented(4000));
+  AngularPartitioner p(8);
+  p.fit(ps);
+  std::vector<double> min_r(8, 1e18);
+  std::vector<double> max_r(8, 0.0);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto pt = ps.point(i);
+    double r = 0.0;
+    for (double v : pt) r += v * v;
+    r = std::sqrt(r);
+    const std::size_t s = p.assign(pt);
+    min_r[s] = std::min(min_r[s], r);
+    max_r[s] = std::max(max_r[s], r);
+  }
+  for (std::size_t s = 0; s < 8; ++s) {
+    if (max_r[s] == 0.0) continue;  // empty sector
+    EXPECT_GT(max_r[s] - min_r[s], 0.3) << "sector " << s << " spans too little radius";
+  }
+}
+
+TEST(AngularPartitioner, NamesDistinguishPolicies) {
+  EXPECT_EQ(AngularPartitioner(2, AngularPolicy::kEqualWidth).name(), "angular");
+  EXPECT_EQ(AngularPartitioner(2, AngularPolicy::kEquiDepth).name(), "angular-equidepth");
+}
+
+TEST(AngularPartitioner, BoundariesIndexOutOfRangeThrows) {
+  AngularPartitioner p(4);
+  p.fit(unit_square_cloud(10, 19));
+  EXPECT_THROW((void)p.boundaries(5), mrsky::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrsky::part

@@ -1,0 +1,112 @@
+#include "src/partition/angular_radial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/partition/angular.hpp"
+#include "src/partition/stats.hpp"
+
+namespace mrsky::part {
+namespace {
+
+using data::PointSet;
+
+PointSet cloud(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  return data::generate(data::Distribution::kIndependent, n, dim, seed);
+}
+
+TEST(AngularRadialPartitioner, PartitionCountIsSectorsTimesBands) {
+  AngularRadialPartitioner p(8, 2);
+  p.fit(cloud(500, 2, 1));
+  EXPECT_EQ(p.sectors(), 4u);
+  EXPECT_EQ(p.radial_bands(), 2u);
+  EXPECT_EQ(p.num_partitions(), 8u);
+}
+
+TEST(AngularRadialPartitioner, RejectsIndivisibleCounts) {
+  EXPECT_THROW(AngularRadialPartitioner(7, 2), mrsky::InvalidArgument);
+  EXPECT_THROW(AngularRadialPartitioner(8, 0), mrsky::InvalidArgument);
+}
+
+TEST(AngularRadialPartitioner, AssignBeforeFitThrows) {
+  AngularRadialPartitioner p(4, 2);
+  const std::vector<double> point = {0.5, 0.5};
+  EXPECT_THROW((void)p.assign(point), mrsky::RuntimeError);
+}
+
+TEST(AngularRadialPartitioner, AssignmentsInRange) {
+  AngularRadialPartitioner p(12, 3);
+  const PointSet ps = cloud(2000, 4, 3);
+  p.fit(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) EXPECT_LT(p.assign(ps.point(i)), 12u);
+}
+
+TEST(AngularRadialPartitioner, SameDirectionDifferentRadiusSplits) {
+  AngularRadialPartitioner p(8, 2);
+  const PointSet ps = cloud(2000, 2, 5);
+  p.fit(ps);
+  // Two points along the same ray: near-origin and far. Same sector, but
+  // the radius bands must separate them (the boundary sits at the median
+  // in-sector radius, and these are extreme).
+  const std::vector<double> near = {0.02, 0.02};
+  const std::vector<double> far = {0.98, 0.98};
+  const std::size_t p_near = p.assign(near);
+  const std::size_t p_far = p.assign(far);
+  EXPECT_NE(p_near, p_far);
+  EXPECT_EQ(p_near / p.radial_bands(), p_far / p.radial_bands());  // same sector
+}
+
+TEST(AngularRadialPartitioner, ImprovesBalanceOverPureAngular) {
+  // A direction-clumped cloud: pure angular piles everything in one sector;
+  // radius bands split that pile.
+  PointSet clumped(2);
+  common::Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const double r = rng.uniform(0.05, 1.0);
+    const double jitter = rng.uniform(-0.02, 0.02);
+    clumped.push_back(std::vector<double>{r, r * (0.5 + jitter)});
+  }
+  AngularPartitioner pure(8);
+  AngularRadialPartitioner banded(8, 4);
+  pure.fit(clumped);
+  banded.fit(clumped);
+  const auto report_pure = analyze_partitioning(pure, clumped);
+  const auto report_banded = analyze_partitioning(banded, clumped);
+  EXPECT_LT(report_banded.largest, report_pure.largest);
+}
+
+TEST(AngularRadialPartitioner, BandBoundariesAscend) {
+  AngularRadialPartitioner p(8, 4);  // 2 sectors x 4 bands
+  p.fit(cloud(3000, 2, 9));
+  for (std::size_t s = 0; s < p.sectors(); ++s) {
+    const auto& bounds = p.radius_boundaries(s);
+    ASSERT_EQ(bounds.size(), 3u);
+    EXPECT_LE(bounds[0], bounds[1]);
+    EXPECT_LE(bounds[1], bounds[2]);
+  }
+}
+
+TEST(AngularRadialPartitioner, SingleBandEqualsPureAngular) {
+  AngularRadialPartitioner banded(8, 1);
+  AngularPartitioner pure(8);
+  const PointSet ps = cloud(1000, 3, 11);
+  banded.fit(ps);
+  pure.fit(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(banded.assign(ps.point(i)), pure.assign(ps.point(i)));
+  }
+}
+
+TEST(AngularRadialPartitioner, BoundaryAccessorRangeChecked) {
+  AngularRadialPartitioner p(4, 2);
+  p.fit(cloud(100, 2, 13));
+  EXPECT_THROW((void)p.radius_boundaries(99), mrsky::InvalidArgument);
+}
+
+TEST(AngularRadialPartitioner, Name) {
+  EXPECT_EQ(AngularRadialPartitioner(4, 2).name(), "angular-radial");
+}
+
+}  // namespace
+}  // namespace mrsky::part

@@ -1,0 +1,117 @@
+#include "src/partition/dimensional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+
+namespace mrsky::part {
+namespace {
+
+using data::PointSet;
+
+TEST(DimensionalPartitioner, RejectsZeroPartitions) {
+  EXPECT_THROW(DimensionalPartitioner(0), mrsky::InvalidArgument);
+}
+
+TEST(DimensionalPartitioner, AssignBeforeFitThrows) {
+  DimensionalPartitioner p(4);
+  const std::vector<double> point = {0.5, 0.5};
+  EXPECT_THROW((void)p.assign(point), mrsky::RuntimeError);
+}
+
+TEST(DimensionalPartitioner, FitOnEmptyThrows) {
+  DimensionalPartitioner p(4);
+  EXPECT_THROW(p.fit(PointSet(2)), mrsky::InvalidArgument);
+}
+
+TEST(DimensionalPartitioner, SplitDimOutOfRangeThrows) {
+  DimensionalPartitioner p(4, 5);
+  EXPECT_THROW(p.fit(PointSet(2, {1.0, 2.0})), mrsky::InvalidArgument);
+}
+
+TEST(DimensionalPartitioner, EqualWidthSlabs) {
+  // Values 0..1 on dim 0, 4 slabs of width 0.25.
+  PointSet ps(2, {0.0, 9.0, 1.0, 9.0});  // fixes the range [0, 1]
+  DimensionalPartitioner p(4);
+  p.fit(ps);
+  EXPECT_EQ(p.assign(std::vector<double>{0.1, 0.0}), 0u);
+  EXPECT_EQ(p.assign(std::vector<double>{0.3, 0.0}), 1u);
+  EXPECT_EQ(p.assign(std::vector<double>{0.6, 0.0}), 2u);
+  EXPECT_EQ(p.assign(std::vector<double>{0.9, 0.0}), 3u);
+}
+
+TEST(DimensionalPartitioner, MaxValueGoesToLastSlab) {
+  PointSet ps(1, {0.0, 1.0});
+  DimensionalPartitioner p(4);
+  p.fit(ps);
+  EXPECT_EQ(p.assign(std::vector<double>{1.0}), 3u);
+}
+
+TEST(DimensionalPartitioner, BoundaryBelongsToUpperSlab) {
+  PointSet ps(1, {0.0, 1.0});
+  DimensionalPartitioner p(4);
+  p.fit(ps);
+  EXPECT_EQ(p.assign(std::vector<double>{0.25}), 1u);
+  EXPECT_EQ(p.assign(std::vector<double>{0.5}), 2u);
+}
+
+TEST(DimensionalPartitioner, OutOfFittedRangeClamps) {
+  PointSet ps(1, {0.0, 1.0});
+  DimensionalPartitioner p(4);
+  p.fit(ps);
+  EXPECT_EQ(p.assign(std::vector<double>{-5.0}), 0u);
+  EXPECT_EQ(p.assign(std::vector<double>{5.0}), 3u);
+}
+
+TEST(DimensionalPartitioner, ConstantAttributeAllInSlabZero) {
+  PointSet ps(2, {3.0, 1.0, 3.0, 2.0});
+  DimensionalPartitioner p(4);
+  p.fit(ps);
+  EXPECT_EQ(p.assign(std::vector<double>{3.0, 1.5}), 0u);
+}
+
+TEST(DimensionalPartitioner, HonoursSplitDim) {
+  PointSet ps(2, {0.0, 0.0, 1.0, 1.0});
+  DimensionalPartitioner p(2, 1);  // split on attribute 1
+  p.fit(ps);
+  EXPECT_EQ(p.assign(std::vector<double>{0.9, 0.1}), 0u);
+  EXPECT_EQ(p.assign(std::vector<double>{0.1, 0.9}), 1u);
+  EXPECT_EQ(p.split_dim(), 1u);
+}
+
+TEST(DimensionalPartitioner, AllPointsAssignedInRange) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 1000, 3, 42);
+  DimensionalPartitioner p(8);
+  p.fit(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_LT(p.assign(ps.point(i)), 8u);
+  }
+}
+
+TEST(DimensionalPartitioner, UniformDataRoughlyBalanced) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 8000, 2, 42);
+  DimensionalPartitioner p(8);
+  p.fit(ps);
+  std::vector<std::size_t> counts(8, 0);
+  for (std::size_t i = 0; i < ps.size(); ++i) counts[p.assign(ps.point(i))]++;
+  for (std::size_t c : counts) {
+    EXPECT_GT(c, 700u);   // ~1000 expected per slab
+    EXPECT_LT(c, 1300u);
+  }
+}
+
+TEST(DimensionalPartitioner, NoPruningStructure) {
+  DimensionalPartitioner p(4);
+  p.fit(PointSet(1, {0.0, 1.0}));
+  EXPECT_TRUE(p.prunable_partitions().empty());
+}
+
+TEST(DimensionalPartitioner, NameAndCount) {
+  DimensionalPartitioner p(6);
+  EXPECT_EQ(p.name(), "dimensional");
+  EXPECT_EQ(p.num_partitions(), 6u);
+}
+
+}  // namespace
+}  // namespace mrsky::part

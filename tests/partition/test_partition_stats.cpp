@@ -1,0 +1,129 @@
+#include "src/partition/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+#include <numeric>
+
+#include "src/dataset/generators.hpp"
+#include "src/partition/angular.hpp"
+#include "src/partition/dimensional.hpp"
+#include "src/partition/factory.hpp"
+#include "src/partition/grid.hpp"
+
+namespace mrsky::part {
+namespace {
+
+using data::PointSet;
+
+TEST(PartitionStats, SizesSumToPointCount) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 1234, 3, 5);
+  DimensionalPartitioner p(8);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  EXPECT_EQ(std::accumulate(report.sizes.begin(), report.sizes.end(), std::size_t{0}), 1234u);
+}
+
+TEST(PartitionStats, LargestIsMaxOfSizes) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 500, 2, 5);
+  AngularPartitioner p(4);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  EXPECT_EQ(report.largest, *std::max_element(report.sizes.begin(), report.sizes.end()));
+}
+
+TEST(PartitionStats, PrunedPointsCountsGridVictims) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 2000, 2, 3);
+  GridPartitioner p(16);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  ASSERT_FALSE(report.prunable.empty());
+  std::size_t expected = 0;
+  for (std::size_t c : report.prunable) expected += report.sizes[c];
+  EXPECT_EQ(report.pruned_points, expected);
+  EXPECT_GT(report.pruned_points, 0u);
+}
+
+TEST(PartitionStats, BalancedAssignmentHasLowCv) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 8000, 2, 7);
+  AngularPartitioner p(4);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  EXPECT_LT(report.balance_cv, 1.0);
+}
+
+TEST(SplitByPartition, PartitionsAreDisjointAndComplete) {
+  const PointSet ps = data::generate(data::Distribution::kClustered, 600, 3, 11);
+  GridPartitioner p(8);
+  p.fit(ps);
+  const auto parts = split_by_partition(p, ps);
+  ASSERT_EQ(parts.size(), 8u);
+  std::size_t total = 0;
+  std::vector<bool> seen(ps.size(), false);
+  for (const auto& part : parts) {
+    total += part.size();
+    for (data::PointId id : part.ids()) {
+      EXPECT_FALSE(seen[id]) << "point " << id << " appears in two partitions";
+      seen[id] = true;
+    }
+  }
+  EXPECT_EQ(total, ps.size());
+}
+
+TEST(SplitByPartition, RespectsAssignment) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 300, 2, 13);
+  DimensionalPartitioner p(4);
+  p.fit(ps);
+  const auto parts = split_by_partition(p, ps);
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    for (std::size_t i = 0; i < parts[c].size(); ++i) {
+      EXPECT_EQ(p.assign(parts[c].point(i)), c);
+    }
+  }
+}
+
+TEST(Factory, CreatesEveryScheme) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 100, 3, 17);
+  for (Scheme s : {Scheme::kDimensional, Scheme::kGrid, Scheme::kAngular,
+                   Scheme::kAngularEquiDepth, Scheme::kAngularRadial, Scheme::kPivot, Scheme::kRandom}) {
+    PartitionerOptions options;
+    options.num_partitions = 6;
+    auto p = make_partitioner(s, options);
+    ASSERT_NE(p, nullptr);
+    p->fit(ps);
+    EXPECT_EQ(p->num_partitions(), 6u) << to_string(s);
+    EXPECT_LT(p->assign(ps.point(0)), 6u);
+  }
+}
+
+TEST(Factory, ParseRoundTrips) {
+  for (Scheme s : {Scheme::kDimensional, Scheme::kGrid, Scheme::kAngular,
+                   Scheme::kAngularEquiDepth, Scheme::kAngularRadial, Scheme::kPivot, Scheme::kRandom}) {
+    EXPECT_EQ(parse_scheme(to_string(s)), s);
+  }
+}
+
+TEST(Factory, ParseAliases) {
+  EXPECT_EQ(parse_scheme("mr-dim"), Scheme::kDimensional);
+  EXPECT_EQ(parse_scheme("mr-grid"), Scheme::kGrid);
+  EXPECT_EQ(parse_scheme("mr-angle"), Scheme::kAngular);
+  EXPECT_EQ(parse_scheme("hash"), Scheme::kRandom);
+}
+
+TEST(Factory, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_scheme("kd-tree"), mrsky::RuntimeError);
+}
+
+TEST(Factory, SplitDimPassedThrough) {
+  PartitionerOptions options;
+  options.num_partitions = 2;
+  options.split_dim = 1;
+  auto p = make_partitioner(Scheme::kDimensional, options);
+  const PointSet ps(2, {0.0, 0.0, 0.0, 1.0});
+  p->fit(ps);
+  EXPECT_EQ(p->assign(std::vector<double>{0.0, 0.9}), 1u);
+}
+
+}  // namespace
+}  // namespace mrsky::part

@@ -1,0 +1,104 @@
+#include "src/partition/pivot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/partition/stats.hpp"
+
+namespace mrsky::part {
+namespace {
+
+using data::PointSet;
+
+TEST(PivotPartitioner, PivotsAreDataPoints) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 300, 3, 1);
+  PivotPartitioner p(6);
+  p.fit(ps);
+  ASSERT_EQ(p.pivots().size(), 6u);
+  for (std::size_t k = 0; k < p.pivots().size(); ++k) {
+    bool found = false;
+    for (std::size_t i = 0; i < ps.size() && !found; ++i) {
+      found = std::equal(ps.point(i).begin(), ps.point(i).end(), p.pivots().point(k).begin());
+    }
+    EXPECT_TRUE(found) << "pivot " << k << " is not a data point";
+  }
+}
+
+TEST(PivotPartitioner, PointsAssignToNearestPivot) {
+  const PointSet ps = data::generate(data::Distribution::kClustered, 400, 2, 3);
+  PivotPartitioner p(5);
+  p.fit(ps);
+  const auto& pivots = p.pivots();
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto point = ps.point(i);
+    const std::size_t assigned = p.assign(point);
+    double assigned_dist = 0.0;
+    for (std::size_t k = 0; k < point.size(); ++k) {
+      const double d = point[k] - pivots.at(assigned, k);
+      assigned_dist += d * d;
+    }
+    for (std::size_t c = 0; c < pivots.size(); ++c) {
+      double d2 = 0.0;
+      for (std::size_t k = 0; k < point.size(); ++k) {
+        const double d = point[k] - pivots.at(c, k);
+        d2 += d * d;
+      }
+      EXPECT_GE(d2 + 1e-12, assigned_dist);
+    }
+  }
+}
+
+TEST(PivotPartitioner, EveryPivotOwnsItself) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 200, 3, 5);
+  PivotPartitioner p(8);
+  p.fit(ps);
+  // Farthest-point pivots are distinct here, so pivot k is its own nearest.
+  for (std::size_t k = 0; k < p.pivots().size(); ++k) {
+    EXPECT_EQ(p.assign(p.pivots().point(k)), k);
+  }
+}
+
+TEST(PivotPartitioner, ClusteredDataGetsBalancedCells) {
+  // 4 tight clusters, 4 pivots: farthest-point selection lands one pivot per
+  // cluster and the assignment is near-perfectly balanced.
+  data::GeneratorOptions options;
+  options.cluster_count = 4;
+  options.cluster_spread = 0.01;
+  const PointSet ps =
+      data::generate(data::Distribution::kClustered, 2000, 2, 7, options);
+  PivotPartitioner p(4);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  EXPECT_EQ(report.non_empty, 4u);
+  EXPECT_LT(report.balance_cv, 0.5);
+}
+
+TEST(PivotPartitioner, FewerDistinctPointsThanPivots) {
+  PointSet ps(2, {1.0, 1.0, 1.0, 1.0});  // two identical points
+  PivotPartitioner p(4);
+  p.fit(ps);
+  EXPECT_EQ(p.assign(std::vector<double>{1.0, 1.0}), 0u);  // ties -> lowest index
+}
+
+TEST(PivotPartitioner, SeedChangesPivotChoice) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 500, 3, 9);
+  PivotPartitioner a(8, 1);
+  PivotPartitioner b(8, 2);
+  a.fit(ps);
+  b.fit(ps);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < 8 && !any_diff; ++k) {
+    any_diff = !std::equal(a.pivots().point(k).begin(), a.pivots().point(k).end(),
+                           b.pivots().point(k).begin());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PivotPartitioner, AccessorsBeforeFitThrow) {
+  PivotPartitioner p(4);
+  EXPECT_THROW((void)p.pivots(), mrsky::RuntimeError);
+}
+
+}  // namespace
+}  // namespace mrsky::part

@@ -1,0 +1,74 @@
+#include "src/partition/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/partition/stats.hpp"
+
+namespace mrsky::part {
+namespace {
+
+using data::PointSet;
+
+TEST(RandomPartitioner, AssignBeforeFitThrows) {
+  RandomPartitioner p(4);
+  const std::vector<double> point = {0.5};
+  EXPECT_THROW((void)p.assign(point), mrsky::RuntimeError);
+}
+
+TEST(RandomPartitioner, DeterministicForSamePoint) {
+  RandomPartitioner p(8);
+  p.fit(PointSet(2, {0.0, 0.0}));
+  const std::vector<double> point = {0.25, 0.75};
+  const std::size_t first = p.assign(point);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.assign(point), first);
+}
+
+TEST(RandomPartitioner, SeedChangesAssignment) {
+  RandomPartitioner a(64, 1);
+  RandomPartitioner b(64, 2);
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 100, 3, 5);
+  a.fit(ps);
+  b.fit(ps);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (a.assign(ps.point(i)) != b.assign(ps.point(i))) ++differing;
+  }
+  EXPECT_GT(differing, 50u);
+}
+
+TEST(RandomPartitioner, AssignmentsInRange) {
+  RandomPartitioner p(7);
+  const PointSet ps = data::generate(data::Distribution::kClustered, 1000, 4, 9);
+  p.fit(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) EXPECT_LT(p.assign(ps.point(i)), 7u);
+}
+
+TEST(RandomPartitioner, LoadIsWellBalanced) {
+  RandomPartitioner p(8);
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 8000, 3, 21);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  EXPECT_EQ(report.non_empty, 8u);
+  EXPECT_LT(report.balance_cv, 0.1);
+}
+
+TEST(RandomPartitioner, DuplicatePointsCollocate) {
+  RandomPartitioner p(16);
+  p.fit(PointSet(2, {0.0, 0.0}));
+  const std::vector<double> point = {0.4, 0.6};
+  const std::vector<double> copy = {0.4, 0.6};
+  EXPECT_EQ(p.assign(point), p.assign(copy));
+}
+
+TEST(RandomPartitioner, RejectsZeroPartitions) {
+  EXPECT_THROW(RandomPartitioner(0), mrsky::InvalidArgument);
+}
+
+TEST(RandomPartitioner, Name) {
+  EXPECT_EQ(RandomPartitioner(2).name(), "random");
+}
+
+}  // namespace
+}  // namespace mrsky::part

@@ -1,0 +1,103 @@
+#include "src/qos/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+
+namespace mrsky::qos {
+namespace {
+
+ServiceCatalog two_attr_catalog() {
+  return ServiceCatalog(data::qws_schema(2));  // ResponseTime (cost), Availability (benefit)
+}
+
+TEST(ServiceCatalog, EmptySchemaRejected) {
+  EXPECT_THROW(ServiceCatalog({}), mrsky::InvalidArgument);
+}
+
+TEST(ServiceCatalog, AddAndFind) {
+  auto catalog = two_attr_catalog();
+  catalog.add(WebService{7u, "weather", {200.0, 99.0}});
+  ASSERT_EQ(catalog.size(), 1u);
+  const auto found = catalog.find(7u);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->name, "weather");
+  EXPECT_FALSE(catalog.find(8u).has_value());
+}
+
+TEST(ServiceCatalog, WrongWidthRejected) {
+  auto catalog = two_attr_catalog();
+  EXPECT_THROW(catalog.add(WebService{0u, "bad", {200.0}}), mrsky::InvalidArgument);
+}
+
+TEST(ServiceCatalog, DuplicateIdRejected) {
+  auto catalog = two_attr_catalog();
+  catalog.add(WebService{1u, "a", {200.0, 99.0}});
+  EXPECT_THROW(catalog.add(WebService{1u, "b", {300.0, 90.0}}), mrsky::InvalidArgument);
+}
+
+TEST(ServiceCatalog, OutOfSchemaRangeRejected) {
+  auto catalog = two_attr_catalog();
+  // ResponseTime range is [37, 4989]; Availability is [7, 100].
+  EXPECT_THROW(catalog.add(WebService{0u, "fast", {1.0, 99.0}}), mrsky::InvalidArgument);
+  EXPECT_THROW(catalog.add(WebService{0u, "avail", {200.0, 150.0}}), mrsky::InvalidArgument);
+}
+
+TEST(ServiceCatalog, AutoIdIsMaxPlusOne) {
+  auto catalog = two_attr_catalog();
+  catalog.add(WebService{10u, "a", {200.0, 99.0}});
+  const data::PointId id = catalog.add("b", {300.0, 90.0});
+  EXPECT_EQ(id, 11u);
+}
+
+TEST(ServiceCatalog, OrientedFlipsBenefitOnly) {
+  auto catalog = two_attr_catalog();
+  catalog.add(WebService{0u, "a", {200.0, 99.0}});
+  const auto oriented = catalog.oriented_qos(catalog.services()[0]);
+  EXPECT_DOUBLE_EQ(oriented[0], 200.0);         // cost untouched
+  EXPECT_DOUBLE_EQ(oriented[1], 100.0 - 99.0);  // availability flipped to cost
+}
+
+TEST(ServiceCatalog, OrientedPointsPreserveIds) {
+  auto catalog = two_attr_catalog();
+  catalog.add(WebService{5u, "a", {200.0, 99.0}});
+  catalog.add(WebService{9u, "b", {300.0, 80.0}});
+  const auto points = catalog.to_oriented_points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points.id(0), 5u);
+  EXPECT_EQ(points.id(1), 9u);
+}
+
+TEST(ServiceCatalog, BetterServiceDominatesAfterOrientation) {
+  auto catalog = two_attr_catalog();
+  catalog.add(WebService{0u, "fast+available", {100.0, 99.0}});
+  catalog.add(WebService{1u, "slow+flaky", {900.0, 60.0}});
+  const auto points = catalog.to_oriented_points();
+  // After orientation the better service must dominate (smaller everywhere).
+  EXPECT_LT(points.at(0, 0), points.at(1, 0));
+  EXPECT_LT(points.at(0, 1), points.at(1, 1));
+}
+
+TEST(ServiceCatalog, SyntheticPopulatesWithinSchema) {
+  const auto catalog = ServiceCatalog::synthetic(500, 4, 42);
+  EXPECT_EQ(catalog.size(), 500u);
+  EXPECT_EQ(catalog.schema().size(), 4u);
+  for (const auto& s : catalog.services()) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      EXPECT_GE(s.qos[a], catalog.schema()[a].min);
+      EXPECT_LE(s.qos[a], catalog.schema()[a].max);
+    }
+  }
+}
+
+TEST(ServiceCatalog, SyntheticIsDeterministic) {
+  const auto a = ServiceCatalog::synthetic(50, 3, 7);
+  const auto b = ServiceCatalog::synthetic(50, 3, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.services()[i].qos, b.services()[i].qos);
+  }
+}
+
+}  // namespace
+}  // namespace mrsky::qos

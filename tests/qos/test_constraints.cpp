@@ -1,0 +1,118 @@
+// QosConstraints and constrained skyline selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/qos/selector.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::qos {
+namespace {
+
+core::MRSkylineConfig small_config() {
+  core::MRSkylineConfig config;
+  config.scheme = part::Scheme::kAngular;
+  config.servers = 2;
+  return config;
+}
+
+TEST(QosConstraints, UnconstrainedAdmitsEverything) {
+  QosConstraints constraints(3);
+  EXPECT_TRUE(constraints.admits(std::vector<double>{1.0, -5.0, 1e9}));
+}
+
+TEST(QosConstraints, BoundsEnforced) {
+  QosConstraints constraints(2);
+  constraints.at_most(0, 500.0).at_least(1, 99.0);
+  EXPECT_TRUE(constraints.admits(std::vector<double>{400.0, 99.5}));
+  EXPECT_FALSE(constraints.admits(std::vector<double>{600.0, 99.5}));  // too slow
+  EXPECT_FALSE(constraints.admits(std::vector<double>{400.0, 98.0}));  // too flaky
+  // Boundary values are admitted (closed intervals).
+  EXPECT_TRUE(constraints.admits(std::vector<double>{500.0, 99.0}));
+}
+
+TEST(QosConstraints, Validation) {
+  EXPECT_THROW(QosConstraints(0), mrsky::InvalidArgument);
+  QosConstraints constraints(2);
+  EXPECT_THROW(constraints.at_least(5, 1.0), mrsky::InvalidArgument);
+  EXPECT_THROW(constraints.at_most(5, 1.0), mrsky::InvalidArgument);
+  EXPECT_THROW((void)constraints.admits(std::vector<double>{1.0}), mrsky::InvalidArgument);
+}
+
+TEST(SkylineWithin, UnconstrainedMatchesPlainSkyline) {
+  SkylineServiceSelector selector(ServiceCatalog::synthetic(600, 3, 41), small_config());
+  const auto plain = selector.skyline();
+  const auto constrained = selector.skyline_within(QosConstraints(3));
+  ASSERT_EQ(constrained.size(), plain.size());
+}
+
+TEST(SkylineWithin, FilteredServicesExcluded) {
+  SkylineServiceSelector selector(ServiceCatalog::synthetic(800, 2, 43), small_config());
+  QosConstraints constraints(2);
+  constraints.at_most(0, 1000.0);  // ResponseTime <= 1000 ms
+  for (const auto& s : selector.skyline_within(constraints)) {
+    EXPECT_LE(s.qos[0], 1000.0);
+  }
+}
+
+TEST(SkylineWithin, PromotesPreviouslyDominatedServices) {
+  // A dominator that violates the constraint: its victims become skyline.
+  ServiceCatalog catalog(data::qws_schema(2));
+  catalog.add(WebService{0u, "fast-but-flaky", {50.0, 50.0}});    // dominates nothing
+  catalog.add(WebService{1u, "great-all-round", {100.0, 99.0}});  // dominates 2
+  catalog.add(WebService{2u, "shadowed", {150.0, 98.0}});
+  SkylineServiceSelector selector(std::move(catalog), small_config());
+
+  // Unconstrained: service 2 is dominated by service 1.
+  bool shadowed_in_plain = false;
+  for (const auto& s : selector.skyline()) shadowed_in_plain |= (s.id == 2u);
+  EXPECT_FALSE(shadowed_in_plain);
+
+  // Require ResponseTime >= 120 ms (say, a throttling policy): only service
+  // 2 qualifies and must now be in the constrained skyline.
+  QosConstraints constraints(2);
+  constraints.at_least(0, 120.0);
+  const auto constrained = selector.skyline_within(constraints);
+  ASSERT_EQ(constrained.size(), 1u);
+  EXPECT_EQ(constrained[0].id, 2u);
+}
+
+TEST(SkylineWithin, MatchesFilterThenSkylineReference) {
+  auto catalog = ServiceCatalog::synthetic(700, 3, 45);
+  SkylineServiceSelector selector(catalog, small_config());
+  QosConstraints constraints(3);
+  constraints.at_most(0, 2500.0).at_least(1, 50.0);
+
+  // Reference: filter the catalog, then sequential skyline.
+  ServiceCatalog filtered(catalog.schema());
+  for (const auto& s : catalog.services()) {
+    if (constraints.admits(s.qos)) filtered.add(s);
+  }
+  std::vector<data::PointId> expected;
+  if (filtered.size() > 0) {
+    const auto sky = skyline::bnl_skyline(filtered.to_oriented_points());
+    expected.assign(sky.ids().begin(), sky.ids().end());
+    std::sort(expected.begin(), expected.end());
+  }
+
+  std::vector<data::PointId> got;
+  for (const auto& s : selector.skyline_within(constraints)) got.push_back(s.id);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SkylineWithin, ImpossibleConstraintsYieldEmpty) {
+  SkylineServiceSelector selector(ServiceCatalog::synthetic(100, 2, 47), small_config());
+  QosConstraints constraints(2);
+  constraints.at_most(0, 0.0);  // nothing responds in 0 ms
+  EXPECT_TRUE(selector.skyline_within(constraints).empty());
+}
+
+TEST(SkylineWithin, DimensionMismatchThrows) {
+  SkylineServiceSelector selector(ServiceCatalog::synthetic(50, 3, 49), small_config());
+  EXPECT_THROW((void)selector.skyline_within(QosConstraints(2)), mrsky::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrsky::qos

@@ -1,0 +1,141 @@
+// Service deregistration (SkylineServiceSelector::remove_service).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/qos/selector.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::qos {
+namespace {
+
+core::MRSkylineConfig small_config(part::Scheme scheme = part::Scheme::kAngular) {
+  core::MRSkylineConfig config;
+  config.scheme = scheme;
+  config.servers = 2;
+  return config;
+}
+
+bool skyline_contains(const std::vector<WebService>& skyline, data::PointId id) {
+  return std::any_of(skyline.begin(), skyline.end(),
+                     [&](const WebService& s) { return s.id == id; });
+}
+
+std::vector<data::PointId> expected_skyline_ids(const ServiceCatalog& catalog) {
+  const auto sky = skyline::bnl_skyline(catalog.to_oriented_points());
+  std::vector<data::PointId> ids(sky.ids().begin(), sky.ids().end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<data::PointId> selector_skyline_ids(SkylineServiceSelector& selector) {
+  std::vector<data::PointId> ids;
+  for (const auto& s : selector.skyline()) ids.push_back(s.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(RemoveService, UnknownIdReturnsFalse) {
+  SkylineServiceSelector selector(ServiceCatalog::synthetic(100, 3, 1), small_config());
+  (void)selector.skyline();
+  EXPECT_FALSE(selector.remove_service(99999u));
+}
+
+TEST(RemoveService, RemovedSkylineMemberDisappears) {
+  SkylineServiceSelector selector(ServiceCatalog::synthetic(500, 3, 3), small_config());
+  const data::PointId victim = selector.skyline().front().id;
+  EXPECT_TRUE(selector.remove_service(victim));
+  EXPECT_FALSE(skyline_contains(selector.skyline(), victim));
+  EXPECT_FALSE(selector.catalog().find(victim).has_value());
+}
+
+TEST(RemoveService, DominatedPointsResurface) {
+  // A dominator and its unique victim: removing the dominator must bring
+  // the victim into the skyline.
+  ServiceCatalog catalog(data::qws_schema(2));
+  catalog.add(WebService{0u, "king", {100.0, 99.0}});
+  catalog.add(WebService{1u, "page", {150.0, 95.0}});  // dominated only by king
+  SkylineServiceSelector selector(std::move(catalog), small_config());
+  EXPECT_FALSE(skyline_contains(selector.skyline(), 1u));
+  EXPECT_TRUE(selector.remove_service(0u));
+  EXPECT_TRUE(skyline_contains(selector.skyline(), 1u));
+}
+
+TEST(RemoveService, MatchesBatchRecomputeAfterManyRemovals) {
+  auto catalog = ServiceCatalog::synthetic(600, 3, 7);
+  SkylineServiceSelector selector(catalog, small_config());
+  (void)selector.skyline();
+  // Remove every third id that exists, skyline members included.
+  for (data::PointId id = 0; id < 600; id += 3) {
+    (void)selector.remove_service(id);
+    (void)catalog.remove(id);
+  }
+  EXPECT_EQ(selector_skyline_ids(selector), expected_skyline_ids(catalog));
+}
+
+TEST(RemoveService, GridPruningSurvivesCellEmptying) {
+  // Grid scheme with a dominating cell of ONE point: deleting it must let
+  // the pruned cell's points resurface.
+  ServiceCatalog catalog(data::qws_schema(2));
+  // Schema ranges: ResponseTime [37,4989], Availability [7,100].
+  catalog.add(WebService{0u, "dominator", {100.0, 99.0}});   // near-origin cell
+  catalog.add(WebService{1u, "corner-a", {4800.0, 10.0}});   // far cell
+  catalog.add(WebService{2u, "corner-b", {4900.0, 9.0}});    // far cell
+  // Pins so the grid covers the full range in both dims.
+  catalog.add(WebService{3u, "pin-x", {4989.0, 99.9}});
+  catalog.add(WebService{4u, "pin-y", {37.0, 7.0}});
+
+  auto config = small_config(part::Scheme::kGrid);
+  config.num_partitions = 4;
+  SkylineServiceSelector selector(catalog, config);
+  (void)selector.skyline();
+
+  for (data::PointId id : {4u, 0u}) {  // remove both near-origin services
+    (void)selector.remove_service(id);
+    (void)catalog.remove(id);
+  }
+  EXPECT_EQ(selector_skyline_ids(selector), expected_skyline_ids(catalog));
+}
+
+TEST(RemoveService, InterleavedAddAndRemoveStaysConsistent) {
+  auto reference = ServiceCatalog::synthetic(400, 3, 11);
+  const auto& all = reference.services();
+  ServiceCatalog initial(reference.schema());
+  for (std::size_t i = 0; i < 300; ++i) initial.add(all[i]);
+
+  SkylineServiceSelector selector(std::move(initial), small_config());
+  (void)selector.skyline();
+
+  ServiceCatalog shadow(reference.schema());
+  for (std::size_t i = 0; i < 300; ++i) shadow.add(all[i]);
+
+  for (std::size_t i = 300; i < 400; ++i) {
+    (void)selector.add_service(all[i].name, all[i].qos);
+    shadow.add(WebService{static_cast<data::PointId>(i), all[i].name, all[i].qos});
+    if (i % 2 == 0) {
+      const data::PointId victim = static_cast<data::PointId>(i - 300);
+      (void)selector.remove_service(victim);
+      (void)shadow.remove(victim);
+    }
+  }
+  EXPECT_EQ(selector_skyline_ids(selector), expected_skyline_ids(shadow));
+}
+
+TEST(RemoveService, RemovingNonSkylinePointKeepsSkyline) {
+  auto catalog = ServiceCatalog::synthetic(500, 3, 13);
+  SkylineServiceSelector selector(catalog, small_config());
+  const auto before = selector_skyline_ids(selector);
+  // Find a non-skyline id.
+  data::PointId victim = 0;
+  for (const auto& s : catalog.services()) {
+    if (!std::binary_search(before.begin(), before.end(), s.id)) {
+      victim = s.id;
+      break;
+    }
+  }
+  EXPECT_TRUE(selector.remove_service(victim));
+  EXPECT_EQ(selector_skyline_ids(selector), before);
+}
+
+}  // namespace
+}  // namespace mrsky::qos

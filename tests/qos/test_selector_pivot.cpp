@@ -1,0 +1,83 @@
+// Selector behaviour under the pivot scheme and planner-produced configs —
+// the application layer must compose with every pipeline configuration the
+// library can recommend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/planner.hpp"
+#include "src/qos/selector.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::qos {
+namespace {
+
+std::vector<data::PointId> ids_of(const std::vector<WebService>& services) {
+  std::vector<data::PointId> ids;
+  for (const auto& s : services) ids.push_back(s.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<data::PointId> expected_ids(const ServiceCatalog& catalog) {
+  const auto sky = skyline::bnl_skyline(catalog.to_oriented_points());
+  std::vector<data::PointId> ids(sky.ids().begin(), sky.ids().end());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(SelectorWithPlanner, PlannedConfigDrivesSelectorCorrectly) {
+  auto catalog = ServiceCatalog::synthetic(1500, 6, 71);
+  core::PlannerInputs in;
+  in.cardinality = catalog.size();
+  in.dim = catalog.schema().size();
+  in.servers = 4;
+  const auto planned = core::plan_config(in);
+
+  SkylineServiceSelector selector(catalog, planned.config);
+  EXPECT_EQ(ids_of(selector.skyline()), expected_ids(catalog));
+}
+
+TEST(SelectorWithPlanner, IncrementalUpdatesUnderPlannedSaltedConfig) {
+  // High-d planned configs enable salting; the incremental add/remove path
+  // must stay consistent with it (the selector refits its own partitioner,
+  // independent of salting, so correctness must hold regardless).
+  auto reference = ServiceCatalog::synthetic(700, 8, 73);
+  const auto& all = reference.services();
+  ServiceCatalog initial(reference.schema());
+  for (std::size_t i = 0; i < 600; ++i) initial.add(all[i]);
+
+  core::PlannerInputs in;
+  in.cardinality = 600;
+  in.dim = 8;
+  in.servers = 4;
+  const auto planned = core::plan_config(in);
+  ASSERT_TRUE(planned.config.salt_oversized_partitions);
+
+  SkylineServiceSelector selector(std::move(initial), planned.config);
+  (void)selector.skyline();
+  ServiceCatalog shadow(reference.schema());
+  for (std::size_t i = 0; i < 600; ++i) shadow.add(all[i]);
+  for (std::size_t i = 600; i < 700; ++i) {
+    (void)selector.add_service(all[i].name, all[i].qos);
+    shadow.add(WebService{static_cast<data::PointId>(i), all[i].name, all[i].qos});
+  }
+  EXPECT_EQ(ids_of(selector.skyline()), expected_ids(shadow));
+}
+
+TEST(SelectorWithPivotScheme, AddRemoveRoundTrip) {
+  core::MRSkylineConfig config;
+  config.scheme = part::Scheme::kPivot;
+  config.servers = 2;
+  auto catalog = ServiceCatalog::synthetic(500, 4, 75);
+  SkylineServiceSelector selector(catalog, config);
+  (void)selector.skyline();
+
+  const data::PointId victim = selector.skyline().front().id;
+  EXPECT_TRUE(selector.remove_service(victim));
+  (void)catalog.remove(victim);
+  EXPECT_EQ(ids_of(selector.skyline()), expected_ids(catalog));
+}
+
+}  // namespace
+}  // namespace mrsky::qos

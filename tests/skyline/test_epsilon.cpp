@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/extensions.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky::skyline {
+namespace {
+
+using data::PointSet;
+
+bool eps_covered(std::span<const double> p, const PointSet& cover, double eps) {
+  for (std::size_t s = 0; s < cover.size(); ++s) {
+    bool ok = true;
+    const auto q = cover.point(s);
+    for (std::size_t a = 0; a < q.size() && ok; ++a) ok = q[a] <= (1.0 + eps) * p[a];
+    if (ok) return true;
+  }
+  return false;
+}
+
+TEST(EpsilonParetoCover, CoversEveryDatasetPoint) {
+  const PointSet ps = data::generate(data::Distribution::kAnticorrelated, 500, 3, 81);
+  for (double eps : {0.0, 0.05, 0.2}) {
+    const PointSet cover = epsilon_pareto_cover(ps, eps);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      EXPECT_TRUE(eps_covered(ps.point(i), cover, eps)) << "eps=" << eps << " point " << i;
+    }
+  }
+}
+
+TEST(EpsilonParetoCover, SubsetOfSkyline) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 400, 3, 83);
+  const auto sky_ids = sorted_ids(bnl_skyline(ps));
+  const PointSet cover = epsilon_pareto_cover(ps, 0.1);
+  for (data::PointId id : cover.ids()) {
+    EXPECT_TRUE(std::binary_search(sky_ids.begin(), sky_ids.end(), id));
+  }
+  EXPECT_LE(cover.size(), sky_ids.size());
+}
+
+TEST(EpsilonParetoCover, LargerEpsilonShrinksTheCover) {
+  const PointSet ps = data::generate(data::Distribution::kAnticorrelated, 2000, 4, 85);
+  const std::size_t full = bnl_skyline(ps).size();
+  const std::size_t tight = epsilon_pareto_cover(ps, 0.02).size();
+  const std::size_t loose = epsilon_pareto_cover(ps, 0.5).size();
+  EXPECT_LE(tight, full);
+  EXPECT_LT(loose, tight);  // big slack collapses the anti-correlated front
+  EXPECT_GE(loose, 1u);
+}
+
+TEST(EpsilonParetoCover, ZeroEpsilonCollapsesOnlyDuplicates) {
+  PointSet ps(2, {1.0, 2.0, 1.0, 2.0, 2.0, 1.0});  // duplicate pair + incomparable
+  const PointSet cover = epsilon_pareto_cover(ps, 0.0);
+  EXPECT_EQ(cover.size(), 2u);  // one of the duplicates + the other point
+}
+
+TEST(EpsilonParetoCover, EmptyInput) {
+  EXPECT_TRUE(epsilon_pareto_cover(PointSet(2), 0.1).empty());
+}
+
+TEST(EpsilonParetoCover, Validation) {
+  const PointSet ps(2, {1.0, 1.0});
+  EXPECT_THROW((void)epsilon_pareto_cover(ps, -0.1), mrsky::InvalidArgument);
+  const PointSet negative(2, {-1.0, 1.0});
+  EXPECT_THROW((void)epsilon_pareto_cover(negative, 0.1), mrsky::InvalidArgument);
+}
+
+TEST(EpsilonParetoCover, DeterministicAcrossRuns) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 600, 3, 87);
+  EXPECT_EQ(epsilon_pareto_cover(ps, 0.1), epsilon_pareto_cover(ps, 0.1));
+}
+
+}  // namespace
+}  // namespace mrsky::skyline

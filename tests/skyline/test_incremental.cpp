@@ -1,0 +1,110 @@
+#include "src/skyline/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky::skyline {
+namespace {
+
+using data::PointSet;
+
+TEST(IncrementalSkyline, StartsEmpty) {
+  IncrementalSkyline inc(2);
+  EXPECT_EQ(inc.size(), 0u);
+}
+
+TEST(IncrementalSkyline, FirstInsertAlwaysEnters) {
+  IncrementalSkyline inc(2);
+  EXPECT_TRUE(inc.insert(std::vector<double>{5.0, 5.0}, 0));
+  EXPECT_EQ(inc.size(), 1u);
+}
+
+TEST(IncrementalSkyline, DominatedInsertRejected) {
+  IncrementalSkyline inc(2);
+  (void)inc.insert(std::vector<double>{1.0, 1.0}, 0);
+  EXPECT_FALSE(inc.insert(std::vector<double>{2.0, 2.0}, 1));
+  EXPECT_EQ(inc.size(), 1u);
+}
+
+TEST(IncrementalSkyline, DominatingInsertEvicts) {
+  IncrementalSkyline inc(2);
+  (void)inc.insert(std::vector<double>{3.0, 3.0}, 0);
+  (void)inc.insert(std::vector<double>{4.0, 2.0}, 1);
+  EXPECT_TRUE(inc.insert(std::vector<double>{1.0, 1.0}, 2));  // dominates both
+  ASSERT_EQ(inc.size(), 1u);
+  EXPECT_EQ(inc.skyline().id(0), 2u);
+}
+
+TEST(IncrementalSkyline, IncomparableInsertCoexists) {
+  IncrementalSkyline inc(2);
+  (void)inc.insert(std::vector<double>{1.0, 5.0}, 0);
+  EXPECT_TRUE(inc.insert(std::vector<double>{5.0, 1.0}, 1));
+  EXPECT_EQ(inc.size(), 2u);
+}
+
+TEST(IncrementalSkyline, DuplicateInsertKept) {
+  IncrementalSkyline inc(2);
+  (void)inc.insert(std::vector<double>{1.0, 1.0}, 0);
+  EXPECT_TRUE(inc.insert(std::vector<double>{1.0, 1.0}, 1));  // equal: undominated
+  EXPECT_EQ(inc.size(), 2u);
+}
+
+TEST(IncrementalSkyline, BulkLoadMatchesBnl) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 500, 3, 31);
+  IncrementalSkyline inc(ps);
+  EXPECT_TRUE(same_ids(inc.skyline(), bnl_skyline(ps)));
+}
+
+TEST(IncrementalSkyline, StreamMatchesBatchRecompute) {
+  // Inserting points one by one must end at exactly the batch skyline.
+  const PointSet ps = data::generate(data::Distribution::kAnticorrelated, 400, 3, 13);
+  IncrementalSkyline inc(ps.dim());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    (void)inc.insert(ps.point(i), ps.id(i));
+  }
+  EXPECT_TRUE(same_ids(inc.skyline(), bnl_skyline(ps)));
+}
+
+TEST(IncrementalSkyline, StreamOrderIrrelevant) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 300, 2, 7);
+  IncrementalSkyline forward(ps.dim());
+  IncrementalSkyline backward(ps.dim());
+  for (std::size_t i = 0; i < ps.size(); ++i) (void)forward.insert(ps.point(i), ps.id(i));
+  for (std::size_t i = ps.size(); i-- > 0;) (void)backward.insert(ps.point(i), ps.id(i));
+  EXPECT_TRUE(same_ids(forward.skyline(), backward.skyline()));
+}
+
+TEST(IncrementalSkyline, InsertReturnValueMatchesMembership) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 200, 3, 3);
+  IncrementalSkyline inc(ps.dim());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const bool entered = inc.insert(ps.point(i), ps.id(i));
+    bool found = false;
+    for (data::PointId id : inc.skyline().ids()) {
+      if (id == ps.id(i)) found = true;
+    }
+    EXPECT_EQ(entered, found);
+  }
+}
+
+TEST(IncrementalSkyline, DimensionMismatchThrows) {
+  IncrementalSkyline inc(3);
+  EXPECT_THROW(inc.insert(std::vector<double>{1.0, 2.0}, 0), mrsky::InvalidArgument);
+}
+
+TEST(IncrementalSkyline, StatsAccumulate) {
+  IncrementalSkyline inc(2);
+  (void)inc.insert(std::vector<double>{1.0, 5.0}, 0);
+  (void)inc.insert(std::vector<double>{5.0, 1.0}, 1);
+  (void)inc.insert(std::vector<double>{3.0, 3.0}, 2);
+  EXPECT_GT(inc.stats().dominance_tests, 0u);
+  EXPECT_EQ(inc.stats().points_in, 3u);
+}
+
+}  // namespace
+}  // namespace mrsky::skyline

@@ -1,0 +1,97 @@
+#include "src/skyline/sliding_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky::skyline {
+namespace {
+
+using data::PointSet;
+
+/// Reference: skyline of the last `capacity` pushes, computed from scratch.
+PointSet reference_window_skyline(const PointSet& stream, std::size_t upto,
+                                  std::size_t capacity) {
+  const std::size_t start = upto >= capacity ? upto - capacity : 0;
+  PointSet window(stream.dim());
+  for (std::size_t i = start; i < upto; ++i) window.push_back(stream.point(i), stream.id(i));
+  return bnl_skyline(window);
+}
+
+TEST(SlidingWindowSkyline, Validation) {
+  EXPECT_THROW(SlidingWindowSkyline(0, 4), mrsky::InvalidArgument);
+  EXPECT_THROW(SlidingWindowSkyline(2, 0), mrsky::InvalidArgument);
+  SlidingWindowSkyline w(2, 4);
+  EXPECT_THROW(w.push(std::vector<double>{1.0}, 0), mrsky::InvalidArgument);
+}
+
+TEST(SlidingWindowSkyline, FillsUpToCapacity) {
+  SlidingWindowSkyline w(2, 3);
+  for (data::PointId i = 0; i < 5; ++i) {
+    w.push(std::vector<double>{1.0 + i, 1.0 + i}, i);
+  }
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindowSkyline, MatchesBatchRecomputeAtEveryStep) {
+  const PointSet stream = data::generate(data::Distribution::kAnticorrelated, 300, 3, 71);
+  SlidingWindowSkyline w(3, 40);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    w.push(stream.point(i), stream.id(i));
+    const PointSet expected = reference_window_skyline(stream, i + 1, 40);
+    EXPECT_TRUE(same_ids(w.skyline(), expected)) << "after push " << i;
+  }
+}
+
+TEST(SlidingWindowSkyline, EvictedSkylineMemberResurrectsDominatedPoint) {
+  SlidingWindowSkyline w(2, 2);
+  w.push(std::vector<double>{1.0, 1.0}, 0);  // dominates the next point
+  w.push(std::vector<double>{2.0, 2.0}, 1);
+  EXPECT_EQ(w.skyline().size(), 1u);
+  // Pushing a third point evicts id 0; id 1 must resurface.
+  w.push(std::vector<double>{3.0, 0.5}, 2);
+  const auto ids = sorted_ids(w.skyline());
+  EXPECT_EQ(ids, (std::vector<data::PointId>{1u, 2u}));
+}
+
+TEST(SlidingWindowSkyline, EvictingNonSkylinePointAvoidsRebuild) {
+  SlidingWindowSkyline w(2, 3);
+  w.push(std::vector<double>{5.0, 5.0}, 0);  // oldest, dominated by id 2
+  w.push(std::vector<double>{6.0, 6.0}, 1);  // dominated by id 2
+  w.push(std::vector<double>{1.0, 1.0}, 2);  // the skyline
+  ASSERT_EQ(w.skyline().size(), 1u);
+  const std::size_t before = w.rebuilds();
+  // Evicting ids 0 and 1 (both non-skyline) must not trigger rebuilds.
+  w.push(std::vector<double>{7.0, 7.0}, 3);
+  w.push(std::vector<double>{8.0, 8.0}, 4);
+  ASSERT_EQ(w.skyline().size(), 1u);
+  EXPECT_EQ(w.skyline().id(0), 2u);
+  EXPECT_EQ(w.rebuilds(), before);
+}
+
+TEST(SlidingWindowSkyline, StreamOfImprovingPointsKeepsOnlyLatestBest) {
+  SlidingWindowSkyline w(2, 10);
+  for (data::PointId i = 0; i < 10; ++i) {
+    const double v = 10.0 - static_cast<double>(i);
+    w.push(std::vector<double>{v, v}, i);
+  }
+  ASSERT_EQ(w.skyline().size(), 1u);
+  EXPECT_EQ(w.skyline().id(0), 9u);
+}
+
+TEST(SlidingWindowSkyline, QwsStreamLongRun) {
+  const PointSet stream = data::generate(data::Distribution::kIndependent, 500, 4, 73);
+  SlidingWindowSkyline w(4, 64);
+  for (std::size_t i = 0; i < stream.size(); ++i) w.push(stream.point(i), stream.id(i));
+  const PointSet expected = reference_window_skyline(stream, stream.size(), 64);
+  EXPECT_TRUE(same_ids(w.skyline(), expected));
+  // Rebuilds happen, but far fewer than pushes (the amortisation claim).
+  EXPECT_GT(w.rebuilds(), 0u);
+  EXPECT_LT(w.rebuilds(), stream.size() / 2);
+}
+
+}  // namespace
+}  // namespace mrsky::skyline

@@ -1,0 +1,98 @@
+#include "src/skyline/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/dataset/generators.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky::skyline {
+namespace {
+
+using data::PointSet;
+
+PointSet simple_data() {
+  return PointSet(2, {
+                         1.0, 5.0,  // 0: skyline
+                         5.0, 1.0,  // 1: skyline
+                         4.0, 4.0,  // 2: dominated by... nothing (1,5)? no; (5,1)? no -> skyline
+                         6.0, 6.0,  // 3: dominated by 2
+                     });
+}
+
+TEST(VerifySkyline, AcceptsCorrectSkyline) {
+  const PointSet ps = simple_data();
+  const auto result = verify_skyline(ps, bnl_skyline(ps));
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(VerifySkyline, RejectsMissingSkylinePoint) {
+  const PointSet ps = simple_data();
+  PointSet incomplete(2);
+  incomplete.push_back(ps.point(0), ps.id(0));  // drop undominated ids 1, 2
+  const auto result = verify_skyline(ps, incomplete);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("undominated"), std::string::npos);
+}
+
+TEST(VerifySkyline, RejectsDominatedCandidate) {
+  const PointSet ps = simple_data();
+  PointSet with_extra = bnl_skyline(ps);
+  with_extra.push_back(ps.point(3), ps.id(3));  // the dominated point
+  const auto result = verify_skyline(ps, with_extra);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("dominated"), std::string::npos);
+}
+
+TEST(VerifySkyline, RejectsForeignId) {
+  const PointSet ps = simple_data();
+  PointSet foreign = bnl_skyline(ps);
+  const std::vector<double> p = {0.1, 0.1};
+  foreign.push_back(p, 99u);
+  const auto result = verify_skyline(ps, foreign);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("not present"), std::string::npos);
+}
+
+TEST(VerifySkyline, RejectsAlteredCoordinates) {
+  const PointSet ps = simple_data();
+  const PointSet sky = bnl_skyline(ps);
+  PointSet tampered(2);
+  for (std::size_t i = 0; i < sky.size(); ++i) {
+    std::vector<double> coords(sky.point(i).begin(), sky.point(i).end());
+    if (i == 0) coords[0] += 0.5;
+    tampered.push_back(coords, sky.id(i));
+  }
+  const auto result = verify_skyline(ps, tampered);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("altered"), std::string::npos);
+}
+
+TEST(VerifySkyline, RejectsDimensionMismatch) {
+  const PointSet ps = simple_data();
+  const PointSet wrong_dim(3);
+  EXPECT_FALSE(verify_skyline(ps, wrong_dim).ok);
+}
+
+TEST(VerifySkyline, EmptyCandidateOnNonEmptyDataFails) {
+  const PointSet ps = simple_data();
+  EXPECT_FALSE(verify_skyline(ps, PointSet(2)).ok);
+}
+
+TEST(VerifySkyline, EmptyDataEmptyCandidateOk) {
+  EXPECT_TRUE(verify_skyline(PointSet(2), PointSet(2)).ok);
+}
+
+TEST(SameIds, OrderInsensitive) {
+  PointSet a(1, {1.0, 2.0}, {5u, 9u});
+  PointSet b(1, {2.0, 1.0}, {9u, 5u});
+  EXPECT_TRUE(same_ids(a, b));
+}
+
+TEST(SameIds, DetectsDifference) {
+  PointSet a(1, {1.0}, {5u});
+  PointSet b(1, {1.0}, {6u});
+  EXPECT_FALSE(same_ids(a, b));
+}
+
+}  // namespace
+}  // namespace mrsky::skyline

@@ -1,0 +1,138 @@
+#include "src/spatial/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+
+namespace mrsky::spatial {
+namespace {
+
+using data::PointSet;
+
+TEST(Mbr, MindistIsLowerCornerSum) {
+  Mbr mbr{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_DOUBLE_EQ(mbr.mindist(), 6.0);
+}
+
+TEST(Mbr, ContainsClosedBounds) {
+  Mbr mbr{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(mbr.contains(std::vector<double>{0.0, 1.0}));
+  EXPECT_TRUE(mbr.contains(std::vector<double>{0.5, 0.5}));
+  EXPECT_FALSE(mbr.contains(std::vector<double>{1.1, 0.5}));
+  EXPECT_FALSE(mbr.contains(std::vector<double>{0.5, -0.1}));
+}
+
+TEST(Mbr, CoversNestedBoxes) {
+  Mbr outer{{0.0, 0.0}, {10.0, 10.0}};
+  Mbr inner{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(outer.covers(inner));
+  EXPECT_FALSE(inner.covers(outer));
+}
+
+TEST(RTree, RejectsTinyCapacity) {
+  const PointSet ps(2, {1.0, 2.0});
+  EXPECT_THROW(RTree(ps, 1), mrsky::InvalidArgument);
+}
+
+TEST(RTree, EmptyPointSetMakesEmptyTree) {
+  const PointSet ps(3);
+  const RTree tree(ps);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.node_count(), 0u);
+}
+
+TEST(RTree, SinglePointTree) {
+  const PointSet ps(2, {0.25, 0.75});
+  const RTree tree(ps, 4);
+  ASSERT_FALSE(tree.empty());
+  const auto& root = tree.node(tree.root());
+  EXPECT_TRUE(root.leaf);
+  ASSERT_EQ(root.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(root.mbr.lo[0], 0.25);
+  EXPECT_DOUBLE_EQ(root.mbr.hi[1], 0.75);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(RTree, EveryPointAppearsExactlyOnce) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 500, 3, 7);
+  const RTree tree(ps, 8);
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t id = 0; id < tree.node_count(); ++id) {
+    const auto& node = tree.node(id);
+    if (!node.leaf) continue;
+    for (std::size_t row : node.entries) {
+      EXPECT_TRUE(seen.insert(row).second) << "row " << row << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), ps.size());
+}
+
+TEST(RTree, LeafMbrsContainTheirPoints) {
+  const PointSet ps = data::generate(data::Distribution::kClustered, 400, 2, 9);
+  const RTree tree(ps, 8);
+  for (std::size_t id = 0; id < tree.node_count(); ++id) {
+    const auto& node = tree.node(id);
+    if (!node.leaf) continue;
+    for (std::size_t row : node.entries) {
+      EXPECT_TRUE(node.mbr.contains(ps.point(row)));
+    }
+  }
+}
+
+TEST(RTree, InternalMbrsCoverChildren) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 1000, 3, 11);
+  const RTree tree(ps, 8);
+  for (std::size_t id = 0; id < tree.node_count(); ++id) {
+    const auto& node = tree.node(id);
+    if (node.leaf) continue;
+    for (std::size_t child : node.entries) {
+      EXPECT_TRUE(node.mbr.covers(tree.node(child).mbr));
+    }
+  }
+}
+
+TEST(RTree, NodeFanoutWithinCapacity) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 777, 4, 13);
+  const RTree tree(ps, 10);
+  for (std::size_t id = 0; id < tree.node_count(); ++id) {
+    const auto& node = tree.node(id);
+    EXPECT_GE(node.entries.size(), 1u);
+    EXPECT_LE(node.entries.size(), 10u);
+  }
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  const PointSet small = data::generate(data::Distribution::kIndependent, 16, 2, 15);
+  const PointSet large = data::generate(data::Distribution::kIndependent, 4000, 2, 15);
+  EXPECT_LE(RTree(small, 16).height(), 2u);
+  const RTree big(large, 16);
+  EXPECT_GE(big.height(), 3u);  // 4000/16 = 250 leaves -> >= 2 upper levels
+  EXPECT_LE(big.height(), 4u);
+}
+
+TEST(RTree, StrPackingFillsLeaves) {
+  // Deterministic bulk load keeps occupancy high: leaf count close to n/C.
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 1024, 2, 17);
+  const RTree tree(ps, 16);
+  std::size_t leaves = 0;
+  for (std::size_t id = 0; id < tree.node_count(); ++id) {
+    if (tree.node(id).leaf) ++leaves;
+  }
+  EXPECT_LE(leaves, 1024u / 16u + 24u);  // within ~35% of perfect packing
+}
+
+TEST(RTree, DeterministicAcrossBuilds) {
+  const PointSet ps = data::generate(data::Distribution::kIndependent, 300, 3, 19);
+  const RTree a(ps, 8);
+  const RTree b(ps, 8);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t id = 0; id < a.node_count(); ++id) {
+    EXPECT_EQ(a.node(id).entries, b.node(id).entries);
+  }
+}
+
+}  // namespace
+}  // namespace mrsky::spatial

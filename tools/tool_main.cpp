@@ -1,0 +1,213 @@
+// mrsky — command-line front end for the library.
+//
+// Subcommands:
+//   generate  — write a synthetic dataset to CSV
+//   skyline   — compute a skyline from a CSV dataset with the MR pipeline
+//   report    — partition diagnostics for a dataset under a scheme
+//   simulate  — simulated cluster times across server counts
+//   plan      — recommend a pipeline configuration for a workload
+//
+// Examples:
+//   mrsky generate --output data.csv --n 10000 --dim 6 --qws
+//   mrsky skyline --input data.csv --scheme angular --servers 8 \
+//         --output skyline.csv --metrics-json metrics.json
+//   mrsky report --input data.csv --scheme grid --partitions 16
+//   mrsky simulate --input data.csv --scheme angular --servers-list 4,8,16,32
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/common/cli.hpp"
+#include "src/common/error.hpp"
+#include "src/common/table.hpp"
+#include "src/core/mr_skyline.hpp"
+#include "src/core/optimality.hpp"
+#include "src/core/planner.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/dataset/io.hpp"
+#include "src/dataset/record_file.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+#include "src/mapreduce/metrics_json.hpp"
+#include "src/partition/factory.hpp"
+#include "src/partition/stats.hpp"
+
+namespace {
+
+using namespace mrsky;
+
+int usage() {
+  std::cerr << "usage: mrsky <generate|skyline|report|simulate|plan> [--flags]\n"
+               "run `mrsky <subcommand>` with no flags to see its defaults in action;\n"
+               "see tools/tool_main.cpp header for examples.\n";
+  return 2;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(),
+                                                suffix) == 0;
+}
+
+data::PointSet load_input(const common::CliArgs& args) {
+  const std::string path = args.get_string("input", "");
+  MRSKY_REQUIRE(!path.empty(), "--input <file.csv|file.mrsk> is required");
+  data::PointSet ps = has_suffix(path, ".mrsk") ? data::read_record_file(path)
+                                                : data::read_csv_file(path);
+  if (args.get_bool("normalize", true)) ps = data::normalize_min_max(ps);
+  return ps;
+}
+
+void save_points(const std::string& path, const data::PointSet& ps) {
+  if (has_suffix(path, ".mrsk")) {
+    data::write_record_file(path, ps);
+  } else {
+    data::write_csv_file(path, ps);
+  }
+}
+
+core::MRSkylineConfig config_from(const common::CliArgs& args) {
+  core::MRSkylineConfig config;
+  config.scheme = part::parse_scheme(args.get_string("scheme", "angular"));
+  config.servers = static_cast<std::size_t>(args.get_int("servers", 8));
+  config.num_partitions = static_cast<std::size_t>(args.get_int("partitions", 0));
+  config.merge_fan_in = static_cast<std::size_t>(args.get_int("merge-fan-in", 0));
+  config.use_combiner = args.get_bool("combiner", false);
+  config.salt_oversized_partitions = args.get_bool("salt", false);
+  config.local_algorithm = skyline::parse_algorithm(args.get_string("algorithm", "bnl"));
+  return config;
+}
+
+int cmd_generate(const common::CliArgs& args) {
+  const std::string output = args.get_string("output", "");
+  MRSKY_REQUIRE(!output.empty(), "--output <file.csv> is required");
+  const auto n = static_cast<std::size_t>(args.get_int("n", 10000));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2012));
+
+  data::PointSet ps(1);
+  if (args.get_bool("qws", false)) {
+    data::QwsLikeGenerator gen(dim, seed);
+    ps = gen.generate_oriented(n);
+  } else {
+    ps = data::generate(data::parse_distribution(args.get_string("distribution", "independent")),
+                        n, dim, seed);
+  }
+  save_points(output, ps);
+  std::cout << "wrote " << ps.size() << " points x " << ps.dim() << " attributes to " << output
+            << "\n";
+  return 0;
+}
+
+int cmd_skyline(const common::CliArgs& args) {
+  const data::PointSet ps = load_input(args);
+  const auto config = config_from(args);
+  const auto result = core::run_mr_skyline(ps, config);
+
+  std::cout << "input:   " << ps.size() << " points x " << ps.dim() << " attributes\n"
+            << "scheme:  " << part::to_string(config.scheme) << " ("
+            << result.local_skylines.size() << " partitions)\n"
+            << "skyline: " << result.skyline.size() << " points\n";
+  const auto opt = core::local_skyline_optimality(result.local_skylines, result.skyline);
+  std::cout << "local skyline optimality (Eq.5): " << opt.mean_optimality << "\n";
+
+  if (const std::string out = args.get_string("output", ""); !out.empty()) {
+    save_points(out, result.skyline);
+    std::cout << "skyline written to " << out << "\n";
+  }
+  if (const std::string json = args.get_string("metrics-json", ""); !json.empty()) {
+    std::ofstream file(json);
+    MRSKY_REQUIRE(static_cast<bool>(file), "cannot open " + json);
+    file << "{\"partition_job\":" << mr::to_json(result.partition_job) << ",\"merge_rounds\":[";
+    for (std::size_t i = 0; i < result.merge_rounds.size(); ++i) {
+      if (i > 0) file << ",";
+      file << mr::to_json(result.merge_rounds[i]);
+    }
+    mr::ClusterModel model;
+    model.servers = config.servers;
+    file << "],\"simulated\":" << mr::to_json(result.simulate(model)) << "}\n";
+    std::cout << "metrics written to " << json << "\n";
+  }
+  return 0;
+}
+
+int cmd_report(const common::CliArgs& args) {
+  const data::PointSet ps = load_input(args);
+  part::PartitionerOptions options;
+  options.num_partitions = static_cast<std::size_t>(args.get_int("partitions", 16));
+  const auto scheme = part::parse_scheme(args.get_string("scheme", "angular"));
+  auto partitioner = part::make_partitioner(scheme, options);
+  partitioner->fit(ps);
+  const auto report = part::analyze_partitioning(*partitioner, ps);
+
+  common::Table table({"partition", "points", "prunable"});
+  for (std::size_t p = 0; p < report.sizes.size(); ++p) {
+    const bool prunable =
+        std::find(report.prunable.begin(), report.prunable.end(), p) != report.prunable.end();
+    table.add_row({common::Table::fmt(p), common::Table::fmt(report.sizes[p]),
+                   prunable ? "yes" : ""});
+  }
+  table.print(std::cout, part::to_string(scheme) + " partition report");
+  std::cout << "non-empty: " << report.non_empty << "/" << report.sizes.size()
+            << "  balance CV: " << report.balance_cv
+            << "  pruned points: " << report.pruned_points << "\n";
+  return 0;
+}
+
+int cmd_plan(const common::CliArgs& args) {
+  core::PlannerInputs in;
+  in.cardinality = static_cast<std::size_t>(args.get_int("n", 100000));
+  in.dim = static_cast<std::size_t>(args.get_int("dim", 10));
+  in.servers = static_cast<std::size_t>(args.get_int("servers", 8));
+  in.clustered = args.get_bool("clustered", false);
+  const auto planned = core::plan_config(in);
+  std::cout << "recommended configuration for N=" << in.cardinality << " d=" << in.dim
+            << " servers=" << in.servers << ":\n"
+            << "  --scheme " << part::to_string(planned.config.scheme)
+            << " --servers " << planned.config.servers;
+  if (planned.config.merge_fan_in > 0) {
+    std::cout << " --merge-fan-in " << planned.config.merge_fan_in;
+  }
+  std::cout << "\n\nrationale:\n" << planned.rationale;
+  return 0;
+}
+
+int cmd_simulate(const common::CliArgs& args) {
+  const data::PointSet ps = load_input(args);
+  auto config = config_from(args);
+  const auto servers_list = args.get_int_list("servers-list", {4, 8, 16, 32});
+
+  common::Table table({"servers", "map_s", "reduce_s", "total_s"});
+  for (std::int64_t servers : servers_list) {
+    config.servers = static_cast<std::size_t>(servers);
+    const auto result = core::run_mr_skyline(ps, config);
+    mr::ClusterModel model;
+    model.servers = config.servers;
+    const auto times = result.simulate(model);
+    table.add_row({common::Table::fmt(static_cast<int>(servers)),
+                   common::Table::fmt(times.map_seconds, 2),
+                   common::Table::fmt(times.reduce_seconds, 2),
+                   common::Table::fmt(times.total_seconds(), 2)});
+  }
+  table.print(std::cout, part::to_string(config.scheme) + " simulated scaling");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string subcommand = argv[1];
+  try {
+    const common::CliArgs args(argc - 1, argv + 1);
+    if (subcommand == "generate") return cmd_generate(args);
+    if (subcommand == "skyline") return cmd_skyline(args);
+    if (subcommand == "report") return cmd_report(args);
+    if (subcommand == "simulate") return cmd_simulate(args);
+    if (subcommand == "plan") return cmd_plan(args);
+    std::cerr << "unknown subcommand: " << subcommand << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "mrsky " << subcommand << ": " << e.what() << "\n";
+    return 1;
+  }
+}
