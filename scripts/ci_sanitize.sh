@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Sanitizer CI gate for the concurrent engine paths.
+#
+#   ./scripts/ci_sanitize.sh [thread|address] [build-dir]
+#
+# Configures a dedicated build tree with MRSKY_SANITIZE=<kind>, builds the
+# test binary, and runs the mapreduce + core + thread-pool suites — the code
+# that exercises the parallel shuffle and the persistent pool. TSan is the
+# default: it is the check that keeps the concurrent shuffle honest.
+set -euo pipefail
+
+KIND="${1:-thread}"
+BUILD_DIR="${2:-build-${KIND}san}"
+
+case "$KIND" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address] [build-dir]" >&2; exit 2 ;;
+esac
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMRSKY_SANITIZE="$KIND" \
+  -DMRSKY_BUILD_BENCH=OFF \
+  -DMRSKY_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j --target mrsky_tests
+
+# The suites touching the engine's concurrency: the generic job engine, the
+# thread pool itself, and the skyline pipeline that drives them end to end.
+FILTER='ThreadPool*:Job*:JobEdgeCases*:ParallelShuffle*:Counters*:Faults*:MapOnly*'
+FILTER+=':MRSkyline*:Salting*:TreeMerge*:KernelOverride*:SampleFit*'
+
+if [[ "$KIND" == "thread" ]]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+else
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1 halt_on_error=1}"
+fi
+
+"$BUILD_DIR/tests/mrsky_tests" --gtest_filter="$FILTER"
+echo "== ${KIND} sanitizer run passed"

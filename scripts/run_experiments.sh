@@ -41,6 +41,7 @@ run ablation_merge_fanin "$BENCH_DIR/ablation_merge_fanin"
 run ablation_sequential_baselines "$BENCH_DIR/ablation_sequential_baselines"
 run ablation_stragglers "$BENCH_DIR/ablation_stragglers"
 run ablation_salting "$BENCH_DIR/ablation_salting"
+run ablation_threads "$BENCH_DIR/ablation_threads"
 run micro_kernels "$BENCH_DIR/micro_kernels" --benchmark_min_time=0.1
 
 rm -f "$OUT_DIR/all_benches.txt"

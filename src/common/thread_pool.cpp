@@ -42,21 +42,40 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  // Chunked dynamic scheduling: workers pull the next index atomically.
+  // Chunked dynamic scheduling: workers pull the next index atomically. Every
+  // lane is joined before returning — even on failure — because `fn` is only
+  // borrowed from the caller; a lane must never outlive this call. When one
+  // index throws, the remaining lanes stop picking up new indices and exactly
+  // the first exception (in lane order) is rethrown after all lanes settle.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
   const std::size_t lanes = std::min(count, workers_.size());
   std::vector<std::future<void>> futures;
   futures.reserve(lanes);
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futures.push_back(submit([next, count, &fn] {
+    futures.push_back(submit([next, failed, count, &fn] {
       for (;;) {
+        if (failed->load(std::memory_order_relaxed)) return;
         const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
         if (i >= count) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          failed->store(true, std::memory_order_relaxed);
+          throw;
+        }
       }
     }));
   }
-  for (auto& f : futures) f.get();  // propagate exceptions
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::size_t ThreadPool::default_concurrency() noexcept {

@@ -44,6 +44,9 @@ class ThreadPool {
   }
 
   /// Run `fn(i)` for i in [0, count) across the pool and wait for completion.
+  /// If any invocation throws, the remaining indices are abandoned, every lane
+  /// is still joined, and exactly one exception (the first observed) is
+  /// rethrown — the pool stays fully usable afterwards.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <span>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
 #include "src/dataset/transforms.hpp"
 
@@ -18,6 +21,19 @@ namespace {
 struct PointRec {
   data::PointId id = 0;
   std::vector<double> coords;
+};
+
+/// Feeds a PointSet to the engine record-by-record without materialising a
+/// vector<KV> copy of the whole dataset: keys are the stable ids, values are
+/// zero-copy spans over the row-major storage.
+struct PointSetInput {
+  const data::PointSet* ps;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ps->size(); }
+  [[nodiscard]] data::PointId key(std::size_t i) const noexcept { return ps->id(i); }
+  [[nodiscard]] std::span<const double> value(std::size_t i) const noexcept {
+    return ps->point(i);
+  }
 };
 
 /// Rebuild a PointSet from shuffled records (shared by combine/reduce/merge).
@@ -89,6 +105,20 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   MRSkylineResult result;
   result.partition_report = part::analyze_partitioning(*partitioner, input);
 
+  // One persistent worker pool for the whole pipeline: created once here
+  // (only when the caller asked for kThreads without supplying their own)
+  // and reused by job 1 and every merge round, instead of paying thread
+  // start-up per engine phase.
+  mr::RunOptions run_opts = config.run_options;
+  std::unique_ptr<common::ThreadPool> pipeline_pool;
+  if (run_opts.mode == mr::ExecutionMode::kThreads && run_opts.pool == nullptr) {
+    const std::size_t threads = run_opts.num_threads == 0
+                                    ? common::ThreadPool::default_concurrency()
+                                    : run_opts.num_threads;
+    pipeline_pool = std::make_unique<common::ThreadPool>(threads);
+    run_opts.pool = pipeline_pool.get();
+  }
+
   // Optional skew cure: hash-salt oversized partitions into sub-keys, one
   // reduce task each (MRSkylineConfig::salt_oversized_partitions). Key space
   // is compacted: partition p owns keys [key_base[p], key_base[p+1]).
@@ -120,7 +150,7 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   };
 
   // --- Job 1: partition + local skyline (Algorithm 1, lines 1-10). ---
-  using Job1 = mr::JobConfig<data::PointId, std::vector<double>, std::size_t, PointRec,
+  using Job1 = mr::JobConfig<data::PointId, std::span<const double>, std::size_t, PointRec,
                              std::size_t, PointRec>;
   Job1 job1;
   job1.name = "partition-local-skyline";
@@ -135,7 +165,7 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
 
   const part::Partitioner& part_ref = *partitioner;
   job1.map_fn = [&part_ref, &salt, &key_base, dim](
-                    const data::PointId& id, const std::vector<double>& coords,
+                    const data::PointId& id, const std::span<const double>& coords,
                     mr::Emitter<std::size_t, PointRec>& out, mr::TaskContext& ctx) {
     // Coordinate transform + sector lookup costs O(dim) arithmetic per point
     // for every scheme (Eq. 1 for MR-Angle, range scans for the others).
@@ -150,38 +180,37 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
       h ^= h >> 27;
       key += static_cast<std::size_t>(h % salt[p]);
     }
-    out.emit(key, PointRec{id, coords});
+    out.emit(key, PointRec{id, {coords.begin(), coords.end()}});
   };
 
-  auto local_skyline_fn = [&, dim](const std::size_t& key,
-                                   std::vector<PointRec>& values,
-                                   mr::Emitter<std::size_t, PointRec>& out,
-                                   mr::TaskContext& ctx) {
-    const std::size_t partition_id = key_to_partition[key];
-    if (pruned.contains(partition_id)) {
-      // §III-B: the whole cell is dominated — skip its local skyline.
-      ctx.increment("skyline.points_pruned", values.size());
-      return;
-    }
-    skyline::SkylineStats stats;
-    const data::PointSet local =
-        kernel(to_point_set(dim, values), &stats);
-    ctx.charge_work(stats.dominance_tests);
-    ctx.increment("skyline.local_points", local.size());
-    for (std::size_t i = 0; i < local.size(); ++i) {
-      out.emit(key, PointRec{local.id(i), {local.point(i).begin(), local.point(i).end()}});
-    }
+  // The same local-skyline body serves as combiner and reducer, but each
+  // phase reports under its own counter: `skyline.local_points` counts only
+  // the reduce-side pass, so it equals the sum of the per-partition local
+  // skyline sizes whether or not the combiner is enabled (the combine-side
+  // pre-filter shows up as `skyline.combine_points` instead).
+  auto make_local_skyline_fn = [&, dim](const char* emitted_counter) {
+    return [&, dim, emitted_counter](const std::size_t& key, std::vector<PointRec>& values,
+                                     mr::Emitter<std::size_t, PointRec>& out,
+                                     mr::TaskContext& ctx) {
+      const std::size_t partition_id = key_to_partition[key];
+      if (pruned.contains(partition_id)) {
+        // §III-B: the whole cell is dominated — skip its local skyline.
+        ctx.increment("skyline.points_pruned", values.size());
+        return;
+      }
+      skyline::SkylineStats stats;
+      const data::PointSet local = kernel(to_point_set(dim, values), &stats);
+      ctx.charge_work(stats.dominance_tests);
+      ctx.increment(emitted_counter, local.size());
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        out.emit(key, PointRec{local.id(i), {local.point(i).begin(), local.point(i).end()}});
+      }
+    };
   };
-  if (config.use_combiner) job1.combine_fn = local_skyline_fn;
-  job1.reduce_fn = local_skyline_fn;
+  if (config.use_combiner) job1.combine_fn = make_local_skyline_fn("skyline.combine_points");
+  job1.reduce_fn = make_local_skyline_fn("skyline.local_points");
 
-  std::vector<mr::KV<data::PointId, std::vector<double>>> job1_input;
-  job1_input.reserve(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    job1_input.push_back(
-        {input.id(i), std::vector<double>(input.point(i).begin(), input.point(i).end())});
-  }
-  auto job1_result = mr::run_job(job1, job1_input, config.run_options);
+  auto job1_result = mr::run_job(job1, PointSetInput{&input}, run_opts);
   result.partition_job = std::move(job1_result.metrics);
 
   // Collect per-partition local skylines ("file st" in Algorithm 1).
@@ -238,7 +267,7 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
       }
     };
 
-    auto merge_result = mr::run_job(job, merge_input, config.run_options);
+    auto merge_result = mr::run_job(job, merge_input, run_opts);
     result.merge_rounds.push_back(merge_result.metrics);
     groups = next_groups;
     if (groups <= 1) {

@@ -76,6 +76,9 @@ struct MRSkylineConfig {
   std::size_t merge_fan_in = 0;
 
   /// Engine execution (sequential by default; results identical either way).
+  /// Under kThreads the pipeline creates one persistent worker pool and
+  /// reuses it across job 1 and every merge round; set run_options.pool to
+  /// share a caller-owned pool across many run_mr_skyline calls instead.
   mr::RunOptions run_options;
 
   /// Skew cure (extension): split any partition whose population exceeds

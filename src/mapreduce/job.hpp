@@ -5,24 +5,40 @@
 //   input splits ──map──▶ (combine) ──shuffle/sort──▶ reduce ──▶ output
 //
 // * Input is split into `num_map_tasks` contiguous splits (HDFS blocks).
+//   Input is read through a lightweight view (`size()`/`key(i)`/`value(i)`),
+//   so callers can run jobs directly over columnar storage (e.g. a PointSet)
+//   without materialising a vector<KV> copy; `std::vector<KV>` still works
+//   out of the box.
 // * Each map task applies `map_fn` per record, then — if a combiner is
 //   configured — groups its own output by key and applies `combine_fn`
-//   (Hadoop's map-side combine; its cost is charged to the map task).
-// * The shuffle routes records to `num_reduce_tasks` buckets via
-//   `partition_fn` (default: std::hash of the key) and sorts each bucket by
-//   key (sort-merge grouping, requires operator< on the mid key).
+//   (Hadoop's map-side combine; its cost is charged to the map task), and
+//   finally scatters its records into per-reduce-task shards (the map-side
+//   partitioning Hadoop performs when writing spill files). `partition_fn`
+//   therefore runs inside map tasks and must be pure/thread-safe.
+// * The shuffle concatenates, per reduce bucket and in map-task order, the
+//   shards every map task produced, then sorts each bucket by key
+//   (sort-merge grouping, requires operator< on the mid key). Both the
+//   scatter and the concatenation run in parallel under kThreads; the time
+//   spent building buckets is recorded as JobMetrics::shuffle_ns.
 // * Each reduce task applies `reduce_fn` once per key group.
 //
-// Execution is sequential or thread-pooled (ExecutionMode); results and
-// metrics are bitwise identical in both modes because tasks are pure and
-// outputs are gathered in task order, never completion order. The cluster
-// *simulation* (cluster.hpp) is a separate concern that consumes the metrics
-// afterwards — so experiments are reproducible on any host, including this
-// repository's single-core CI.
+// Execution is sequential or thread-pooled (ExecutionMode). Under kThreads
+// the engine either borrows the caller's persistent RunOptions::pool (reused
+// across jobs — run_mr_skyline threads one pool through job 1 and every
+// merge round) or creates one private pool per engine call, never one per
+// phase. Results and metrics are identical in both modes — bitwise, except
+// for the measured wall-clock fields (TaskMetrics::wall_ns,
+// JobMetrics::shuffle_ns) — because tasks are pure, shuffle metrics are
+// summed in task order, and outputs are gathered in task order, never
+// completion order. The cluster *simulation* (cluster.hpp) is a separate
+// concern that consumes the metrics afterwards — so experiments are
+// reproducible on any host, including this repository's single-core CI.
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -39,8 +55,16 @@ enum class ExecutionMode { kSequential, kThreads };
 
 struct RunOptions {
   ExecutionMode mode = ExecutionMode::kSequential;
-  /// Worker count for kThreads; 0 means hardware concurrency.
+  /// Worker count for kThreads; 0 means hardware concurrency. Ignored when
+  /// `pool` is set (the pool's size wins).
   std::size_t num_threads = 0;
+
+  /// Optional caller-owned persistent pool for kThreads. When set, every
+  /// engine call runs on it and no pool is constructed internally — the way
+  /// to amortise thread start-up across a multi-job pipeline. The pool must
+  /// outlive every engine call that uses these options. When null, each
+  /// run_job/run_map_only call creates one private pool for its duration.
+  common::ThreadPool* pool = nullptr;
 
   /// Fault injection: probability that any task attempt fails and is retried
   /// (Hadoop task-retry semantics). Failures are a deterministic hash of
@@ -74,7 +98,52 @@ inline bool attempt_fails(const RunOptions& opts, const std::string& job, int ph
   return u < opts.task_failure_probability;
 }
 
+/// The pool one engine call runs on: the caller's persistent RunOptions::pool
+/// when provided, else a private pool created once per call (not once per
+/// phase) and destroyed on return. Sequential mode never creates a pool and
+/// get() returns nullptr.
+class EnginePool {
+ public:
+  explicit EnginePool(const RunOptions& opts) {
+    if (opts.mode != ExecutionMode::kThreads) return;
+    if (opts.pool != nullptr) {
+      pool_ = opts.pool;
+      return;
+    }
+    const std::size_t threads =
+        opts.num_threads == 0 ? common::ThreadPool::default_concurrency() : opts.num_threads;
+    owned_ = std::make_unique<common::ThreadPool>(threads);
+    pool_ = owned_.get();
+  }
+
+  [[nodiscard]] common::ThreadPool* get() const noexcept { return pool_; }
+
+ private:
+  common::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<common::ThreadPool> owned_;
+};
+
 }  // namespace detail
+
+/// The minimal read-only record-sequence interface the engine consumes:
+/// `size()`, plus `key(i)`/`value(i)` whose results bind to the map
+/// function's `const InK&`/`const InV&` parameters.
+template <typename Input>
+concept JobInput = requires(const Input& in, std::size_t i) {
+  { in.size() } -> std::convertible_to<std::size_t>;
+  in.key(i);
+  in.value(i);
+};
+
+/// Adapts the classic vector-of-records input to the view interface.
+template <typename K, typename V>
+struct VectorInput {
+  const std::vector<KV<K, V>>* records;
+
+  [[nodiscard]] std::size_t size() const noexcept { return records->size(); }
+  [[nodiscard]] const K& key(std::size_t i) const noexcept { return (*records)[i].key; }
+  [[nodiscard]] const V& value(std::size_t i) const noexcept { return (*records)[i].value; }
+};
 
 template <typename InK, typename InV, typename MidK, typename MidV, typename OutK,
           typename OutV>
@@ -95,6 +164,7 @@ struct JobConfig {
   CombineFn combine_fn;  ///< optional map-side combine
   ReduceFn reduce_fn;
   /// Routes a mid key to a reduce bucket; default std::hash(key) % buckets.
+  /// Runs inside map tasks, so it must be pure and thread-safe.
   PartitionFn partition_fn;
   /// Approximate payload size of a shuffled value; default sizeof(MidV).
   ValueBytesFn value_bytes_fn;
@@ -135,17 +205,14 @@ inline std::vector<std::size_t> split_offsets(std::size_t n, std::size_t num_spl
   return offsets;
 }
 
-/// Runs `fn(i)` for i in [0, count), sequentially or on a pool.
-inline void for_each_task(std::size_t count, const RunOptions& opts,
+/// Runs `fn(i)` for i in [0, count), on `pool` when given, else inline.
+inline void for_each_task(std::size_t count, common::ThreadPool* pool,
                           const std::function<void(std::size_t)>& fn) {
-  if (opts.mode == ExecutionMode::kSequential || count <= 1) {
+  if (pool == nullptr || count <= 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  const std::size_t threads =
-      opts.num_threads == 0 ? common::ThreadPool::default_concurrency() : opts.num_threads;
-  common::ThreadPool pool(std::min(threads, count));
-  pool.parallel_for(count, fn);
+  pool->parallel_for(count, fn);
 }
 
 }  // namespace detail
@@ -159,12 +226,12 @@ struct MapOnlyConfig {
   std::function<void(const InK&, const InV&, Emitter<OutK, OutV>&, TaskContext&)> map_fn;
 };
 
-/// Executes a map-only job: per-task metrics are recorded exactly as in the
-/// full engine (including fault-injection retries); shuffle counters stay 0.
-template <typename InK, typename InV, typename OutK, typename OutV>
+/// Executes a map-only job over any JobInput view: per-task metrics are
+/// recorded exactly as in the full engine (including fault-injection
+/// retries); shuffle counters stay 0.
+template <typename InK, typename InV, typename OutK, typename OutV, JobInput Input>
 JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& config,
-                                   const std::vector<KV<InK, InV>>& input,
-                                   const RunOptions& opts = {}) {
+                                   const Input& input, const RunOptions& opts = {}) {
   MRSKY_REQUIRE(static_cast<bool>(config.map_fn), "map-only job needs a map function");
   MRSKY_REQUIRE(config.num_map_tasks >= 1, "need at least one map task");
 
@@ -172,9 +239,10 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
   result.metrics.job_name = config.name;
   result.metrics.map_tasks.resize(config.num_map_tasks);
 
+  const detail::EnginePool pool(opts);
   const auto offsets = detail::split_offsets(input.size(), config.num_map_tasks);
   std::vector<std::vector<KV<OutK, OutV>>> outputs(config.num_map_tasks);
-  detail::for_each_task(config.num_map_tasks, opts, [&](std::size_t t) {
+  detail::for_each_task(config.num_map_tasks, pool.get(), [&](std::size_t t) {
     std::uint64_t attempt = 0;
     while (detail::attempt_fails(opts, config.name, /*phase=*/0, t, attempt)) {
       ++attempt;
@@ -187,7 +255,7 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
     TaskContext ctx;
     Emitter<OutK, OutV> emitter;
     for (std::size_t r = offsets[t]; r < offsets[t + 1]; ++r) {
-      config.map_fn(input[r].key, input[r].value, emitter, ctx);
+      config.map_fn(input.key(r), input.value(r), emitter, ctx);
     }
     outputs[t] = emitter.take();
     auto& m = result.metrics.map_tasks[t];
@@ -199,6 +267,9 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
     m.counters = ctx.counters();
   });
 
+  std::size_t total_out = 0;
+  for (const auto& out : outputs) total_out += out.size();
+  result.output.reserve(total_out);
   for (auto& out : outputs) {
     result.output.insert(result.output.end(), std::make_move_iterator(out.begin()),
                          std::make_move_iterator(out.end()));
@@ -206,30 +277,43 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
   return result;
 }
 
-/// Executes one MapReduce job over an in-memory input. See file header for
-/// the execution model. Throws mrsky::InvalidArgument on bad configuration.
+/// Executes a map-only job over an in-memory record vector.
+template <typename InK, typename InV, typename OutK, typename OutV>
+JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& config,
+                                   const std::vector<KV<InK, InV>>& input,
+                                   const RunOptions& opts = {}) {
+  return run_map_only(config, VectorInput<InK, InV>{&input}, opts);
+}
+
+/// Executes one MapReduce job over any JobInput view. See file header for
+/// the execution model. Throws mrsky::InvalidArgument on bad configuration
+/// (including a partition_fn that returns an out-of-range bucket).
 template <typename InK, typename InV, typename MidK, typename MidV, typename OutK,
-          typename OutV>
+          typename OutV, JobInput Input>
 JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>& config,
-                              const std::vector<KV<InK, InV>>& input,
-                              const RunOptions& opts = {}) {
+                              const Input& input, const RunOptions& opts = {}) {
   MRSKY_REQUIRE(static_cast<bool>(config.map_fn), "job needs a map function");
   MRSKY_REQUIRE(static_cast<bool>(config.reduce_fn), "job needs a reduce function");
   MRSKY_REQUIRE(config.num_map_tasks >= 1, "need at least one map task");
   MRSKY_REQUIRE(config.num_reduce_tasks >= 1, "need at least one reduce task");
 
+  const std::size_t num_maps = config.num_map_tasks;
+  const std::size_t num_reduces = config.num_reduce_tasks;
+
   JobResult<OutK, OutV> result;
   result.metrics.job_name = config.name;
-  result.metrics.map_tasks.resize(config.num_map_tasks);
-  result.metrics.reduce_tasks.resize(config.num_reduce_tasks);
+  result.metrics.map_tasks.resize(num_maps);
+  result.metrics.reduce_tasks.resize(num_reduces);
 
   const auto partition_of = [&](const MidK& key) -> std::size_t {
     if (config.partition_fn) {
-      const std::size_t p = config.partition_fn(key, config.num_reduce_tasks);
-      MRSKY_ASSERT(p < config.num_reduce_tasks, "partition_fn returned out-of-range bucket");
+      const std::size_t p = config.partition_fn(key, num_reduces);
+      // A user-supplied callback is a public-API boundary: validate even in
+      // release builds, or the scatter below indexes out of bounds.
+      MRSKY_REQUIRE(p < num_reduces, "partition_fn returned out-of-range bucket");
       return p;
     }
-    return std::hash<MidK>{}(key) % config.num_reduce_tasks;
+    return std::hash<MidK>{}(key) % num_reduces;
   };
 
   // Injected-failure retry loop (see RunOptions): a failing attempt is
@@ -248,16 +332,22 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     return attempt + 1;  // total attempts consumed
   };
 
-  // ---- Map phase (with optional map-side combine) ----
-  const auto offsets = detail::split_offsets(input.size(), config.num_map_tasks);
-  std::vector<std::vector<KV<MidK, MidV>>> map_outputs(config.num_map_tasks);
-  detail::for_each_task(config.num_map_tasks, opts, [&](std::size_t t) {
+  const detail::EnginePool pool(opts);
+
+  // ---- Map phase: map, optional combine, then scatter into per-reduce
+  // shards (map-side partitioning). Shuffle metrics are tallied per task and
+  // summed in task order below, keeping them independent of scheduling. ----
+  const auto offsets = detail::split_offsets(input.size(), num_maps);
+  std::vector<std::vector<std::vector<KV<MidK, MidV>>>> shards(num_maps);
+  std::vector<std::uint64_t> task_shuffle_records(num_maps, 0);
+  std::vector<std::uint64_t> task_shuffle_bytes(num_maps, 0);
+  detail::for_each_task(num_maps, pool.get(), [&](std::size_t t) {
     const std::uint64_t attempts = surviving_attempt(/*phase=*/0, t);
     common::Timer timer;
     TaskContext ctx;
     Emitter<MidK, MidV> emitter;
     for (std::size_t r = offsets[t]; r < offsets[t + 1]; ++r) {
-      config.map_fn(input[r].key, input[r].value, emitter, ctx);
+      config.map_fn(input.key(r), input.value(r), emitter, ctx);
     }
     auto emitted = emitter.take();
     if (config.combine_fn) {
@@ -270,29 +360,47 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     auto& m = result.metrics.map_tasks[t];
     m.records_in = offsets[t + 1] - offsets[t];
     m.records_out = emitted.size();
+    auto& task_shards = shards[t];
+    task_shards.resize(num_reduces);
+    for (auto& record : emitted) {
+      task_shuffle_records[t] += 1;
+      task_shuffle_bytes[t] +=
+          sizeof(MidK) +
+          (config.value_bytes_fn ? config.value_bytes_fn(record.value) : sizeof(MidV));
+      task_shards[partition_of(record.key)].push_back(std::move(record));
+    }
     m.work_units = ctx.work_units();
     m.wall_ns = timer.elapsed_ns();
     m.attempts = attempts;
     m.counters = ctx.counters();
-    map_outputs[t] = std::move(emitted);
   });
-
-  // ---- Shuffle: route to buckets (task order, so fully deterministic) ----
-  std::vector<std::vector<KV<MidK, MidV>>> buckets(config.num_reduce_tasks);
-  for (auto& task_output : map_outputs) {
-    for (auto& record : task_output) {
-      result.metrics.shuffle_records += 1;
-      result.metrics.shuffle_bytes +=
-          sizeof(MidK) +
-          (config.value_bytes_fn ? config.value_bytes_fn(record.value) : sizeof(MidV));
-      buckets[partition_of(record.key)].push_back(std::move(record));
-    }
-    task_output.clear();
+  for (std::size_t t = 0; t < num_maps; ++t) {
+    result.metrics.shuffle_records += task_shuffle_records[t];
+    result.metrics.shuffle_bytes += task_shuffle_bytes[t];
   }
 
+  // ---- Shuffle: build each reduce bucket by concatenating the map tasks'
+  // shards in map-task order — the exact sequence a sequential scatter
+  // produces, so grouping and output stay identical across modes. ----
+  common::Timer shuffle_timer;
+  std::vector<std::vector<KV<MidK, MidV>>> buckets(num_reduces);
+  detail::for_each_task(num_reduces, pool.get(), [&](std::size_t b) {
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < num_maps; ++t) total += shards[t][b].size();
+    auto& bucket = buckets[b];
+    bucket.reserve(total);
+    for (std::size_t t = 0; t < num_maps; ++t) {
+      auto& shard = shards[t][b];
+      bucket.insert(bucket.end(), std::make_move_iterator(shard.begin()),
+                    std::make_move_iterator(shard.end()));
+      shard.clear();
+    }
+  });
+  result.metrics.shuffle_ns = shuffle_timer.elapsed_ns();
+
   // ---- Reduce phase ----
-  std::vector<std::vector<KV<OutK, OutV>>> reduce_outputs(config.num_reduce_tasks);
-  detail::for_each_task(config.num_reduce_tasks, opts, [&](std::size_t t) {
+  std::vector<std::vector<KV<OutK, OutV>>> reduce_outputs(num_reduces);
+  detail::for_each_task(num_reduces, pool.get(), [&](std::size_t t) {
     const std::uint64_t attempts = surviving_attempt(/*phase=*/1, t);
     common::Timer timer;
     TaskContext ctx;
@@ -310,11 +418,23 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     m.counters = ctx.counters();
   });
 
+  std::size_t total_out = 0;
+  for (const auto& out : reduce_outputs) total_out += out.size();
+  result.output.reserve(total_out);
   for (auto& out : reduce_outputs) {
     result.output.insert(result.output.end(), std::make_move_iterator(out.begin()),
                          std::make_move_iterator(out.end()));
   }
   return result;
+}
+
+/// Executes one MapReduce job over an in-memory record vector.
+template <typename InK, typename InV, typename MidK, typename MidV, typename OutK,
+          typename OutV>
+JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>& config,
+                              const std::vector<KV<InK, InV>>& input,
+                              const RunOptions& opts = {}) {
+  return run_job(config, VectorInput<InK, InV>{&input}, opts);
 }
 
 }  // namespace mrsky::mr

@@ -30,6 +30,7 @@ struct JobMetrics {
   std::vector<TaskMetrics> reduce_tasks;
   std::uint64_t shuffle_records = 0;      ///< records crossing the shuffle
   std::uint64_t shuffle_bytes = 0;        ///< approximate payload volume
+  std::int64_t shuffle_ns = 0;            ///< wall time of the bucket-build stage
 
   [[nodiscard]] TaskMetrics map_total() const;
   [[nodiscard]] TaskMetrics reduce_total() const;

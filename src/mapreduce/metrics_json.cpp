@@ -60,7 +60,8 @@ std::string to_json(const JobMetrics& metrics) {
     os << to_json(metrics.reduce_tasks[i]);
   }
   os << "],\"shuffle_records\":" << metrics.shuffle_records
-     << ",\"shuffle_bytes\":" << metrics.shuffle_bytes << ",\"counter_totals\":";
+     << ",\"shuffle_bytes\":" << metrics.shuffle_bytes
+     << ",\"shuffle_ns\":" << metrics.shuffle_ns << ",\"counter_totals\":";
   append_counters(os, metrics.counter_totals());
   os << "}";
   return os.str();

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "src/common/error.hpp"
@@ -63,6 +64,37 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                                    if (i == 3) throw std::runtime_error("bad index");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForSurfacesExactlyOneExceptionWhenManyThrow) {
+  // Every index throws; parallel_for must fold them into a single rethrow
+  // rather than terminating or leaking exceptions from abandoned futures.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [](std::size_t i) {
+      throw std::runtime_error("index " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterParallelForThrows) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(50,
+                                   [](std::size_t i) {
+                                     if (i % 2 == 0) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // Both entry points still work on the same pool.
+    auto f = pool.submit([] { return 7; });
+    EXPECT_EQ(f.get(), 7);
+    std::atomic<int> counter{0};
+    pool.parallel_for(20, [&counter](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 20);
+  }
 }
 
 TEST(ThreadPool, ParallelForComputesCorrectSum) {

@@ -98,6 +98,34 @@ TEST(Salting, RejectsBadFactor) {
   EXPECT_THROW(run_mr_skyline(ps, config), mrsky::InvalidArgument);
 }
 
+TEST(Salting, LocalPointsCounterMatchesLocalSkylineSizes) {
+  // `skyline.local_points` counts the reduce-side local-skyline pass only,
+  // so it must equal the summed local skyline sizes with the combiner off
+  // AND on (the map-side pass reports as `skyline.combine_points` instead
+  // of double-counting into the same name).
+  const PointSet ps = clumped_workload(4000);
+  for (bool combiner : {false, true}) {
+    MRSkylineConfig config = salted_config(true);
+    config.use_combiner = combiner;
+    const auto result = run_mr_skyline(ps, config);
+    std::uint64_t local_total = 0;
+    for (const auto& ls : result.local_skylines) local_total += ls.size();
+    const auto totals = result.partition_job.counter_totals();
+    EXPECT_EQ(totals.at("skyline.local_points"), local_total)
+        << "use_combiner=" << combiner;
+    if (combiner) {
+      // The combine pass ran and reported under its own counter, charged to
+      // the map side; the reduce side never increments it.
+      EXPECT_GT(totals.at("skyline.combine_points"), 0u);
+      EXPECT_EQ(result.partition_job.map_total().counters.count("skyline.local_points"), 0u);
+      EXPECT_EQ(result.partition_job.reduce_total().counters.count("skyline.combine_points"),
+                0u);
+    } else {
+      EXPECT_EQ(totals.count("skyline.combine_points"), 0u);
+    }
+  }
+}
+
 TEST(Salting, DeterministicAcrossRuns) {
   const PointSet ps = clumped_workload(2000);
   const auto a = run_mr_skyline(ps, salted_config(true));

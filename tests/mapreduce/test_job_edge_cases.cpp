@@ -134,6 +134,30 @@ TEST(JobEdgeCases, StringKeysSortLexicographically) {
   EXPECT_EQ(seen, (std::vector<std::string>{"apple", "mango", "pear"}));
 }
 
+TEST(JobEdgeCases, OutOfRangePartitionFnThrows) {
+  // A user-supplied partitioner is a public-API boundary: an out-of-range
+  // bucket must throw (in release builds too), never index out of bounds.
+  auto config = identity_job();
+  config.partition_fn = [](const int& key, std::size_t buckets) -> std::size_t {
+    return key == 7 ? buckets : static_cast<std::size_t>(key) % buckets;
+  };
+  std::vector<KV<int, int>> input;
+  for (int i = 0; i < 12; ++i) input.push_back({i, i});
+  EXPECT_THROW(run_job(config, input), mrsky::InvalidArgument);
+
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  EXPECT_THROW(run_job(config, input, threaded), mrsky::InvalidArgument);
+}
+
+TEST(JobEdgeCases, WayOutOfRangePartitionFnThrows) {
+  auto config = identity_job();
+  config.partition_fn = [](const int&, std::size_t) -> std::size_t { return 1u << 20; };
+  std::vector<KV<int, int>> input = {{1, 1}};
+  EXPECT_THROW(run_job(config, input), mrsky::InvalidArgument);
+}
+
 TEST(JobEdgeCases, MoveOnlyFriendlyValuesViaVectors) {
   // Values carrying heap payloads survive the shuffle intact.
   JobConfig<int, std::vector<int>, int, std::vector<int>, int, std::size_t> config;

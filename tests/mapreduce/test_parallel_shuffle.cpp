@@ -1,0 +1,199 @@
+// The parallel shuffle and the persistent RunOptions::pool: determinism
+// across execution modes, pool reuse, and exception propagation out of
+// map/reduce bodies running under kThreads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/mapreduce/job.hpp"
+
+namespace mrsky::mr {
+namespace {
+
+using FanJob = JobConfig<int, int, int, int, int, int>;
+
+/// A job with wide fan-out, a combiner, and a custom partitioner — every
+/// engine feature the parallel shuffle has to keep deterministic.
+FanJob fan_out_job() {
+  FanJob config;
+  config.name = "fan-out";
+  config.num_map_tasks = 7;
+  config.num_reduce_tasks = 5;
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext& ctx) {
+    for (int i = 0; i < 8; ++i) {
+      out.emit((k * 31 + i) % 23, v + i);
+      ctx.charge_work(1);
+    }
+    ctx.increment("map.calls");
+  };
+  config.combine_fn = [](const int& key, std::vector<int>& values, Emitter<int, int>& out,
+                         TaskContext& ctx) {
+    int total = 0;
+    for (int v : values) total += v;
+    out.emit(key, total);
+    ctx.increment("combine.groups");
+  };
+  config.reduce_fn = [](const int& key, std::vector<int>& values, Emitter<int, int>& out,
+                        TaskContext& ctx) {
+    int total = 0;
+    for (int v : values) total += v;
+    out.emit(key, total);
+    ctx.increment("reduce.groups");
+  };
+  config.partition_fn = [](const int& key, std::size_t buckets) {
+    return static_cast<std::size_t>(key) % buckets;
+  };
+  return config;
+}
+
+std::vector<KV<int, int>> numbers(int n) {
+  std::vector<KV<int, int>> input;
+  for (int i = 0; i < n; ++i) input.push_back({i, 3 * i + 1});
+  return input;
+}
+
+/// Everything except the measured wall-clock fields must be identical.
+void expect_tasks_identical(const std::vector<TaskMetrics>& a,
+                            const std::vector<TaskMetrics>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].records_in, b[i].records_in) << "task " << i;
+    EXPECT_EQ(a[i].records_out, b[i].records_out) << "task " << i;
+    EXPECT_EQ(a[i].work_units, b[i].work_units) << "task " << i;
+    EXPECT_EQ(a[i].attempts, b[i].attempts) << "task " << i;
+    EXPECT_EQ(a[i].counters, b[i].counters) << "task " << i;
+  }
+}
+
+TEST(ParallelShuffle, ThreadedRunIsBitwiseIdenticalToSequential) {
+  const auto input = numbers(500);
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  const auto seq = run_job(fan_out_job(), input);
+  const auto par = run_job(fan_out_job(), input, threaded);
+
+  // Output: same records in the same order, not just the same multiset.
+  ASSERT_EQ(seq.output.size(), par.output.size());
+  for (std::size_t i = 0; i < seq.output.size(); ++i) {
+    EXPECT_EQ(seq.output[i].key, par.output[i].key) << "record " << i;
+    EXPECT_EQ(seq.output[i].value, par.output[i].value) << "record " << i;
+  }
+
+  EXPECT_EQ(seq.metrics.shuffle_records, par.metrics.shuffle_records);
+  EXPECT_EQ(seq.metrics.shuffle_bytes, par.metrics.shuffle_bytes);
+  expect_tasks_identical(seq.metrics.map_tasks, par.metrics.map_tasks);
+  expect_tasks_identical(seq.metrics.reduce_tasks, par.metrics.reduce_tasks);
+  EXPECT_EQ(seq.metrics.counter_totals(), par.metrics.counter_totals());
+}
+
+TEST(ParallelShuffle, ShuffleTimeIsRecorded) {
+  const auto result = run_job(fan_out_job(), numbers(100));
+  EXPECT_GE(result.metrics.shuffle_ns, 0);
+  // Reduce tasks saw exactly what crossed the shuffle.
+  EXPECT_EQ(result.metrics.reduce_total().records_in, result.metrics.shuffle_records);
+}
+
+TEST(ParallelShuffle, PersistentPoolIsReusedAcrossJobs) {
+  common::ThreadPool pool(3);
+  RunOptions opts;
+  opts.mode = ExecutionMode::kThreads;
+  opts.pool = &pool;
+  const auto input = numbers(200);
+  const auto baseline = run_job(fan_out_job(), input);
+  for (int round = 0; round < 3; ++round) {
+    const auto result = run_job(fan_out_job(), input, opts);
+    EXPECT_EQ(result.output.size(), baseline.output.size()) << "round " << round;
+    EXPECT_EQ(result.metrics.counter_totals(), baseline.metrics.counter_totals());
+  }
+  EXPECT_EQ(pool.size(), 3u);  // engine never resized or replaced the pool
+}
+
+TEST(ParallelShuffle, PersistentPoolWorksForMapOnlyJobs) {
+  common::ThreadPool pool(2);
+  RunOptions opts;
+  opts.mode = ExecutionMode::kThreads;
+  opts.pool = &pool;
+  MapOnlyConfig<int, int, int, int> config;
+  config.name = "passthrough";
+  config.num_map_tasks = 4;
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext&) {
+    out.emit(k, v);
+  };
+  const auto result = run_map_only(config, numbers(64), opts);
+  EXPECT_EQ(result.output.size(), 64u);
+}
+
+TEST(ParallelShuffle, ThrowingMapFnSurfacesExactlyOneException) {
+  auto config = fan_out_job();
+  std::atomic<int> calls{0};
+  config.map_fn = [&calls](const int& k, const int&, Emitter<int, int>&, TaskContext&) {
+    calls.fetch_add(1);
+    if (k % 3 == 0) throw std::runtime_error("map blew up");
+  };
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  EXPECT_THROW(run_job(config, numbers(120), threaded), std::runtime_error);
+  EXPECT_GT(calls.load(), 0);
+}
+
+TEST(ParallelShuffle, ThrowingReduceFnSurfacesExactlyOneException) {
+  auto config = fan_out_job();
+  config.reduce_fn = [](const int&, std::vector<int>&, Emitter<int, int>&, TaskContext&) {
+    throw std::runtime_error("reduce blew up");
+  };
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  EXPECT_THROW(run_job(config, numbers(120), threaded), std::runtime_error);
+}
+
+TEST(ParallelShuffle, PersistentPoolSurvivesAFailedJob) {
+  common::ThreadPool pool(3);
+  RunOptions opts;
+  opts.mode = ExecutionMode::kThreads;
+  opts.pool = &pool;
+
+  auto doomed = fan_out_job();
+  doomed.map_fn = [](const int&, const int&, Emitter<int, int>&, TaskContext&) {
+    throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(run_job(doomed, numbers(50), opts), std::runtime_error);
+
+  // The same pool immediately runs the next job to completion.
+  const auto result = run_job(fan_out_job(), numbers(50), opts);
+  const auto baseline = run_job(fan_out_job(), numbers(50));
+  EXPECT_EQ(result.output.size(), baseline.output.size());
+  EXPECT_EQ(result.metrics.counter_totals(), baseline.metrics.counter_totals());
+}
+
+TEST(ParallelShuffle, OutOfRangePartitionThrowsUnderThreads) {
+  auto config = fan_out_job();
+  config.partition_fn = [](const int&, std::size_t buckets) { return buckets; };
+  RunOptions threaded;
+  threaded.mode = ExecutionMode::kThreads;
+  threaded.num_threads = 4;
+  EXPECT_THROW(run_job(config, numbers(40), threaded), mrsky::InvalidArgument);
+}
+
+TEST(ParallelShuffle, FaultInjectionStaysDeterministicAcrossModes) {
+  RunOptions seq;
+  seq.task_failure_probability = 0.3;
+  RunOptions par = seq;
+  par.mode = ExecutionMode::kThreads;
+  par.num_threads = 4;
+  const auto input = numbers(150);
+  const auto a = run_job(fan_out_job(), input, seq);
+  const auto b = run_job(fan_out_job(), input, par);
+  expect_tasks_identical(a.metrics.map_tasks, b.metrics.map_tasks);
+  expect_tasks_identical(a.metrics.reduce_tasks, b.metrics.reduce_tasks);
+}
+
+}  // namespace
+}  // namespace mrsky::mr
