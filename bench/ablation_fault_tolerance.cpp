@@ -1,0 +1,91 @@
+// Ablation — fault tolerance: task retries, bad-record skipping, node loss.
+//
+// The paper's Hadoop cluster inherited the framework's fault tolerance for
+// free; our engine now reproduces it, so its price can be dosed. Two sweeps
+// over the Fig. 5 workload (QWS-like, MR-Angle):
+//
+//   1. Task-failure probability: every task attempt may crash mid-task at a
+//      deterministic record offset; the lost prefix is re-executed. The
+//      engine measures the wasted records/work and the simulator charges
+//      them, so the overhead column is measured, not imputed.
+//   2. Node loss: one server dies at t seconds into each simulated job's map
+//      phase (the pipeline runs job 1 + merge rounds; failure times are
+//      job-relative). In-flight tasks reschedule and the dead server's
+//      completed map output is re-executed (Hadoop semantics), with and
+//      without speculative execution of the recovery stragglers.
+//
+// The skyline itself is identical in every cell — fault tolerance changes
+// when work happens, never what is computed.
+#include <iostream>
+
+#include "bench/support.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/table.hpp"
+
+using namespace mrsky;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("cardinality", 100000));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 10));
+  const auto servers = static_cast<std::size_t>(args.get_int("servers", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
+
+  std::cout << "Ablation — fault tolerance\n"
+            << "N=" << n << ", d=" << dim << ", MR-Angle, " << servers << " servers\n\n";
+
+  const auto ps = bench::qws_workload(n, dim, seed);
+
+  // --- Sweep 1: injected task failures. --------------------------------
+  core::MRSkylineConfig config;
+  config.scheme = part::Scheme::kAngular;
+  config.servers = servers;
+  const auto baseline = core::run_mr_skyline(ps, config);
+  mr::ClusterModel healthy;
+  healthy.servers = servers;
+  const double healthy_total = baseline.simulate(healthy).total_seconds();
+
+  common::Table failures({"failure_p", "retried", "wasted_records", "skyline", "total_s",
+                          "vs_healthy"});
+  for (double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    config.run_options.task_failure_probability = p;
+    const auto result = core::run_mr_skyline(ps, config);
+    mr::FailureReport report = result.partition_job.failure_report();
+    for (const auto& round : result.merge_rounds) report += round.failure_report();
+    const double total = result.simulate(healthy).total_seconds();
+    failures.add_row({common::Table::fmt(p, 2), common::Table::fmt(report.tasks_retried),
+                      common::Table::fmt(report.wasted_records),
+                      common::Table::fmt(result.skyline.size()),
+                      common::Table::fmt(total, 2),
+                      common::Table::fmt(total / healthy_total, 2) + "x"});
+  }
+  failures.print(std::cout, "Injected task failures (mid-task crash + re-execution)");
+  config.run_options.task_failure_probability = 0.0;
+
+  // --- Sweep 2: node loss at t seconds into the map phase. -------------
+  const double map_makespan = baseline.simulate(healthy).map_seconds;
+  common::Table loss({"lost_at", "speculation", "map_s", "reduce_s", "total_s",
+                      "vs_healthy"});
+  for (double frac : {0.25, 0.5, 0.75, 1.5}) {
+    for (bool speculation : {false, true}) {
+      mr::ClusterModel model = healthy;
+      model.speculative_execution = speculation;
+      model.node_failures.push_back(mr::NodeFailure{0, frac * map_makespan});
+      const auto times = baseline.simulate(model);
+      loss.add_row({common::Table::fmt(frac, 2) + " x map", speculation ? "on" : "off",
+                    common::Table::fmt(times.map_seconds, 2),
+                    common::Table::fmt(times.reduce_seconds, 2),
+                    common::Table::fmt(times.total_seconds(), 2),
+                    common::Table::fmt(times.total_seconds() / healthy_total, 2) + "x"});
+    }
+  }
+  loss.print(std::cout, "Node loss (server 0 dies at t, map output re-executed)");
+
+  std::cout << "\nExpected: retry overhead grows with the failure probability; the\n"
+               "earlier a server dies the more of the job runs one server short\n"
+               "(plus its lost map output re-executed on the survivors), losses\n"
+               "after a job's phases leave that job untouched, and speculation\n"
+               "claws back part of the recovery stragglers. The skyline size\n"
+               "never changes.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Robustness CI gate: fault tolerance under sanitizers plus an end-to-end
+# fault-injection pass.
+#
+#   ./scripts/ci_robustness.sh [build-dir]
+#
+# Three stages:
+#   1. ci_sanitize.sh thread — the concurrent engine suites (including the
+#      fault-injection tests) under TSan; retries + skip mode must be as
+#      data-race-free as the happy path.
+#   2. A plain build running the fault-focused test suites: engine faults,
+#      cluster node-loss recovery, metrics round-trip, lenient dataset reads.
+#   3. The CLI driven with aggressive fault injection + node loss: the
+#      skyline must come out byte-identical to a fault-free run.
+set -euo pipefail
+
+BUILD_DIR="${1:-build-robustness}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+"$ROOT/scripts/ci_sanitize.sh" thread "${BUILD_DIR}-tsan"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMRSKY_BUILD_BENCH=ON \
+  -DMRSKY_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j --target mrsky_tests mrsky ablation_fault_tolerance
+
+FILTER='Fault*:SkipBadRecords*:NodeFailure*:Cluster*:LptSchedule*:TraceJob*:Speculation*'
+FILTER+=':MetricsJson*:CsvIo*:RecordFile*:JobEdgeCases*:MRSkyline*'
+"$BUILD_DIR/tests/mrsky_tests" --gtest_filter="$FILTER"
+
+# End-to-end: same dataset, with and without heavy fault injection; the
+# skyline files must be byte-identical (fault tolerance may never change
+# what is computed). The faulty run also exercises node loss + speculation
+# in the simulator and the failure ledger in the metrics JSON.
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+MRSKY="$BUILD_DIR/tools/mrsky"
+
+"$MRSKY" generate --output "$WORK/data.csv" --n 5000 --dim 6 --qws
+"$MRSKY" skyline --input "$WORK/data.csv" --scheme angular --servers 8 \
+  --output "$WORK/clean.csv"
+"$MRSKY" skyline --input "$WORK/data.csv" --scheme angular --servers 8 \
+  --output "$WORK/faulty.csv" --metrics-json "$WORK/faulty.json" \
+  --failure-probability 0.3 --max-task-attempts 6 \
+  --node-failures 0:5,2:40 --speculation --verbose
+cmp "$WORK/clean.csv" "$WORK/faulty.csv"
+grep -q '"failures":{"tasks_retried":' "$WORK/faulty.json"
+grep -q '"injected":true' "$WORK/faulty.json"
+
+"$BUILD_DIR/bench/ablation_fault_tolerance" --cardinality 2000 --dim 4
+
+echo "== robustness gate passed"

@@ -26,7 +26,7 @@ cmake --build "$BUILD_DIR" -j --target mrsky_tests
 
 # The suites touching the engine's concurrency: the generic job engine, the
 # thread pool itself, and the skyline pipeline that drives them end to end.
-FILTER='ThreadPool*:Job*:JobEdgeCases*:ParallelShuffle*:Counters*:Faults*:MapOnly*'
+FILTER='ThreadPool*:Job*:JobEdgeCases*:ParallelShuffle*:Counters*:Fault*:SkipBadRecords*:MapOnly*'
 FILTER+=':MRSkyline*:Salting*:TreeMerge*:KernelOverride*:SampleFit*'
 
 if [[ "$KIND" == "thread" ]]; then

@@ -61,8 +61,15 @@ std::string MRSkylineResult::summary() const {
      << "  job 1 work:          " << partition_job.total_work_units() << " dominance tests, "
      << partition_job.shuffle_records << " shuffled records\n"
      << "  merge rounds:        " << merge_rounds.size() << " (final work "
-     << merge_job.total_work_units() << ")\n"
-     << "  in-process wall:     " << wall_seconds << " s\n";
+     << merge_job.total_work_units() << ")\n";
+  mr::FailureReport failures = partition_job.failure_report();
+  for (const auto& round : merge_rounds) failures += round.failure_report();
+  if (!failures.empty()) {
+    os << "  fault tolerance:     " << failures.tasks_retried << " tasks retried, "
+       << failures.wasted_records << " records + " << failures.wasted_work_units
+       << " work units wasted, " << failures.records_skipped << " bad records skipped\n";
+  }
+  os << "  in-process wall:     " << wall_seconds << " s\n";
   return os.str();
 }
 

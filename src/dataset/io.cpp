@@ -1,6 +1,7 @@
 #include "src/dataset/io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -58,7 +59,10 @@ void write_csv_file(const std::string& path, const PointSet& ps, const CsvWriteO
   write_csv(file, ps, options);
 }
 
-PointSet read_csv(std::istream& is) {
+PointSet read_csv(std::istream& is, const CsvReadOptions& options, ParseReport* report) {
+  ParseReport local;
+  ParseReport& rep = report != nullptr ? *report : local;
+
   std::string line;
   std::vector<std::vector<std::string>> rows;
   bool first = true;
@@ -93,34 +97,53 @@ PointSet read_csv(std::istream& is) {
   values.reserve(rows.size() * dim);
   std::vector<PointId> ids;
   ids.reserve(rows.size());
+  std::vector<double> row_values(dim);
   for (std::size_t r = 0; r < rows.size(); ++r) {
     const auto& cells = rows[r];
-    MRSKY_REQUIRE(cells.size() == width,
-                  "ragged CSV row " + std::to_string(r) + ": expected " + std::to_string(width) +
-                      " cells, got " + std::to_string(cells.size()));
+    // In strict mode any defect aborts the read; in lenient mode the row is
+    // dropped and the report keeps the cause.
+    std::string defect;
+    if (cells.size() != width) {
+      defect = "expected " + std::to_string(width) + " cells, got " +
+               std::to_string(cells.size());
+    }
     std::size_t c = 0;
-    if (has_id_column) {
+    PointId id = static_cast<PointId>(r);
+    if (defect.empty() && has_id_column) {
       double idv = 0.0;
-      MRSKY_REQUIRE(parse_double(cells[0], idv), "bad id in CSV row " + std::to_string(r));
-      ids.push_back(static_cast<PointId>(idv));
+      if (!parse_double(cells[0], idv)) defect = "bad id: " + cells[0];
+      id = static_cast<PointId>(idv);
       c = 1;
-    } else {
-      ids.push_back(static_cast<PointId>(r));
     }
-    for (; c < width; ++c) {
+    for (std::size_t a = 0; defect.empty() && c < width; ++c, ++a) {
       double v = 0.0;
-      MRSKY_REQUIRE(parse_double(cells[c], v), "bad number in CSV row " + std::to_string(r) +
-                                                   ": " + cells[c]);
-      values.push_back(v);
+      if (!parse_double(cells[c], v)) {
+        defect = "bad number: " + cells[c];
+      } else if (options.lenient && options.require_finite && !std::isfinite(v)) {
+        defect = "non-finite value: " + cells[c];
+      } else if (options.lenient && options.require_non_negative && v < 0.0) {
+        defect = "negative value: " + cells[c];
+      }
+      row_values[a] = v;
     }
+    if (!defect.empty()) {
+      MRSKY_REQUIRE(options.lenient, "CSV row " + std::to_string(r) + ": " + defect);
+      rep.add_issue(r, defect);
+      continue;
+    }
+    ids.push_back(id);
+    values.insert(values.end(), row_values.begin(), row_values.end());
+    ++rep.rows_read;
   }
+  MRSKY_REQUIRE(!ids.empty(), "CSV contains no usable data rows");
   return PointSet(dim, std::move(values), std::move(ids));
 }
 
-PointSet read_csv_file(const std::string& path) {
+PointSet read_csv_file(const std::string& path, const CsvReadOptions& options,
+                       ParseReport* report) {
   std::ifstream file(path);
   if (!file) MRSKY_FAIL("cannot open for reading: " + path);
-  return read_csv(file);
+  return read_csv(file, options, report);
 }
 
 }  // namespace mrsky::data

@@ -9,6 +9,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "src/dataset/parse_report.hpp"
 #include "src/dataset/point_set.hpp"
 
 namespace mrsky::data {
@@ -24,9 +25,26 @@ void write_csv(std::ostream& os, const PointSet& ps, const CsvWriteOptions& opti
 void write_csv_file(const std::string& path, const PointSet& ps,
                     const CsvWriteOptions& options = {});
 
+struct CsvReadOptions {
+  /// Strict (default): throw on the first ragged row or unparsable cell.
+  /// Lenient: drop such rows and account for them in the ParseReport —
+  /// the input-layer counterpart of the engine's skip-bad-records mode.
+  bool lenient = false;
+  /// Lenient mode only: also drop rows containing NaN or infinity.
+  bool require_finite = true;
+  /// Lenient mode only: also drop rows with negative attributes (MR-Angle's
+  /// hyperspherical transform requires the non-negative orthant).
+  bool require_non_negative = false;
+};
+
 /// Reads a point set. Detects a header (any non-numeric first line) and an
-/// "id" first column automatically. Throws on ragged rows or parse errors.
-[[nodiscard]] PointSet read_csv(std::istream& is);
-[[nodiscard]] PointSet read_csv_file(const std::string& path);
+/// "id" first column automatically. Throws on ragged rows or parse errors
+/// unless `options.lenient`; with a non-null `report`, fills in what was
+/// accepted and dropped.
+[[nodiscard]] PointSet read_csv(std::istream& is, const CsvReadOptions& options = {},
+                                ParseReport* report = nullptr);
+[[nodiscard]] PointSet read_csv_file(const std::string& path,
+                                     const CsvReadOptions& options = {},
+                                     ParseReport* report = nullptr);
 
 }  // namespace mrsky::data

@@ -1,5 +1,6 @@
 #include "src/dataset/record_file.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 
@@ -196,22 +197,32 @@ std::vector<RecordSplit> RecordFileReader::splits(std::size_t target_splits) con
   return out;
 }
 
-PointSet RecordFileReader::read_split(const RecordSplit& split) const {
+PointSet RecordFileReader::read_split(const RecordSplit& split, ParseReport* report) const {
   MRSKY_REQUIRE(split.first_block + split.block_count <= blocks_.size(),
                 "split exceeds block table");
+  const bool lenient = report != nullptr;
   auto& file = impl_->file;
   PointSet out(dim_);
   out.reserve(split.record_count);
   std::vector<double> row(dim_);
+  // Staged per block so a checksum mismatch (detectable only after the whole
+  // block is read) can discard the block without poisoning earlier ones.
+  std::vector<PointId> block_ids;
+  std::vector<double> block_coords;
   for (std::size_t b = split.first_block; b < split.first_block + split.block_count; ++b) {
     const BlockInfo& block = blocks_[b];
     file.clear();
     file.seekg(static_cast<std::streamoff>(block.offset));
     std::uint64_t count = 0;
     read_pod(file, count);
-    if (count != block.records) MRSKY_FAIL("block header disagrees with footer index");
+    std::string defect;
+    if (!file || count != block.records) {
+      defect = "block header disagrees with footer index";
+    }
+    block_ids.clear();
+    block_coords.clear();
     std::uint64_t checksum = 0xcbf29ce484222325ULL;
-    for (std::uint64_t r = 0; r < count; ++r) {
+    for (std::uint64_t r = 0; defect.empty() && r < count; ++r) {
       PointId id = 0;
       read_pod(file, id);
       checksum = fnv1a(reinterpret_cast<const char*>(&id), sizeof(id), checksum);
@@ -219,22 +230,44 @@ PointSet RecordFileReader::read_split(const RecordSplit& split) const {
                 static_cast<std::streamsize>(dim_ * sizeof(double)));
       checksum = fnv1a(reinterpret_cast<const char*>(row.data()), dim_ * sizeof(double),
                        checksum);
-      out.push_back(row, id);
+      block_ids.push_back(id);
+      block_coords.insert(block_coords.end(), row.begin(), row.end());
     }
-    if (!file) MRSKY_FAIL("truncated block while reading records");
-    if (checksum != block.checksum) {
-      MRSKY_FAIL("checksum mismatch in block " + std::to_string(b) + " (corrupted file?)");
+    if (defect.empty() && !file) defect = "truncated block while reading records";
+    if (defect.empty() && checksum != block.checksum) {
+      defect = "checksum mismatch (corrupted file?)";
+    }
+    if (!defect.empty()) {
+      if (!lenient) MRSKY_FAIL("block " + std::to_string(b) + ": " + defect);
+      report->add_issue(b, defect + " — " + std::to_string(block.records) +
+                               " records dropped");
+      report->rows_skipped += static_cast<std::size_t>(block.records) - 1;
+      continue;
+    }
+    for (std::size_t r = 0; r < block_ids.size(); ++r) {
+      const double* coords = block_coords.data() + r * dim_;
+      if (lenient) {
+        bool finite = true;
+        for (std::size_t a = 0; a < dim_; ++a) finite = finite && std::isfinite(coords[a]);
+        if (!finite) {
+          report->add_issue(b, "record with non-finite coordinates dropped (id " +
+                                   std::to_string(block_ids[r]) + ")");
+          continue;
+        }
+        ++report->rows_read;
+      }
+      out.push_back(std::span<const double>(coords, dim_), block_ids[r]);
     }
   }
   return out;
 }
 
-PointSet RecordFileReader::read_all() const {
+PointSet RecordFileReader::read_all(ParseReport* report) const {
   RecordSplit whole;
   whole.first_block = 0;
   whole.block_count = blocks_.size();
   whole.record_count = total_records_;
-  return read_split(whole);
+  return read_split(whole, report);
 }
 
 void write_record_file(const std::string& path, const PointSet& ps,
@@ -244,8 +277,8 @@ void write_record_file(const std::string& path, const PointSet& ps,
   writer.close();
 }
 
-PointSet read_record_file(const std::string& path) {
-  return RecordFileReader(path).read_all();
+PointSet read_record_file(const std::string& path, ParseReport* report) {
+  return RecordFileReader(path).read_all(report);
 }
 
 }  // namespace mrsky::data

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/dataset/parse_report.hpp"
 #include "src/dataset/point_set.hpp"
 
 namespace mrsky::data {
@@ -82,11 +83,17 @@ class RecordFileReader {
   /// when there are fewer blocks than requested).
   [[nodiscard]] std::vector<RecordSplit> splits(std::size_t target_splits) const;
 
-  /// Reads one split; verifies each block's checksum (throws on mismatch).
-  [[nodiscard]] PointSet read_split(const RecordSplit& split) const;
+  /// Reads one split; verifies each block's checksum. With `report == nullptr`
+  /// (strict, the default) a corrupted or truncated block throws. With a
+  /// report the read is lenient: a bad block is dropped whole, a record with
+  /// non-finite coordinates is dropped individually, and both are accounted
+  /// for in the report (issue rows are block indices) — the storage-layer
+  /// analogue of the engine's skip-bad-records mode.
+  [[nodiscard]] PointSet read_split(const RecordSplit& split,
+                                    ParseReport* report = nullptr) const;
 
-  /// Reads the whole file.
-  [[nodiscard]] PointSet read_all() const;
+  /// Reads the whole file (same strict/lenient contract as read_split).
+  [[nodiscard]] PointSet read_all(ParseReport* report = nullptr) const;
 
  private:
   struct BlockInfo {
@@ -102,9 +109,10 @@ class RecordFileReader {
   std::vector<BlockInfo> blocks_;
 };
 
-/// Convenience wrappers.
+/// Convenience wrappers (read is lenient when `report` is non-null).
 void write_record_file(const std::string& path, const PointSet& ps,
                        std::size_t records_per_block = 4096);
-[[nodiscard]] PointSet read_record_file(const std::string& path);
+[[nodiscard]] PointSet read_record_file(const std::string& path,
+                                        ParseReport* report = nullptr);
 
 }  // namespace mrsky::data

@@ -1,8 +1,9 @@
 #include "src/mapreduce/cluster.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <limits>
+#include <numeric>
+#include <utility>
 
 #include "src/common/error.hpp"
 
@@ -70,10 +71,17 @@ PhaseSchedule lpt_schedule(std::span<const double> task_costs,
   return schedule;
 }
 
-PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
-                                       std::span<const double> lane_speeds) {
-  PhaseSchedule schedule = lpt_schedule(task_costs, lane_speeds);
-  if (schedule.placements.empty()) return schedule;
+namespace {
+
+/// Speculative backup rounds over an existing schedule. Each round: find the
+/// latest-ending task, try launching a copy on the usable lane that would
+/// finish it earliest; the task completes at the winner's time and the
+/// backup's lane time is consumed. `lane_usable` masks lanes backups may run
+/// on (dead servers under node failures); empty = all lanes usable.
+void apply_speculation(PhaseSchedule& schedule, std::span<const double> task_costs,
+                       std::span<const double> lane_speeds,
+                       std::span<const char> lane_usable) {
+  if (schedule.placements.empty()) return;
 
   // Lane availability after the base schedule.
   std::vector<double> lane_free(lane_speeds.size(), 0.0);
@@ -81,10 +89,6 @@ PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
     lane_free[p.lane] = std::max(lane_free[p.lane], p.end_seconds);
   }
 
-  // Cap the makespan-defining task with a backup copy while it helps. Each
-  // round: find the latest-ending task, try launching a copy on the lane
-  // that would finish it earliest; the task completes at the winner's time
-  // and the backup's lane time is consumed.
   for (std::size_t round = 0; round < schedule.placements.size(); ++round) {
     std::size_t straggler = 0;
     for (std::size_t i = 1; i < schedule.placements.size(); ++i) {
@@ -98,6 +102,7 @@ PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
     double best_finish = victim.end_seconds;
     for (std::size_t lane = 0; lane < lane_speeds.size(); ++lane) {
       if (lane == victim.lane) continue;
+      if (!lane_usable.empty() && !lane_usable[lane]) continue;
       const double finish =
           lane_free[lane] + task_costs[victim.task_index] / lane_speeds[lane];
       if (finish < best_finish) {
@@ -115,6 +120,127 @@ PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
   for (const auto& p : schedule.placements) {
     schedule.makespan_seconds = std::max(schedule.makespan_seconds, p.end_seconds);
   }
+}
+
+}  // namespace
+
+PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
+                                       std::span<const double> lane_speeds) {
+  PhaseSchedule schedule = lpt_schedule(task_costs, lane_speeds);
+  apply_speculation(schedule, task_costs, lane_speeds, {});
+  return schedule;
+}
+
+PhaseSchedule lpt_schedule_with_failures(std::span<const double> task_costs,
+                                         std::span<const double> lane_speeds,
+                                         std::size_t slots_per_server,
+                                         std::span<const NodeFailure> failures,
+                                         double phase_start_seconds,
+                                         bool lose_completed_outputs,
+                                         bool speculative) {
+  MRSKY_REQUIRE(!lane_speeds.empty(), "need at least one lane");
+  MRSKY_REQUIRE(slots_per_server >= 1, "need at least one slot per server");
+  MRSKY_REQUIRE(lane_speeds.size() % slots_per_server == 0,
+                "lane count must be a whole number of servers");
+  for (double s : lane_speeds) MRSKY_REQUIRE(s > 0.0, "lane speeds must be positive");
+  const std::size_t num_servers = lane_speeds.size() / slots_per_server;
+
+  PhaseSchedule schedule;
+  schedule.lane_speeds.assign(lane_speeds.begin(), lane_speeds.end());
+  schedule.placements.resize(task_costs.size());
+  if (task_costs.empty()) return schedule;
+
+  // Earliest phase-relative death time per server (a server only dies once).
+  std::vector<double> death(num_servers, std::numeric_limits<double>::infinity());
+  for (const auto& f : failures) {
+    MRSKY_REQUIRE(f.server < num_servers, "node failure names a server outside the cluster");
+    death[f.server] = std::min(death[f.server], f.time_seconds - phase_start_seconds);
+  }
+  std::vector<std::pair<double, std::size_t>> events;  // (relative time, server)
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    if (death[s] != std::numeric_limits<double>::infinity()) events.emplace_back(death[s], s);
+  }
+  std::sort(events.begin(), events.end());
+
+  std::vector<char> alive(lane_speeds.size(), 1);
+  for (std::size_t lane = 0; lane < lane_speeds.size(); ++lane) {
+    if (death[lane / slots_per_server] <= 0.0) alive[lane] = 0;
+  }
+
+  // Greedy plan → apply next death event → cull and requeue → re-plan.
+  // Mirrors the JobTracker: it schedules with no knowledge of future
+  // failures, then reacts when a TaskTracker stops heartbeating.
+  std::vector<std::size_t> order(task_costs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return task_costs[a] > task_costs[b]; });
+
+  std::vector<char> pending(task_costs.size(), 1);
+  std::vector<char> reexec(task_costs.size(), 0);
+  std::vector<double> lane_free(lane_speeds.size(), 0.0);
+
+  const auto plan_pending = [&] {
+    for (std::size_t task : order) {
+      if (!pending[task]) continue;
+      std::size_t best_lane = lane_speeds.size();
+      for (std::size_t lane = 0; lane < lane_speeds.size(); ++lane) {
+        if (!alive[lane]) continue;
+        if (best_lane == lane_speeds.size() || lane_free[lane] < lane_free[best_lane]) {
+          best_lane = lane;
+        }
+      }
+      MRSKY_REQUIRE(best_lane != lane_speeds.size(),
+                    "every server failed before the phase completed");
+      const double start = lane_free[best_lane];
+      const double finish = start + task_costs[task] / lane_speeds[best_lane];
+      schedule.placements[task] =
+          TaskPlacement{task, best_lane, start, finish, false, reexec[task] != 0};
+      lane_free[best_lane] = finish;
+      pending[task] = 0;
+    }
+  };
+
+  plan_pending();
+  for (const auto& [when, server] : events) {
+    if (when <= 0.0) continue;  // dead from the start: lanes already masked
+    double makespan = 0.0;
+    for (const auto& p : schedule.placements) makespan = std::max(makespan, p.end_seconds);
+    for (std::size_t slot = 0; slot < slots_per_server; ++slot) {
+      alive[server * slots_per_server + slot] = 0;
+    }
+    if (when >= makespan) continue;  // phase already over when the node died
+
+    // Cull the plan at time `when`: work on the dead server is lost (and,
+    // for map phases, its completed output with it); tasks not yet started
+    // anywhere go back to the queue so requeued work interleaves fairly.
+    for (auto& p : schedule.placements) {
+      const bool on_dead = p.lane / slots_per_server == server;
+      if (on_dead) {
+        if (p.end_seconds <= when && !lose_completed_outputs) continue;  // output safe
+        if (p.start_seconds < when) reexec[p.task_index] = 1;  // ran, then lost
+        pending[p.task_index] = 1;
+      } else if (alive[p.lane] && p.start_seconds >= when) {
+        pending[p.task_index] = 1;  // never started: rejoin the queue
+      }
+    }
+    for (std::size_t lane = 0; lane < lane_speeds.size(); ++lane) {
+      if (!alive[lane]) continue;
+      double committed = when;  // a surviving lane cannot start new work earlier
+      for (const auto& p : schedule.placements) {
+        if (!pending[p.task_index] && p.lane == lane) {
+          committed = std::max(committed, p.end_seconds);
+        }
+      }
+      lane_free[lane] = committed;
+    }
+    plan_pending();
+  }
+
+  schedule.makespan_seconds = 0.0;
+  for (const auto& p : schedule.placements) {
+    schedule.makespan_seconds = std::max(schedule.makespan_seconds, p.end_seconds);
+  }
+  if (speculative) apply_speculation(schedule, task_costs, lane_speeds, alive);
   return schedule;
 }
 
@@ -137,15 +263,26 @@ std::vector<double> lane_speeds_for(const ClusterModel& model, std::size_t slots
   return speeds;
 }
 
+/// Cost of one task: the surviving attempt in full, plus what its failed
+/// attempts actually burned — one startup each and the records/work the
+/// engine measured before the attempt died (job.hpp records real prefixes,
+/// so waste is measured, not imputed as `attempts × full`).
+double task_cost(const TaskMetrics& t, const ClusterModel& model, double seconds_per_record) {
+  const double full = model.task_startup_seconds +
+                      static_cast<double>(t.records_in) * seconds_per_record +
+                      static_cast<double>(t.work_units) * model.seconds_per_work_unit;
+  const double waste =
+      static_cast<double>(t.attempts - 1) * model.task_startup_seconds +
+      static_cast<double>(t.wasted_records) * seconds_per_record +
+      static_cast<double>(t.wasted_work_units) * model.seconds_per_work_unit;
+  return full + waste;
+}
+
 std::vector<double> map_task_costs(const JobMetrics& metrics, const ClusterModel& model) {
   std::vector<double> costs;
   costs.reserve(metrics.map_tasks.size());
   for (const auto& t : metrics.map_tasks) {
-    // Failed attempts (engine fault injection) re-ran the whole task.
-    costs.push_back(static_cast<double>(t.attempts) *
-                    (model.task_startup_seconds +
-                     static_cast<double>(t.records_in) * model.seconds_per_map_record +
-                     static_cast<double>(t.work_units) * model.seconds_per_work_unit));
+    costs.push_back(task_cost(t, model, model.seconds_per_map_record));
   }
   return costs;
 }
@@ -154,10 +291,7 @@ std::vector<double> reduce_task_costs(const JobMetrics& metrics, const ClusterMo
   std::vector<double> costs;
   costs.reserve(metrics.reduce_tasks.size());
   for (const auto& t : metrics.reduce_tasks) {
-    costs.push_back(static_cast<double>(t.attempts) *
-                    (model.task_startup_seconds +
-                     static_cast<double>(t.records_in) * model.seconds_per_shuffle_record +
-                     static_cast<double>(t.work_units) * model.seconds_per_work_unit));
+    costs.push_back(task_cost(t, model, model.seconds_per_shuffle_record));
   }
   return costs;
 }
@@ -165,12 +299,31 @@ std::vector<double> reduce_task_costs(const JobMetrics& metrics, const ClusterMo
 }  // namespace
 
 ScheduleTrace trace_job(const JobMetrics& metrics, const ClusterModel& model) {
-  const auto schedule = model.speculative_execution ? lpt_schedule_speculative : lpt_schedule;
   ScheduleTrace trace;
-  trace.map = schedule(map_task_costs(metrics, model),
-                       lane_speeds_for(model, model.map_slots_per_server));
-  trace.reduce = schedule(reduce_task_costs(metrics, model),
-                          lane_speeds_for(model, model.reduce_slots_per_server));
+  if (model.node_failures.empty()) {
+    const auto schedule = model.speculative_execution ? lpt_schedule_speculative : lpt_schedule;
+    trace.map = schedule(map_task_costs(metrics, model),
+                         lane_speeds_for(model, model.map_slots_per_server));
+    trace.reduce = schedule(reduce_task_costs(metrics, model),
+                            lane_speeds_for(model, model.reduce_slots_per_server));
+  } else {
+    // Failure times are job-relative with the map phase starting at 0. Map
+    // output lives on the mapper's local disk, so a mid-map node loss takes
+    // the server's completed map tasks with it and they re-execute before
+    // the reduce phase starts; reduce output (committed to the DFS) is safe,
+    // so the reduce phase only reschedules lost in-flight work. A server
+    // that died during the map phase shows up at the reduce phase as dead
+    // from the start (its relative death time is <= 0).
+    trace.map = lpt_schedule_with_failures(
+        map_task_costs(metrics, model), lane_speeds_for(model, model.map_slots_per_server),
+        model.map_slots_per_server, model.node_failures, /*phase_start_seconds=*/0.0,
+        /*lose_completed_outputs=*/true, model.speculative_execution);
+    trace.reduce = lpt_schedule_with_failures(
+        reduce_task_costs(metrics, model),
+        lane_speeds_for(model, model.reduce_slots_per_server), model.reduce_slots_per_server,
+        model.node_failures, /*phase_start_seconds=*/trace.map.makespan_seconds,
+        /*lose_completed_outputs=*/false, model.speculative_execution);
+  }
   trace.times.startup_seconds = model.job_startup_seconds;
   trace.times.map_seconds = trace.map.makespan_seconds;
   trace.times.reduce_seconds = trace.reduce.makespan_seconds;

@@ -28,6 +28,16 @@
 
 namespace mrsky::mr {
 
+/// One node-loss event: `server` dies at `time_seconds`, measured from the
+/// start of the job's map phase (job startup excluded). Negative times mean
+/// the server is already dead when the job begins. The server stays dead for
+/// the rest of the job — Hadoop 0.20's JobTracker blacklists a TaskTracker
+/// that stops heartbeating and never hands it work again within the job.
+struct NodeFailure {
+  std::size_t server = 0;
+  double time_seconds = 0.0;
+};
+
 struct ClusterModel {
   std::size_t servers = 8;
   std::size_t map_slots_per_server = 2;     ///< Hadoop default: 2 map slots/node
@@ -49,6 +59,13 @@ struct ClusterModel {
   /// that can finish it earliest, and the task completes at whichever copy
   /// wins. Effective against stragglers; backups do consume lane time.
   bool speculative_execution = false;
+
+  /// Node-loss events applied by lpt_schedule_with_failures / trace_job.
+  /// Hadoop semantics: tasks in flight on the dead server re-schedule onto
+  /// surviving lanes, and completed *map* tasks whose output lived on that
+  /// server re-execute before reduce can proceed (map output is stored on
+  /// the mapper's local disk, not in HDFS); completed reduce output is safe.
+  std::vector<NodeFailure> node_failures;
 
   [[nodiscard]] std::size_t map_lanes() const noexcept { return servers * map_slots_per_server; }
   [[nodiscard]] std::size_t reduce_lanes() const noexcept {
@@ -80,13 +97,15 @@ struct PhaseTimes {
 /// parallel lanes. Returns 0 for no tasks; requires lanes >= 1.
 [[nodiscard]] double lpt_makespan(std::span<const double> task_costs, std::size_t lanes);
 
-/// One scheduled task in a simulated phase.
+/// One scheduled task in a simulated phase. With node failures, the fields
+/// describe the task's *final* (surviving) execution.
 struct TaskPlacement {
   std::size_t task_index = 0;  ///< index into the phase's task list
   std::size_t lane = 0;        ///< slot the task ran on
   double start_seconds = 0.0;
   double end_seconds = 0.0;
   bool speculated = false;     ///< completed via a speculative backup copy
+  bool reexecuted = false;     ///< re-ran because a node loss took its work
 };
 
 /// A full phase schedule: LPT placement of tasks over (possibly
@@ -107,6 +126,26 @@ struct PhaseSchedule {
 /// at the earliest finish a backup copy on another lane could achieve.
 [[nodiscard]] PhaseSchedule lpt_schedule_speculative(std::span<const double> task_costs,
                                                      std::span<const double> lane_speeds);
+
+/// lpt_schedule under node-loss events. Lanes are grouped server-major
+/// (`slots_per_server` consecutive lanes per server, the layout trace_job
+/// builds); `failures` use job-relative times and `phase_start_seconds`
+/// shifts them into this phase's clock — a failure at or before phase start
+/// means the server never runs a task here, one at or after the unaffected
+/// makespan leaves the phase untouched. When a server dies mid-phase its
+/// in-flight tasks re-schedule onto surviving lanes from the failure time;
+/// with `lose_completed_outputs` (map phase: output lives on local disk)
+/// its completed tasks re-execute too. Rescheduled tasks that had already
+/// started are marked `reexecuted`. `speculative` additionally runs backup
+/// rounds (as lpt_schedule_speculative) restricted to surviving lanes.
+/// Fails if every server dies before the phase can finish.
+[[nodiscard]] PhaseSchedule lpt_schedule_with_failures(std::span<const double> task_costs,
+                                                       std::span<const double> lane_speeds,
+                                                       std::size_t slots_per_server,
+                                                       std::span<const NodeFailure> failures,
+                                                       double phase_start_seconds,
+                                                       bool lose_completed_outputs,
+                                                       bool speculative);
 
 /// Full trace of a job's simulated execution (map + reduce schedules).
 struct ScheduleTrace {

@@ -33,14 +33,25 @@
 // completion order. The cluster *simulation* (cluster.hpp) is a separate
 // concern that consumes the metrics afterwards — so experiments are
 // reproducible on any host, including this repository's single-core CI.
+//
+// Fault tolerance mirrors Hadoop 0.20's task model: attempts can fail
+// mid-task (deterministically injected via RunOptions), discarding their
+// partial output and re-executing from the split, and user functions that
+// throw on a record either exhaust the task's attempts (job abort) or — in
+// skip-bad-records mode — get the offending records isolated. Everything
+// failure handling costs is measured into TaskMetrics / FailureReport; the
+// node-loss dimension (a dead server taking completed map outputs with it)
+// lives in the cluster simulator.
 #pragma once
 
 #include <algorithm>
 #include <concepts>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/error.hpp"
@@ -67,16 +78,31 @@ struct RunOptions {
   common::ThreadPool* pool = nullptr;
 
   /// Fault injection: probability that any task attempt fails and is retried
-  /// (Hadoop task-retry semantics). Failures are a deterministic hash of
-  /// (job name, phase, task index, attempt, failure_seed), so runs are
-  /// reproducible and identical under kSequential and kThreads. A failed
-  /// attempt's partial output is discarded and the task re-executes from its
-  /// input; TaskMetrics::attempts records the re-runs and the cluster
-  /// simulator charges them. 0 disables injection.
+  /// (Hadoop task-retry semantics). Whether an attempt fails — and how far
+  /// into the task it gets — is a deterministic hash of (job name, phase,
+  /// task index, attempt, failure_seed), so runs are reproducible and
+  /// identical under kSequential and kThreads. A failing attempt really
+  /// executes a prefix of its records, then dies mid-task: its partial
+  /// emitter/shard output is discarded and the task re-executes from its
+  /// split. The lost prefix is measured, not imputed — see
+  /// TaskMetrics::wasted_records / wasted_work_units and
+  /// JobMetrics::failure_report(); the cluster simulator charges it.
+  /// 0 disables injection.
   double task_failure_probability = 0.0;
   /// Attempts per task before the whole job aborts (mapred.*.max.attempts).
   std::size_t max_task_attempts = 4;
   std::uint64_t failure_seed = 0xFA11;
+
+  /// Hadoop's skip-bad-records mode (mapred.skip.*): a map/reduce function
+  /// throwing on a record fails the attempt once, then re-executions isolate
+  /// throwing records in place instead of aborting the job; isolated records
+  /// are counted in TaskMetrics::records_skipped. Without it, a throwing
+  /// record deterministically fails every attempt, so the job aborts once
+  /// max_task_attempts is exhausted (Hadoop's default behaviour).
+  bool skip_bad_records = false;
+  /// Abort anyway once a single task isolates more than this many records —
+  /// mass skipping means the input, not single records, is broken.
+  std::size_t max_skipped_records = 16;
 };
 
 namespace detail {
@@ -96,6 +122,156 @@ inline bool attempt_fails(const RunOptions& opts, const std::string& job, int ph
   h ^= h >> 31;
   const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
   return u < opts.task_failure_probability;
+}
+
+/// Any fault-handling feature on? Off means the zero-overhead happy path.
+inline bool faults_enabled(const RunOptions& opts) noexcept {
+  return opts.task_failure_probability > 0.0 || opts.skip_bad_records;
+}
+
+/// Deterministic mid-task failure point: how many of its `executable` input
+/// units a failing attempt completes before it dies. An independent hash
+/// stream from attempt_fails (different salt and finalizer), so the failure
+/// offset is not correlated with the failure decision.
+inline std::uint64_t failure_prefix(const RunOptions& opts, const std::string& job, int phase,
+                                    std::size_t task, std::uint64_t attempt,
+                                    std::uint64_t executable) {
+  if (executable == 0) return 0;
+  std::uint64_t h = (opts.failure_seed + 0x0FF5E7u) ^ (0xc2b2ae3d27d4eb4fULL * (task + 1));
+  for (char c : job) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  h ^= static_cast<std::uint64_t>(phase) << 32;
+  h ^= (attempt + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const auto prefix = static_cast<std::uint64_t>(u * static_cast<double>(executable));
+  return std::min(prefix, executable - 1);  // a failing attempt never finishes
+}
+
+/// What one task's attempt loop reports back to its phase.
+struct TaskAttemptOutcome {
+  std::uint64_t attempts = 1;
+  std::uint64_t records_skipped = 0;
+  std::uint64_t wasted_records = 0;
+  std::uint64_t wasted_work_units = 0;
+  std::vector<TaskFailureEvent> events;
+};
+
+/// Shared attempt loop for all three phases (map-only, map and reduce of the
+/// full engine). Runs a task body of `num_units` input units under the fault
+/// policy in RunOptions and returns what failure handling cost.
+///
+/// `reset()` must discard any partial output of the previous attempt (fresh
+/// emitter). `process(i, ctx, may_fail)` must execute input unit i (a map
+/// record, or a reduce key group) and return how many input records the unit
+/// consumed; `may_fail` is true while the attempt can still be discarded, so
+/// bodies that consume their input destructively (the reduce value move)
+/// must work on copies until it turns false.
+///
+/// Failure semantics (the Hadoop 0.20 task model):
+/// * An injected failing attempt executes a deterministic prefix of its
+///   units (failure_prefix), then dies mid-task; reset() discards its
+///   partial output, its consumed records/work are added to the wasted
+///   counters, and the task re-executes from its input.
+/// * A user function throwing marks the unit bad. Without skip_bad_records
+///   the attempt fails and the deterministic re-throw exhausts
+///   max_task_attempts — job abort, Hadoop's default. With it, the first
+///   throw fails the attempt and arms skipping mode; re-executions isolate
+///   throwing units in place (counted in records_skipped, capped by
+///   max_skipped_records) and the job completes without them.
+template <typename ResetFn, typename ProcessFn>
+TaskAttemptOutcome run_task_attempts(const RunOptions& opts, const std::string& job, int phase,
+                                     std::size_t task, std::size_t num_units,
+                                     TaskContext& final_ctx, const ResetFn& reset,
+                                     const ProcessFn& process) {
+  TaskAttemptOutcome outcome;
+  if (!faults_enabled(opts)) {
+    TaskContext ctx;
+    for (std::size_t i = 0; i < num_units; ++i) process(i, ctx, /*may_fail=*/false);
+    final_ctx = std::move(ctx);
+    return outcome;
+  }
+
+  const char* phase_name = phase == 0 ? "map" : "reduce";
+  std::vector<std::size_t> skipped;  // sorted unit indices isolated as bad
+  bool skipping = false;             // armed by the first bad record
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    if (attempt >= opts.max_task_attempts) {
+      MRSKY_FAIL(std::string(phase_name) + " task " + std::to_string(task) + " of job '" + job +
+                 "' failed " + std::to_string(opts.max_task_attempts) + " attempts");
+    }
+    const bool injected = attempt_fails(opts, job, phase, task, attempt);
+    const std::uint64_t executable = num_units - skipped.size();
+    const std::uint64_t limit =
+        injected ? failure_prefix(opts, job, phase, task, attempt, executable) : executable;
+    reset();
+    TaskContext ctx;
+    // Discardable until neither an injected crash nor a first bad record can
+    // fail it any more.
+    const bool may_fail = injected || (opts.skip_bad_records && !skipping);
+    std::uint64_t units_done = 0;
+    std::uint64_t records_done = 0;
+    bool failed = false;
+    for (std::size_t i = 0; i < num_units && !failed; ++i) {
+      if (!skipped.empty() && std::binary_search(skipped.begin(), skipped.end(), i)) continue;
+      if (injected && units_done >= limit) {
+        outcome.events.push_back(TaskFailureEvent{static_cast<std::uint32_t>(phase), task,
+                                                  attempt, records_done, ctx.work_units(),
+                                                  /*injected=*/true, 0});
+        failed = true;
+        break;
+      }
+      try {
+        records_done += process(i, ctx, may_fail);
+        ++units_done;
+      } catch (const std::exception& e) {
+        if (opts.skip_bad_records) {
+          if (skipped.size() >= opts.max_skipped_records) {
+            MRSKY_FAIL(std::string(phase_name) + " task " + std::to_string(task) + " of job '" +
+                       job + "' exceeded max_skipped_records = " +
+                       std::to_string(opts.max_skipped_records) + " (last bad record: " +
+                       e.what() + ")");
+          }
+          skipped.insert(std::lower_bound(skipped.begin(), skipped.end(), i), i);
+          outcome.events.push_back(TaskFailureEvent{static_cast<std::uint32_t>(phase), task,
+                                                    attempt, records_done,
+                                                    skipping ? 0 : ctx.work_units(),
+                                                    /*injected=*/false, i});
+          if (!skipping) {
+            // First bad record: Hadoop fails the attempt and re-runs the
+            // task in skipping mode; later throws are isolated in place.
+            skipping = true;
+            failed = true;
+          }
+        } else {
+          outcome.events.push_back(TaskFailureEvent{static_cast<std::uint32_t>(phase), task,
+                                                    attempt, records_done, ctx.work_units(),
+                                                    /*injected=*/false, i});
+          failed = true;
+        }
+      }
+    }
+    if (injected && !failed) {
+      // Nothing left to execute before the crash point (e.g. every unit was
+      // isolated): the attempt still dies before committing its output.
+      outcome.events.push_back(TaskFailureEvent{static_cast<std::uint32_t>(phase), task, attempt,
+                                                records_done, ctx.work_units(),
+                                                /*injected=*/true, 0});
+      failed = true;
+    }
+    if (failed) {
+      outcome.wasted_records += records_done;
+      outcome.wasted_work_units += ctx.work_units();
+      continue;  // re-execute from the split
+    }
+    outcome.attempts = attempt + 1;
+    outcome.records_skipped = skipped.size();
+    final_ctx = std::move(ctx);
+    return outcome;
+  }
 }
 
 /// The pool one engine call runs on: the caller's persistent RunOptions::pool
@@ -196,11 +372,25 @@ void group_by_key(std::vector<KV<K, V>>& records, Fn&& fn) {
   }
 }
 
-/// Evenly-sized contiguous split boundaries: returns num_splits+1 offsets.
+/// Evenly-sized contiguous split boundaries: returns num_splits+1 offsets
+/// with offsets[s] = floor(n * s / num_splits), computed incrementally so the
+/// n * s product (which overflows std::size_t for very large inputs) never
+/// materialises. `acc` tracks (s * remainder) mod num_splits; each wrap of
+/// the accumulator is exactly one floor increment, so the boundaries are
+/// bit-identical to the direct formula.
 inline std::vector<std::size_t> split_offsets(std::size_t n, std::size_t num_splits) {
   std::vector<std::size_t> offsets(num_splits + 1, 0);
-  for (std::size_t s = 0; s <= num_splits; ++s) {
-    offsets[s] = n * s / num_splits;
+  const std::size_t base = n / num_splits;
+  const std::size_t rem = n % num_splits;
+  std::size_t acc = 0;
+  for (std::size_t s = 1; s <= num_splits; ++s) {
+    acc += rem;
+    std::size_t extra = 0;
+    if (acc >= num_splits) {
+      acc -= num_splits;
+      extra = 1;
+    }
+    offsets[s] = offsets[s - 1] + base + extra;
   }
   return offsets;
 }
@@ -243,27 +433,28 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
   const auto offsets = detail::split_offsets(input.size(), config.num_map_tasks);
   std::vector<std::vector<KV<OutK, OutV>>> outputs(config.num_map_tasks);
   detail::for_each_task(config.num_map_tasks, pool.get(), [&](std::size_t t) {
-    std::uint64_t attempt = 0;
-    while (detail::attempt_fails(opts, config.name, /*phase=*/0, t, attempt)) {
-      ++attempt;
-      if (attempt >= opts.max_task_attempts) {
-        MRSKY_FAIL("task " + std::to_string(t) + " of job '" + config.name + "' failed " +
-                   std::to_string(opts.max_task_attempts) + " attempts");
-      }
-    }
     common::Timer timer;
     TaskContext ctx;
     Emitter<OutK, OutV> emitter;
-    for (std::size_t r = offsets[t]; r < offsets[t + 1]; ++r) {
-      config.map_fn(input.key(r), input.value(r), emitter, ctx);
-    }
+    auto outcome = detail::run_task_attempts(
+        opts, config.name, /*phase=*/0, t, offsets[t + 1] - offsets[t], ctx,
+        [&emitter] { emitter = Emitter<OutK, OutV>{}; },
+        [&](std::size_t i, TaskContext& attempt_ctx, bool /*may_fail*/) -> std::uint64_t {
+          const std::size_t r = offsets[t] + i;
+          config.map_fn(input.key(r), input.value(r), emitter, attempt_ctx);
+          return 1;
+        });
     outputs[t] = emitter.take();
     auto& m = result.metrics.map_tasks[t];
     m.records_in = offsets[t + 1] - offsets[t];
     m.records_out = outputs[t].size();
     m.work_units = ctx.work_units();
     m.wall_ns = timer.elapsed_ns();
-    m.attempts = attempt + 1;
+    m.attempts = outcome.attempts;
+    m.records_skipped = outcome.records_skipped;
+    m.wasted_records = outcome.wasted_records;
+    m.wasted_work_units = outcome.wasted_work_units;
+    m.failure_events = std::move(outcome.events);
     m.counters = ctx.counters();
   });
 
@@ -316,22 +507,6 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     return std::hash<MidK>{}(key) % num_reduces;
   };
 
-  // Injected-failure retry loop (see RunOptions): a failing attempt is
-  // decided deterministically before execution, so its cost appears in the
-  // `attempts` metric (and the cluster simulator's bill) without re-running
-  // the body locally.
-  const auto surviving_attempt = [&opts, &config](int phase, std::size_t task) -> std::uint64_t {
-    std::uint64_t attempt = 0;
-    while (detail::attempt_fails(opts, config.name, phase, task, attempt)) {
-      ++attempt;
-      if (attempt >= opts.max_task_attempts) {
-        MRSKY_FAIL("task " + std::to_string(task) + " of job '" + config.name + "' failed " +
-                   std::to_string(opts.max_task_attempts) + " attempts");
-      }
-    }
-    return attempt + 1;  // total attempts consumed
-  };
-
   const detail::EnginePool pool(opts);
 
   // ---- Map phase: map, optional combine, then scatter into per-reduce
@@ -342,13 +517,20 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   std::vector<std::uint64_t> task_shuffle_records(num_maps, 0);
   std::vector<std::uint64_t> task_shuffle_bytes(num_maps, 0);
   detail::for_each_task(num_maps, pool.get(), [&](std::size_t t) {
-    const std::uint64_t attempts = surviving_attempt(/*phase=*/0, t);
     common::Timer timer;
     TaskContext ctx;
     Emitter<MidK, MidV> emitter;
-    for (std::size_t r = offsets[t]; r < offsets[t + 1]; ++r) {
-      config.map_fn(input.key(r), input.value(r), emitter, ctx);
-    }
+    // A failing attempt dies before combine/scatter, so discarding the
+    // emitter (reset) is exactly the partial-output discard: nothing of a
+    // lost attempt ever reaches the shards.
+    auto outcome = detail::run_task_attempts(
+        opts, config.name, /*phase=*/0, t, offsets[t + 1] - offsets[t], ctx,
+        [&emitter] { emitter = Emitter<MidK, MidV>{}; },
+        [&](std::size_t i, TaskContext& attempt_ctx, bool /*may_fail*/) -> std::uint64_t {
+          const std::size_t r = offsets[t] + i;
+          config.map_fn(input.key(r), input.value(r), emitter, attempt_ctx);
+          return 1;
+        });
     auto emitted = emitter.take();
     if (config.combine_fn) {
       Emitter<MidK, MidV> combined;
@@ -371,7 +553,11 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     }
     m.work_units = ctx.work_units();
     m.wall_ns = timer.elapsed_ns();
-    m.attempts = attempts;
+    m.attempts = outcome.attempts;
+    m.records_skipped = outcome.records_skipped;
+    m.wasted_records = outcome.wasted_records;
+    m.wasted_work_units = outcome.wasted_work_units;
+    m.failure_events = std::move(outcome.events);
     m.counters = ctx.counters();
   });
   for (std::size_t t = 0; t < num_maps; ++t) {
@@ -399,22 +585,57 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   result.metrics.shuffle_ns = shuffle_timer.elapsed_ns();
 
   // ---- Reduce phase ----
+  // The bucket is sorted and its key-group boundaries computed once; the
+  // attempt loop then executes whole key groups as its input units, so a
+  // mid-task failure re-reduces the bucket from the first group (Hadoop
+  // re-fetches the task's map outputs on retry). Grouping is identical to
+  // the former sort-and-sweep, so output bytes are unchanged.
   std::vector<std::vector<KV<OutK, OutV>>> reduce_outputs(num_reduces);
   detail::for_each_task(num_reduces, pool.get(), [&](std::size_t t) {
-    const std::uint64_t attempts = surviving_attempt(/*phase=*/1, t);
     common::Timer timer;
     TaskContext ctx;
     Emitter<OutK, OutV> emitter;
     auto& m = result.metrics.reduce_tasks[t];
-    m.attempts = attempts;
     m.records_in = buckets[t].size();
-    detail::group_by_key(buckets[t], [&](const MidK& key, std::vector<MidV>& values) {
-      config.reduce_fn(key, values, emitter, ctx);
-    });
+    auto& bucket = buckets[t];
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const KV<MidK, MidV>& a, const KV<MidK, MidV>& b) { return a.key < b.key; });
+    std::vector<std::pair<std::size_t, std::size_t>> groups;  // [first, last) runs
+    for (std::size_t i = 0; i < bucket.size();) {
+      std::size_t j = i + 1;
+      while (j < bucket.size() && !(bucket[i].key < bucket[j].key)) ++j;
+      groups.emplace_back(i, j);
+      i = j;
+    }
+    auto outcome = detail::run_task_attempts(
+        opts, config.name, /*phase=*/1, t, groups.size(), ctx,
+        [&emitter] { emitter = Emitter<OutK, OutV>{}; },
+        [&](std::size_t g, TaskContext& attempt_ctx, bool may_fail) -> std::uint64_t {
+          const auto [first, last] = groups[g];
+          std::vector<MidV> values;
+          values.reserve(last - first);
+          for (std::size_t r = first; r < last; ++r) {
+            // A discardable attempt must leave the bucket intact for the
+            // re-execution; only the guaranteed-surviving attempt may move
+            // the values out.
+            if (may_fail) {
+              values.push_back(bucket[r].value);
+            } else {
+              values.push_back(std::move(bucket[r].value));
+            }
+          }
+          config.reduce_fn(bucket[first].key, values, emitter, attempt_ctx);
+          return last - first;
+        });
     reduce_outputs[t] = emitter.take();
     m.records_out = reduce_outputs[t].size();
     m.work_units = ctx.work_units();
     m.wall_ns = timer.elapsed_ns();
+    m.attempts = outcome.attempts;
+    m.records_skipped = outcome.records_skipped;
+    m.wasted_records = outcome.wasted_records;
+    m.wasted_work_units = outcome.wasted_work_units;
+    m.failure_events = std::move(outcome.events);
     m.counters = ctx.counters();
   });
 

@@ -9,6 +9,11 @@ TaskMetrics& TaskMetrics::operator+=(const TaskMetrics& other) {
   wall_ns += other.wall_ns;
   attempts += other.attempts;
   for (const auto& [name, value] : other.counters) counters[name] += value;
+  records_skipped += other.records_skipped;
+  wasted_records += other.wasted_records;
+  wasted_work_units += other.wasted_work_units;
+  failure_events.insert(failure_events.end(), other.failure_events.begin(),
+                        other.failure_events.end());
   return *this;
 }
 
@@ -30,6 +35,23 @@ std::uint64_t JobMetrics::total_work_units() const {
 
 double JobMetrics::total_wall_seconds() const {
   return static_cast<double>(map_total().wall_ns + reduce_total().wall_ns) * 1e-9;
+}
+
+FailureReport JobMetrics::failure_report() const {
+  FailureReport report;
+  const auto absorb = [&report](const std::vector<TaskMetrics>& tasks) {
+    for (const auto& t : tasks) {
+      if (t.attempts > 1) ++report.tasks_retried;
+      report.wasted_records += t.wasted_records;
+      report.wasted_work_units += t.wasted_work_units;
+      report.records_skipped += t.records_skipped;
+      report.events.insert(report.events.end(), t.failure_events.begin(),
+                           t.failure_events.end());
+    }
+  };
+  absorb(map_tasks);
+  absorb(reduce_tasks);
+  return report;
 }
 
 std::map<std::string, std::uint64_t> JobMetrics::counter_totals() const {

@@ -35,13 +35,34 @@ void append_counters(std::ostringstream& os,
   os << "}";
 }
 
+void append_failure_report(std::ostringstream& os, const FailureReport& report) {
+  os << "{\"tasks_retried\":" << report.tasks_retried
+     << ",\"wasted_records\":" << report.wasted_records
+     << ",\"wasted_work_units\":" << report.wasted_work_units
+     << ",\"records_skipped\":" << report.records_skipped << ",\"events\":[";
+  for (std::size_t i = 0; i < report.events.size(); ++i) {
+    const TaskFailureEvent& e = report.events[i];
+    if (i > 0) os << ",";
+    os << "{\"phase\":" << e.phase << ",\"task\":" << e.task << ",\"attempt\":" << e.attempt
+       << ",\"records_processed\":" << e.records_processed
+       << ",\"work_units_wasted\":" << e.work_units_wasted
+       << ",\"injected\":" << (e.injected ? "true" : "false");
+    if (!e.injected) os << ",\"bad_record\":" << e.bad_record;
+    os << "}";
+  }
+  os << "]}";
+}
+
 }  // namespace
 
 std::string to_json(const TaskMetrics& metrics) {
   std::ostringstream os;
   os << "{\"records_in\":" << metrics.records_in << ",\"records_out\":" << metrics.records_out
      << ",\"work_units\":" << metrics.work_units << ",\"wall_ns\":" << metrics.wall_ns
-     << ",\"counters\":";
+     << ",\"attempts\":" << metrics.attempts
+     << ",\"records_skipped\":" << metrics.records_skipped
+     << ",\"wasted_records\":" << metrics.wasted_records
+     << ",\"wasted_work_units\":" << metrics.wasted_work_units << ",\"counters\":";
   append_counters(os, metrics.counters);
   os << "}";
   return os.str();
@@ -63,6 +84,8 @@ std::string to_json(const JobMetrics& metrics) {
      << ",\"shuffle_bytes\":" << metrics.shuffle_bytes
      << ",\"shuffle_ns\":" << metrics.shuffle_ns << ",\"counter_totals\":";
   append_counters(os, metrics.counter_totals());
+  os << ",\"failures\":";
+  append_failure_report(os, metrics.failure_report());
   os << "}";
   return os.str();
 }

@@ -104,5 +104,79 @@ TEST(CsvIo, UnwritablePathThrows) {
   EXPECT_THROW(write_csv_file("/nonexistent/dir/file.csv", ps), RuntimeError);
 }
 
+TEST(CsvIo, LenientDropsRaggedAndGarbageRows) {
+  std::stringstream buffer("1.0,2.0\n3.0\n5.0,oops\n7.0,8.0\n");
+  CsvReadOptions options;
+  options.lenient = true;
+  ParseReport report;
+  const PointSet ps = read_csv(buffer, options, &report);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_DOUBLE_EQ(ps.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ps.at(1, 1), 8.0);
+  EXPECT_EQ(report.rows_read, 2u);
+  EXPECT_EQ(report.rows_skipped, 2u);
+  ASSERT_EQ(report.issues.size(), 2u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(CsvIo, LenientDropsNonFiniteRows) {
+  std::stringstream buffer("1.0,2.0\nnan,3.0\n4.0,inf\n5.0,6.0\n");
+  CsvReadOptions options;
+  options.lenient = true;
+  ParseReport report;
+  const PointSet ps = read_csv(buffer, options, &report);
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_EQ(report.rows_skipped, 2u);
+}
+
+TEST(CsvIo, LenientKeepsNonFiniteWhenNotRequired) {
+  std::stringstream buffer("1.0,2.0\nnan,3.0\n");
+  CsvReadOptions options;
+  options.lenient = true;
+  options.require_finite = false;
+  const PointSet ps = read_csv(buffer, options);
+  EXPECT_EQ(ps.size(), 2u);
+}
+
+TEST(CsvIo, LenientNonNegativeFilter) {
+  std::stringstream buffer("1.0,2.0\n-1.0,3.0\n4.0,5.0\n");
+  CsvReadOptions options;
+  options.lenient = true;
+  options.require_non_negative = true;
+  ParseReport report;
+  const PointSet ps = read_csv(buffer, options, &report);
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_EQ(report.rows_skipped, 1u);
+}
+
+TEST(CsvIo, LenientAllRowsBadStillThrows) {
+  // Even lenient mode refuses to return an empty point set.
+  std::stringstream buffer("oops,nope\nalso,bad\n");
+  CsvReadOptions options;
+  options.lenient = true;
+  ParseReport report;
+  EXPECT_THROW((void)read_csv(buffer, options, &report), InvalidArgument);
+}
+
+TEST(CsvIo, StrictModeIgnoresReportAndThrows) {
+  // A non-null report does not imply leniency: strictness is the option.
+  std::stringstream buffer("1.0,2.0\n3.0\n");
+  ParseReport report;
+  EXPECT_THROW((void)read_csv(buffer, {}, &report), InvalidArgument);
+}
+
+TEST(CsvIo, ParseReportCapsRecordedIssues) {
+  std::stringstream buffer;
+  buffer << "1.0,2.0\n";
+  for (int i = 0; i < 50; ++i) buffer << "bad\n";
+  CsvReadOptions options;
+  options.lenient = true;
+  ParseReport report;
+  const PointSet ps = read_csv(buffer, options, &report);
+  EXPECT_EQ(ps.size(), 1u);
+  EXPECT_EQ(report.rows_skipped, 50u);
+  EXPECT_EQ(report.issues.size(), ParseReport::kMaxRecordedIssues);
+}
+
 }  // namespace
 }  // namespace mrsky::data

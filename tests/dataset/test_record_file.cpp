@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/dataset/generators.hpp"
@@ -146,6 +148,83 @@ TEST(RecordFile, TruncationDetected) {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 16));
   }
   EXPECT_THROW(RecordFileReader{dst}, mrsky::RuntimeError);
+}
+
+TEST(RecordFile, LenientReadOfCleanFileIsClean) {
+  const PointSet ps = generate(Distribution::kIndependent, 150, 3, 21);
+  const std::string path = temp_path("rf_lenient_clean.mrsk");
+  write_record_file(path, ps, 50);
+  ParseReport report;
+  EXPECT_EQ(read_record_file(path, &report), ps);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.rows_read, 150u);
+}
+
+TEST(RecordFile, LenientDropsCorruptBlockWhole) {
+  const PointSet ps = generate(Distribution::kIndependent, 200, 2, 23);
+  const std::string path = temp_path("rf_lenient_corrupt.mrsk");
+  write_record_file(path, ps, 100);  // 2 blocks of 100
+  // Flip one payload byte inside the first block (header is 24 bytes).
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(100);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(100);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  const RecordFileReader reader(path);
+  // Strict read still refuses the file...
+  EXPECT_THROW((void)reader.read_all(), mrsky::RuntimeError);
+  // ...while the lenient read drops the bad block and keeps the good one.
+  ParseReport report;
+  const PointSet loaded = reader.read_all(&report);
+  ASSERT_EQ(loaded.size(), 100u);
+  EXPECT_EQ(loaded.id(0), ps.id(100));  // survivors are the second block
+  EXPECT_EQ(report.rows_read, 100u);
+  EXPECT_EQ(report.rows_skipped, 100u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].row, 0u);  // issue rows are block indices
+  EXPECT_NE(report.issues[0].reason.find("checksum"), std::string::npos);
+}
+
+TEST(RecordFile, LenientDropsNonFiniteRecordIndividually) {
+  PointSet ps(2);
+  ps.push_back(std::vector<double>{1.0, 2.0}, 10);
+  ps.push_back(std::vector<double>{std::numeric_limits<double>::quiet_NaN(), 3.0}, 11);
+  ps.push_back(std::vector<double>{4.0, 5.0}, 12);
+  const std::string path = temp_path("rf_lenient_nan.mrsk");
+  write_record_file(path, ps, 2);
+
+  // Strict mode has no opinion on values, only structure: all three load.
+  EXPECT_EQ(read_record_file(path).size(), 3u);
+
+  ParseReport report;
+  const PointSet loaded = read_record_file(path, &report);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.id(0), 10u);
+  EXPECT_EQ(loaded.id(1), 12u);
+  EXPECT_EQ(report.rows_read, 2u);
+  EXPECT_EQ(report.rows_skipped, 1u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues[0].reason.find("non-finite"), std::string::npos);
+}
+
+TEST(RecordFile, LenientSplitReadsReportPerSplit) {
+  const PointSet ps = generate(Distribution::kIndependent, 300, 2, 25);
+  const std::string path = temp_path("rf_lenient_splits.mrsk");
+  write_record_file(path, ps, 50);
+  const RecordFileReader reader(path);
+  const auto splits = reader.splits(3);
+  ASSERT_EQ(splits.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& split : splits) {
+    ParseReport report;
+    total += reader.read_split(split, &report).size();
+    EXPECT_TRUE(report.clean());
+  }
+  EXPECT_EQ(total, 300u);
 }
 
 }  // namespace

@@ -141,6 +141,142 @@ TEST(ClusterModel, LaneArithmetic) {
   EXPECT_EQ(model.reduce_lanes(), 10u);
 }
 
+// ---- Node-failure recovery -------------------------------------------------
+//
+// Hand-worked golden scenario: tasks {4,3,2,1} over 2 servers x 1 slot.
+// Base LPT: lane0 runs t0 [0,4] then t3 [4,5]; lane1 runs t1 [0,3] then
+// t2 [3,5]; makespan 5.
+
+const std::vector<double> kGoldenCosts = {4.0, 3.0, 2.0, 1.0};
+const std::vector<double> kTwoLanes = {1.0, 1.0};
+
+TEST(NodeFailure, NoFailuresMatchesPlainLpt) {
+  const PhaseSchedule plain = lpt_schedule(kGoldenCosts, kTwoLanes);
+  const PhaseSchedule with = lpt_schedule_with_failures(kGoldenCosts, kTwoLanes, 1, {}, 0.0,
+                                                        true, false);
+  EXPECT_DOUBLE_EQ(with.makespan_seconds, plain.makespan_seconds);
+  for (const auto& p : with.placements) EXPECT_FALSE(p.reexecuted);
+}
+
+TEST(NodeFailure, MapPhaseLossReexecutesCompletedOutput) {
+  // Server 1 dies at t=3.5: t1 completed there ([0,3], output lost), t2 is
+  // in flight ([3,5], killed). Both re-execute serially on lane 0 after its
+  // committed work (t0 ends at 4): t1 [4,7], t2 [7,9], then t3 [9,10].
+  const std::vector<NodeFailure> failures = {{1, 3.5}};
+  const PhaseSchedule s = lpt_schedule_with_failures(kGoldenCosts, kTwoLanes, 1, failures, 0.0,
+                                                     /*lose_completed_outputs=*/true, false);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 10.0);
+  EXPECT_FALSE(s.placements[0].reexecuted);
+  EXPECT_TRUE(s.placements[1].reexecuted);
+  EXPECT_TRUE(s.placements[2].reexecuted);
+  EXPECT_FALSE(s.placements[3].reexecuted);
+  for (const auto& p : s.placements) EXPECT_EQ(p.lane, 0u);
+}
+
+TEST(NodeFailure, ReducePhaseLossKeepsCompletedOutput) {
+  // Same event without output loss (reduce semantics): t1's result is safe,
+  // only in-flight t2 re-executes ([4,6]) and t3 follows ([6,7]).
+  const std::vector<NodeFailure> failures = {{1, 3.5}};
+  const PhaseSchedule s = lpt_schedule_with_failures(kGoldenCosts, kTwoLanes, 1, failures, 0.0,
+                                                     /*lose_completed_outputs=*/false, false);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 7.0);
+  EXPECT_FALSE(s.placements[1].reexecuted);
+  EXPECT_TRUE(s.placements[2].reexecuted);
+}
+
+TEST(NodeFailure, LossAfterPhaseEndIsIgnored) {
+  const std::vector<NodeFailure> failures = {{1, 6.0}};
+  const PhaseSchedule s = lpt_schedule_with_failures(kGoldenCosts, kTwoLanes, 1, failures, 0.0,
+                                                     true, false);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 5.0);
+  for (const auto& p : s.placements) EXPECT_FALSE(p.reexecuted);
+}
+
+TEST(NodeFailure, DeadFromStartSerialisesOntoSurvivor) {
+  const std::vector<NodeFailure> failures = {{1, 0.0}};
+  const PhaseSchedule s = lpt_schedule_with_failures(kGoldenCosts, kTwoLanes, 1, failures, 0.0,
+                                                     true, false);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 10.0);  // 4+3+2+1 serial on lane 0
+  for (const auto& p : s.placements) {
+    EXPECT_EQ(p.lane, 0u);
+    EXPECT_FALSE(p.reexecuted);  // nothing ever ran on the dead server
+  }
+}
+
+TEST(NodeFailure, PhaseStartShiftsTheClock) {
+  // Job-relative time 103.5 with the phase starting at 100 is the same
+  // event as 3.5 with the phase starting at 0.
+  const std::vector<NodeFailure> failures = {{1, 103.5}};
+  const PhaseSchedule s = lpt_schedule_with_failures(kGoldenCosts, kTwoLanes, 1, failures,
+                                                     /*phase_start_seconds=*/100.0, true, false);
+  EXPECT_DOUBLE_EQ(s.makespan_seconds, 10.0);
+}
+
+TEST(NodeFailure, AllServersDeadThrows) {
+  const std::vector<NodeFailure> failures = {{0, 0.0}, {1, 0.0}};
+  EXPECT_THROW(lpt_schedule_with_failures(kGoldenCosts, kTwoLanes, 1, failures, 0.0, true,
+                                          false),
+               mrsky::InvalidArgument);
+}
+
+TEST(NodeFailure, SpeculationNeverWorseAfterLoss) {
+  const std::vector<double> lanes4 = {1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> costs = {9.0, 1.0, 7.0, 3.0, 5.0, 2.0, 8.0, 4.0};
+  const std::vector<NodeFailure> failures = {{1, 2.5}};
+  const PhaseSchedule plain =
+      lpt_schedule_with_failures(costs, lanes4, 2, failures, 0.0, true, false);
+  const PhaseSchedule spec =
+      lpt_schedule_with_failures(costs, lanes4, 2, failures, 0.0, true, true);
+  EXPECT_LE(spec.makespan_seconds, plain.makespan_seconds + 1e-12);
+}
+
+TEST(NodeFailure, TraceJobAppliesFailuresToBothPhases) {
+  const JobMetrics m = sample_metrics();
+  ClusterModel healthy;
+  healthy.servers = 4;
+  ClusterModel degraded = healthy;
+  degraded.node_failures.push_back({0, 0.0});  // dead for the whole job
+  const ScheduleTrace h = trace_job(m, healthy);
+  const ScheduleTrace d = trace_job(m, degraded);
+  // One of four servers gone: both phases run on fewer lanes, never faster.
+  EXPECT_GE(d.times.map_seconds, h.times.map_seconds);
+  EXPECT_GE(d.times.reduce_seconds, h.times.reduce_seconds);
+  EXPECT_GT(d.times.total_seconds(), h.times.total_seconds());
+  for (const auto& p : d.map.placements) EXPECT_GE(p.lane / 2, 1u);  // 2 map slots
+}
+
+TEST(NodeFailure, MidMapLossMarksReexecutedPlacements) {
+  const JobMetrics m = sample_metrics();
+  ClusterModel model;
+  model.servers = 4;
+  const double map_half = trace_job(m, model).times.map_seconds / 2.0;
+  model.node_failures.push_back({0, map_half});
+  const ScheduleTrace d = trace_job(m, model);
+  bool any = false;
+  for (const auto& p : d.map.placements) any = any || p.reexecuted;
+  EXPECT_TRUE(any);
+}
+
+TEST(NodeFailure, WasteAwareCostIsMeasuredNotImputed) {
+  // One map task: 1000 records, a failed attempt that got through 500.
+  // Cost = full (1 + 1000 * 1e-3) + waste (1 startup + 500 * 1e-3) = 3.5 —
+  // cheaper than the attempts x full imputation (4.0).
+  JobMetrics m;
+  TaskMetrics t;
+  t.records_in = 1000;
+  t.attempts = 2;
+  t.wasted_records = 500;
+  m.map_tasks.push_back(t);
+  ClusterModel model;
+  model.servers = 1;
+  model.map_slots_per_server = 1;
+  model.task_startup_seconds = 1.0;
+  model.seconds_per_map_record = 1e-3;
+  model.seconds_per_work_unit = 0.0;
+  model.job_startup_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(trace_job(m, model).times.map_seconds, 3.5);
+}
+
 TEST(TaskMetrics, Accumulates) {
   TaskMetrics a{1, 2, 3, 4};
   const TaskMetrics b{10, 20, 30, 40};

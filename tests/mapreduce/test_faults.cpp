@@ -1,10 +1,12 @@
 // Fault injection (task retries) and speculative execution.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/mapreduce/cluster.hpp"
 #include "src/mapreduce/job.hpp"
 
@@ -119,6 +121,88 @@ TEST(FaultInjection, ThreadedMatchesSequential) {
   }
 }
 
+TEST(FaultInjection, MidTaskWasteIsMeasured) {
+  RunOptions faulty;
+  faulty.task_failure_probability = 0.5;
+  faulty.max_task_attempts = 64;
+  const auto result = run_job(sum_job(), numbers(400), faulty);
+  const FailureReport report = result.metrics.failure_report();
+  ASSERT_GT(report.tasks_retried, 0u);
+  ASSERT_FALSE(report.events.empty());
+  // A failed attempt executes a strict prefix of its split, so per-task waste
+  // is the sum of its events' processed counts, and every injected event dies
+  // before finishing the split (a crash at the end would not be a crash).
+  for (const auto& t : result.metrics.map_tasks) {
+    std::uint64_t from_events = 0;
+    for (const auto& e : t.failure_events) {
+      EXPECT_TRUE(e.injected);
+      EXPECT_LT(e.records_processed, t.records_in);
+      from_events += e.records_processed;
+    }
+    EXPECT_EQ(t.wasted_records, from_events);
+    EXPECT_EQ(t.failure_events.size(), t.attempts - 1);
+  }
+  std::uint64_t wasted = 0;
+  for (const auto& t : result.metrics.map_tasks) wasted += t.wasted_records;
+  for (const auto& t : result.metrics.reduce_tasks) wasted += t.wasted_records;
+  EXPECT_EQ(report.wasted_records, wasted);
+}
+
+TEST(FaultInjection, ExceptionsPropagateUnchangedWhenFaultsAreOff) {
+  auto config = sum_job();
+  config.map_fn = [](const int& k, const int&, Emitter<int, int>&, TaskContext&) {
+    if (k == 13) throw std::domain_error("bad record 13");
+  };
+  EXPECT_THROW(run_job(config, numbers(100)), std::domain_error);
+}
+
+TEST(FaultInjection, ReduceAbortNamesThePhase) {
+  auto config = sum_job();
+  config.reduce_fn = [](const int&, std::vector<int>&, Emitter<int, int>&, TaskContext&) {
+    throw std::runtime_error("reduce always dies");
+  };
+  RunOptions opts;
+  opts.task_failure_probability = 1e-12;  // engage fault handling, never inject
+  opts.max_task_attempts = 3;
+  try {
+    run_job(config, numbers(40), opts);
+    FAIL() << "expected the job to abort";
+  } catch (const mrsky::RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("reduce task"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("3 attempts"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FaultInjection, ThreadedMatchesSequentialWithSharedPoolAndReport) {
+  common::ThreadPool pool(4);
+  RunOptions seq;
+  seq.task_failure_probability = 0.4;
+  seq.max_task_attempts = 64;
+  RunOptions par = seq;
+  par.mode = ExecutionMode::kThreads;
+  par.pool = &pool;
+  const auto a = run_job(sum_job(), numbers(300), seq);
+  const auto b = run_job(sum_job(), numbers(300), par);
+  ASSERT_EQ(a.output.size(), b.output.size());
+  for (std::size_t i = 0; i < a.output.size(); ++i) {
+    EXPECT_EQ(a.output[i].key, b.output[i].key);
+    EXPECT_EQ(a.output[i].value, b.output[i].value);
+  }
+  const FailureReport ra = a.metrics.failure_report();
+  const FailureReport rb = b.metrics.failure_report();
+  EXPECT_EQ(ra.tasks_retried, rb.tasks_retried);
+  EXPECT_EQ(ra.wasted_records, rb.wasted_records);
+  EXPECT_EQ(ra.wasted_work_units, rb.wasted_work_units);
+  ASSERT_EQ(ra.events.size(), rb.events.size());
+  for (std::size_t i = 0; i < ra.events.size(); ++i) {
+    EXPECT_EQ(ra.events[i].phase, rb.events[i].phase);
+    EXPECT_EQ(ra.events[i].task, rb.events[i].task);
+    EXPECT_EQ(ra.events[i].attempt, rb.events[i].attempt);
+    EXPECT_EQ(ra.events[i].records_processed, rb.events[i].records_processed);
+    EXPECT_EQ(ra.events[i].injected, rb.events[i].injected);
+  }
+}
+
 TEST(FaultInjection, RetriesRaiseSimulatedCost) {
   RunOptions faulty;
   faulty.task_failure_probability = 0.5;
@@ -129,6 +213,109 @@ TEST(FaultInjection, RetriesRaiseSimulatedCost) {
   model.servers = 2;
   EXPECT_GT(simulate_job(retried.metrics, model).total_seconds(),
             simulate_job(clean.metrics, model).total_seconds());
+}
+
+// ---- Skip-bad-records mode -------------------------------------------------
+
+TEST(SkipBadRecords, MapBadRecordIsIsolated) {
+  auto config = sum_job();
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext&) {
+    if (k == 13) throw std::domain_error("bad record 13");
+    out.emit(k % 4, v);
+  };
+  RunOptions opts;
+  opts.skip_bad_records = true;
+  const auto result = run_job(config, numbers(100), opts);
+  EXPECT_EQ(total_of(result.output), 99);  // everything except record 13
+  const FailureReport report = result.metrics.failure_report();
+  EXPECT_EQ(report.records_skipped, 1u);
+  // Isolation costs one discarded attempt: the first throw fails the task,
+  // the retry skips the quarantined record.
+  EXPECT_EQ(report.tasks_retried, 1u);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_FALSE(report.events[0].injected);
+  EXPECT_EQ(report.events[0].phase, 0u);
+}
+
+TEST(SkipBadRecords, ReduceBadGroupIsIsolated) {
+  auto config = sum_job();
+  config.reduce_fn = [](const int& key, std::vector<int>& values, Emitter<int, int>& out,
+                        TaskContext&) {
+    if (key == 2) throw std::domain_error("bad group 2");
+    int total = 0;
+    for (int v : values) total += v;
+    out.emit(key, total);
+  };
+  RunOptions opts;
+  opts.skip_bad_records = true;
+  const auto result = run_job(config, numbers(100), opts);
+  // Keys 0,1,3 survive with 25 records each; group 2 is quarantined.
+  EXPECT_EQ(result.output.size(), 3u);
+  EXPECT_EQ(total_of(result.output), 75);
+  const FailureReport report = result.metrics.failure_report();
+  EXPECT_EQ(report.records_skipped, 1u);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].phase, 1u);
+}
+
+TEST(SkipBadRecords, SkipBudgetExhaustionAbortsTheJob) {
+  auto config = sum_job();
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext&) {
+    if (k % 10 == 0) throw std::domain_error("every tenth record is bad");
+    out.emit(k % 4, v);
+  };
+  config.num_map_tasks = 1;  // all ten bad records land in one task's budget
+  RunOptions opts;
+  opts.skip_bad_records = true;
+  opts.max_skipped_records = 2;
+  try {
+    run_job(config, numbers(100), opts);
+    FAIL() << "expected the skip budget to abort the job";
+  } catch (const mrsky::RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("max_skipped_records"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SkipBadRecords, LargeBudgetSurvivesManyBadRecords) {
+  auto config = sum_job();
+  config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext&) {
+    if (k % 10 == 0) throw std::domain_error("every tenth record is bad");
+    out.emit(k % 4, v);
+  };
+  RunOptions opts;
+  opts.skip_bad_records = true;
+  opts.max_skipped_records = 16;
+  const auto result = run_job(config, numbers(100), opts);
+  EXPECT_EQ(total_of(result.output), 90);
+  EXPECT_EQ(result.metrics.failure_report().records_skipped, 10u);
+}
+
+TEST(SkipBadRecords, DeterministicAcrossExecutionModes) {
+  auto make_config = [] {
+    auto config = sum_job();
+    config.map_fn = [](const int& k, const int& v, Emitter<int, int>& out, TaskContext&) {
+      if (k % 17 == 3) throw std::domain_error("bad");
+      out.emit(k % 4, v);
+    };
+    return config;
+  };
+  RunOptions seq;
+  seq.skip_bad_records = true;
+  RunOptions par = seq;
+  par.mode = ExecutionMode::kThreads;
+  par.num_threads = 4;
+  const auto a = run_job(make_config(), numbers(200), seq);
+  const auto b = run_job(make_config(), numbers(200), par);
+  EXPECT_EQ(total_of(a.output), total_of(b.output));
+  const FailureReport ra = a.metrics.failure_report();
+  const FailureReport rb = b.metrics.failure_report();
+  EXPECT_EQ(ra.records_skipped, rb.records_skipped);
+  ASSERT_EQ(ra.events.size(), rb.events.size());
+  for (std::size_t i = 0; i < ra.events.size(); ++i) {
+    EXPECT_EQ(ra.events[i].task, rb.events[i].task);
+    EXPECT_EQ(ra.events[i].bad_record, rb.events[i].bad_record);
+  }
 }
 
 // ---- Speculative execution -------------------------------------------------

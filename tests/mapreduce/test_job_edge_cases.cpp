@@ -1,6 +1,7 @@
 // Engine edge cases beyond the word-count happy path.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -178,6 +179,35 @@ TEST(JobEdgeCases, MoveOnlyFriendlyValuesViaVectors) {
   std::size_t grand_total = 0;
   for (const auto& kv : result.output) grand_total += kv.value;
   EXPECT_EQ(grand_total, 0u + 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(JobEdgeCases, SplitOffsetsMatchDirectFormulaOnSmallInputs) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 101u}) {
+    for (std::size_t splits : {1u, 2u, 3u, 8u, 13u}) {
+      const auto offsets = detail::split_offsets(n, splits);
+      ASSERT_EQ(offsets.size(), splits + 1);
+      for (std::size_t s = 0; s <= splits; ++s) {
+        EXPECT_EQ(offsets[s], n * s / splits) << "n=" << n << " splits=" << splits << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(JobEdgeCases, SplitOffsetsSurviveHugeInputsWithoutOverflow) {
+  // n * s overflows std::size_t for every s >= 2 here; the incremental
+  // accumulator must still land on floor(n * s / splits) exactly.
+  const std::size_t n = std::numeric_limits<std::size_t>::max() - 5;
+  const std::size_t splits = 7;
+  const auto offsets = detail::split_offsets(n, splits);
+  ASSERT_EQ(offsets.size(), splits + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), n);
+  const std::size_t base = n / splits;
+  for (std::size_t s = 1; s <= splits; ++s) {
+    EXPECT_TRUE(offsets[s] > offsets[s - 1]);
+    const std::size_t width = offsets[s] - offsets[s - 1];
+    EXPECT_TRUE(width == base || width == base + 1) << "s=" << s;
+  }
 }
 
 }  // namespace

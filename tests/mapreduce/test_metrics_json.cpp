@@ -67,6 +67,38 @@ TEST(MetricsJson, PhaseTimesSerialised) {
   EXPECT_NE(json.find("\"total_seconds\":6.75"), std::string::npos);
 }
 
+TEST(MetricsJson, FailureReportSerialised) {
+  JobMetrics m;
+  m.job_name = "faulty";
+  TaskMetrics t = sample_task();
+  t.attempts = 3;
+  t.records_skipped = 1;
+  t.wasted_records = 6;
+  t.wasted_work_units = 70;
+  t.failure_events.push_back(TaskFailureEvent{0, 2, 0, 6, 70, true, 0});
+  t.failure_events.push_back(TaskFailureEvent{0, 2, 1, 0, 0, false, 4});
+  m.map_tasks.push_back(t);
+  const std::string json = to_json(m);
+  // Per-task fields.
+  EXPECT_NE(json.find("\"attempts\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"records_skipped\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"wasted_records\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"wasted_work_units\":70"), std::string::npos);
+  // Aggregated failure ledger with the event detail.
+  EXPECT_NE(json.find("\"failures\":{\"tasks_retried\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"injected\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"injected\":false,\"bad_record\":4"), std::string::npos);
+}
+
+TEST(MetricsJson, CleanJobHasEmptyFailureReport) {
+  JobMetrics m;
+  m.map_tasks.push_back(sample_task());
+  const std::string json = to_json(m);
+  EXPECT_NE(json.find("\"failures\":{\"tasks_retried\":0,\"wasted_records\":0,"
+                      "\"wasted_work_units\":0,\"records_skipped\":0,\"events\":[]}"),
+            std::string::npos);
+}
+
 TEST(MetricsJson, BalancedBraces) {
   JobMetrics m;
   m.job_name = "brace-check";

@@ -51,8 +51,22 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
 data::PointSet load_input(const common::CliArgs& args) {
   const std::string path = args.get_string("input", "");
   MRSKY_REQUIRE(!path.empty(), "--input <file.csv|file.mrsk> is required");
-  data::PointSet ps = has_suffix(path, ".mrsk") ? data::read_record_file(path)
-                                                : data::read_csv_file(path);
+  data::PointSet ps(1);
+  if (args.get_bool("lenient", false)) {
+    // Tolerant ingest for hand-curated files (the real QWS dataset is a web
+    // crawl): malformed rows and corrupted blocks are dropped, not fatal.
+    data::ParseReport report;
+    if (has_suffix(path, ".mrsk")) {
+      ps = data::read_record_file(path, &report);
+    } else {
+      data::CsvReadOptions options;
+      options.lenient = true;
+      ps = data::read_csv_file(path, options, &report);
+    }
+    if (!report.clean()) std::cerr << path << ": " << report.summary();
+  } else {
+    ps = has_suffix(path, ".mrsk") ? data::read_record_file(path) : data::read_csv_file(path);
+  }
   if (args.get_bool("normalize", true)) ps = data::normalize_min_max(ps);
   return ps;
 }
@@ -74,7 +88,42 @@ core::MRSkylineConfig config_from(const common::CliArgs& args) {
   config.use_combiner = args.get_bool("combiner", false);
   config.salt_oversized_partitions = args.get_bool("salt", false);
   config.local_algorithm = skyline::parse_algorithm(args.get_string("algorithm", "bnl"));
+
+  // Fault-injection knobs (the engine re-executes failed attempts; the exact
+  // skyline comes out regardless — see DESIGN.md's fault model).
+  config.run_options.task_failure_probability = args.get_double("failure-probability", 0.0);
+  config.run_options.failure_seed =
+      static_cast<std::uint64_t>(args.get_int("failure-seed", 0xFA11));
+  config.run_options.max_task_attempts =
+      static_cast<std::size_t>(args.get_int("max-task-attempts", 4));
+  config.run_options.skip_bad_records = args.get_bool("skip-bad-records", false);
+  config.run_options.max_skipped_records =
+      static_cast<std::size_t>(args.get_int("max-skipped-records", 16));
   return config;
+}
+
+/// Parses --node-failures "server:time,server:time,..." (times in seconds
+/// from the start of a job's map phase) and --speculation into the model.
+mr::ClusterModel cluster_model_from(const common::CliArgs& args, std::size_t servers) {
+  mr::ClusterModel model;
+  model.servers = servers;
+  model.speculative_execution = args.get_bool("speculation", false);
+  const std::string spec = args.get_string("node-failures", "");
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    const std::size_t colon = item.find(':');
+    MRSKY_REQUIRE(colon != std::string::npos,
+                  "--node-failures expects server:time pairs, got '" + item + "'");
+    mr::NodeFailure failure;
+    failure.server = static_cast<std::size_t>(std::stoul(item.substr(0, colon)));
+    failure.time_seconds = std::stod(item.substr(colon + 1));
+    model.node_failures.push_back(failure);
+    pos = end + 1;
+  }
+  return model;
 }
 
 int cmd_generate(const common::CliArgs& args) {
@@ -109,6 +158,7 @@ int cmd_skyline(const common::CliArgs& args) {
             << "skyline: " << result.skyline.size() << " points\n";
   const auto opt = core::local_skyline_optimality(result.local_skylines, result.skyline);
   std::cout << "local skyline optimality (Eq.5): " << opt.mean_optimality << "\n";
+  if (args.get_bool("verbose", false)) std::cout << result.summary();
 
   if (const std::string out = args.get_string("output", ""); !out.empty()) {
     save_points(out, result.skyline);
@@ -122,8 +172,7 @@ int cmd_skyline(const common::CliArgs& args) {
       if (i > 0) file << ",";
       file << mr::to_json(result.merge_rounds[i]);
     }
-    mr::ClusterModel model;
-    model.servers = config.servers;
+    const mr::ClusterModel model = cluster_model_from(args, config.servers);
     file << "],\"simulated\":" << mr::to_json(result.simulate(model)) << "}\n";
     std::cout << "metrics written to " << json << "\n";
   }
@@ -180,8 +229,7 @@ int cmd_simulate(const common::CliArgs& args) {
   for (std::int64_t servers : servers_list) {
     config.servers = static_cast<std::size_t>(servers);
     const auto result = core::run_mr_skyline(ps, config);
-    mr::ClusterModel model;
-    model.servers = config.servers;
+    const mr::ClusterModel model = cluster_model_from(args, config.servers);
     const auto times = result.simulate(model);
     table.add_row({common::Table::fmt(static_cast<int>(servers)),
                    common::Table::fmt(times.map_seconds, 2),
