@@ -14,6 +14,7 @@
 #include "src/spatial/rtree.hpp"
 #include "src/skyline/algorithms.hpp"
 #include "src/skyline/dominance.hpp"
+#include "src/skyline/dominance_block.hpp"
 
 using namespace mrsky;
 
@@ -48,6 +49,103 @@ void BM_CompareThreeWay(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CompareThreeWay)->Arg(2)->Arg(10);
+
+// ---- Scalar-vs-block dominance kernel (run via scripts/ci_perf_smoke.sh
+// with --benchmark_out to land machine-readable JSON in experiment_results/).
+// Both variants scan one candidate against a full 512-point window — the BNL
+// survivor case, where no early dominator cuts the scan short — so the ratio
+// isolates kernel throughput from algorithmic early exits.
+
+void BM_DominanceWindowScalar(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kWindow = 512;
+  const auto ps = workload(kWindow + 256, dim);
+  std::vector<std::size_t> window(kWindow);
+  for (std::size_t w = 0; w < kWindow; ++w) window[w] = w;
+  std::size_t c = 0;
+  for (auto _ : state) {
+    const auto p = ps.point(kWindow + c % 256);
+    unsigned acc = 0;
+    for (std::size_t w : window) {
+      acc += static_cast<unsigned>(skyline::compare(p, ps.point(w)));
+    }
+    benchmark::DoNotOptimize(acc);
+    ++c;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWindow));
+  state.SetLabel("pairs/s");
+}
+BENCHMARK(BM_DominanceWindowScalar)->Arg(4)->Arg(9);
+
+void BM_DominanceWindowBlock(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kWindow = 512;
+  const auto ps = workload(kWindow + 256, dim);
+  skyline::TiledWindow window(dim);
+  for (std::size_t w = 0; w < kWindow; ++w) window.push_back(ps, w);
+  std::size_t c = 0;
+  for (auto _ : state) {
+    const auto p = ps.point(kWindow + c % 256);
+    std::uint32_t acc = 0;
+    for (std::size_t t = 0; t < window.tiles(); ++t) {
+      const skyline::TileMasks m = skyline::compare_block(p.data(), window.tile_data(t), dim);
+      acc += m.lt ^ m.gt;
+    }
+    benchmark::DoNotOptimize(acc);
+    ++c;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWindow));
+  state.SetLabel(skyline::compare_block_simd_active() ? "pairs/s avx2" : "pairs/s scalar-tile");
+}
+BENCHMARK(BM_DominanceWindowBlock)->Arg(4)->Arg(9);
+
+void BM_DominatorProbeBlock(benchmark::State& state) {
+  // The one-directional probe (SFS / D&C cross-filter): alive-lane early exit.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kWindow = 512;
+  const auto ps = workload(kWindow + 256, dim);
+  skyline::TiledWindow window(dim);
+  for (std::size_t w = 0; w < kWindow; ++w) window.push_back(ps, w);
+  std::size_t c = 0;
+  for (auto _ : state) {
+    const auto p = ps.point(kWindow + c % 256);
+    std::uint32_t acc = 0;
+    for (std::size_t t = 0; t < window.tiles(); ++t) {
+      acc += skyline::dominators_in_block(p.data(), window.tile_data(t), dim);
+    }
+    benchmark::DoNotOptimize(acc);
+    ++c;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWindow));
+}
+BENCHMARK(BM_DominatorProbeBlock)->Arg(4)->Arg(9);
+
+// Corner-prefilter ablation. The prefilter engages hardest in the D&C
+// cross-filter, whose many small against-windows have tight corners (on qws
+// data it answers over half the candidate scans); BNL is included as the
+// near-worst case, where a single wide window leaves the corners loose and
+// the prefilter is mostly overhead.
+template <skyline::Algorithm Algo>
+void BM_PrefilterAblation(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const bool enabled = state.range(1) != 0;
+  const auto ps = workload(4000, dim);
+  const bool saved = skyline::prefilter_enabled();
+  skyline::set_prefilter_enabled(enabled);
+  for (auto _ : state) {
+    auto sky = skyline::compute_skyline(ps, Algo);
+    benchmark::DoNotOptimize(sky);
+  }
+  skyline::set_prefilter_enabled(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4000);
+  state.SetLabel(enabled ? "prefilter=on" : "prefilter=off");
+}
+BENCHMARK(BM_PrefilterAblation<skyline::Algorithm::kDivideConquer>)
+    ->ArgsProduct({{4, 9}, {0, 1}});
+BENCHMARK(BM_PrefilterAblation<skyline::Algorithm::kBnl>)->ArgsProduct({{4, 9}, {0, 1}});
 
 template <skyline::Algorithm Algo>
 void BM_SkylineAlgorithm(benchmark::State& state) {

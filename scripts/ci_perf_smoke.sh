@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Perf-smoke CI gate for the tiled dominance kernel (DESIGN.md decision 9).
+#
+#   ./scripts/ci_perf_smoke.sh [results-dir]
+#
+# Builds two release trees — the portable scalar-tile build and the
+# MRSKY_NATIVE (AVX2, runtime-dispatched) build — runs the kernel unit tests
+# in the native tree, lands the micro-benchmark timings as machine-readable
+# JSON under experiment_results/, and drives the mrsky CLI end to end in both
+# trees, failing if their skylines diverge by a single byte. Wall-clock
+# numbers are recorded, not asserted: thresholds are meaningless on shared CI
+# boxes; byte-identity of the results is the hard gate.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+RESULTS="${1:-$ROOT/experiment_results}"
+mkdir -p "$RESULTS"
+
+build_tree() {
+  local dir="$1" native="$2"
+  cmake -B "$dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DMRSKY_NATIVE="$native" \
+    -DMRSKY_BUILD_TESTS=ON \
+    -DMRSKY_BUILD_BENCH=ON \
+    -DMRSKY_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j --target micro_kernels mrsky mrsky_tests
+}
+
+build_tree "$ROOT/build-perf-scalar" OFF
+build_tree "$ROOT/build-perf-native" ON
+
+# Kernel correctness in the native tree (the scalar tree runs these in the
+# regular ctest gate): SIMD-vs-scalar property tests plus the golden
+# dominance-test counters the simulator's time model depends on.
+"$ROOT/build-perf-native/tests/mrsky_tests" \
+  --gtest_filter='DominanceBlock*:DominanceBlockGolden*:TiledWindow*'
+
+BENCH_FILTER='BM_DominanceWindow|BM_DominatorProbe|BM_PrefilterAblation'
+for kind in scalar native; do
+  "$ROOT/build-perf-$kind/bench/micro_kernels" \
+    --benchmark_filter="$BENCH_FILTER" \
+    --benchmark_min_time=0.2 \
+    --benchmark_out="$RESULTS/micro_kernels_$kind.json" \
+    --benchmark_out_format=json
+done
+
+# End-to-end divergence gate: same dataset, same pipeline, both builds must
+# emit byte-identical skylines. (Sequential-vs-threaded identity is covered
+# by DominanceBlock.PipelineSequentialAndThreadedAreByteIdentical above.)
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$ROOT/build-perf-scalar/tools/mrsky" generate \
+  --output "$WORK/data.csv" --n 20000 --dim 6 --qws --seed 2012
+
+for algo in bnl sfs dc; do
+  "$ROOT/build-perf-scalar/tools/mrsky" skyline --input "$WORK/data.csv" \
+    --scheme angular --servers 8 --algorithm "$algo" \
+    --output "$WORK/sky_scalar_$algo.csv"
+  "$ROOT/build-perf-native/tools/mrsky" skyline --input "$WORK/data.csv" \
+    --scheme angular --servers 8 --algorithm "$algo" \
+    --output "$WORK/sky_native_$algo.csv"
+  if ! cmp -s "$WORK/sky_scalar_$algo.csv" "$WORK/sky_native_$algo.csv"; then
+    echo "FAIL: $algo skyline diverged between scalar and native builds" >&2
+    diff "$WORK/sky_scalar_$algo.csv" "$WORK/sky_native_$algo.csv" | head >&2
+    exit 1
+  fi
+  if ! cmp -s "$WORK/sky_scalar_bnl.csv" "$WORK/sky_scalar_$algo.csv"; then
+    echo "FAIL: $algo skyline diverged from bnl within the scalar build" >&2
+    exit 1
+  fi
+done
+
+echo "== perf smoke passed: results identical; timings in $RESULTS/micro_kernels_{scalar,native}.json"

@@ -28,6 +28,10 @@ cmake --build "$BUILD_DIR" -j --target mrsky_tests
 # thread pool itself, and the skyline pipeline that drives them end to end.
 FILTER='ThreadPool*:Job*:JobEdgeCases*:ParallelShuffle*:Counters*:Fault*:SkipBadRecords*:MapOnly*'
 FILTER+=':MRSkyline*:Salting*:TreeMerge*:KernelOverride*:SampleFit*'
+# The tiled dominance kernel + window buffers (pointer-striding code under the
+# skyline algorithms; ASan/UBSan catch lane/padding mistakes, TSan checks the
+# thread_local window reuse under the threaded pipeline).
+FILTER+=':DominanceBlock*:DominanceBlockGolden*:TiledWindow*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

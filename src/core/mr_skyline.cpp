@@ -37,11 +37,17 @@ struct PointSetInput {
 };
 
 /// Rebuild a PointSet from shuffled records (shared by combine/reduce/merge).
-data::PointSet to_point_set(std::size_t dim, const std::vector<PointRec>& recs) {
-  data::PointSet ps(dim);
-  ps.reserve(recs.size());
-  for (const auto& r : recs) ps.push_back(r.coords, r.id);
-  return ps;
+/// Returns a per-worker-thread scratch buffer reused across reduce groups and
+/// merge rounds, so group materialisation stops allocating per group; callers
+/// must be done with the previous group's view before asking for the next
+/// (every kernel below copies its survivors out via PointSet::select).
+data::PointSet& to_point_set(std::size_t dim, const std::vector<PointRec>& recs) {
+  thread_local data::PointSet scratch(1);
+  if (scratch.dim() != dim) scratch = data::PointSet(dim);
+  scratch.clear();
+  scratch.reserve(recs.size());
+  for (const auto& r : recs) scratch.push_back(r.coords, r.id);
+  return scratch;
 }
 
 }  // namespace

@@ -47,11 +47,18 @@ void PointSet::clear() noexcept {
 }
 
 PointSet PointSet::select(std::span<const std::size_t> indices) const {
+  // Bulk path: size the output once and copy whole rows, instead of paying
+  // push_back's per-row dim check and incremental growth. Every skyline
+  // algorithm funnels its result construction through here.
   PointSet out(dim_);
-  out.reserve(indices.size());
-  for (std::size_t i : indices) {
+  out.values_.resize(indices.size() * dim_);
+  out.ids_.resize(indices.size());
+  double* dst = out.values_.data();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::size_t i = indices[k];
     MRSKY_REQUIRE(i < size(), "select index out of range");
-    out.push_back(point(i), ids_[i]);
+    std::copy_n(values_.data() + i * dim_, dim_, dst + k * dim_);
+    out.ids_[k] = ids_[i];
   }
   return out;
 }

@@ -47,6 +47,15 @@ class PointSet {
 
   [[nodiscard]] PointId id(std::size_t i) const noexcept { return ids_[i]; }
 
+  /// Copies point i's coordinates into dst with `stride` doubles between
+  /// consecutive attributes (stride 1 = a plain contiguous copy). The strided
+  /// form is the scatter used by skyline::TiledWindow to lay points out in
+  /// attribute-major tiles.
+  void copy_point_to(std::size_t i, double* dst, std::size_t stride = 1) const noexcept {
+    const double* src = values_.data() + i * dim_;
+    for (std::size_t a = 0; a < dim_; ++a) dst[a * stride] = src[a];
+  }
+
   /// Appends a point; throws if coords.size() != dim().
   void push_back(std::span<const double> coords, PointId id);
 

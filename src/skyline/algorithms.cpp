@@ -1,21 +1,132 @@
 #include "src/skyline/algorithms.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
+#include <ranges>
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/skyline/dominance_block.hpp"
 
 namespace mrsky::skyline {
 
 namespace {
 
-SkylineStats g_discard;  // sink when the caller passes no stats
+// All window scans below run on the tiled kernel (dominance_block.hpp) but
+// charge stats.dominance_tests exactly as the scalar loops they replaced:
+// pairs up to and including the first dominator, all live pairs otherwise.
+// The corner prefilter may answer a scan without touching the tiles; it then
+// charges the full would-be scan so fixed-seed golden counts — and the
+// simulator's time model built on them — are bit-identical to the scalar
+// implementation.
 
-SkylineStats& stats_or_discard(SkylineStats* stats) {
-  if (stats != nullptr) return *stats;
-  g_discard = SkylineStats{};
-  return g_discard;
+/// Lane-wise probe of one tile, with the scalar dominates() early exits.
+/// Returns the first dominating lane, or kTileWidth if none of the `valid`
+/// lanes dominates p.
+std::size_t first_dominator_lanewise(const double* p, const double* tile, std::size_t dim,
+                                     std::size_t valid) {
+  for (std::size_t lane = 0; lane < valid; ++lane) {
+    bool strictly_better = false;
+    bool dominates_p = true;
+    for (std::size_t a = 0; a < dim; ++a) {
+      const double q = tile[a * kTileWidth + lane];
+      if (q > p[a]) {
+        dominates_p = false;
+        break;
+      }
+      if (q < p[a]) strictly_better = true;
+    }
+    if (dominates_p && strictly_better) return lane;
+  }
+  return kTileWidth;
+}
+
+/// One-directional probe: is p dominated by any window point? Counts tests
+/// like the scalar `for (w : window) if (dominates(w, p)) break;` loop.
+///
+/// Hybrid schedule: dominated candidates almost always fall to the head of
+/// the window (best points first under SFS order, earliest survivors under
+/// BNL), where per-pair early exit beats a full-depth tile — so the head tile
+/// is probed lane-wise; the tail, reached mostly by near-survivors whose
+/// lanes are incomparable, runs on the batched kernel.
+bool dominated_by_window(const TiledWindow& window, std::span<const double> p,
+                         SkylineStats& stats) {
+  const std::size_t dim = window.dim();
+  const std::size_t tiles = window.tiles();
+  if (tiles == 0) return false;
+
+  const std::uint32_t head_vm = window.valid_mask(0);
+  const std::size_t head_lane = first_dominator_lanewise(
+      p.data(), window.tile_data(0), dim, static_cast<std::size_t>(std::popcount(head_vm)));
+  if (head_lane < kTileWidth) {
+    stats.dominance_tests += head_lane + 1;
+    return true;
+  }
+  stats.dominance_tests += static_cast<std::uint64_t>(std::popcount(head_vm));
+
+  for (std::size_t t = 1; t < tiles; ++t) {
+    const std::uint32_t vm = window.valid_mask(t);
+    const std::uint32_t dominated_by = dominators_in_block(p.data(), window.tile_data(t), dim) & vm;
+    if (dominated_by != 0) {
+      stats.dominance_tests += static_cast<std::uint64_t>(std::countr_zero(dominated_by)) + 1;
+      return true;
+    }
+    stats.dominance_tests += static_cast<std::uint64_t>(std::popcount(vm));
+  }
+  return false;
+}
+
+/// The BNL window pass shared by bnl_skyline and the D&C base case: scans
+/// `order` in sequence, dropping window points the candidate dominates and
+/// rejecting candidates some window point dominates. Returns the surviving
+/// source-row indices in window (insertion) order.
+template <typename IndexRange>
+std::vector<std::size_t> bnl_pass(const data::PointSet& ps, const IndexRange& order,
+                                  SkylineStats& stats) {
+  TiledWindow window(ps.dim());
+  std::vector<std::uint32_t> drops;
+  const bool prefilter = prefilter_enabled();
+  for (const std::size_t i : order) {
+    const auto p = ps.point(i);
+    if (prefilter && !window.empty() && !window.maybe_dominated(p) &&
+        !window.maybe_dominates(p)) {
+      // Whole scan provably relation-free: the scalar loop would have
+      // evaluated every window pair, found no dominator and dropped nothing.
+      stats.dominance_tests += window.size();
+      ++stats.prefilter_skips;
+      window.push_back(ps, i);
+      continue;
+    }
+    const std::size_t tiles = window.tiles();
+    drops.assign(tiles, 0);
+    bool dominated = false;
+    bool any_drop = false;
+    for (std::size_t t = 0; t < tiles && !dominated; ++t) {
+      const std::uint32_t vm = window.valid_mask(t);
+      const TileMasks m = compare_block(p.data(), window.tile_data(t), ps.dim());
+      const std::uint32_t lt = m.lt & vm;
+      const std::uint32_t gt = m.gt & vm;
+      const std::uint32_t dominated_by = gt & ~lt;
+      std::uint32_t drop = lt & ~gt;
+      if (dominated_by != 0) {
+        const auto k = static_cast<unsigned>(std::countr_zero(dominated_by));
+        stats.dominance_tests += static_cast<std::uint64_t>(k) + 1;
+        // The scalar loop stops at the dominator: lanes after it are never
+        // examined this round and must survive untouched.
+        drop &= (std::uint32_t{1} << k) - 1;
+        dominated = true;
+      } else {
+        stats.dominance_tests += static_cast<std::uint64_t>(std::popcount(vm));
+      }
+      drops[t] = drop;
+      any_drop |= drop != 0;
+    }
+    if (any_drop) window.compact(drops);
+    if (!dominated) window.push_back(ps, i);
+  }
+  const auto payloads = window.payloads();
+  return {payloads.begin(), payloads.end()};
 }
 
 }  // namespace
@@ -39,35 +150,11 @@ std::string to_string(Algorithm algo) {
 }
 
 data::PointSet bnl_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
-  SkylineStats& stats = stats_or_discard(stats_out);
+  SkylineStats local_stats;
+  SkylineStats& stats = stats_out != nullptr ? *stats_out : local_stats;
   stats.points_in += ps.size();
 
-  // The window holds indices of currently-undominated points.
-  std::vector<std::size_t> window;
-  for (std::size_t i = 0; i < ps.size(); ++i) {
-    const auto p = ps.point(i);
-    bool dominated = false;
-    // Compare against the window; drop window entries p dominates, stop as
-    // soon as some window entry dominates p.
-    std::size_t keep = 0;
-    for (std::size_t w = 0; w < window.size(); ++w) {
-      const auto q = ps.point(window[w]);
-      ++stats.dominance_tests;
-      const DomRelation rel = compare(p, q);
-      if (rel == DomRelation::kDominatedBy) {
-        dominated = true;
-        // Everything not yet scanned survives untouched.
-        for (std::size_t r = w; r < window.size(); ++r) window[keep++] = window[r];
-        break;
-      }
-      if (rel != DomRelation::kDominates) {
-        window[keep++] = window[w];  // q survives
-      }
-      // rel == kDominates: q is dominated by p, drop it (don't copy).
-    }
-    window.resize(keep);
-    if (!dominated) window.push_back(i);
-  }
+  auto window = bnl_pass(ps, std::views::iota(std::size_t{0}, ps.size()), stats);
 
   std::sort(window.begin(), window.end());
   stats.points_out += window.size();
@@ -75,7 +162,8 @@ data::PointSet bnl_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
 }
 
 data::PointSet sfs_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
-  SkylineStats& stats = stats_or_discard(stats_out);
+  SkylineStats local_stats;
+  SkylineStats& stats = stats_out != nullptr ? *stats_out : local_stats;
   stats.points_in += ps.size();
 
   // Presort by the monotone score sum(coords): if score(a) < score(b) then b
@@ -90,51 +178,34 @@ data::PointSet sfs_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return score[a] < score[b]; });
 
-  std::vector<std::size_t> window;
+  TiledWindow window(ps.dim());
+  const bool prefilter = prefilter_enabled();
   for (std::size_t i : order) {
     const auto p = ps.point(i);
-    bool dominated = false;
-    for (std::size_t w : window) {
-      ++stats.dominance_tests;
-      if (dominates(ps.point(w), p)) {
-        dominated = true;
-        break;
-      }
+    if (prefilter && !window.empty() && !window.maybe_dominated(p)) {
+      stats.dominance_tests += window.size();
+      ++stats.prefilter_skips;
+      window.push_back(ps, i);
+      continue;
     }
-    if (!dominated) window.push_back(i);
+    if (!dominated_by_window(window, p, stats)) window.push_back(ps, i);
   }
 
-  std::sort(window.begin(), window.end());
-  stats.points_out += window.size();
-  return ps.select(window);
+  const auto payloads = window.payloads();
+  std::vector<std::size_t> survivors(payloads.begin(), payloads.end());
+  std::sort(survivors.begin(), survivors.end());
+  stats.points_out += survivors.size();
+  return ps.select(survivors);
 }
 
 namespace {
 
-// Recursive helper on index ranges; returns surviving indices (sorted).
+// Recursive helper on index ranges; returns surviving indices in window order.
 std::vector<std::size_t> dc_recurse(const data::PointSet& ps, std::vector<std::size_t> idx,
                                     SkylineStats& stats) {
   if (idx.size() <= 16) {
     // Base case: tiny BNL over the subset.
-    std::vector<std::size_t> window;
-    for (std::size_t i : idx) {
-      const auto p = ps.point(i);
-      bool dominated = false;
-      std::size_t keep = 0;
-      for (std::size_t w = 0; w < window.size(); ++w) {
-        ++stats.dominance_tests;
-        const DomRelation rel = compare(p, ps.point(window[w]));
-        if (rel == DomRelation::kDominatedBy) {
-          dominated = true;
-          for (std::size_t r = w; r < window.size(); ++r) window[keep++] = window[r];
-          break;
-        }
-        if (rel != DomRelation::kDominates) window[keep++] = window[w];
-      }
-      window.resize(keep);
-      if (!dominated) window.push_back(i);
-    }
-    return window;
+    return bnl_pass(ps, idx, stats);
   }
 
   const std::size_t half = idx.size() / 2;
@@ -144,21 +215,24 @@ std::vector<std::size_t> dc_recurse(const data::PointSet& ps, std::vector<std::s
   auto sky_right = dc_recurse(ps, std::move(right), stats);
 
   // Cross-filter: a survivor must not be dominated by any survivor of the
-  // other half.
+  // other half. The against-side is packed into tiles once per direction.
+  const bool prefilter = prefilter_enabled();
   auto filter = [&](const std::vector<std::size_t>& candidates,
                     const std::vector<std::size_t>& against) {
+    if (against.empty()) return candidates;
+    TiledWindow aw(ps.dim());
+    for (std::size_t a : against) aw.push_back(ps, a);
     std::vector<std::size_t> out;
     out.reserve(candidates.size());
     for (std::size_t c : candidates) {
-      bool dominated = false;
-      for (std::size_t a : against) {
-        ++stats.dominance_tests;
-        if (dominates(ps.point(a), ps.point(c))) {
-          dominated = true;
-          break;
-        }
+      const auto p = ps.point(c);
+      if (prefilter && !aw.maybe_dominated(p)) {
+        stats.dominance_tests += aw.size();
+        ++stats.prefilter_skips;
+        out.push_back(c);
+        continue;
       }
-      if (!dominated) out.push_back(c);
+      if (!dominated_by_window(aw, p, stats)) out.push_back(c);
     }
     return out;
   };
@@ -171,7 +245,8 @@ std::vector<std::size_t> dc_recurse(const data::PointSet& ps, std::vector<std::s
 }  // namespace
 
 data::PointSet dc_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
-  SkylineStats& stats = stats_or_discard(stats_out);
+  SkylineStats local_stats;
+  SkylineStats& stats = stats_out != nullptr ? *stats_out : local_stats;
   stats.points_in += ps.size();
   std::vector<std::size_t> idx(ps.size());
   std::iota(idx.begin(), idx.end(), std::size_t{0});
@@ -182,7 +257,10 @@ data::PointSet dc_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
 }
 
 data::PointSet naive_skyline(const data::PointSet& ps, SkylineStats* stats_out) {
-  SkylineStats& stats = stats_or_discard(stats_out);
+  // Deliberately untouched by the tiled kernel: this is the O(n²) scalar
+  // ground truth the block algorithms are verified against.
+  SkylineStats local_stats;
+  SkylineStats& stats = stats_out != nullptr ? *stats_out : local_stats;
   stats.points_in += ps.size();
   std::vector<std::size_t> survivors;
   for (std::size_t i = 0; i < ps.size(); ++i) {

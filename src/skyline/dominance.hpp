@@ -24,15 +24,24 @@ enum class DomRelation {
 };
 
 /// Work counters shared by all skyline algorithms.
+///
+/// `dominance_tests` always counts the pairs the *scalar* reference algorithm
+/// would evaluate (first-dominator early exit included), regardless of whether
+/// the tiled kernel or the min-corner prefilter served the scan — the cluster
+/// simulator's time model depends on that count staying stable.
+/// `prefilter_skips` is pure telemetry: window scans answered by the corner
+/// prefilter alone (their would-be tests are still in `dominance_tests`).
 struct SkylineStats {
   std::uint64_t dominance_tests = 0;  ///< pairwise dominance evaluations
   std::uint64_t points_in = 0;        ///< points consumed
   std::uint64_t points_out = 0;       ///< skyline points produced
+  std::uint64_t prefilter_skips = 0;  ///< window scans skipped by the corner prefilter
 
   SkylineStats& operator+=(const SkylineStats& other) noexcept {
     dominance_tests += other.dominance_tests;
     points_in += other.points_in;
     points_out += other.points_out;
+    prefilter_skips += other.prefilter_skips;
     return *this;
   }
 };
