@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   const auto servers = static_cast<std::size_t>(args.get_int("servers", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
   const auto dims = args.get_int_list("dims", {2, 4, 6, 8, 10});
+  const std::string trace_out = args.get_string("trace-out", "");
+  common::TraceRecorder recorder;
+  common::TraceRecorder* const trace = trace_out.empty() ? nullptr : &recorder;
 
   std::cout << "Figure 5 reproduction — processing time vs dimension\n"
             << "cardinality N=" << n << ", cluster=" << servers
@@ -35,7 +38,7 @@ int main(int argc, char** argv) {
     for (part::Scheme scheme : bench::paper_schemes()) {
       core::MRSkylineConfig config;
       config.scheme = scheme;
-      cells.push_back(bench::run_cell(ps, config, servers));
+      cells.push_back(bench::run_cell(ps, config, servers, trace));
     }
     const double angle_total = cells.back().times.total_seconds();
     for (std::size_t s = 0; s < cells.size(); ++s) {
@@ -50,6 +53,11 @@ int main(int argc, char** argv) {
                                         cell.run.merge_job.total_work_units()),
                      common::Table::fmt(cell.optimality.local_total)});
     }
+  }
+  if (trace != nullptr) {
+    recorder.write_chrome_json(trace_out);
+    std::cerr << "trace written to " << trace_out << " (" << recorder.spans().size()
+              << " spans; load in Perfetto or chrome://tracing)\n";
   }
   if (args.get_bool("csv", false)) {
     table.print_csv(std::cout);

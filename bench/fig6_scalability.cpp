@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   const auto dim = static_cast<std::size_t>(args.get_int("dim", 10));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
   const auto server_list = args.get_int_list("servers", {4, 8, 12, 16, 20, 24, 28, 32});
+  const std::string trace_out = args.get_string("trace-out", "");
+  common::TraceRecorder recorder;
+  common::TraceRecorder* const trace = trace_out.empty() ? nullptr : &recorder;
 
   std::cout << "Figure 6 reproduction — MR-Angle scalability breakdown\n"
             << "N=" << n << ", d=" << dim << ", partitions=2x servers\n\n";
@@ -32,7 +35,7 @@ int main(int argc, char** argv) {
   for (std::int64_t servers : server_list) {
     core::MRSkylineConfig config;
     config.scheme = part::Scheme::kAngular;
-    const auto cell = bench::run_cell(ps, config, static_cast<std::size_t>(servers));
+    const auto cell = bench::run_cell(ps, config, static_cast<std::size_t>(servers), trace);
     if (total_at_4 == 0.0) total_at_4 = cell.times.total_seconds();
     table.add_row({common::Table::fmt(static_cast<int>(servers)),
                    common::Table::fmt(cell.times.map_seconds, 2),
@@ -40,6 +43,11 @@ int main(int argc, char** argv) {
                    common::Table::fmt(cell.times.startup_seconds, 1),
                    common::Table::fmt(cell.times.total_seconds(), 2),
                    common::Table::fmt(cell.times.total_seconds() / total_at_4, 2) + "x"});
+  }
+  if (trace != nullptr) {
+    recorder.write_chrome_json(trace_out);
+    std::cerr << "trace written to " << trace_out << " (" << recorder.spans().size()
+              << " spans; load in Perfetto or chrome://tracing)\n";
   }
   if (args.get_bool("csv", false)) {
     table.print_csv(std::cout);

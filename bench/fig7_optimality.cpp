@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
   const auto servers = static_cast<std::size_t>(args.get_int("servers", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
   const auto dims = args.get_int_list("dims", {2, 4, 6, 8, 10});
+  const std::string trace_out = args.get_string("trace-out", "");
+  common::TraceRecorder recorder;
+  common::TraceRecorder* const trace = trace_out.empty() ? nullptr : &recorder;
 
   std::cout << "Figure 7 reproduction — local skyline optimality (Eq. 5) vs dimension\n"
             << "cardinality N=" << n << ", cluster=" << servers << " servers\n\n";
@@ -30,7 +33,7 @@ int main(int argc, char** argv) {
     for (part::Scheme scheme : bench::paper_schemes()) {
       core::MRSkylineConfig config;
       config.scheme = scheme;
-      const auto cell = bench::run_cell(ps, config, servers);
+      const auto cell = bench::run_cell(ps, config, servers, trace);
       table.add_row({common::Table::fmt(static_cast<int>(d)), bench::display_name(scheme),
                      common::Table::fmt(cell.optimality.mean_optimality, 3),
                      common::Table::fmt(cell.optimality.min_optimality, 3),
@@ -38,6 +41,11 @@ int main(int argc, char** argv) {
                      common::Table::fmt(cell.optimality.local_total),
                      common::Table::fmt(cell.optimality.global_total)});
     }
+  }
+  if (trace != nullptr) {
+    recorder.write_chrome_json(trace_out);
+    std::cerr << "trace written to " << trace_out << " (" << recorder.spans().size()
+              << " spans; load in Perfetto or chrome://tracing)\n";
   }
   if (args.get_bool("csv", false)) {
     table.print_csv(std::cout);

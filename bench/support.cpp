@@ -2,6 +2,7 @@
 
 #include "src/dataset/normalize.hpp"
 #include "src/dataset/qws.hpp"
+#include "src/mapreduce/trace_export.hpp"
 
 namespace mrsky::bench {
 
@@ -15,14 +16,23 @@ data::PointSet synthetic_workload(data::Distribution dist, std::size_t n, std::s
   return data::generate(dist, n, dim, seed);
 }
 
-CellResult run_cell(const data::PointSet& ps, core::MRSkylineConfig config, std::size_t servers) {
+CellResult run_cell(const data::PointSet& ps, core::MRSkylineConfig config, std::size_t servers,
+                    common::TraceRecorder* trace) {
   config.servers = servers;
+  config.run_options.trace = trace;
   CellResult cell;
   cell.run = core::run_mr_skyline(ps, config);
   mr::ClusterModel model;
   model.servers = servers;
   cell.times = cell.run.simulate(model);
   cell.optimality = core::local_skyline_optimality(cell.run.local_skylines, cell.run.skyline);
+  if (trace != nullptr) {
+    std::vector<mr::JobMetrics> jobs;
+    jobs.reserve(1 + cell.run.merge_rounds.size());
+    jobs.push_back(cell.run.partition_job);
+    jobs.insert(jobs.end(), cell.run.merge_rounds.begin(), cell.run.merge_rounds.end());
+    mr::append_pipeline_trace(*trace, jobs, model);
+  }
   return cell;
 }
 

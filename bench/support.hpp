@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/trace.hpp"
 #include "src/core/mr_skyline.hpp"
 #include "src/core/optimality.hpp"
 #include "src/dataset/generators.hpp"
@@ -36,8 +37,12 @@ struct CellResult {
 };
 
 /// Runs the full two-job pipeline and simulates it on `servers` servers.
+/// With `trace` set, the real execution is span-traced (RunOptions::trace)
+/// and the simulated cluster schedule is appended afterwards — the benches'
+/// `--trace-out FILE` plumbing.
 [[nodiscard]] CellResult run_cell(const data::PointSet& ps, core::MRSkylineConfig config,
-                                  std::size_t servers);
+                                  std::size_t servers,
+                                  common::TraceRecorder* trace = nullptr);
 
 /// The three paper schemes in presentation order.
 [[nodiscard]] const std::vector<part::Scheme>& paper_schemes();

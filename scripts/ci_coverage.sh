@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Line-coverage CI gate for the library core.
+#
+#   ./scripts/ci_coverage.sh [build-dir]
+#   COVERAGE_THRESHOLD=75 ./scripts/ci_coverage.sh
+#
+# Configures a dedicated build tree with MRSKY_COVERAGE=ON (gcov
+# instrumentation at -O0), runs the full unit/integration suite, and writes a
+# per-file line-coverage report for src/common + src/core into
+# experiment_results/coverage_report.txt. Fails if the combined line coverage
+# of those two directories — the tracing subsystem and the skyline pipeline,
+# the code this repo's correctness rests on — drops below the threshold
+# (percent, default 70).
+#
+# Uses gcovr when installed; otherwise falls back to raw gcov + awk, which is
+# all the summary below needs.
+set -euo pipefail
+
+BUILD_DIR="${1:-build-coverage}"
+THRESHOLD="${COVERAGE_THRESHOLD:-70}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="$ROOT/experiment_results"
+REPORT="$OUT_DIR/coverage_report.txt"
+mkdir -p "$OUT_DIR"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DMRSKY_COVERAGE=ON \
+  -DMRSKY_BUILD_BENCH=OFF \
+  -DMRSKY_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j --target mrsky_tests
+# The gcov fallback below runs from a scratch directory; the .gcda paths fed
+# to it must survive that cd.
+BUILD_DIR="$(cd "$BUILD_DIR" && pwd)"
+
+# Stale counters from a previous run would dilute the numbers.
+find "$BUILD_DIR" -name '*.gcda' -delete
+
+"$BUILD_DIR/tests/mrsky_tests" --gtest_brief=1
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root "$ROOT" --object-directory "$BUILD_DIR" \
+        --filter "$ROOT/src/common/" --filter "$ROOT/src/core/" \
+        --txt "$REPORT" --fail-under-line "$THRESHOLD"
+  cat "$REPORT"
+else
+  SCRATCH="$(mktemp -d)"
+  trap 'rm -rf "$SCRATCH"' EXIT
+  # gcov prints a "File '...'" / "Lines executed:P% of N" pair per source a
+  # TU touched. Headers appear once per including TU with different counts;
+  # keep each file's best-covered instance, then gate on the aggregate.
+  find "$BUILD_DIR" -name '*.gcda' -print0 |
+    (cd "$SCRATCH" && xargs -0 gcov -r -s "$ROOT" 2>/dev/null) |
+    awk -v thresh="$THRESHOLD" '
+      /^File / {
+        f = $0; sub(/^File ./, "", f); sub(/.$/, "", f)
+        keep = (f ~ /^src\/(common|core)\//)
+      }
+      /^Lines executed:/ && keep {
+        s = $0; sub(/^Lines executed:/, "", s); split(s, a, "% of ")
+        if (!(f in lines) || a[1] > pct[f]) { pct[f] = a[1]; lines[f] = a[2] }
+      }
+      END {
+        for (f in pct) {
+          printf "%7.2f%%  %5d  %s\n", pct[f], lines[f], f
+          covered += pct[f] * lines[f] / 100; total += lines[f]
+        }
+        overall = total > 0 ? 100 * covered / total : 0
+        printf "%7.2f%%  %5d  TOTAL (src/common + src/core)\n", overall, total
+        if (overall < thresh) {
+          printf "FAIL: %.2f%% is below the %s%% threshold\n", overall, thresh
+          exit 1
+        }
+      }' | tee "$REPORT"
+fi
+
+echo "== coverage gate passed (report: $REPORT)"

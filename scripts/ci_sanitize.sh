@@ -32,6 +32,10 @@ FILTER+=':MRSkyline*:Salting*:TreeMerge*:KernelOverride*:SampleFit*'
 # skyline algorithms; ASan/UBSan catch lane/padding mistakes, TSan checks the
 # thread_local window reuse under the threaded pipeline).
 FILTER+=':DominanceBlock*:DominanceBlockGolden*:TiledWindow*'
+# The tracing subsystem (its recorder takes the one lock the parallel shuffle
+# contends on) and the suites that hammer it: span invariants under both
+# engine modes plus the randomized config sweep with tracing slices.
+FILTER+=':Trace*:*TraceInvariants*:SimulatorTrace*:*ConfigSweep*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

@@ -1,0 +1,33 @@
+#include "src/common/json.hpp"
+
+namespace mrsky::common {
+
+std::string json_escape(std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        const auto b = static_cast<unsigned char>(c);
+        if (b < 0x20) {
+          out += "\\u00";
+          out += kHex[b >> 4];
+          out += kHex[b & 0xf];
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrsky::common

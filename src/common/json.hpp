@@ -1,0 +1,17 @@
+// Minimal JSON string escaping shared by every hand-rolled writer in the
+// library (metrics_json, the trace exporter). One implementation so hostile
+// names — datasets, partitions, job names containing quotes, backslashes or
+// control bytes — serialise identically everywhere.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mrsky::common {
+
+/// Escapes `s` for embedding inside a double-quoted JSON string: `"`,`\`,
+/// the usual short escapes (\b \f \n \r \t) and every other control byte
+/// below 0x20 as \u00XX. Bytes >= 0x20 pass through untouched (UTF-8 safe).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace mrsky::common

@@ -1,0 +1,175 @@
+#include "src/common/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/json.hpp"
+
+namespace mrsky::common {
+
+const TraceArg* TraceSpan::find_arg(std::string_view key) const noexcept {
+  for (const TraceArg& a : args) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+std::int64_t TraceSpan::arg_int(std::string_view key, std::int64_t fallback) const noexcept {
+  const TraceArg* a = find_arg(key);
+  if (a == nullptr || !a->numeric) return fallback;
+  std::int64_t out = fallback;
+  if (std::sscanf(a->value.c_str(), "%" SCNd64, &out) != 1) return fallback;
+  return out;
+}
+
+TraceRecorder::ThreadState& TraceRecorder::state_locked(std::thread::id tid) {
+  auto [it, inserted] = threads_.try_emplace(tid);
+  if (inserted) it->second.lane = next_lane_++;
+  return it->second;
+}
+
+std::uint64_t TraceRecorder::begin_span(std::string_view name, std::string_view category) {
+  const std::int64_t start = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadState& state = state_locked(std::this_thread::get_id());
+  TraceSpan span;
+  span.id = spans_.size() + 1;
+  span.parent = state.open.empty() ? kTraceNoParent : state.open.back();
+  span.name = name;
+  span.category = category;
+  span.start_ns = start;
+  span.end_ns = start;  // patched by end_span; a crash leaves a zero-length span
+  span.pid = kTracePidEngine;
+  span.lane = state.lane;
+  state.open.push_back(span.id);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::end_span(std::uint64_t id) {
+  const std::int64_t end = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  MRSKY_REQUIRE(id >= 1 && id <= spans_.size(), "end_span: unknown span id");
+  ThreadState& state = state_locked(std::this_thread::get_id());
+  MRSKY_REQUIRE(!state.open.empty() && state.open.back() == id,
+                "end_span: spans must close innermost-first on their own thread");
+  state.open.pop_back();
+  spans_[id - 1].end_ns = end;
+}
+
+void TraceRecorder::add_arg(std::uint64_t id, std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MRSKY_REQUIRE(id >= 1 && id <= spans_.size(), "add_arg: unknown span id");
+  spans_[id - 1].args.push_back(TraceArg{std::string(key), std::string(value), false});
+}
+
+void TraceRecorder::add_arg_int(std::uint64_t id, std::string_view key, std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MRSKY_REQUIRE(id >= 1 && id <= spans_.size(), "add_arg: unknown span id");
+  spans_[id - 1].args.push_back(TraceArg{std::string(key), std::to_string(value), true});
+}
+
+std::uint64_t TraceRecorder::add_span(std::string_view name, std::string_view category,
+                                      std::uint32_t pid, std::uint32_t lane,
+                                      std::int64_t start_ns, std::int64_t end_ns) {
+  MRSKY_REQUIRE(end_ns >= start_ns, "add_span: end before start");
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.id = spans_.size() + 1;
+  span.name = name;
+  span.category = category;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.pid = pid;
+  span.lane = lane;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::set_lane_name(std::uint32_t pid, std::uint32_t lane,
+                                  std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lane_names_[{pid, lane}] = std::string(name);
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+
+  // Process/thread name metadata. Only pids that actually appear are named.
+  bool engine_seen = false;
+  bool simulator_seen = false;
+  for (const TraceSpan& s : spans_) {
+    engine_seen |= s.pid == kTracePidEngine;
+    simulator_seen |= s.pid == kTracePidSimulator;
+  }
+  if (engine_seen) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":" << kTracePidEngine
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"engine\"}}";
+  }
+  if (simulator_seen) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":" << kTracePidSimulator
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"simulated cluster\"}}";
+  }
+  for (const auto& [key, name] : lane_names_) {
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":" << key.first << ",\"tid\":" << key.second
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+
+  // Spans as "X" complete events; timestamps are microseconds with
+  // nanosecond fraction.
+  char ts[64];
+  for (const TraceSpan& s : spans_) {
+    comma();
+    os << "{\"ph\":\"X\",\"pid\":" << s.pid << ",\"tid\":" << s.lane << ",\"name\":\""
+       << json_escape(s.name) << "\",\"cat\":\"" << json_escape(s.category) << "\"";
+    std::snprintf(ts, sizeof(ts), "%.3f", static_cast<double>(s.start_ns) / 1000.0);
+    os << ",\"ts\":" << ts;
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(std::max<std::int64_t>(0, s.end_ns - s.start_ns)) / 1000.0);
+    os << ",\"dur\":" << ts;
+    if (!s.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << json_escape(s.args[i].key) << "\":";
+        if (s.args[i].numeric) {
+          os << s.args[i].value;
+        } else {
+          os << "\"" << json_escape(s.args[i].value) << "\"";
+        }
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) MRSKY_FAIL("cannot open trace output file " + path);
+  file << to_chrome_json() << "\n";
+  if (!file) MRSKY_FAIL("failed writing trace output file " + path);
+}
+
+}  // namespace mrsky::common

@@ -1,0 +1,169 @@
+// Structured pipeline tracing — span-level observability for the MapReduce
+// engine, the skyline pipeline and the cluster simulator.
+//
+// A TraceRecorder collects nested spans: named intervals with a category,
+// start/end nanoseconds, a (pid, lane) placement and key/value args. Real
+// execution records spans on thread lanes (one lane per OS thread, assigned
+// on first use); the cluster simulator appends *synthetic* spans with
+// explicit lanes and simulated timestamps under its own pid, so one file
+// shows both what the process did and what the modelled cluster would do.
+//
+// Design rules (DESIGN.md decision 10):
+// * Zero overhead when disabled. Everything is driven through ScopedSpan,
+//   which holds a TraceRecorder pointer that is null when tracing is off —
+//   the disabled path is one pointer test per span site, no allocation, no
+//   lock, no time read.
+// * Thread-safe when enabled. All recorder state is guarded by one mutex;
+//   spans are begun/ended at task granularity (not per record), so the lock
+//   is uncontended in practice and the recorder is TSan-clean under the
+//   parallel shuffle.
+// * Well-nested per thread. begin/end pairs on one thread must nest (RAII
+//   enforces this); the parent of a new span is the innermost span still
+//   open on the same thread. Cross-thread children (a worker task inside a
+//   driver-side job span) are roots of their own lane — Chrome trace
+//   viewers nest by time containment per lane anyway.
+//
+// Export is Chrome trace-event JSON ("X" complete events plus process/thread
+// name metadata), loadable in Perfetto or chrome://tracing.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/common/timer.hpp"
+
+namespace mrsky::common {
+
+/// One key/value annotation on a span. Numeric args remember their decimal
+/// rendering and are emitted unquoted in JSON.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+/// Process ids in the exported trace: real execution vs simulated cluster.
+inline constexpr std::uint32_t kTracePidEngine = 1;
+inline constexpr std::uint32_t kTracePidSimulator = 2;
+
+/// Parent id of root spans (span ids are 1-based).
+inline constexpr std::uint64_t kTraceNoParent = 0;
+
+struct TraceSpan {
+  std::uint64_t id = 0;                  ///< 1-based, creation order
+  std::uint64_t parent = kTraceNoParent; ///< innermost open span on this lane
+  std::string name;
+  std::string category;
+  std::int64_t start_ns = 0;             ///< recorder-epoch-relative
+  std::int64_t end_ns = 0;
+  std::uint32_t pid = kTracePidEngine;
+  std::uint32_t lane = 0;                ///< tid in the exported trace
+  std::vector<TraceArg> args;
+
+  [[nodiscard]] const TraceArg* find_arg(std::string_view key) const noexcept;
+  /// Convenience: numeric arg value, or `fallback` when absent/non-numeric.
+  [[nodiscard]] std::int64_t arg_int(std::string_view key,
+                                     std::int64_t fallback = -1) const noexcept;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span on the calling thread's lane, parented to the innermost
+  /// span still open on that thread. Returns the span id.
+  std::uint64_t begin_span(std::string_view name, std::string_view category);
+
+  /// Closes span `id` (must be the innermost open span of the calling
+  /// thread — RAII via ScopedSpan guarantees it).
+  void end_span(std::uint64_t id);
+
+  void add_arg(std::uint64_t id, std::string_view key, std::string_view value);
+  void add_arg_int(std::uint64_t id, std::string_view key, std::int64_t value);
+
+  /// Appends a synthetic span with explicit placement and timestamps (the
+  /// cluster simulator's scheduled timeline). Returns its id; args can be
+  /// attached afterwards with add_arg*.
+  std::uint64_t add_span(std::string_view name, std::string_view category,
+                         std::uint32_t pid, std::uint32_t lane, std::int64_t start_ns,
+                         std::int64_t end_ns);
+
+  /// Names a lane in the exported trace (thread_name metadata).
+  void set_lane_name(std::uint32_t pid, std::uint32_t lane, std::string_view name);
+
+  /// Nanoseconds since this recorder was constructed (the span clock).
+  [[nodiscard]] std::int64_t now_ns() const noexcept { return epoch_.elapsed_ns(); }
+
+  /// Snapshot of all spans in creation order (ids are 1..spans().size()).
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+
+  /// Chrome trace-event JSON (object form with "traceEvents").
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to `path`; throws mrsky::RuntimeError on I/O
+  /// failure.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  struct ThreadState {
+    std::uint32_t lane = 0;
+    std::vector<std::uint64_t> open;  ///< stack of span ids open on the thread
+  };
+
+  ThreadState& state_locked(std::thread::id tid);
+
+  mutable std::mutex mutex_;
+  Timer epoch_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::thread::id, ThreadState> threads_;
+  std::uint32_t next_lane_ = 0;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::string> lane_names_;
+};
+
+/// RAII span: opens on construction when `recorder` is non-null, closes on
+/// destruction. The null-recorder path does nothing — this is the one object
+/// instrumentation sites create unconditionally.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceRecorder* recorder, std::string_view name, std::string_view category)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) id_ = recorder_->begin_span(name, category);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept : recorder_(other.recorder_), id_(other.id_) {
+    other.recorder_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->end_span(id_);
+  }
+
+  void arg(std::string_view key, std::string_view value) {
+    if (recorder_ != nullptr) recorder_->add_arg(id_, key, value);
+  }
+  template <std::integral T>
+  void arg(std::string_view key, T value) {
+    if (recorder_ != nullptr) recorder_->add_arg_int(id_, key, static_cast<std::int64_t>(value));
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return recorder_ != nullptr; }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace mrsky::common

@@ -95,17 +95,28 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   MRSKY_REQUIRE(!input.empty(), "cannot compute the skyline of an empty dataset");
   MRSKY_REQUIRE(config.servers >= 1, "need at least one server");
   common::Timer wall;
+  common::TraceRecorder* const trace = config.run_options.trace;
+  common::ScopedSpan pipeline_span(trace, "mr-skyline", "pipeline");
+  pipeline_span.arg("scheme", part::to_string(config.scheme));
+  pipeline_span.arg("points", input.size());
 
   // --- Fit the partitioner (the paper's master-side planning step). ---
   part::PartitionerOptions popts;
   popts.num_partitions = config.effective_partitions();
   popts.split_dim = config.split_dim;
   part::PartitionerPtr partitioner = part::make_partitioner(config.scheme, popts);
-  if (config.fit_sample_size > 0 && config.fit_sample_size < input.size()) {
-    common::Rng rng(config.fit_sample_seed);
-    partitioner->fit(data::sample_without_replacement(input, config.fit_sample_size, rng));
-  } else {
-    partitioner->fit(input);
+  {
+    common::ScopedSpan fit_span(trace, "partition-fit", "plan");
+    fit_span.arg("scheme", part::to_string(config.scheme));
+    if (config.fit_sample_size > 0 && config.fit_sample_size < input.size()) {
+      common::Rng rng(config.fit_sample_seed);
+      partitioner->fit(data::sample_without_replacement(input, config.fit_sample_size, rng));
+      fit_span.arg("fitted_points", config.fit_sample_size);
+    } else {
+      partitioner->fit(input);
+      fit_span.arg("fitted_points", input.size());
+    }
+    fit_span.arg("partitions", partitioner->num_partitions());
   }
   const std::size_t partitions = partitioner->num_partitions();
   const std::size_t dim = input.dim();
@@ -206,15 +217,22 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
                                      mr::Emitter<std::size_t, PointRec>& out,
                                      mr::TaskContext& ctx) {
       const std::size_t partition_id = key_to_partition[key];
+      common::ScopedSpan span(trace, "local-skyline", "skyline");
+      span.arg("partition", partition_id);
+      span.arg("key", key);
+      span.arg("points_in", values.size());
       if (pruned.contains(partition_id)) {
         // §III-B: the whole cell is dominated — skip its local skyline.
         ctx.increment("skyline.points_pruned", values.size());
+        span.arg("pruned", 1);
         return;
       }
       skyline::SkylineStats stats;
       const data::PointSet local = kernel(to_point_set(dim, values), &stats);
       ctx.charge_work(stats.dominance_tests);
       ctx.increment(emitted_counter, local.size());
+      span.arg("skyline_points", local.size());
+      span.arg("dominance_tests", stats.dominance_tests);
       for (std::size_t i = 0; i < local.size(); ++i) {
         out.emit(key, PointRec{local.id(i), {local.point(i).begin(), local.point(i).end()}});
       }
@@ -266,14 +284,19 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
       ctx.charge_work(1);
       out.emit(fan_in == 0 ? 0 : group / fan_in, rec);  // output(null/group, si)
     };
-    job.reduce_fn = [&kernel, dim](const std::size_t& group, std::vector<PointRec>& values,
-                                   mr::Emitter<std::size_t, PointRec>& out,
-                                   mr::TaskContext& ctx) {
+    job.reduce_fn = [&kernel, dim, trace](const std::size_t& group, std::vector<PointRec>& values,
+                                          mr::Emitter<std::size_t, PointRec>& out,
+                                          mr::TaskContext& ctx) {
+      common::ScopedSpan span(trace, "merge-skyline", "skyline");
+      span.arg("group", group);
+      span.arg("points_in", values.size());
       skyline::SkylineStats stats;
       const data::PointSet merged =
           kernel(to_point_set(dim, values), &stats);
       ctx.charge_work(stats.dominance_tests);
       ctx.increment("skyline.merged_points", merged.size());
+      span.arg("skyline_points", merged.size());
+      span.arg("dominance_tests", stats.dominance_tests);
       for (std::size_t i = 0; i < merged.size(); ++i) {
         out.emit(group, PointRec{merged.id(i),
                                  {merged.point(i).begin(), merged.point(i).end()}});

@@ -57,6 +57,7 @@
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
+#include "src/common/trace.hpp"
 #include "src/mapreduce/keyvalue.hpp"
 #include "src/mapreduce/metrics.hpp"
 
@@ -103,6 +104,14 @@ struct RunOptions {
   /// Abort anyway once a single task isolates more than this many records —
   /// mass skipping means the input, not single records, is broken.
   std::size_t max_skipped_records = 16;
+
+  /// Span-level tracing (src/common/trace.hpp). When set, the engine records
+  /// a span per job, per task, per task attempt (failed attempts included,
+  /// with `attempt`/`wasted_records` args) and per shuffle bucket into the
+  /// recorder, which must outlive every engine call using these options.
+  /// Null (the default) disables tracing at zero cost: every instrumentation
+  /// site is a single pointer test.
+  common::TraceRecorder* trace = nullptr;
 };
 
 namespace detail {
@@ -189,8 +198,11 @@ TaskAttemptOutcome run_task_attempts(const RunOptions& opts, const std::string& 
                                      const ProcessFn& process) {
   TaskAttemptOutcome outcome;
   if (!faults_enabled(opts)) {
+    common::ScopedSpan span(opts.trace, "attempt", "attempt");
+    span.arg("attempt", 0);
     TaskContext ctx;
     for (std::size_t i = 0; i < num_units; ++i) process(i, ctx, /*may_fail=*/false);
+    span.arg("status", "ok");
     final_ctx = std::move(ctx);
     return outcome;
   }
@@ -207,6 +219,8 @@ TaskAttemptOutcome run_task_attempts(const RunOptions& opts, const std::string& 
     const std::uint64_t executable = num_units - skipped.size();
     const std::uint64_t limit =
         injected ? failure_prefix(opts, job, phase, task, attempt, executable) : executable;
+    common::ScopedSpan span(opts.trace, "attempt", "attempt");
+    span.arg("attempt", attempt);
     reset();
     TaskContext ctx;
     // Discardable until neither an injected crash nor a first bad record can
@@ -265,10 +279,17 @@ TaskAttemptOutcome run_task_attempts(const RunOptions& opts, const std::string& 
     if (failed) {
       outcome.wasted_records += records_done;
       outcome.wasted_work_units += ctx.work_units();
+      span.arg("status", "failed");
+      span.arg("injected", injected ? 1 : 0);
+      span.arg("wasted_records", records_done);
+      span.arg("wasted_work_units", ctx.work_units());
       continue;  // re-execute from the split
     }
     outcome.attempts = attempt + 1;
     outcome.records_skipped = skipped.size();
+    span.arg("status", "ok");
+    span.arg("records", records_done);
+    if (!skipped.empty()) span.arg("records_skipped", skipped.size());
     final_ctx = std::move(ctx);
     return outcome;
   }
@@ -429,10 +450,16 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
   result.metrics.job_name = config.name;
   result.metrics.map_tasks.resize(config.num_map_tasks);
 
+  common::ScopedSpan job_span(opts.trace, config.name, "job");
+  job_span.arg("map_tasks", config.num_map_tasks);
+
   const detail::EnginePool pool(opts);
   const auto offsets = detail::split_offsets(input.size(), config.num_map_tasks);
   std::vector<std::vector<KV<OutK, OutV>>> outputs(config.num_map_tasks);
   detail::for_each_task(config.num_map_tasks, pool.get(), [&](std::size_t t) {
+    common::ScopedSpan task_span(opts.trace, "map", "task");
+    task_span.arg("job", config.name);
+    task_span.arg("task", t);
     common::Timer timer;
     TaskContext ctx;
     Emitter<OutK, OutV> emitter;
@@ -456,6 +483,10 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
     m.wasted_work_units = outcome.wasted_work_units;
     m.failure_events = std::move(outcome.events);
     m.counters = ctx.counters();
+    task_span.arg("records_in", m.records_in);
+    task_span.arg("records_out", m.records_out);
+    task_span.arg("attempts", m.attempts);
+    if (m.wasted_records > 0) task_span.arg("wasted_records", m.wasted_records);
   });
 
   std::size_t total_out = 0;
@@ -496,6 +527,10 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   result.metrics.map_tasks.resize(num_maps);
   result.metrics.reduce_tasks.resize(num_reduces);
 
+  common::ScopedSpan job_span(opts.trace, config.name, "job");
+  job_span.arg("map_tasks", num_maps);
+  job_span.arg("reduce_tasks", num_reduces);
+
   const auto partition_of = [&](const MidK& key) -> std::size_t {
     if (config.partition_fn) {
       const std::size_t p = config.partition_fn(key, num_reduces);
@@ -517,6 +552,9 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   std::vector<std::uint64_t> task_shuffle_records(num_maps, 0);
   std::vector<std::uint64_t> task_shuffle_bytes(num_maps, 0);
   detail::for_each_task(num_maps, pool.get(), [&](std::size_t t) {
+    common::ScopedSpan task_span(opts.trace, "map", "task");
+    task_span.arg("job", config.name);
+    task_span.arg("task", t);
     common::Timer timer;
     TaskContext ctx;
     Emitter<MidK, MidV> emitter;
@@ -533,11 +571,15 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
         });
     auto emitted = emitter.take();
     if (config.combine_fn) {
+      common::ScopedSpan combine_span(opts.trace, "combine", "task");
+      combine_span.arg("task", t);
+      combine_span.arg("records_in", emitted.size());
       Emitter<MidK, MidV> combined;
       detail::group_by_key(emitted, [&](const MidK& key, std::vector<MidV>& values) {
         config.combine_fn(key, values, combined, ctx);
       });
       emitted = combined.take();
+      combine_span.arg("records_out", emitted.size());
     }
     auto& m = result.metrics.map_tasks[t];
     m.records_in = offsets[t + 1] - offsets[t];
@@ -559,6 +601,10 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     m.wasted_work_units = outcome.wasted_work_units;
     m.failure_events = std::move(outcome.events);
     m.counters = ctx.counters();
+    task_span.arg("records_in", m.records_in);
+    task_span.arg("records_out", m.records_out);
+    task_span.arg("attempts", m.attempts);
+    if (m.wasted_records > 0) task_span.arg("wasted_records", m.wasted_records);
   });
   for (std::size_t t = 0; t < num_maps; ++t) {
     result.metrics.shuffle_records += task_shuffle_records[t];
@@ -570,18 +616,27 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   // produces, so grouping and output stay identical across modes. ----
   common::Timer shuffle_timer;
   std::vector<std::vector<KV<MidK, MidV>>> buckets(num_reduces);
-  detail::for_each_task(num_reduces, pool.get(), [&](std::size_t b) {
-    std::size_t total = 0;
-    for (std::size_t t = 0; t < num_maps; ++t) total += shards[t][b].size();
-    auto& bucket = buckets[b];
-    bucket.reserve(total);
-    for (std::size_t t = 0; t < num_maps; ++t) {
-      auto& shard = shards[t][b];
-      bucket.insert(bucket.end(), std::make_move_iterator(shard.begin()),
-                    std::make_move_iterator(shard.end()));
-      shard.clear();
-    }
-  });
+  {
+    common::ScopedSpan shuffle_span(opts.trace, "shuffle", "shuffle");
+    shuffle_span.arg("job", config.name);
+    shuffle_span.arg("records", result.metrics.shuffle_records);
+    shuffle_span.arg("bytes", result.metrics.shuffle_bytes);
+    detail::for_each_task(num_reduces, pool.get(), [&](std::size_t b) {
+      common::ScopedSpan bucket_span(opts.trace, "shuffle-bucket", "shuffle");
+      std::size_t total = 0;
+      for (std::size_t t = 0; t < num_maps; ++t) total += shards[t][b].size();
+      auto& bucket = buckets[b];
+      bucket.reserve(total);
+      for (std::size_t t = 0; t < num_maps; ++t) {
+        auto& shard = shards[t][b];
+        bucket.insert(bucket.end(), std::make_move_iterator(shard.begin()),
+                      std::make_move_iterator(shard.end()));
+        shard.clear();
+      }
+      bucket_span.arg("bucket", b);
+      bucket_span.arg("records", total);
+    });
+  }
   result.metrics.shuffle_ns = shuffle_timer.elapsed_ns();
 
   // ---- Reduce phase ----
@@ -592,6 +647,9 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   // the former sort-and-sweep, so output bytes are unchanged.
   std::vector<std::vector<KV<OutK, OutV>>> reduce_outputs(num_reduces);
   detail::for_each_task(num_reduces, pool.get(), [&](std::size_t t) {
+    common::ScopedSpan task_span(opts.trace, "reduce", "task");
+    task_span.arg("job", config.name);
+    task_span.arg("task", t);
     common::Timer timer;
     TaskContext ctx;
     Emitter<OutK, OutV> emitter;
@@ -637,6 +695,10 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     m.wasted_work_units = outcome.wasted_work_units;
     m.failure_events = std::move(outcome.events);
     m.counters = ctx.counters();
+    task_span.arg("records_in", m.records_in);
+    task_span.arg("records_out", m.records_out);
+    task_span.arg("attempts", m.attempts);
+    if (m.wasted_records > 0) task_span.arg("wasted_records", m.wasted_records);
   });
 
   std::size_t total_out = 0;

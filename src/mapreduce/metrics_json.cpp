@@ -3,25 +3,15 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/common/json.hpp"
+
 namespace mrsky::mr {
 
 namespace {
 
-/// Escapes the few characters that can appear in job names.
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
+/// Full JSON string escaping (control bytes included): job names can carry
+/// arbitrary dataset/partition names. Shared with the trace exporter.
+std::string escape(const std::string& s) { return common::json_escape(s); }
 
 void append_counters(std::ostringstream& os,
                      const std::map<std::string, std::uint64_t>& counters) {

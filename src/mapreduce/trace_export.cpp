@@ -1,0 +1,76 @@
+#include "src/mapreduce/trace_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace mrsky::mr {
+
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+
+std::int64_t to_ns(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * kNsPerSecond));
+}
+
+/// Lane 0 is the job timeline; cluster slots map to lanes 1..L so a phase's
+/// placements never collide with the per-job spans.
+void append_phase(common::TraceRecorder& recorder, const PhaseSchedule& schedule,
+                  const char* name, double phase_start_seconds) {
+  for (const TaskPlacement& p : schedule.placements) {
+    const auto id = recorder.add_span(
+        name, "sim-task", common::kTracePidSimulator,
+        static_cast<std::uint32_t>(p.lane + 1), to_ns(phase_start_seconds + p.start_seconds),
+        to_ns(phase_start_seconds + p.end_seconds));
+    recorder.add_arg_int(id, "task", static_cast<std::int64_t>(p.task_index));
+    if (p.reexecuted) recorder.add_arg_int(id, "reexecuted", 1);
+    if (p.speculated) recorder.add_arg_int(id, "speculated", 1);
+  }
+}
+
+}  // namespace
+
+double append_schedule_trace(common::TraceRecorder& recorder, const JobMetrics& metrics,
+                             const ClusterModel& model, double start_seconds) {
+  const ScheduleTrace trace = trace_job(metrics, model);
+
+  const double map_start = start_seconds + trace.times.startup_seconds;
+  const double reduce_start = map_start + trace.times.map_seconds;
+  const double end = reduce_start + trace.times.reduce_seconds;
+
+  const auto job_id =
+      recorder.add_span(metrics.job_name, "sim-job", common::kTracePidSimulator,
+                        /*lane=*/0, to_ns(start_seconds), to_ns(end));
+  recorder.add_arg_int(job_id, "map_tasks",
+                       static_cast<std::int64_t>(metrics.map_tasks.size()));
+  recorder.add_arg_int(job_id, "reduce_tasks",
+                       static_cast<std::int64_t>(metrics.reduce_tasks.size()));
+
+  append_phase(recorder, trace.map, "map", map_start);
+  append_phase(recorder, trace.reduce, "reduce", reduce_start);
+
+  recorder.set_lane_name(common::kTracePidSimulator, 0, "jobs");
+  const std::size_t lanes =
+      std::max(trace.map.lane_speeds.size(), trace.reduce.lane_speeds.size());
+  const std::size_t slots =
+      std::max(model.map_slots_per_server, model.reduce_slots_per_server);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::size_t server = slots == 0 ? 0 : lane / slots;
+    recorder.set_lane_name(common::kTracePidSimulator, static_cast<std::uint32_t>(lane + 1),
+                           "server " + std::to_string(server) + " slot " +
+                               std::to_string(slots == 0 ? 0 : lane % slots));
+  }
+  return end;
+}
+
+double append_pipeline_trace(common::TraceRecorder& recorder, std::span<const JobMetrics> jobs,
+                             const ClusterModel& model) {
+  double t = 0.0;
+  for (const JobMetrics& job : jobs) {
+    t = append_schedule_trace(recorder, job, model, t);
+  }
+  return t;
+}
+
+}  // namespace mrsky::mr

@@ -1,0 +1,32 @@
+// Exports the cluster simulator's scheduled timeline as trace spans.
+//
+// The engine's spans (job.hpp, RunOptions::trace) show what this process
+// really did; the functions here append what the *modelled* cluster would do
+// — per-task placements from trace_job's LPT schedules, on one trace lane
+// per cluster slot — under the simulator's own pid (kTracePidSimulator), so
+// one Chrome trace file carries both timelines side by side. Simulated
+// seconds map to trace nanoseconds 1:1e9.
+#pragma once
+
+#include <span>
+
+#include "src/common/trace.hpp"
+#include "src/mapreduce/cluster.hpp"
+#include "src/mapreduce/metrics.hpp"
+
+namespace mrsky::mr {
+
+/// Appends one job's simulated schedule to `recorder`, with the job starting
+/// at simulated second `start_seconds`. Emits one "job" span on lane 0 (job
+/// startup included), plus per-task "map"/"reduce" spans on lanes 1..L (one
+/// per cluster slot, server-major) carrying `task`, `reexecuted` and
+/// `speculated` args. Returns the job's simulated end time in seconds.
+double append_schedule_trace(common::TraceRecorder& recorder, const JobMetrics& metrics,
+                             const ClusterModel& model, double start_seconds = 0.0);
+
+/// append_schedule_trace over a whole pipeline, jobs back to back (the same
+/// sequencing simulate_pipeline charges). Returns total simulated seconds.
+double append_pipeline_trace(common::TraceRecorder& recorder, std::span<const JobMetrics> jobs,
+                             const ClusterModel& model);
+
+}  // namespace mrsky::mr

@@ -1,0 +1,204 @@
+#include "src/common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/support/trace_test_utils.hpp"
+
+namespace mrsky::common {
+namespace {
+
+TEST(Trace, NullRecorderScopedSpanIsInert) {
+  ScopedSpan span(nullptr, "nothing", "none");
+  EXPECT_FALSE(span.enabled());
+  span.arg("key", "value");  // must be a no-op, not a crash
+  span.arg("n", 42);
+}
+
+TEST(Trace, SpansNestOnOneThread) {
+  TraceRecorder rec;
+  {
+    ScopedSpan outer(&rec, "outer", "test");
+    {
+      ScopedSpan inner(&rec, "inner", "test");
+      EXPECT_TRUE(inner.enabled());
+    }
+    ScopedSpan sibling(&rec, "sibling", "test");
+  }
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, kTraceNoParent);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].parent, spans[0].id);
+  EXPECT_EQ(spans[0].lane, spans[1].lane);
+  EXPECT_TRUE(test::well_formed(spans));
+  EXPECT_TRUE(test::no_sibling_overlap(spans));
+}
+
+TEST(Trace, ThreadsGetDistinctLanesAndRootSpans) {
+  TraceRecorder rec;
+  {
+    ScopedSpan driver(&rec, "driver", "test");
+    std::thread worker([&rec] { ScopedSpan span(&rec, "worker", "test"); });
+    worker.join();
+  }
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].lane, spans[1].lane);
+  // The worker span is a root of its own lane, not a cross-thread child.
+  EXPECT_EQ(spans[1].parent, kTraceNoParent);
+  EXPECT_TRUE(test::well_formed(spans));
+}
+
+TEST(Trace, ArgsRoundTrip) {
+  TraceRecorder rec;
+  {
+    ScopedSpan span(&rec, "s", "test");
+    span.arg("text", "hello");
+    span.arg("count", std::size_t{7});
+    span.arg("signed", -3);
+  }
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  const TraceArg* text = spans[0].find_arg("text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->value, "hello");
+  EXPECT_FALSE(text->numeric);
+  EXPECT_EQ(spans[0].arg_int("count"), 7);
+  EXPECT_EQ(spans[0].arg_int("signed"), -3);
+  EXPECT_EQ(spans[0].arg_int("missing", -99), -99);
+  EXPECT_EQ(spans[0].arg_int("text", -99), -99);  // non-numeric -> fallback
+}
+
+TEST(Trace, SyntheticSpansKeepExplicitPlacement) {
+  TraceRecorder rec;
+  const auto id = rec.add_span("sim", "sim-task", kTracePidSimulator, 5, 1000, 2000);
+  rec.add_arg_int(id, "task", 3);
+  rec.set_lane_name(kTracePidSimulator, 5, "server 2 slot 1");
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].pid, kTracePidSimulator);
+  EXPECT_EQ(spans[0].lane, 5u);
+  EXPECT_EQ(spans[0].start_ns, 1000);
+  EXPECT_EQ(spans[0].end_ns, 2000);
+  EXPECT_EQ(spans[0].arg_int("task"), 3);
+  const std::string json = rec.to_chrome_json();
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("server 2 slot 1"), std::string::npos);
+  EXPECT_TRUE(test::valid_json(json));
+}
+
+TEST(Trace, ChromeJsonIsValidAndEscapesHostileStrings) {
+  TraceRecorder rec;
+  {
+    ScopedSpan span(&rec, "name with \"quotes\"\nand\tcontrol \x01 bytes", "cat\\egory");
+    span.arg("key \x02", "value with \x1f and \"escapes\"");
+  }
+  const std::string json = rec.to_chrome_json();
+  EXPECT_TRUE(test::valid_json(json));
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_NE(json.find("cat\\\\egory"), std::string::npos);
+  // Chrome trace framing.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Trace, ConcurrentSpansFromManyThreads) {
+  TraceRecorder rec;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < 50; ++i) {
+        ScopedSpan span(&rec, "work", "test");
+        span.arg("thread", t);
+        span.arg("i", i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto spans = rec.spans();
+  EXPECT_EQ(spans.size(), 200u);
+  EXPECT_TRUE(test::well_formed(spans));
+  EXPECT_TRUE(test::no_sibling_overlap(spans));
+  EXPECT_TRUE(test::valid_json(rec.to_chrome_json()));
+}
+
+// --- The assertion library itself must reject malformed inputs. ---
+
+TraceSpan make_span(std::uint64_t id, std::uint64_t parent, std::int64_t start,
+                    std::int64_t end, std::uint32_t lane = 0) {
+  TraceSpan s;
+  s.id = id;
+  s.parent = parent;
+  s.name = "s" + std::to_string(id);
+  s.category = "test";
+  s.start_ns = start;
+  s.end_ns = end;
+  s.lane = lane;
+  return s;
+}
+
+TEST(TraceTestUtils, DetectsInvertedInterval) {
+  EXPECT_FALSE(test::well_formed({make_span(1, 0, 100, 50)}));
+}
+
+TEST(TraceTestUtils, DetectsMissingParent) {
+  EXPECT_FALSE(test::well_formed({make_span(1, 7, 0, 10)}));
+}
+
+TEST(TraceTestUtils, DetectsChildEscapingParent) {
+  EXPECT_FALSE(test::well_formed({make_span(1, 0, 0, 10), make_span(2, 1, 5, 20)}));
+  EXPECT_TRUE(test::well_formed({make_span(1, 0, 0, 10), make_span(2, 1, 5, 10)}));
+}
+
+TEST(TraceTestUtils, DetectsCrossLaneParent) {
+  EXPECT_FALSE(
+      test::well_formed({make_span(1, 0, 0, 10, 0), make_span(2, 1, 2, 8, 1)}));
+}
+
+TEST(TraceTestUtils, DetectsSiblingOverlap) {
+  EXPECT_FALSE(
+      test::no_sibling_overlap({make_span(1, 0, 0, 10), make_span(2, 0, 5, 15)}));
+  // Different lanes may overlap freely.
+  EXPECT_TRUE(
+      test::no_sibling_overlap({make_span(1, 0, 0, 10, 0), make_span(2, 0, 5, 15, 1)}));
+  // Touching intervals are fine.
+  EXPECT_TRUE(
+      test::no_sibling_overlap({make_span(1, 0, 0, 10), make_span(2, 0, 10, 15)}));
+}
+
+TEST(TraceTestUtils, DetectsRetryAfterSuccess) {
+  auto task = make_span(1, 0, 0, 100);
+  auto ok = make_span(2, 1, 0, 40);
+  ok.category = "attempt";
+  ok.args = {{"attempt", "0", true}, {"status", "ok", false}};
+  auto failed = make_span(3, 1, 50, 90);
+  failed.category = "attempt";
+  failed.args = {{"attempt", "1", true}, {"status", "failed", false}};
+  EXPECT_FALSE(test::retries_precede_success({task, ok, failed}));
+
+  // Swapping statuses (failed first, then ok) makes it legal.
+  ok.args[1].value = "failed";
+  failed.args[1].value = "ok";
+  EXPECT_TRUE(test::retries_precede_success({task, ok, failed}));
+}
+
+TEST(TraceTestUtils, ValidJsonRejectsGarbage) {
+  EXPECT_TRUE(test::valid_json("{\"a\":[1,2.5,-3e2,\"x\",true,null],\"b\":{}}"));
+  EXPECT_FALSE(test::valid_json(""));
+  EXPECT_FALSE(test::valid_json("{\"a\":1,}"));
+  EXPECT_FALSE(test::valid_json("{\"a\":1} trailing"));
+  EXPECT_FALSE(test::valid_json("{\"unterminated"));
+  EXPECT_FALSE(test::valid_json("{\"raw\":\"\x01\"}"));  // unescaped control char
+  EXPECT_FALSE(test::valid_json("{\"bad\":\"\\q\"}"));
+  EXPECT_FALSE(test::valid_json("[1 2]"));
+}
+
+}  // namespace
+}  // namespace mrsky::common

@@ -1,0 +1,149 @@
+// Randomised config-sweep differential testing (ISSUE 4): ~200
+// deterministically sampled MRSkylineConfig combinations — partitioning
+// scheme, partition/map-task counts, merge fan-in, salting, combiner, fit
+// sampling, fault injection — each run under both execution modes on small
+// fixed-seed workloads. Every run must produce exactly the naive-skyline
+// ground truth, and the kSequential and kThreads outputs must be
+// byte-identical (same ids, same order, same double bits). A slice of the
+// sweep also runs with tracing on and checks the span-tree invariants, so
+// observability can never perturb results.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/common/trace.hpp"
+#include "src/core/mr_skyline.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "tests/support/trace_test_utils.hpp"
+
+namespace mrsky {
+namespace {
+
+struct SweepCase {
+  data::PointSet points{1};
+  core::MRSkylineConfig config;
+  std::string description;
+};
+
+/// Everything — workload and configuration — derives from the case index,
+/// so a failure report names a reproducible case.
+SweepCase make_case(std::uint64_t index) {
+  common::Rng rng(index * 0x9e3779b9 + 0x5133d);
+  SweepCase c;
+
+  const std::size_t n = 40 + rng.uniform_index(260);
+  const std::size_t dim = 2 + rng.uniform_index(5);
+  const auto dist = static_cast<data::Distribution>(rng.uniform_index(4));
+  c.points = data::generate(dist, n, dim, /*seed=*/index + 1);
+
+  auto& cfg = c.config;
+  const part::Scheme schemes[] = {
+      part::Scheme::kDimensional, part::Scheme::kGrid,         part::Scheme::kAngular,
+      part::Scheme::kAngularEquiDepth, part::Scheme::kAngularRadial, part::Scheme::kPivot,
+      part::Scheme::kRandom};
+  cfg.scheme = schemes[rng.uniform_index(std::size(schemes))];
+  cfg.servers = 1 + rng.uniform_index(6);
+  cfg.num_partitions = rng.uniform() < 0.5 ? 0 : 1 + rng.uniform_index(10);
+  if (cfg.scheme == part::Scheme::kAngularRadial) {
+    // Radial cells = sectors x radial_bands (2 by default): the explicit
+    // partition count must be even.
+    cfg.num_partitions += cfg.num_partitions % 2;
+  }
+  cfg.num_map_tasks = rng.uniform() < 0.5 ? 0 : 1 + rng.uniform_index(8);
+  const std::size_t fans[] = {0, 0, 2, 3, 4};
+  cfg.merge_fan_in = fans[rng.uniform_index(std::size(fans))];
+  cfg.use_combiner = rng.uniform() < 0.5;
+  cfg.apply_grid_pruning = rng.uniform() < 0.8;
+  cfg.salt_oversized_partitions = rng.uniform() < 0.3;
+  cfg.salt_target_factor = 1.0 + rng.uniform() * 2.0;
+  if (rng.uniform() < 0.25) {
+    cfg.fit_sample_size = 20 + rng.uniform_index(60);
+    cfg.fit_sample_seed = index;
+  }
+  if (rng.uniform() < 0.4) {
+    cfg.run_options.task_failure_probability = 0.05 + rng.uniform() * 0.15;
+    cfg.run_options.max_task_attempts = 10;
+    cfg.run_options.failure_seed = index * 31 + 7;
+  }
+
+  c.description = data::to_string(dist) + " n=" + std::to_string(n) +
+                  " d=" + std::to_string(dim) + " scheme=" + part::to_string(cfg.scheme) +
+                  " servers=" + std::to_string(cfg.servers) +
+                  " parts=" + std::to_string(cfg.num_partitions) +
+                  " fan=" + std::to_string(cfg.merge_fan_in) +
+                  (cfg.use_combiner ? " combiner" : "") +
+                  (cfg.salt_oversized_partitions ? " salted" : "") +
+                  (cfg.run_options.task_failure_probability > 0 ? " faults" : "");
+  return c;
+}
+
+/// The exact bits of a skyline, in output order.
+struct SkylineBits {
+  std::vector<data::PointId> ids;
+  std::vector<std::uint64_t> coord_bits;
+
+  explicit SkylineBits(const data::PointSet& sky) {
+    for (std::size_t i = 0; i < sky.size(); ++i) {
+      ids.push_back(sky.id(i));
+      for (double c : sky.point(i)) coord_bits.push_back(std::bit_cast<std::uint64_t>(c));
+    }
+  }
+  bool operator==(const SkylineBits&) const = default;
+};
+
+class ConfigSweep : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// One pool shared by every kThreads case in the sweep (constructing 200
+  /// pools would dominate the suite's runtime).
+  static common::ThreadPool& shared_pool() {
+    static common::ThreadPool pool(4);
+    return pool;
+  }
+};
+
+TEST_P(ConfigSweep, MatchesGroundTruthUnderBothModes) {
+  SweepCase c = make_case(GetParam());
+  const auto reference = sorted_ids(skyline::naive_skyline(c.points));
+
+  // Every ~7th case also records a trace, to prove observability does not
+  // perturb results and the recorded timeline stays well-shaped.
+  common::TraceRecorder recorder;
+  const bool traced = GetParam() % 7 == 0;
+
+  c.config.run_options.mode = mr::ExecutionMode::kSequential;
+  c.config.run_options.trace = traced ? &recorder : nullptr;
+  const auto sequential = core::run_mr_skyline(c.points, c.config);
+  EXPECT_EQ(sorted_ids(sequential.skyline), reference) << c.description;
+
+  c.config.run_options.mode = mr::ExecutionMode::kThreads;
+  c.config.run_options.pool = &shared_pool();
+  c.config.run_options.trace = nullptr;
+  const auto threaded = core::run_mr_skyline(c.points, c.config);
+  EXPECT_EQ(sorted_ids(threaded.skyline), reference) << c.description;
+
+  EXPECT_TRUE(SkylineBits(sequential.skyline) == SkylineBits(threaded.skyline))
+      << "kSequential and kThreads outputs differ bytewise on " << c.description;
+  EXPECT_EQ(sequential.merge_rounds.size(), threaded.merge_rounds.size()) << c.description;
+
+  if (traced) {
+    const auto spans = recorder.spans();
+    EXPECT_TRUE(test::well_formed(spans)) << c.description;
+    EXPECT_TRUE(test::no_sibling_overlap(spans)) << c.description;
+    EXPECT_TRUE(test::retries_precede_success(spans)) << c.description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ConfigSweep, testing::Range<std::uint64_t>(0, 200),
+                         [](const auto& param_info) {
+                           return "case" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace mrsky

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/support/trace_test_utils.hpp"
+
 namespace mrsky::mr {
 namespace {
 
@@ -56,6 +58,27 @@ TEST(MetricsJson, JobNameIsEscaped) {
   m.job_name = "with \"quotes\" and \\slash";
   const std::string json = to_json(m);
   EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"), std::string::npos);
+}
+
+TEST(MetricsJson, ControlCharactersAreEscaped) {
+  // Names below 0x20 must come out as \uXXXX (or the short escapes), never
+  // raw — a raw control byte makes the whole document unparseable.
+  JobMetrics m;
+  m.job_name = std::string("line1\nline2\ttab\rret") + '\x01' + "and" + '\x1f' + "end";
+  const std::string json = to_json(m);
+  EXPECT_NE(json.find("line1\\nline2\\ttab\\rret\\u0001and\\u001fend"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_TRUE(test::valid_json(json));
+}
+
+TEST(MetricsJson, HostileCounterNamesStayValidJson) {
+  JobMetrics m;
+  TaskMetrics t;
+  t.counters[std::string("evil\"\\\x02.counter")] = 5;
+  m.map_tasks.push_back(t);
+  const std::string json = to_json(m);
+  EXPECT_TRUE(test::valid_json(json));
+  EXPECT_NE(json.find("evil\\\"\\\\\\u0002.counter"), std::string::npos);
 }
 
 TEST(MetricsJson, PhaseTimesSerialised) {

@@ -1,0 +1,273 @@
+#include "tests/support/trace_test_utils.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace mrsky::test {
+
+using common::TraceSpan;
+
+std::vector<const TraceSpan*> spans_named(const std::vector<TraceSpan>& spans,
+                                          std::string_view name) {
+  std::vector<const TraceSpan*> out;
+  for (const auto& s : spans) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const TraceSpan*> spans_in_category(const std::vector<TraceSpan>& spans,
+                                                std::string_view category) {
+  std::vector<const TraceSpan*> out;
+  for (const auto& s : spans) {
+    if (s.category == category) out.push_back(&s);
+  }
+  return out;
+}
+
+const TraceSpan* span_by_id(const std::vector<TraceSpan>& spans, std::uint64_t id) {
+  if (id == 0 || id > spans.size()) return nullptr;
+  const TraceSpan& s = spans[id - 1];
+  return s.id == id ? &s : nullptr;
+}
+
+namespace {
+
+std::string describe(const TraceSpan& s) {
+  std::ostringstream os;
+  os << "span #" << s.id << " '" << s.name << "' (cat " << s.category << ", pid " << s.pid
+     << ", lane " << s.lane << ", [" << s.start_ns << ", " << s.end_ns << "] ns)";
+  return os.str();
+}
+
+}  // namespace
+
+testing::AssertionResult well_formed(const std::vector<TraceSpan>& spans) {
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    if (s.id != i + 1) {
+      return testing::AssertionFailure()
+             << "span at index " << i << " has id " << s.id << ", expected " << i + 1;
+    }
+    if (s.end_ns < s.start_ns) {
+      return testing::AssertionFailure() << describe(s) << " ends before it starts";
+    }
+    if (s.parent == common::kTraceNoParent) continue;
+    const TraceSpan* p = span_by_id(spans, s.parent);
+    if (p == nullptr) {
+      return testing::AssertionFailure()
+             << describe(s) << " references missing parent #" << s.parent;
+    }
+    if (p->id >= s.id) {
+      return testing::AssertionFailure()
+             << describe(s) << " was created before its parent #" << p->id;
+    }
+    if (p->pid != s.pid || p->lane != s.lane) {
+      return testing::AssertionFailure()
+             << describe(s) << " is parented across lanes to " << describe(*p);
+    }
+    if (s.start_ns < p->start_ns || s.end_ns > p->end_ns) {
+      return testing::AssertionFailure()
+             << describe(*p) << " does not contain its child " << describe(s);
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+testing::AssertionResult no_sibling_overlap(const std::vector<TraceSpan>& spans) {
+  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>,
+           std::vector<const TraceSpan*>>
+      groups;
+  for (const auto& s : spans) groups[{s.pid, s.lane, s.parent}].push_back(&s);
+  for (auto& [key, group] : groups) {
+    std::sort(group.begin(), group.end(), [](const TraceSpan* a, const TraceSpan* b) {
+      return std::tie(a->start_ns, a->end_ns, a->id) < std::tie(b->start_ns, b->end_ns, b->id);
+    });
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      if (group[i]->start_ns < group[i - 1]->end_ns) {
+        return testing::AssertionFailure()
+               << describe(*group[i - 1]) << " overlaps sibling " << describe(*group[i]);
+      }
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+testing::AssertionResult retries_precede_success(const std::vector<TraceSpan>& spans) {
+  std::map<std::uint64_t, std::vector<const TraceSpan*>> by_task;
+  for (const auto& s : spans) {
+    if (s.category == "attempt") by_task[s.parent].push_back(&s);
+  }
+  for (auto& [task, attempts] : by_task) {
+    std::sort(attempts.begin(), attempts.end(),
+              [](const TraceSpan* a, const TraceSpan* b) { return a->start_ns < b->start_ns; });
+    std::int64_t prev_attempt = -1;
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+      const TraceSpan& a = *attempts[i];
+      const std::int64_t number = a.arg_int("attempt");
+      if (number <= prev_attempt) {
+        return testing::AssertionFailure()
+               << describe(a) << " has attempt " << number << " after attempt " << prev_attempt
+               << " of the same task";
+      }
+      prev_attempt = number;
+      const common::TraceArg* status = a.find_arg("status");
+      const std::string_view got = status != nullptr ? status->value : std::string_view{};
+      const bool last = i + 1 == attempts.size();
+      if (last && got != "ok") {
+        return testing::AssertionFailure()
+               << describe(a) << " is the final attempt but has status '" << got << "'";
+      }
+      if (!last) {
+        if (got != "failed") {
+          return testing::AssertionFailure()
+                 << describe(a) << " precedes a retry but has status '" << got << "'";
+        }
+        if (a.end_ns > attempts[i + 1]->start_ns) {
+          return testing::AssertionFailure() << "failed " << describe(a)
+                                             << " is still running when its retry starts";
+        }
+      }
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+namespace {
+
+/// Recursive-descent JSON checker over [pos, text.size()).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool parse() { return value() && (skip_ws(), pos_ == text_.size()); }
+  std::size_t failed_at() const { return pos_; }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !string()) return false;
+      skip_ws();
+      if (!eat(':') || !value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control chars are invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0)
+              return false;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) == std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+    if (eat('.')) {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+        ++pos_;
+    }
+    if (eat('e') || eat('E')) {
+      if (!eat('+')) eat('-');
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+        ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(text_[pos_ - 1])) != 0;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+testing::AssertionResult valid_json(std::string_view text) {
+  JsonChecker checker(text);
+  if (checker.parse()) return testing::AssertionSuccess();
+  const std::size_t at = checker.failed_at();
+  const std::size_t lo = at < 30 ? 0 : at - 30;
+  return testing::AssertionFailure()
+         << "invalid JSON at offset " << at << ", near ..."
+         << text.substr(lo, std::min<std::size_t>(60, text.size() - lo)) << "...";
+}
+
+}  // namespace mrsky::test

@@ -1,0 +1,51 @@
+// Assertion library for trace invariants (ISSUE 4): structural checks over
+// the span list a TraceRecorder collected, usable from any test as
+//
+//   EXPECT_TRUE(test::well_formed(spans));
+//
+// Every checker returns testing::AssertionResult so failures carry the
+// offending span ids and intervals instead of a bare boolean.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/trace.hpp"
+
+namespace mrsky::test {
+
+/// All spans whose name / category matches exactly (pointers into `spans`).
+std::vector<const common::TraceSpan*> spans_named(const std::vector<common::TraceSpan>& spans,
+                                                  std::string_view name);
+std::vector<const common::TraceSpan*> spans_in_category(
+    const std::vector<common::TraceSpan>& spans, std::string_view category);
+
+/// Span with the given id, or nullptr. Ids are 1-based creation order.
+const common::TraceSpan* span_by_id(const std::vector<common::TraceSpan>& spans,
+                                    std::uint64_t id);
+
+/// Span-tree well-formedness: ids are 1..N in creation order, every interval
+/// has end >= start, and every non-root span's parent exists, was created
+/// earlier, lives on the same (pid, lane), and contains the child's interval.
+testing::AssertionResult well_formed(const std::vector<common::TraceSpan>& spans);
+
+/// No two spans with the same (pid, lane, parent) overlap in time — a lane
+/// executes its siblings sequentially, both in the engine (one OS thread per
+/// lane) and in the simulator (one slot per lane).
+testing::AssertionResult no_sibling_overlap(const std::vector<common::TraceSpan>& spans);
+
+/// Retry discipline: within each task, the "attempt"-category child spans
+/// carry strictly increasing `attempt` args, every attempt before the last
+/// has status "failed" and ends before its successor starts, and the final
+/// attempt has status "ok".
+testing::AssertionResult retries_precede_success(const std::vector<common::TraceSpan>& spans);
+
+/// Minimal JSON syntax validation (objects, arrays, strings with escapes,
+/// numbers, literals; trailing garbage rejected). Enough to guarantee a
+/// trace file parses before a viewer sees it.
+testing::AssertionResult valid_json(std::string_view text);
+
+}  // namespace mrsky::test

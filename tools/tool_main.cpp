@@ -28,7 +28,9 @@
 #include "src/dataset/record_file.hpp"
 #include "src/dataset/normalize.hpp"
 #include "src/dataset/qws.hpp"
+#include "src/common/trace.hpp"
 #include "src/mapreduce/metrics_json.hpp"
+#include "src/mapreduce/trace_export.hpp"
 #include "src/partition/factory.hpp"
 #include "src/partition/stats.hpp"
 
@@ -149,7 +151,15 @@ int cmd_generate(const common::CliArgs& args) {
 
 int cmd_skyline(const common::CliArgs& args) {
   const data::PointSet ps = load_input(args);
-  const auto config = config_from(args);
+  auto config = config_from(args);
+
+  // Span tracing: record the real pipeline execution (tasks, attempts,
+  // shuffle, merge rounds) and append the simulated cluster schedule, then
+  // export Chrome trace-event JSON for Perfetto / chrome://tracing.
+  common::TraceRecorder recorder;
+  const std::string trace_out = args.get_string("trace-out", "");
+  if (!trace_out.empty()) config.run_options.trace = &recorder;
+
   const auto result = core::run_mr_skyline(ps, config);
 
   std::cout << "input:   " << ps.size() << " points x " << ps.dim() << " attributes\n"
@@ -175,6 +185,16 @@ int cmd_skyline(const common::CliArgs& args) {
     const mr::ClusterModel model = cluster_model_from(args, config.servers);
     file << "],\"simulated\":" << mr::to_json(result.simulate(model)) << "}\n";
     std::cout << "metrics written to " << json << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::vector<mr::JobMetrics> jobs;
+    jobs.reserve(1 + result.merge_rounds.size());
+    jobs.push_back(result.partition_job);
+    jobs.insert(jobs.end(), result.merge_rounds.begin(), result.merge_rounds.end());
+    mr::append_pipeline_trace(recorder, jobs, cluster_model_from(args, config.servers));
+    recorder.write_chrome_json(trace_out);
+    std::cout << "trace written to " << trace_out << " (" << recorder.spans().size()
+              << " spans; load in Perfetto or chrome://tracing)\n";
   }
   return 0;
 }
