@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       table.add_row({label, bench::display_name(scheme),
                      common::Table::fmt(cell.times.total_seconds(), 2),
                      common::Table::fmt(cell.run.partition_job.total_work_units() +
-                                        cell.run.merge_job.total_work_units()),
+                                        cell.run.merge_job().total_work_units()),
                      common::Table::fmt(cell.run.skyline.size()),
                      common::Table::fmt(cell.optimality.local_total),
                      common::Table::fmt(cell.optimality.mean_optimality, 3)});

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     }
     table.add_row({skyline::to_string(algo), common::Table::fmt(cell.times.total_seconds(), 2),
                    common::Table::fmt(cell.run.partition_job.total_work_units() +
-                                      cell.run.merge_job.total_work_units()),
+                                      cell.run.merge_job().total_work_units()),
                    common::Table::fmt(cell.run.skyline.size()), same ? "yes" : "NO"});
   }
   table.print(std::cout, "Local-algorithm ablation");

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
                      common::Table::fmt(cell.times.total_seconds(), 2),
                      common::Table::fmt(cell.times.total_seconds() / angle_total, 2) + "x",
                      common::Table::fmt(cell.run.partition_job.total_work_units() +
-                                        cell.run.merge_job.total_work_units()),
+                                        cell.run.merge_job().total_work_units()),
                      common::Table::fmt(cell.optimality.local_total)});
     }
   }

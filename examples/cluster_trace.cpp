@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   render_phase("map", trace1.map);
   render_phase("reduce", trace1.reduce);
   std::cout << "Job 2 (global merge):\n";
-  const auto trace2 = mr::trace_job(result.merge_job, model);
+  const auto trace2 = mr::trace_job(result.merge_job(), model);
   render_phase("reduce", trace2.reduce);
 
   const auto degraded_model = model.with_stragglers(1, 4.0);

@@ -7,9 +7,8 @@
 // skyline size plus the simulated cluster time.
 #include <iostream>
 
-#include "src/core/mr_skyline.hpp"
-#include "src/dataset/normalize.hpp"
 #include "src/dataset/qws.hpp"
+#include "src/mrsky.hpp"
 
 int main() {
   using namespace mrsky;
@@ -32,7 +31,7 @@ int main() {
             << "skyline size:    " << result.skyline.size() << "\n"
             << "local skylines:  " << result.local_skylines.size() << " partitions\n"
             << "dominance tests: "
-            << result.partition_job.total_work_units() + result.merge_job.total_work_units()
+            << result.partition_job.total_work_units() + result.merge_job().total_work_units()
             << "\n";
 
   // 4. Ask the cluster model what this run would cost on real hardware.
@@ -49,5 +48,15 @@ int main() {
     std::cout << " " << result.skyline.id(i);
   }
   std::cout << "\n";
+
+  // 6. Serving many queries against the same data? The QueryEngine keeps the
+  //    dataset resident, reuses partition fits, and caches results.
+  service::QueryEngineOptions engine_options;
+  engine_options.config = config;
+  service::QueryEngine engine(services, engine_options);
+  const auto cold = engine.execute(service::SkylineQuery{});
+  const auto warm = engine.execute(service::SkylineQuery{});
+  std::cout << "query engine: cold=" << cold.metrics.wall_ns / 1000 << "us warm(cached)="
+            << warm.metrics.wall_ns / 1000 << "us, same " << warm.points.size() << " points\n";
   return 0;
 }

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
             << selector.incremental_dominance_tests() << " dominance tests\n"
             << "(the full MapReduce run needed "
             << selector.last_run().partition_job.total_work_units() +
-                   selector.last_run().merge_job.total_work_units()
+                   selector.last_run().merge_job().total_work_units()
             << ")\n";
   return 0;
 }

@@ -36,6 +36,10 @@ FILTER+=':DominanceBlock*:DominanceBlockGolden*:TiledWindow*'
 # contends on) and the suites that hammer it: span invariants under both
 # engine modes plus the randomized config sweep with tracing slices.
 FILTER+=':Trace*:*TraceInvariants*:SimulatorTrace*:*ConfigSweep*'
+# The serving layer: QueryEngine owns a persistent pool shared across queries
+# (TSan: pool reuse across pipeline runs) and the validation/script/extension
+# sweeps ride along for ASan/UBSan coverage of the new subsystem.
+FILTER+=':QueryEngine*:QueryScript*:ConfigValidate*:*ExtensionSweep*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

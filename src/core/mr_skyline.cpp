@@ -52,6 +52,40 @@ data::PointSet& to_point_set(std::size_t dim, const std::vector<PointRec>& recs)
 
 }  // namespace
 
+std::vector<std::string> MRSkylineConfig::validate() const {
+  std::vector<std::string> errors;
+  if (servers < 1) errors.emplace_back("servers: need at least one server");
+  if (merge_fan_in == 1) {
+    errors.emplace_back("merge_fan_in: must be 0 (single reducer) or >= 2 (tree merge)");
+  }
+  if (salt_oversized_partitions && salt_target_factor < 1.0) {
+    errors.emplace_back("salt_target_factor: must be >= 1 when salting is enabled");
+  }
+  if (scheme == part::Scheme::kAngularRadial && servers >= 1 &&
+      effective_partitions() % 2 != 0) {
+    errors.emplace_back(
+        "num_partitions: angular-radial needs an even count (sectors x 2 radius bands)");
+  }
+  if (run_options.max_task_attempts < 1) {
+    errors.emplace_back("run_options.max_task_attempts: need at least one attempt per task");
+  }
+  if (run_options.task_failure_probability < 0.0 ||
+      run_options.task_failure_probability >= 1.0) {
+    errors.emplace_back(
+        "run_options.task_failure_probability: must be in [0, 1) — at 1 every attempt fails");
+  }
+  return errors;
+}
+
+void MRSkylineConfig::validate_or_throw() const {
+  const std::vector<std::string> errors = validate();
+  if (errors.empty()) return;
+  std::string message = "invalid MRSkylineConfig (" + std::to_string(errors.size()) +
+                        (errors.size() == 1 ? " problem):" : " problems):");
+  for (const std::string& e : errors) message += "\n  - " + e;
+  throw InvalidArgument(message);
+}
+
 std::string MRSkylineResult::summary() const {
   std::ostringstream os;
   os << "MRSkyline run summary\n"
@@ -67,7 +101,7 @@ std::string MRSkylineResult::summary() const {
      << "  job 1 work:          " << partition_job.total_work_units() << " dominance tests, "
      << partition_job.shuffle_records << " shuffled records\n"
      << "  merge rounds:        " << merge_rounds.size() << " (final work "
-     << merge_job.total_work_units() << ")\n";
+     << merge_job().total_work_units() << ")\n";
   mr::FailureReport failures = partition_job.failure_report();
   for (const auto& round : merge_rounds) failures += round.failure_report();
   if (!failures.empty()) {
@@ -83,39 +117,45 @@ mr::PhaseTimes MRSkylineResult::simulate(const mr::ClusterModel& model) const {
   std::vector<mr::JobMetrics> jobs;
   jobs.reserve(1 + merge_rounds.size());
   jobs.push_back(partition_job);
-  if (merge_rounds.empty()) {
-    jobs.push_back(merge_job);
-  } else {
-    jobs.insert(jobs.end(), merge_rounds.begin(), merge_rounds.end());
-  }
+  jobs.insert(jobs.end(), merge_rounds.begin(), merge_rounds.end());
   return mr::simulate_pipeline(jobs, model);
 }
 
 MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfig& config) {
+  config.validate_or_throw();
   MRSKY_REQUIRE(!input.empty(), "cannot compute the skyline of an empty dataset");
-  MRSKY_REQUIRE(config.servers >= 1, "need at least one server");
   common::Timer wall;
   common::TraceRecorder* const trace = config.run_options.trace;
   common::ScopedSpan pipeline_span(trace, "mr-skyline", "pipeline");
   pipeline_span.arg("scheme", part::to_string(config.scheme));
   pipeline_span.arg("points", input.size());
 
-  // --- Fit the partitioner (the paper's master-side planning step). ---
-  part::PartitionerOptions popts;
-  popts.num_partitions = config.effective_partitions();
-  popts.split_dim = config.split_dim;
-  part::PartitionerPtr partitioner = part::make_partitioner(config.scheme, popts);
-  {
+  // --- Fit the partitioner (the paper's master-side planning step), unless
+  // the caller handed in an already-fitted one (prepared_partitioner — the
+  // QueryEngine's per-(scheme, partitions, fit-sample) fit memo). ---
+  part::PartitionerPtr owned_partitioner;
+  const part::Partitioner* partitioner = config.prepared_partitioner;
+  if (partitioner == nullptr) {
+    part::PartitionerOptions popts;
+    popts.num_partitions = config.effective_partitions();
+    popts.split_dim = config.split_dim;
+    owned_partitioner = part::make_partitioner(config.scheme, popts);
     common::ScopedSpan fit_span(trace, "partition-fit", "plan");
     fit_span.arg("scheme", part::to_string(config.scheme));
     if (config.fit_sample_size > 0 && config.fit_sample_size < input.size()) {
       common::Rng rng(config.fit_sample_seed);
-      partitioner->fit(data::sample_without_replacement(input, config.fit_sample_size, rng));
+      owned_partitioner->fit(
+          data::sample_without_replacement(input, config.fit_sample_size, rng));
       fit_span.arg("fitted_points", config.fit_sample_size);
     } else {
-      partitioner->fit(input);
+      owned_partitioner->fit(input);
       fit_span.arg("fitted_points", input.size());
     }
+    fit_span.arg("partitions", owned_partitioner->num_partitions());
+    partitioner = owned_partitioner.get();
+  } else if (trace != nullptr) {
+    common::ScopedSpan fit_span(trace, "partition-fit", "plan");
+    fit_span.arg("prepared", 1);
     fit_span.arg("partitions", partitioner->num_partitions());
   }
   const std::size_t partitions = partitioner->num_partitions();
@@ -148,7 +188,6 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   // is compacted: partition p owns keys [key_base[p], key_base[p+1]).
   std::vector<std::size_t> salt(partitions, 1);
   if (config.salt_oversized_partitions) {
-    MRSKY_REQUIRE(config.salt_target_factor >= 1.0, "salt_target_factor must be >= 1");
     const double target = config.salt_target_factor * static_cast<double>(input.size()) /
                           static_cast<double>(partitions);
     for (std::size_t p = 0; p < partitions; ++p) {
@@ -259,7 +298,6 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   using MergeJob =
       mr::JobConfig<std::size_t, PointRec, std::size_t, PointRec, std::size_t, PointRec>;
   const std::size_t fan_in = config.merge_fan_in;
-  MRSKY_REQUIRE(fan_in != 1, "merge_fan_in must be 0 (single reducer) or >= 2");
 
   std::vector<mr::KV<std::size_t, PointRec>> merge_input;
   merge_input.reserve(job1_result.output.size());
@@ -317,7 +355,6 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
     }
     merge_input = std::move(merge_result.output);
   }
-  result.merge_job = result.merge_rounds.back();
 
   result.wall_seconds = wall.elapsed_seconds();
   return result;

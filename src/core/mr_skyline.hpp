@@ -20,8 +20,10 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/dataset/point_set.hpp"
 #include "src/mapreduce/cluster.hpp"
 #include "src/mapreduce/job.hpp"
@@ -100,12 +102,36 @@ struct MRSkylineConfig {
   /// Seed for the fitting sample (only used when fit_sample_size > 0).
   std::uint64_t fit_sample_seed = 0x5a3e;
 
+  /// Prepared-partition hook (service::QueryEngine's fit amortisation): when
+  /// set, run_mr_skyline skips partitioner construction and fitting entirely
+  /// and routes every point through this already-fitted object instead. The
+  /// caller keeps ownership and must keep it alive (and fitted) for the whole
+  /// run; `scheme`, `num_partitions`, `split_dim` and the fit_sample_* knobs
+  /// are ignored. assign() must be pure and thread-safe, which the
+  /// part::Partitioner contract already guarantees after fit(). Assignment is
+  /// total for every scheme, so reusing a fit across queries — even one
+  /// fitted before later insertions — still yields the exact skyline; only
+  /// load balance (and MR-Grid's pruning opportunities, recomputed per fit)
+  /// can degrade.
+  const part::Partitioner* prepared_partitioner = nullptr;
+
   [[nodiscard]] std::size_t effective_partitions() const noexcept {
     return num_partitions == 0 ? 2 * servers : num_partitions;
   }
   [[nodiscard]] std::size_t effective_map_tasks() const noexcept {
     return num_map_tasks == 0 ? 2 * servers : num_map_tasks;
   }
+
+  /// Validates every config-level precondition and returns ALL violations —
+  /// one human-readable message per problem, empty when the config is usable.
+  /// Unlike the first-failure MRSKY_REQUIRE style this used to be spread
+  /// across the pipeline, a caller (CLI flag parsing, the QueryEngine, the
+  /// planner's self-check) gets the complete list in one round trip.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Throws mrsky::InvalidArgument listing every validate() error in one
+  /// message; no-op on a valid config. Called at the top of run_mr_skyline.
+  void validate_or_throw() const;
 };
 
 struct MRSkylineResult {
@@ -113,13 +139,21 @@ struct MRSkylineResult {
   std::vector<data::PointSet> local_skylines;    ///< per partition (post Job 1)
   part::PartitionReport partition_report;        ///< sizes / balance / pruning
   mr::JobMetrics partition_job;                  ///< Job 1 metrics
-  mr::JobMetrics merge_job;                      ///< final merge round metrics
-  /// All merge rounds in execution order (size 1 with merge_fan_in = 0;
-  /// merge_job always aliases the last element).
+  /// All merge rounds in execution order (size 1 with merge_fan_in = 0,
+  /// never empty after a run).
   std::vector<mr::JobMetrics> merge_rounds;
   double wall_seconds = 0.0;                     ///< real in-process time
 
   MRSkylineResult() : skyline(1) {}
+
+  /// Final merge round metrics. This *is* the last element of merge_rounds —
+  /// the "always aliases the last element" contract used to be a doc comment
+  /// over a separate copy; it is now structural. Requires a completed run
+  /// (throws on a default-constructed result).
+  [[nodiscard]] const mr::JobMetrics& merge_job() const {
+    MRSKY_REQUIRE(!merge_rounds.empty(), "merge_job() requires a completed run");
+    return merge_rounds.back();
+  }
 
   /// Simulated phase times of the whole pipeline on a modelled cluster.
   [[nodiscard]] mr::PhaseTimes simulate(const mr::ClusterModel& model) const;

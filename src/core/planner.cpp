@@ -56,6 +56,10 @@ PlannedConfig plan_config(const PlannerInputs& inputs) {
   }
 
   planned.rationale = why.str();
+  // The planner's recommendation must be runnable as-is: route it through the
+  // same all-errors validation run_mr_skyline applies, so a heuristic change
+  // that produces an inconsistent config fails here, not at query time.
+  planned.config.validate_or_throw();
   return planned;
 }
 

@@ -1,0 +1,105 @@
+#include "src/service/query.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace mrsky::service {
+
+namespace {
+
+/// Exact, locale-independent double encoding: 16 hex digits of the bit
+/// pattern. Decimal formatting would round — two distinct weights could
+/// collide on one cache key.
+std::string hex_bits(double v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace
+
+std::string query_kind(const Query& query) {
+  return std::visit(
+      Overloaded{[](const SkylineQuery&) { return std::string("skyline"); },
+                 [](const SubspaceQuery&) { return std::string("subspace"); },
+                 [](const KSkybandQuery&) { return std::string("k_skyband"); },
+                 [](const RepresentativeQuery&) { return std::string("representative"); },
+                 [](const TopKWeightedQuery&) { return std::string("top_k_weighted"); }},
+      query);
+}
+
+std::string query_signature(const Query& query) {
+  return std::visit(
+      Overloaded{
+          [](const SkylineQuery&) { return std::string("skyline"); },
+          [](const SubspaceQuery& q) {
+            std::string sig = "subspace:";
+            for (std::size_t i = 0; i < q.attributes.size(); ++i) {
+              if (i > 0) sig += ',';
+              sig += std::to_string(q.attributes[i]);
+            }
+            return sig;
+          },
+          [](const KSkybandQuery& q) { return "k_skyband:" + std::to_string(q.k); },
+          [](const RepresentativeQuery& q) {
+            return "representative:" + std::to_string(q.k);
+          },
+          [](const TopKWeightedQuery& q) {
+            std::string sig = "top_k_weighted:" + std::to_string(q.k) + ":";
+            for (std::size_t i = 0; i < q.weights.size(); ++i) {
+              if (i > 0) sig += ',';
+              sig += hex_bits(q.weights[i]);
+            }
+            return sig;
+          }},
+      query);
+}
+
+std::vector<std::string> validate_query(const Query& query, std::size_t dim) {
+  std::vector<std::string> errors;
+  std::visit(Overloaded{
+                 [](const SkylineQuery&) {},
+                 [&](const SubspaceQuery& q) {
+                   if (q.attributes.empty()) {
+                     errors.emplace_back("subspace: needs at least one attribute");
+                   }
+                   for (std::size_t a : q.attributes) {
+                     if (a >= dim) {
+                       errors.push_back("subspace: attribute " + std::to_string(a) +
+                                        " out of range (dataset has " + std::to_string(dim) +
+                                        " attributes)");
+                     }
+                   }
+                 },
+                 [&](const KSkybandQuery& q) {
+                   if (q.k < 1) errors.emplace_back("k_skyband: k must be >= 1");
+                 },
+                 [&](const RepresentativeQuery& q) {
+                   if (q.k < 1) errors.emplace_back("representative: k must be >= 1");
+                 },
+                 [&](const TopKWeightedQuery& q) {
+                   if (q.k < 1) errors.emplace_back("top_k_weighted: k must be >= 1");
+                   if (q.weights.size() != dim) {
+                     errors.push_back("top_k_weighted: " + std::to_string(q.weights.size()) +
+                                      " weights for " + std::to_string(dim) + " attributes");
+                   }
+                   for (double w : q.weights) {
+                     if (!(w >= 0.0)) {
+                       errors.emplace_back("top_k_weighted: weights must be non-negative");
+                       break;
+                     }
+                   }
+                 }},
+             query);
+  return errors;
+}
+
+}  // namespace mrsky::service

@@ -1,0 +1,282 @@
+#include "src/service/query_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/common/timer.hpp"
+#include "src/dataset/transforms.hpp"
+#include "src/partition/factory.hpp"
+#include "src/skyline/extensions.hpp"
+
+namespace mrsky::service {
+
+namespace {
+
+/// Ascending-id order: the engine's canonical result form. Stable on id ties
+/// (duplicate ids only arise from hand-built datasets), so the output is a
+/// pure function of the input set.
+data::PointSet canonical_by_id(const data::PointSet& ps) {
+  std::vector<std::size_t> order(ps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return ps.id(a) < ps.id(b); });
+  return ps.select(order);
+}
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace
+
+QueryEngine::QueryEngine(data::PointSet dataset, QueryEngineOptions options)
+    : dataset_(std::move(dataset)), options_(std::move(options)) {
+  MRSKY_REQUIRE(!dataset_.empty(), "QueryEngine needs a non-empty dataset");
+  MRSKY_REQUIRE(options_.config.prepared_partitioner == nullptr,
+                "QueryEngine owns fit preparation; leave prepared_partitioner null");
+  options_.config.validate_or_throw();
+
+  // One persistent worker pool for the engine's lifetime: every kThreads
+  // pipeline run reuses it instead of paying thread start-up per query.
+  auto& run = options_.config.run_options;
+  if (run.mode == mr::ExecutionMode::kThreads && run.pool == nullptr) {
+    const std::size_t threads =
+        run.num_threads == 0 ? common::ThreadPool::default_concurrency() : run.num_threads;
+    pool_ = std::make_unique<common::ThreadPool>(threads);
+    run.pool = pool_.get();
+  }
+  if (options_.trace != nullptr && run.trace == nullptr) run.trace = options_.trace;
+
+  for (data::PointId id : dataset_.ids()) next_id_ = std::max(next_id_, id + 1);
+}
+
+std::string QueryEngine::cache_key(const Query& query) const {
+  return query_signature(query) + "|v" + std::to_string(version_);
+}
+
+const QueryResult* QueryEngine::cache_find(const std::string& key) {
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return &it->second->payload;
+}
+
+void QueryEngine::cache_store(const std::string& key, const QueryResult& payload) {
+  if (options_.cache_capacity == 0) return;
+  if (auto it = cache_index_.find(key); it != cache_index_.end()) {
+    it->second->payload = payload;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(CacheEntry{key, payload});
+  cache_index_[key] = lru_.begin();
+  while (cache_index_.size() > options_.cache_capacity) {
+    cache_index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+}
+
+const part::Partitioner& QueryEngine::prepared_fit(const data::PointSet& ps,
+                                                   const std::string& fit_key, bool& reused) {
+  if (auto it = fits_.find(fit_key); it != fits_.end()) {
+    reused = true;
+    ++stats_.fit_reuses;
+    return *it->second;
+  }
+  reused = false;
+  ++stats_.fits_computed;
+  common::ScopedSpan span(options_.trace, "prepared-fit", "service");
+  span.arg("key", fit_key);
+
+  const auto& cfg = options_.config;
+  part::PartitionerOptions popts;
+  popts.num_partitions = cfg.effective_partitions();
+  popts.split_dim = cfg.split_dim;
+  part::PartitionerPtr partitioner = part::make_partitioner(cfg.scheme, popts);
+  if (cfg.fit_sample_size > 0 && cfg.fit_sample_size < ps.size()) {
+    common::Rng rng(cfg.fit_sample_seed);
+    partitioner->fit(data::sample_without_replacement(ps, cfg.fit_sample_size, rng));
+    span.arg("fitted_points", cfg.fit_sample_size);
+  } else {
+    partitioner->fit(ps);
+    span.arg("fitted_points", ps.size());
+  }
+  span.arg("partitions", partitioner->num_partitions());
+  return *fits_.emplace(fit_key, std::move(partitioner)).first->second;
+}
+
+data::PointSet QueryEngine::pipeline_skyline(const data::PointSet& ps,
+                                             const std::string& fit_key, QueryResult& result) {
+  core::MRSkylineConfig config = options_.config;
+  config.prepared_partitioner = &prepared_fit(ps, fit_key, result.metrics.fit_reused);
+  ++stats_.pipeline_runs;
+  const core::MRSkylineResult run = core::run_mr_skyline(ps, config);
+  result.metrics.dominance_tests += run.partition_job.total_work_units();
+  for (const auto& round : run.merge_rounds) {
+    result.metrics.dominance_tests += round.total_work_units();
+  }
+  return canonical_by_id(run.skyline);
+}
+
+QueryResult QueryEngine::compute(const Query& query) {
+  QueryResult result;
+  std::visit(
+      Overloaded{
+          [&](const SkylineQuery&) {
+            if (full_skyline_.has_value() && full_skyline_version_ == version_) {
+              // The resident fold is current (insert_batch path with the
+              // cache entry evicted or caching off): serve it directly.
+              ++stats_.incremental_serves;
+              result.points = canonical_by_id(full_skyline_->skyline());
+              return;
+            }
+            const std::string fit_key =
+                part::to_string(options_.config.scheme) + "/p" +
+                std::to_string(options_.config.effective_partitions()) + "/s" +
+                std::to_string(options_.config.fit_sample_size) + "." +
+                std::to_string(options_.config.fit_sample_seed) + "/full";
+            result.points = pipeline_skyline(dataset_, fit_key, result);
+            full_skyline_.emplace(result.points);
+            full_skyline_version_ = version_;
+          },
+          [&](const SubspaceQuery& q) {
+            const data::PointSet projected = data::project(dataset_, q.attributes);
+            std::string fit_key = part::to_string(options_.config.scheme) + "/p" +
+                                  std::to_string(options_.config.effective_partitions()) +
+                                  "/s" + std::to_string(options_.config.fit_sample_size) +
+                                  "." + std::to_string(options_.config.fit_sample_seed) +
+                                  "/sub:";
+            for (std::size_t i = 0; i < q.attributes.size(); ++i) {
+              if (i > 0) fit_key += ',';
+              fit_key += std::to_string(q.attributes[i]);
+            }
+            result.points = pipeline_skyline(projected, fit_key, result);
+          },
+          [&](const KSkybandQuery& q) {
+            skyline::SkylineStats stats;
+            result.points = canonical_by_id(skyline::k_skyband(dataset_, q.k, &stats));
+            result.metrics.dominance_tests = stats.dominance_tests;
+          },
+          [&](const RepresentativeQuery& q) {
+            // Pick order is meaningful (aligned with coverage): no id sort.
+            skyline::RepresentativeResult rep =
+                skyline::representative_skyline(dataset_, q.k);
+            result.points = std::move(rep.representatives);
+            result.coverage = std::move(rep.coverage);
+            result.total_covered = rep.total_covered;
+          },
+          [&](const TopKWeightedQuery& q) {
+            result.ranking = skyline::top_k_weighted(dataset_, q.weights, q.k);
+          }},
+      query);
+  return result;
+}
+
+QueryResult QueryEngine::execute(const Query& query) {
+  {
+    const std::vector<std::string> errors = validate_query(query, dataset_.dim());
+    if (!errors.empty()) {
+      std::string message = "invalid " + query_kind(query) + " query (" +
+                            std::to_string(errors.size()) +
+                            (errors.size() == 1 ? " problem):" : " problems):");
+      for (const std::string& e : errors) message += "\n  - " + e;
+      throw InvalidArgument(message);
+    }
+  }
+
+  common::Timer wall;
+  common::ScopedSpan span(options_.trace, "query", "service");
+  span.arg("kind", query_kind(query));
+  span.arg("version", version_);
+  ++stats_.queries;
+
+  const std::string key = cache_key(query);
+  if (options_.cache_capacity > 0) {
+    if (const QueryResult* cached = cache_find(key); cached != nullptr) {
+      ++stats_.cache_hits;
+      QueryResult result = *cached;  // bitwise-identical payload copy
+      result.metrics = QueryMetrics{};
+      result.metrics.cache_hit = true;
+      result.metrics.dataset_version = version_;
+      result.metrics.result_points =
+          result.ranking.empty() ? result.points.size() : result.ranking.size();
+      result.metrics.wall_ns = wall.elapsed_ns();
+      span.arg("cache_hit", 1);
+      span.arg("points", result.metrics.result_points);
+      return result;
+    }
+  }
+
+  QueryResult result = compute(query);
+  result.metrics.dataset_version = version_;
+  result.metrics.result_points =
+      result.ranking.empty() ? result.points.size() : result.ranking.size();
+  cache_store(key, result);
+  result.metrics.wall_ns = wall.elapsed_ns();
+  span.arg("cache_hit", 0);
+  span.arg("points", result.metrics.result_points);
+  span.arg("dominance_tests", result.metrics.dominance_tests);
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::execute_batch(std::span<const Query> queries) {
+  common::ScopedSpan span(options_.trace, "query-batch", "service");
+  span.arg("queries", queries.size());
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (const Query& q : queries) results.push_back(execute(q));
+  return results;
+}
+
+void QueryEngine::insert_batch(const data::PointSet& points) {
+  MRSKY_REQUIRE(points.dim() == dataset_.dim(),
+                "insert_batch dimension mismatch: batch has " + std::to_string(points.dim()) +
+                    " attributes, dataset has " + std::to_string(dataset_.dim()));
+  if (points.empty()) return;
+
+  common::ScopedSpan span(options_.trace, "insert-batch", "service");
+  span.arg("points", points.size());
+  span.arg("version", version_ + 1);
+  ++stats_.inserts;
+  stats_.points_inserted += points.size();
+
+  const bool fold = full_skyline_.has_value() && full_skyline_version_ == version_;
+  dataset_.reserve(dataset_.size() + points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const data::PointId id = next_id_++;
+    dataset_.push_back(points.point(i), id);
+    if (fold) full_skyline_->insert(points.point(i), id);
+  }
+
+  ++version_;
+  // Partition fits were learned on the old data; drop them so the next
+  // pipeline run re-plans (MR-Grid's pruning in particular must never act on
+  // stale cell occupancy).
+  fits_.clear();
+  // Version-keyed entries can no longer hit; purge them eagerly so cache
+  // occupancy reflects live entries only.
+  lru_.clear();
+  cache_index_.clear();
+
+  if (fold) {
+    full_skyline_version_ = version_;
+    // Refresh the full-skyline entry at the new version: the one query kind
+    // an insert does NOT invalidate.
+    QueryResult payload;
+    payload.points = canonical_by_id(full_skyline_->skyline());
+    payload.metrics.dataset_version = version_;
+    payload.metrics.result_points = payload.points.size();
+    cache_store(cache_key(Query{SkylineQuery{}}), payload);
+    span.arg("skyline_points", payload.points.size());
+  } else {
+    full_skyline_.reset();
+  }
+}
+
+}  // namespace mrsky::service

@@ -1,0 +1,163 @@
+// Resident skyline query engine (ISSUE 5 tentpole).
+//
+// The paper's serving scenario (§II) is a *live* UDDI registry: many skyline
+// queries and service insertions against one resident dataset. Re-running
+// run_mr_skyline per request re-fits the partitioner and re-spawns engine
+// state every time; this class is the coordinator that amortises all of that
+// across queries, the way Zhang & Zhang reuse coordinator-side state across
+// rounds and SATO fits a partition plan once and serves many queries from it:
+//
+//  * the dataset is loaded once and owned by the engine;
+//  * one persistent common::ThreadPool backs every kThreads pipeline run;
+//  * partition fits are memoised per (scheme, partitions, fit-sample[,
+//    attribute-subset]) key and reused until an insert changes the data;
+//  * results are kept in an LRU cache keyed by the query's canonical
+//    signature plus the dataset version, so a repeated query is a lookup;
+//  * insert_batch() folds new points into the cached full skyline through
+//    skyline::IncrementalSkyline (no pipeline re-run) and bumps the version,
+//    which invalidates exactly the derived (subspace / k-skyband /
+//    representative / top-k) entries.
+//
+// Result canonicalisation: skyline, subspace and k-skyband results are
+// returned in ascending-id order, so the engine's answer for a given
+// (query, dataset version) is bitwise reproducible regardless of which path
+// (pipeline, incremental fold, cache) produced it. Representative picks stay
+// in greedy pick order (aligned with their coverage counts) and rankings in
+// score order — both deterministic.
+//
+// Concurrency contract: the engine itself is not thread-safe — serialise
+// execute()/insert_batch() calls. Inside one execute() the MapReduce pipeline
+// parallelises on the engine's pool when the config says kThreads; results
+// are bitwise identical to kSequential (the engine inherits the job engine's
+// determinism guarantee).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/common/trace.hpp"
+#include "src/core/mr_skyline.hpp"
+#include "src/dataset/point_set.hpp"
+#include "src/partition/partitioner.hpp"
+#include "src/service/query.hpp"
+#include "src/skyline/incremental.hpp"
+
+namespace mrsky::service {
+
+struct QueryEngineOptions {
+  /// Pipeline configuration for the MapReduce paths (skyline / subspace).
+  /// Validated with MRSkylineConfig::validate() at construction — every
+  /// problem is reported in one throw. `prepared_partitioner` must be null
+  /// (the engine owns fit preparation); under kThreads with no caller pool
+  /// the engine creates one persistent pool and reuses it for every query.
+  core::MRSkylineConfig config;
+
+  /// Result-cache entries kept (LRU eviction). 0 disables result caching —
+  /// fits and the incremental full skyline are still reused.
+  std::size_t cache_capacity = 64;
+
+  /// Optional span recorder: the engine records "service"-category spans
+  /// (query, prepared-fit, insert-batch) and threads the recorder through the
+  /// pipeline's RunOptions, so one file holds the service and engine levels.
+  /// Must outlive the engine. Null = tracing off at zero cost.
+  common::TraceRecorder* trace = nullptr;
+};
+
+class QueryEngine {
+ public:
+  /// Loads `dataset` (non-empty; minimisation orientation, non-negative
+  /// coordinates for the angular schemes — run_mr_skyline's contract).
+  /// Throws mrsky::InvalidArgument listing every config problem at once.
+  explicit QueryEngine(data::PointSet dataset, QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Serves one query. Throws mrsky::InvalidArgument (all problems in one
+  /// message) if the query is invalid for the resident dataset.
+  [[nodiscard]] QueryResult execute(const Query& query);
+
+  /// Serves queries in order; element i is execute(queries[i]). Later queries
+  /// see cache entries populated by earlier ones.
+  [[nodiscard]] std::vector<QueryResult> execute_batch(std::span<const Query> queries);
+
+  /// Appends `points` to the resident dataset under fresh ids (the incoming
+  /// ids are ignored; ids continue from max-existing + 1, the §II "new
+  /// service added into UDDI" path). Bumps the dataset version — derived
+  /// cache entries become unreachable — and, when a full skyline is resident,
+  /// folds the new points into it incrementally and refreshes its cache
+  /// entry instead of discarding it. An empty batch is a no-op.
+  void insert_batch(const data::PointSet& points);
+
+  [[nodiscard]] const data::PointSet& dataset() const noexcept { return dataset_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Lifetime counters (monotone; for benches and tests).
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t fits_computed = 0;
+    std::uint64_t fit_reuses = 0;
+    std::uint64_t pipeline_runs = 0;
+    std::uint64_t incremental_serves = 0;  ///< skyline served from the fold
+    std::uint64_t inserts = 0;
+    std::uint64_t points_inserted = 0;
+    std::uint64_t cache_evictions = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Current cache / fit-memo occupancy (for tests).
+  [[nodiscard]] std::size_t cache_entries() const noexcept { return cache_index_.size(); }
+  [[nodiscard]] std::size_t fit_entries() const noexcept { return fits_.size(); }
+
+ private:
+  struct CacheEntry {
+    std::string key;
+    QueryResult payload;  ///< metrics hold the original compute cost
+  };
+
+  /// Cache key for `query` at the current dataset version.
+  [[nodiscard]] std::string cache_key(const Query& query) const;
+
+  /// Looks up / fits-and-memoises the partitioner for `ps` under `fit_key`.
+  const part::Partitioner& prepared_fit(const data::PointSet& ps, const std::string& fit_key,
+                                        bool& reused);
+
+  /// Runs the MapReduce pipeline over `ps` with a prepared fit; returns the
+  /// canonical (id-sorted) skyline and charges work into `result`.
+  data::PointSet pipeline_skyline(const data::PointSet& ps, const std::string& fit_key,
+                                  QueryResult& result);
+
+  /// Computes a fresh payload for `query` (cache miss path).
+  [[nodiscard]] QueryResult compute(const Query& query);
+
+  void cache_store(const std::string& key, const QueryResult& payload);
+  [[nodiscard]] const QueryResult* cache_find(const std::string& key);
+
+  data::PointSet dataset_;
+  QueryEngineOptions options_;
+  std::unique_ptr<common::ThreadPool> pool_;  ///< owned persistent pool (kThreads)
+  std::uint64_t version_ = 0;
+  data::PointId next_id_ = 0;
+
+  /// The resident full skyline, maintained across insert_batch() calls.
+  std::optional<skyline::IncrementalSkyline> full_skyline_;
+  std::uint64_t full_skyline_version_ = 0;
+
+  std::map<std::string, part::PartitionerPtr> fits_;  ///< fit memo (cleared on insert)
+
+  std::list<CacheEntry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_index_;
+
+  Stats stats_;
+};
+
+}  // namespace mrsky::service

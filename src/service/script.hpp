@@ -1,0 +1,45 @@
+// Query-script parsing for the `mrsky query` subcommand.
+//
+// A script drives a QueryEngine session: one command per line, executed in
+// order against the resident dataset. Grammar (whitespace-separated; blank
+// lines and `#` comments ignored):
+//
+//   skyline                      full skyline
+//   subspace 0,2,3               skyline over an attribute subset
+//   skyband 3                    3-skyband
+//   representative 5             5 greedy max-coverage representatives
+//   topk 10 0.25,0.25,0.5        best 10 by weighted sum (one weight/attr)
+//   insert extra.csv             insert_batch from a CSV / .mrsk file
+//
+// Parsing follows the library's all-errors validation style: every malformed
+// line is collected and reported in ONE mrsky::InvalidArgument, with line
+// numbers, instead of failing on the first typo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/service/query.hpp"
+
+namespace mrsky::service {
+
+/// `insert <path>`: load the file and insert_batch it. Path resolution is the
+/// caller's business (the CLI resolves relative to the working directory).
+struct InsertCommand {
+  std::string path;
+};
+
+using ScriptCommand = std::variant<Query, InsertCommand>;
+
+/// Parses a whole script. Throws mrsky::InvalidArgument listing every bad
+/// line at once. Note this is a *syntax* pass — semantic validation against
+/// the dataset (attribute ranges, weight counts) happens in
+/// QueryEngine::execute via validate_query.
+[[nodiscard]] std::vector<ScriptCommand> parse_query_script(std::istream& in);
+
+/// Reads and parses `path`; throws mrsky::RuntimeError if unreadable.
+[[nodiscard]] std::vector<ScriptCommand> parse_query_script_file(const std::string& path);
+
+}  // namespace mrsky::service

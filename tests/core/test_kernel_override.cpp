@@ -46,7 +46,7 @@ TEST(KernelOverride, StatsStillChargeWork) {
   const PointSet ps = data::generate(data::Distribution::kIndependent, 800, 3, 25);
   const auto result = run_mr_skyline(ps, bbs_config());
   EXPECT_GT(result.partition_job.reduce_total().work_units, 0u);
-  EXPECT_GT(result.merge_job.reduce_total().work_units, 0u);
+  EXPECT_GT(result.merge_job().reduce_total().work_units, 0u);
 }
 
 TEST(KernelOverride, OverrideTakesPrecedenceOverEnum) {

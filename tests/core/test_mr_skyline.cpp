@@ -107,7 +107,7 @@ TEST(MRSkyline, ExplicitPartitionCountRespected) {
 TEST(MRSkyline, MergeJobHasSingleReducer) {
   const PointSet ps = data::generate(Distribution::kIndependent, 300, 2, 11);
   const auto result = run_mr_skyline(ps, config_for(part::Scheme::kAngular));
-  EXPECT_EQ(result.merge_job.reduce_tasks.size(), 1u);
+  EXPECT_EQ(result.merge_job().reduce_tasks.size(), 1u);
 }
 
 TEST(MRSkyline, CombinerReducesShuffleVolume) {
@@ -140,7 +140,7 @@ TEST(MRSkyline, WorkUnitsAreCharged) {
   const PointSet ps = data::generate(Distribution::kIndependent, 500, 3, 19);
   const auto result = run_mr_skyline(ps, config_for(part::Scheme::kAngular));
   EXPECT_GT(result.partition_job.total_work_units(), 0u);
-  EXPECT_GT(result.merge_job.total_work_units(), 0u);
+  EXPECT_GT(result.merge_job().total_work_units(), 0u);
 }
 
 TEST(MRSkyline, SimulationRespondsToServers) {

@@ -26,7 +26,7 @@ TEST(TreeMerge, SingleReducerHasOneRound) {
   const PointSet ps = data::generate(data::Distribution::kIndependent, 500, 3, 3);
   const auto result = run_mr_skyline(ps, tree_config(0));
   EXPECT_EQ(result.merge_rounds.size(), 1u);
-  EXPECT_EQ(result.merge_job.reduce_tasks.size(), 1u);
+  EXPECT_EQ(result.merge_job().reduce_tasks.size(), 1u);
 }
 
 TEST(TreeMerge, FanInOneRejected) {
@@ -70,8 +70,8 @@ TEST(TreeMerge, IntermediateRoundsUseParallelReducers) {
 TEST(TreeMerge, MergeJobAliasesLastRound) {
   const PointSet ps = data::generate(data::Distribution::kIndependent, 400, 3, 15);
   const auto result = run_mr_skyline(ps, tree_config(4));
-  EXPECT_EQ(result.merge_job.job_name, result.merge_rounds.back().job_name);
-  EXPECT_EQ(result.merge_job.reduce_tasks.size(),
+  EXPECT_EQ(result.merge_job().job_name, result.merge_rounds.back().job_name);
+  EXPECT_EQ(result.merge_job().reduce_tasks.size(),
             result.merge_rounds.back().reduce_tasks.size());
 }
 

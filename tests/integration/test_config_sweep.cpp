@@ -9,6 +9,7 @@
 // observability can never perturb results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <map>
@@ -20,7 +21,9 @@
 #include "src/common/trace.hpp"
 #include "src/core/mr_skyline.hpp"
 #include "src/dataset/generators.hpp"
+#include "src/service/query_engine.hpp"
 #include "src/skyline/algorithms.hpp"
+#include "src/skyline/extensions.hpp"
 #include "tests/support/trace_test_utils.hpp"
 
 namespace mrsky {
@@ -141,6 +144,138 @@ TEST_P(ConfigSweep, MatchesGroundTruthUnderBothModes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, ConfigSweep, testing::Range<std::uint64_t>(0, 200),
+                         [](const auto& param_info) {
+                           return "case" + std::to_string(param_info.param);
+                         });
+
+/// Extension differential sweep (ISSUE 5): k-skyband, representative skyline
+/// and weighted top-k checked against independent brute-force oracles on
+/// randomised workloads, plus a QueryEngine slice proving the serving layer
+/// (and its cache) returns the same bits as the direct computation.
+class ExtensionSweep : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtensionSweep, ExtensionsMatchBruteForceOracles) {
+  common::Rng rng(GetParam() * 0x51ed5u + 17);
+  const std::size_t n = 30 + rng.uniform_index(120);
+  const std::size_t dim = 2 + rng.uniform_index(4);
+  const auto dist = static_cast<data::Distribution>(rng.uniform_index(4));
+  const data::PointSet ps = data::generate(dist, n, dim, /*seed=*/GetParam() * 3 + 1);
+  const std::string where = data::to_string(dist) + " n=" + std::to_string(n) +
+                            " d=" + std::to_string(dim);
+
+  // --- k-skyband: full O(n^2) dominator count, no early exit. ---
+  const std::size_t band_k = 1 + rng.uniform_index(5);
+  std::vector<std::size_t> band_survivors;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::size_t dominators = 0;
+    for (std::size_t j = 0; j < ps.size(); ++j) {
+      if (i != j && skyline::dominates(ps.point(j), ps.point(i))) ++dominators;
+    }
+    if (dominators < band_k) band_survivors.push_back(i);
+  }
+  const data::PointSet band_oracle = ps.select(band_survivors);
+  const data::PointSet band = skyline::k_skyband(ps, band_k);
+  EXPECT_TRUE(SkylineBits(band) == SkylineBits(band_oracle)) << where << " k=" << band_k;
+  if (band_k == 1) {
+    EXPECT_EQ(sorted_ids(band), sorted_ids(skyline::naive_skyline(ps))) << where;
+  }
+
+  // --- representative: greedy max-coverage, earliest candidate on ties. ---
+  const std::size_t rep_k = 1 + rng.uniform_index(6);
+  const data::PointSet sky = skyline::bnl_skyline(ps);
+  std::vector<bool> covered(ps.size(), false);
+  std::vector<bool> used(sky.size(), false);
+  std::vector<data::PointId> rep_ids;
+  std::vector<std::size_t> rep_coverage;
+  std::size_t rep_total = 0;
+  for (std::size_t round = 0; round < rep_k && round < sky.size(); ++round) {
+    std::vector<std::size_t> gain(sky.size(), 0);
+    for (std::size_t s = 0; s < sky.size(); ++s) {
+      if (used[s]) continue;
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        if (!covered[i] && skyline::dominates(sky.point(s), ps.point(i))) ++gain[s];
+      }
+    }
+    std::size_t best = sky.size();
+    for (std::size_t s = 0; s < sky.size(); ++s) {
+      if (!used[s] && (best == sky.size() || gain[s] > gain[best])) best = s;
+    }
+    ASSERT_LT(best, sky.size()) << where;
+    used[best] = true;
+    rep_ids.push_back(sky.id(best));
+    rep_coverage.push_back(gain[best]);
+    rep_total += gain[best];
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      if (!covered[i] && skyline::dominates(sky.point(best), ps.point(i))) covered[i] = true;
+    }
+  }
+  const auto rep = skyline::representative_skyline(ps, rep_k);
+  std::vector<data::PointId> got_ids;
+  for (std::size_t i = 0; i < rep.representatives.size(); ++i) {
+    got_ids.push_back(rep.representatives.id(i));
+  }
+  EXPECT_EQ(got_ids, rep_ids) << where << " k=" << rep_k;
+  EXPECT_EQ(rep.coverage, rep_coverage) << where << " k=" << rep_k;
+  EXPECT_EQ(rep.total_covered, rep_total) << where << " k=" << rep_k;
+
+  // --- weighted top-k: brute-force skyline membership, same (score, id)
+  // order. Scores accumulate in attribute order, so bits match exactly. ---
+  const std::size_t top_k = 1 + rng.uniform_index(8);
+  std::vector<double> weights(dim);
+  for (double& w : weights) w = rng.uniform();
+  std::vector<skyline::ScoredPoint> top_oracle;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < ps.size() && !dominated; ++j) {
+      dominated = i != j && skyline::dominates(ps.point(j), ps.point(i));
+    }
+    if (dominated) continue;
+    double score = 0.0;
+    const auto p = ps.point(i);
+    for (std::size_t a = 0; a < p.size(); ++a) score += weights[a] * p[a];
+    top_oracle.push_back({ps.id(i), score});
+  }
+  std::sort(top_oracle.begin(), top_oracle.end(),
+            [](const skyline::ScoredPoint& a, const skyline::ScoredPoint& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.id < b.id;
+            });
+  if (top_oracle.size() > top_k) top_oracle.resize(top_k);
+  const auto top = skyline::top_k_weighted(ps, weights, top_k);
+  ASSERT_EQ(top.size(), top_oracle.size()) << where << " k=" << top_k;
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].id, top_oracle[i].id) << where << " rank " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(top[i].score),
+              std::bit_cast<std::uint64_t>(top_oracle[i].score))
+        << where << " rank " << i;
+  }
+
+  // --- QueryEngine slice: the serving layer (cold, then cached) must return
+  // the very same bits as the direct calls above. ---
+  if (GetParam() % 3 == 0) {
+    service::QueryEngine engine(ps, {});
+    for (int pass = 0; pass < 2; ++pass) {
+      const auto eband = engine.execute(service::KSkybandQuery{band_k});
+      EXPECT_EQ(eband.metrics.cache_hit, pass == 1) << where;
+      EXPECT_EQ(sorted_ids(eband.points), sorted_ids(band_oracle)) << where;
+      const auto erep = engine.execute(service::RepresentativeQuery{rep_k});
+      std::vector<data::PointId> engine_rep_ids;
+      for (std::size_t i = 0; i < erep.points.size(); ++i) {
+        engine_rep_ids.push_back(erep.points.id(i));
+      }
+      EXPECT_EQ(engine_rep_ids, rep_ids) << where;
+      const auto etop = engine.execute(service::TopKWeightedQuery{weights, top_k});
+      ASSERT_EQ(etop.ranking.size(), top_oracle.size()) << where;
+      for (std::size_t i = 0; i < etop.ranking.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(etop.ranking[i].score),
+                  std::bit_cast<std::uint64_t>(top_oracle[i].score))
+            << where << " rank " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ExtensionSweep, testing::Range<std::uint64_t>(0, 60),
                          [](const auto& param_info) {
                            return "case" + std::to_string(param_info.param);
                          });

@@ -103,7 +103,7 @@ TEST(SkylineServiceSelector, IncrementalIsCheaperThanRecompute) {
   (void)selector.skyline();
   const auto full_tests =
       selector.last_run().partition_job.total_work_units() +
-      selector.last_run().merge_job.total_work_units();
+      selector.last_run().merge_job().total_work_units();
   (void)selector.add_service("newcomer", {500.0, 90.0, 10.0, 80.0});
   EXPECT_LT(selector.incremental_dominance_tests(), full_tests);
 }

@@ -1,0 +1,298 @@
+// service::QueryEngine — every query kind must be bitwise identical to the
+// direct computation, with and without cache hits, across insert_batch, and
+// under both execution modes (ISSUE 5 acceptance).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/core/mr_skyline.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/dataset/transforms.hpp"
+#include "src/service/query_engine.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/extensions.hpp"
+
+namespace mrsky {
+namespace {
+
+/// The engine's canonical result form, replicated independently: ascending-id
+/// order, coordinates untouched.
+data::PointSet canonical(const data::PointSet& ps) {
+  std::vector<std::size_t> order(ps.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return ps.id(a) < ps.id(b); });
+  return ps.select(order);
+}
+
+/// Ids and exact coordinate bits, in output order — equality here is the
+/// "bitwise identical" acceptance criterion.
+std::vector<std::uint64_t> bits_of(const data::PointSet& ps) {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out.push_back(static_cast<std::uint64_t>(ps.id(i)));
+    for (double c : ps.point(i)) out.push_back(std::bit_cast<std::uint64_t>(c));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> bits_of(const std::vector<skyline::ScoredPoint>& ranking) {
+  std::vector<std::uint64_t> out;
+  for (const auto& sp : ranking) {
+    out.push_back(static_cast<std::uint64_t>(sp.id));
+    out.push_back(std::bit_cast<std::uint64_t>(sp.score));
+  }
+  return out;
+}
+
+data::PointSet workload(std::size_t n = 300, std::size_t dim = 4, std::uint64_t seed = 42) {
+  return data::generate(data::Distribution::kAnticorrelated, n, dim, seed);
+}
+
+TEST(QueryEngine, FullSkylineMatchesPipelineBitwise) {
+  const auto ps = workload();
+  service::QueryEngine engine(ps, {});
+
+  const auto direct = core::run_mr_skyline(ps, core::MRSkylineConfig{});
+  const auto result = engine.execute(service::SkylineQuery{});
+
+  EXPECT_FALSE(result.metrics.cache_hit);
+  EXPECT_EQ(result.metrics.dataset_version, 0u);
+  EXPECT_GT(result.metrics.dominance_tests, 0u);
+  EXPECT_EQ(result.metrics.result_points, result.points.size());
+  EXPECT_EQ(bits_of(result.points), bits_of(canonical(direct.skyline)));
+}
+
+TEST(QueryEngine, SubspaceMatchesProjectedPipeline) {
+  const auto ps = workload();
+  service::QueryEngine engine(ps, {});
+  const std::vector<std::size_t> attrs = {0, 2};
+
+  const auto projected = data::project(ps, attrs);
+  const auto direct = core::run_mr_skyline(projected, core::MRSkylineConfig{});
+  const auto result = engine.execute(service::SubspaceQuery{attrs});
+
+  EXPECT_EQ(bits_of(result.points), bits_of(canonical(direct.skyline)));
+  EXPECT_EQ(result.points.dim(), attrs.size());
+}
+
+TEST(QueryEngine, ExtensionsMatchDirectComputation) {
+  const auto ps = workload();
+  service::QueryEngine engine(ps, {});
+
+  const auto skyband = engine.execute(service::KSkybandQuery{3});
+  EXPECT_EQ(bits_of(skyband.points), bits_of(canonical(skyline::k_skyband(ps, 3))));
+
+  const auto rep = engine.execute(service::RepresentativeQuery{5});
+  const auto rep_direct = skyline::representative_skyline(ps, 5);
+  EXPECT_EQ(bits_of(rep.points), bits_of(rep_direct.representatives));
+  EXPECT_EQ(rep.coverage, rep_direct.coverage);
+  EXPECT_EQ(rep.total_covered, rep_direct.total_covered);
+
+  const std::vector<double> weights = {0.4, 0.3, 0.2, 0.1};
+  const auto topk = engine.execute(service::TopKWeightedQuery{weights, 7});
+  EXPECT_EQ(bits_of(topk.ranking), bits_of(skyline::top_k_weighted(ps, weights, 7)));
+  EXPECT_EQ(topk.metrics.result_points, topk.ranking.size());
+}
+
+TEST(QueryEngine, CacheHitIsBitwiseIdenticalToFirstAnswer) {
+  service::QueryEngine engine(workload(), {});
+  const std::vector<double> weights = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<service::Query> queries = {
+      service::SkylineQuery{}, service::SubspaceQuery{{1, 3}}, service::KSkybandQuery{2},
+      service::RepresentativeQuery{4}, service::TopKWeightedQuery{weights, 5}};
+
+  for (const auto& query : queries) {
+    const auto cold = engine.execute(query);
+    const auto warm = engine.execute(query);
+    EXPECT_FALSE(cold.metrics.cache_hit);
+    EXPECT_TRUE(warm.metrics.cache_hit) << service::query_signature(query);
+    EXPECT_EQ(bits_of(cold.points), bits_of(warm.points));
+    EXPECT_EQ(bits_of(cold.ranking), bits_of(warm.ranking));
+    EXPECT_EQ(cold.coverage, warm.coverage);
+    EXPECT_EQ(warm.metrics.result_points, cold.metrics.result_points);
+  }
+  EXPECT_EQ(engine.stats().queries, 2 * queries.size());
+  EXPECT_EQ(engine.stats().cache_hits, queries.size());
+}
+
+TEST(QueryEngine, FitMemoReuseIsObservableWithCachingDisabled) {
+  service::QueryEngineOptions options;
+  options.cache_capacity = 0;  // no result cache: every execute recomputes
+  service::QueryEngine engine(workload(), options);
+
+  const service::Query query = service::SubspaceQuery{{0, 1}};
+  const auto first = engine.execute(query);
+  const auto second = engine.execute(query);
+  EXPECT_FALSE(first.metrics.cache_hit);
+  EXPECT_FALSE(second.metrics.cache_hit);
+  EXPECT_FALSE(first.metrics.fit_reused);
+  EXPECT_TRUE(second.metrics.fit_reused);
+  EXPECT_EQ(engine.stats().fits_computed, 1u);
+  EXPECT_EQ(engine.stats().fit_reuses, 1u);
+  EXPECT_EQ(engine.cache_entries(), 0u);
+  EXPECT_EQ(bits_of(first.points), bits_of(second.points));
+}
+
+TEST(QueryEngine, InsertInvalidatesDerivedEntriesButKeepsSkyline) {
+  const auto ps = workload(250, 3, 9);
+  service::QueryEngine engine(ps, {});
+
+  (void)engine.execute(service::SkylineQuery{});
+  (void)engine.execute(service::KSkybandQuery{2});
+  (void)engine.execute(service::SubspaceQuery{{0, 1}});
+  ASSERT_GT(engine.fit_entries(), 0u);
+
+  const auto extra = workload(60, 3, 1234);
+  engine.insert_batch(extra);
+  EXPECT_EQ(engine.version(), 1u);
+  EXPECT_EQ(engine.dataset().size(), ps.size() + extra.size());
+  EXPECT_EQ(engine.fit_entries(), 0u);  // stale fits must never serve pruning
+
+  // The full skyline survives the insert (incremental fold, cache re-seeded).
+  const auto sky = engine.execute(service::SkylineQuery{});
+  EXPECT_TRUE(sky.metrics.cache_hit);
+  EXPECT_EQ(sky.metrics.dataset_version, 1u);
+  EXPECT_EQ(bits_of(sky.points), bits_of(canonical(skyline::bnl_skyline(engine.dataset()))));
+
+  // Derived kinds were computed against version 0: they must recompute.
+  const auto band = engine.execute(service::KSkybandQuery{2});
+  EXPECT_FALSE(band.metrics.cache_hit);
+  EXPECT_EQ(bits_of(band.points), bits_of(canonical(skyline::k_skyband(engine.dataset(), 2))));
+  const auto sub = engine.execute(service::SubspaceQuery{{0, 1}});
+  EXPECT_FALSE(sub.metrics.cache_hit);
+}
+
+TEST(QueryEngine, InsertBeforeAnySkylineQueryStillExact) {
+  service::QueryEngine engine(workload(200, 3, 5), {});
+  engine.insert_batch(workload(50, 3, 6));
+  EXPECT_EQ(engine.version(), 1u);
+
+  const auto sky = engine.execute(service::SkylineQuery{});
+  EXPECT_FALSE(sky.metrics.cache_hit);
+  EXPECT_EQ(engine.stats().incremental_serves, 0u);
+  EXPECT_EQ(bits_of(sky.points), bits_of(canonical(skyline::bnl_skyline(engine.dataset()))));
+}
+
+TEST(QueryEngine, RepeatedInsertsKeepFoldExact) {
+  service::QueryEngine engine(workload(150, 3, 21), {});
+  (void)engine.execute(service::SkylineQuery{});
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    engine.insert_batch(workload(40, 3, 100 + round));
+    const auto sky = engine.execute(service::SkylineQuery{});
+    EXPECT_TRUE(sky.metrics.cache_hit) << "round " << round;
+    EXPECT_EQ(bits_of(sky.points), bits_of(canonical(skyline::bnl_skyline(engine.dataset()))))
+        << "round " << round;
+  }
+  EXPECT_EQ(engine.version(), 3u);
+  EXPECT_EQ(engine.stats().pipeline_runs, 1u);  // everything after run 1 was folded
+}
+
+TEST(QueryEngine, SequentialAndThreadedEnginesAgreeBitwise) {
+  const auto ps = workload(280, 4, 77);
+  const auto extra = workload(70, 4, 78);
+  const std::vector<double> weights = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<service::Query> queries = {
+      service::SkylineQuery{}, service::SubspaceQuery{{0, 3}}, service::KSkybandQuery{2},
+      service::RepresentativeQuery{6}, service::TopKWeightedQuery{weights, 8}};
+
+  service::QueryEngineOptions sequential;
+  sequential.config.run_options.mode = mr::ExecutionMode::kSequential;
+  service::QueryEngineOptions threaded;
+  threaded.config.run_options.mode = mr::ExecutionMode::kThreads;
+  threaded.config.run_options.num_threads = 4;
+
+  service::QueryEngine a(ps, sequential);
+  service::QueryEngine b(ps, threaded);
+  auto run_session = [&](service::QueryEngine& engine) {
+    auto results = engine.execute_batch(queries);
+    engine.insert_batch(extra);
+    auto after = engine.execute_batch(queries);
+    results.insert(results.end(), std::make_move_iterator(after.begin()),
+                   std::make_move_iterator(after.end()));
+    return results;
+  };
+  const auto ra = run_session(a);
+  const auto rb = run_session(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(bits_of(ra[i].points), bits_of(rb[i].points)) << "query " << i;
+    EXPECT_EQ(bits_of(ra[i].ranking), bits_of(rb[i].ranking)) << "query " << i;
+    EXPECT_EQ(ra[i].coverage, rb[i].coverage) << "query " << i;
+    EXPECT_EQ(ra[i].metrics.cache_hit, rb[i].metrics.cache_hit) << "query " << i;
+  }
+}
+
+TEST(QueryEngine, ExecuteBatchSeesEarlierCacheEntries) {
+  service::QueryEngine engine(workload(), {});
+  const std::vector<service::Query> queries = {service::KSkybandQuery{2},
+                                               service::KSkybandQuery{2}};
+  const auto results = engine.execute_batch(queries);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].metrics.cache_hit);
+  EXPECT_TRUE(results[1].metrics.cache_hit);
+  EXPECT_EQ(bits_of(results[0].points), bits_of(results[1].points));
+}
+
+TEST(QueryEngine, LruEvictsAtCapacity) {
+  service::QueryEngineOptions options;
+  options.cache_capacity = 2;
+  service::QueryEngine engine(workload(120, 3, 3), options);
+
+  (void)engine.execute(service::KSkybandQuery{2});
+  (void)engine.execute(service::KSkybandQuery{3});
+  (void)engine.execute(service::KSkybandQuery{4});  // evicts k=2
+  EXPECT_EQ(engine.cache_entries(), 2u);
+  EXPECT_EQ(engine.stats().cache_evictions, 1u);
+  EXPECT_TRUE(engine.execute(service::KSkybandQuery{3}).metrics.cache_hit);
+  EXPECT_TRUE(engine.execute(service::KSkybandQuery{4}).metrics.cache_hit);
+  // k=2 was the least-recently-used entry when k=4 arrived: it is gone.
+  EXPECT_FALSE(engine.execute(service::KSkybandQuery{2}).metrics.cache_hit);
+}
+
+TEST(QueryEngine, InvalidQueryThrowsEveryProblemAtOnce) {
+  service::QueryEngine engine(workload(), {});
+  service::TopKWeightedQuery bad;
+  bad.k = 0;
+  bad.weights = {0.5, -1.0};  // wrong count for dim=4 AND negative
+  try {
+    (void)engine.execute(service::Query{bad});
+    FAIL() << "execute accepted an invalid query";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 problems"), std::string::npos) << what;
+    EXPECT_NE(what.find("k must be >= 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 weights for 4 attributes"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-negative"), std::string::npos) << what;
+  }
+  EXPECT_EQ(engine.stats().queries, 0u);  // rejected before any accounting
+}
+
+TEST(QueryEngine, ConstructionValidatesConfigWithAllErrors) {
+  service::QueryEngineOptions options;
+  options.config.servers = 0;
+  options.config.merge_fan_in = 1;
+  try {
+    service::QueryEngine engine(workload(), options);
+    FAIL() << "constructor accepted an invalid config";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("servers"), std::string::npos) << what;
+    EXPECT_NE(what.find("merge_fan_in"), std::string::npos) << what;
+  }
+}
+
+TEST(QueryEngine, InsertEdgeCases) {
+  service::QueryEngine engine(workload(100, 3, 8), {});
+  engine.insert_batch(data::PointSet(3));  // empty: no-op
+  EXPECT_EQ(engine.version(), 0u);
+  EXPECT_THROW(engine.insert_batch(data::PointSet(5)), InvalidArgument);
+  EXPECT_THROW(service::QueryEngine(data::PointSet(3), {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mrsky

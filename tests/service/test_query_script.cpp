@@ -1,0 +1,94 @@
+// service::parse_query_script — grammar coverage and the all-errors contract
+// (every malformed line reported in one throw, with line numbers).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <variant>
+
+#include "src/common/error.hpp"
+#include "src/service/script.hpp"
+
+namespace mrsky {
+namespace {
+
+std::vector<service::ScriptCommand> parse(const std::string& text) {
+  std::istringstream in(text);
+  return service::parse_query_script(in);
+}
+
+TEST(QueryScript, ParsesEveryVerb) {
+  const auto commands = parse(
+      "# a comment line\n"
+      "skyline\n"
+      "\n"
+      "subspace 0,2,3\n"
+      "skyband 3\n"
+      "representative 5\n"
+      "topk 10 0.25,0.25,0.5\n"
+      "insert extra.csv\n");
+  ASSERT_EQ(commands.size(), 6u);
+
+  const auto& q0 = std::get<service::Query>(commands[0]);
+  EXPECT_TRUE(std::holds_alternative<service::SkylineQuery>(q0));
+
+  const auto& q1 = std::get<service::Query>(commands[1]);
+  const auto& sub = std::get<service::SubspaceQuery>(q1);
+  EXPECT_EQ(sub.attributes, (std::vector<std::size_t>{0, 2, 3}));
+
+  const auto& q2 = std::get<service::Query>(commands[2]);
+  EXPECT_EQ(std::get<service::KSkybandQuery>(q2).k, 3u);
+
+  const auto& q3 = std::get<service::Query>(commands[3]);
+  EXPECT_EQ(std::get<service::RepresentativeQuery>(q3).k, 5u);
+
+  const auto& q4 = std::get<service::Query>(commands[4]);
+  const auto& topk = std::get<service::TopKWeightedQuery>(q4);
+  EXPECT_EQ(topk.k, 10u);
+  EXPECT_EQ(topk.weights, (std::vector<double>{0.25, 0.25, 0.5}));
+
+  EXPECT_EQ(std::get<service::InsertCommand>(commands[5]).path, "extra.csv");
+}
+
+TEST(QueryScript, EmptyAndCommentOnlyScriptsYieldNothing) {
+  EXPECT_TRUE(parse("").empty());
+  EXPECT_TRUE(parse("# only\n\n   \n# comments\n").empty());
+}
+
+TEST(QueryScript, CollectsEveryBadLineInOneThrow) {
+  try {
+    (void)parse(
+        "skyline\n"
+        "skyline extra-arg\n"
+        "skyband\n"
+        "subspace 0,x\n"
+        "topk 5 0.5,oops\n"
+        "warp 9\n");
+    FAIL() << "parse accepted a bad script";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5 problems"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 6"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown command 'warp'"), std::string::npos) << what;
+  }
+}
+
+TEST(QueryScript, SingleProblemUsesSingularWording) {
+  try {
+    (void)parse("skyband two\n");
+    FAIL() << "parse accepted a bad script";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("1 problem:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(QueryScript, MissingFileThrowsRuntimeError) {
+  EXPECT_THROW((void)service::parse_query_script_file("/nonexistent/q.mrq"), RuntimeError);
+}
+
+}  // namespace
+}  // namespace mrsky

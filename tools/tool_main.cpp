@@ -6,6 +6,7 @@
 //   report    — partition diagnostics for a dataset under a scheme
 //   simulate  — simulated cluster times across server counts
 //   plan      — recommend a pipeline configuration for a workload
+//   query     — serve a query script against a resident QueryEngine
 //
 // Examples:
 //   mrsky generate --output data.csv --n 10000 --dim 6 --qws
@@ -13,12 +14,16 @@
 //         --output skyline.csv --metrics-json metrics.json
 //   mrsky report --input data.csv --scheme grid --partitions 16
 //   mrsky simulate --input data.csv --scheme angular --servers-list 4,8,16,32
+//   mrsky query --input data.csv --script session.mrq
+//         --metrics-json query_metrics.json --trace-out trace.json
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <variant>
 
 #include "src/common/cli.hpp"
 #include "src/common/error.hpp"
+#include "src/common/json.hpp"
 #include "src/common/table.hpp"
 #include "src/core/mr_skyline.hpp"
 #include "src/core/optimality.hpp"
@@ -33,13 +38,15 @@
 #include "src/mapreduce/trace_export.hpp"
 #include "src/partition/factory.hpp"
 #include "src/partition/stats.hpp"
+#include "src/service/query_engine.hpp"
+#include "src/service/script.hpp"
 
 namespace {
 
 using namespace mrsky;
 
 int usage() {
-  std::cerr << "usage: mrsky <generate|skyline|report|simulate|plan> [--flags]\n"
+  std::cerr << "usage: mrsky <generate|skyline|report|simulate|plan|query> [--flags]\n"
                "run `mrsky <subcommand>` with no flags to see its defaults in action;\n"
                "see tools/tool_main.cpp header for examples.\n";
   return 2;
@@ -101,6 +108,9 @@ core::MRSkylineConfig config_from(const common::CliArgs& args) {
   config.run_options.skip_bad_records = args.get_bool("skip-bad-records", false);
   config.run_options.max_skipped_records =
       static_cast<std::size_t>(args.get_int("max-skipped-records", 16));
+  // Fail here, before any dataset is loaded, with every flag problem in one
+  // message (run_mr_skyline would catch them too, but later and after I/O).
+  config.validate_or_throw();
   return config;
 }
 
@@ -260,6 +270,90 @@ int cmd_simulate(const common::CliArgs& args) {
   return 0;
 }
 
+/// Loads an insert-command file verbatim (no normalisation — insert batches
+/// must already be in the resident dataset's attribute space; re-normalising
+/// per file would shift every batch onto a different scale).
+data::PointSet load_insert_file(const std::string& path) {
+  return has_suffix(path, ".mrsk") ? data::read_record_file(path) : data::read_csv_file(path);
+}
+
+int cmd_query(const common::CliArgs& args) {
+  const std::string script_path = args.get_string("script", "");
+  MRSKY_REQUIRE(!script_path.empty(), "--script <file> is required");
+  const auto commands = service::parse_query_script_file(script_path);
+
+  common::TraceRecorder recorder;
+  const std::string trace_out = args.get_string("trace-out", "");
+
+  service::QueryEngineOptions options;
+  options.config = config_from(args);
+  options.cache_capacity = static_cast<std::size_t>(args.get_int("cache-capacity", 64));
+  if (!trace_out.empty()) options.trace = &recorder;
+
+  service::QueryEngine engine(load_input(args), options);
+  std::cout << "dataset: " << engine.dataset().size() << " points x " << engine.dataset().dim()
+            << " attributes\n";
+
+  common::Table table({"#", "command", "points", "cache", "fit", "dom_tests", "ms"});
+  std::string queries_json;  // JSON array items, one per script command
+  std::size_t index = 0;
+  for (const auto& command : commands) {
+    ++index;
+    if (!queries_json.empty()) queries_json += ",";
+    if (const auto* insert = std::get_if<service::InsertCommand>(&command)) {
+      const data::PointSet extra = load_insert_file(insert->path);
+      engine.insert_batch(extra);
+      table.add_row({common::Table::fmt(index), "insert " + insert->path,
+                     common::Table::fmt(extra.size()), "", "", "", ""});
+      queries_json += "{\"command\":\"insert\",\"path\":\"" + common::json_escape(insert->path) +
+                      "\",\"points\":" + std::to_string(extra.size()) +
+                      ",\"version\":" + std::to_string(engine.version()) + "}";
+      continue;
+    }
+    const auto& query = std::get<service::Query>(command);
+    const auto result = engine.execute(query);
+    const auto& m = result.metrics;
+    table.add_row({common::Table::fmt(index), service::query_signature(query),
+                   common::Table::fmt(m.result_points), m.cache_hit ? "hit" : "miss",
+                   m.fit_reused ? "reused" : "", common::Table::fmt(m.dominance_tests),
+                   common::Table::fmt(static_cast<double>(m.wall_ns) / 1e6, 3)});
+    queries_json += "{\"command\":\"" + common::json_escape(service::query_signature(query)) +
+                    "\",\"kind\":\"" + service::query_kind(query) +
+                    "\",\"points\":" + std::to_string(m.result_points) +
+                    ",\"cache_hit\":" + (m.cache_hit ? "true" : "false") +
+                    ",\"fit_reused\":" + (m.fit_reused ? "true" : "false") +
+                    ",\"dominance_tests\":" + std::to_string(m.dominance_tests) +
+                    ",\"wall_ns\":" + std::to_string(m.wall_ns) +
+                    ",\"version\":" + std::to_string(m.dataset_version) + "}";
+  }
+  table.print(std::cout, "query session: " + script_path);
+
+  const auto& stats = engine.stats();
+  std::cout << "queries: " << stats.queries << "  cache hits: " << stats.cache_hits
+            << "  pipeline runs: " << stats.pipeline_runs
+            << "  fits computed/reused: " << stats.fits_computed << "/" << stats.fit_reuses
+            << "  inserts: " << stats.inserts << "\n";
+
+  if (const std::string json = args.get_string("metrics-json", ""); !json.empty()) {
+    std::ofstream file(json);
+    MRSKY_REQUIRE(static_cast<bool>(file), "cannot open " + json);
+    file << "{\"queries\":[" << queries_json << "],\"stats\":{\"queries\":" << stats.queries
+         << ",\"cache_hits\":" << stats.cache_hits << ",\"fits_computed\":" << stats.fits_computed
+         << ",\"fit_reuses\":" << stats.fit_reuses << ",\"pipeline_runs\":" << stats.pipeline_runs
+         << ",\"incremental_serves\":" << stats.incremental_serves
+         << ",\"inserts\":" << stats.inserts << ",\"points_inserted\":" << stats.points_inserted
+         << ",\"cache_evictions\":" << stats.cache_evictions
+         << ",\"dataset_version\":" << engine.version() << "}}\n";
+    std::cout << "metrics written to " << json << "\n";
+  }
+  if (!trace_out.empty()) {
+    recorder.write_chrome_json(trace_out);
+    std::cout << "trace written to " << trace_out << " (" << recorder.spans().size()
+              << " spans; load in Perfetto or chrome://tracing)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,6 +366,7 @@ int main(int argc, char** argv) {
     if (subcommand == "report") return cmd_report(args);
     if (subcommand == "simulate") return cmd_simulate(args);
     if (subcommand == "plan") return cmd_plan(args);
+    if (subcommand == "query") return cmd_query(args);
     std::cerr << "unknown subcommand: " << subcommand << "\n";
     return usage();
   } catch (const std::exception& e) {
