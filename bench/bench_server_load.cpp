@@ -1,0 +1,327 @@
+// Open-loop load bench for the concurrent skyline server (ISSUE 6).
+//
+// Starts an in-process server::SkylineServer over one shared QueryEngine,
+// then drives it with N concurrent client sessions over real loopback TCP.
+// The load is OPEN-LOOP: every session has a fixed arrival schedule
+// (request i is due at start + i/rate) that does not adapt to response
+// times, and a request's latency is measured from its *scheduled* arrival,
+// not from when the client got around to sending it — so queueing delay
+// under overload is charged to the server instead of silently vanishing
+// (the coordinated-omission correction).
+//
+// The workload is mixed read/insert: every session rotates through the query
+// kinds, and the first `--writers` sessions replace every `--insert-every`-th
+// request with an inline insert batch, so reads race snapshot publication
+// the way the paper's live UDDI registry (§II) would.
+//
+// `--check` replays the whole run single-threaded for the bitwise gate:
+// a fresh engine over the same dataset applies the recorded insert batches
+// in snapshot-version order and re-executes every recorded query at the
+// version its response reported. The replayed response payload must match
+// the served payload byte for byte — the server's concurrency must be
+// invisible in results.
+//
+//   bench_server_load --cardinality 20000 --dim 6 --sessions 8 --requests 200
+//       --rate 100 --writers 2 --insert-every 10 --check
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/support.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/error.hpp"
+#include "src/common/table.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+#include "src/server/client.hpp"
+#include "src/server/protocol.hpp"
+#include "src/server/server.hpp"
+#include "src/service/query_engine.hpp"
+
+using namespace mrsky;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct RequestKind {
+  std::string line;      ///< what goes over the wire
+  service::Query query;  ///< the same request for the replay engine
+};
+
+/// A served query, as the replay gate needs it.
+struct QueryRecord {
+  std::size_t kind = 0;
+  std::uint64_t version = 0;
+  std::string payload;  ///< response line with the per-call metrics stripped
+};
+
+struct SessionLog {
+  std::vector<QueryRecord> queries;
+  /// version -> the rows that insert published (local copy; %.17g round-trips
+  /// the wire bitwise, so these equal what the server parsed).
+  std::map<std::uint64_t, data::PointSet> inserts;
+  std::vector<double> query_ms;
+  std::vector<double> insert_ms;
+  std::uint64_t errors = 0;
+};
+
+/// Drops the ,"metrics":{...} tail — wall time differs run to run; the
+/// payload (kind, version, points / ranking / coverage) must not.
+std::string strip_metrics(const std::string& response) {
+  const std::size_t pos = response.rfind(",\"metrics\":");
+  return pos == std::string::npos ? response : response.substr(0, pos) + "}";
+}
+
+std::uint64_t parse_version(const std::string& response) {
+  const std::size_t key = response.find("\"version\":");
+  MRSKY_REQUIRE(key != std::string::npos, "response has no version: " + response);
+  return std::strtoull(response.c_str() + key + 10, nullptr, 10);
+}
+
+bool response_ok(const std::string& response) {
+  return response.rfind("{\"ok\":true", 0) == 0;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+std::string json_insert_line(const data::PointSet& rows) {
+  std::string line = "{\"insert\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) line += ',';
+    line += '[';
+    bool first = true;
+    for (double c : rows.point(i)) {
+      if (!first) line += ',';
+      first = false;
+      line += server::double_repr(c);
+    }
+    line += ']';
+  }
+  line += "]}";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("cardinality", 20000));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 4));
+  const auto sessions = static_cast<std::size_t>(args.get_int("sessions", 8));
+  const auto requests = static_cast<std::size_t>(args.get_int("requests", 200));
+  const double rate = args.get_double("rate", 100.0);  // per session, req/s
+  const auto writers = std::min(sessions, static_cast<std::size_t>(args.get_int("writers", 2)));
+  const auto insert_every = std::max<std::size_t>(2, static_cast<std::size_t>(args.get_int("insert-every", 10)));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
+  const bool check = args.get_bool("check", false);
+  const std::string json_out = args.get_string("json", "");
+  MRSKY_REQUIRE(sessions >= 1 && requests >= 1 && rate > 0.0, "need sessions/requests >= 1, rate > 0");
+  MRSKY_REQUIRE(dim >= 2, "need --dim >= 2");
+
+  const data::PointSet dataset = bench::qws_workload(n, dim, seed);
+
+  std::vector<double> weights(dim, 1.0 / static_cast<double>(dim));
+  std::string topk_weights;
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (i > 0) topk_weights += ',';
+    topk_weights += server::double_repr(weights[i]);
+  }
+  const std::vector<RequestKind> kinds = {
+      {"skyline", service::Query{service::SkylineQuery{}}},
+      {"skyband 2", service::Query{service::KSkybandQuery{2}}},
+      {"subspace 0,1", service::Query{service::SubspaceQuery{{0, 1}}}},
+      {"representative 8", service::Query{service::RepresentativeQuery{8}}},
+      {"topk 5 " + topk_weights, service::Query{service::TopKWeightedQuery{weights, 5}}},
+  };
+
+  // Every writer pre-generates its insert batches so the replay gate can
+  // reuse the exact rows. Batches are QWS-like, normalised into the
+  // dataset's [0,1] attribute space.
+  std::vector<std::vector<data::PointSet>> writer_batches(sessions);
+  for (std::size_t s = 0; s < writers; ++s) {
+    const std::size_t inserts_per_writer = requests / insert_every + 1;
+    data::QwsLikeGenerator gen(dim, seed + 1000 * (s + 1));
+    for (std::size_t b = 0; b < inserts_per_writer; ++b) {
+      writer_batches[s].push_back(data::normalize_min_max(gen.generate_oriented(batch)));
+    }
+  }
+
+  service::QueryEngineOptions engine_options;
+  service::QueryEngine engine(dataset, engine_options);
+
+  server::ServerOptions server_options;
+  server_options.max_sessions = sessions;
+  server::SkylineServer srv(engine, server_options);
+  srv.start();
+
+  std::cout << "server load — open-loop, " << sessions << " sessions x " << requests
+            << " requests @ " << rate << " req/s each (" << writers << " writers, insert every "
+            << insert_every << "th request, batch " << batch << ")\n"
+            << "dataset: QWS-like N=" << n << " d=" << dim << ", server on 127.0.0.1:"
+            << srv.port() << "\n\n";
+
+  const auto period = std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / rate));
+  std::vector<SessionLog> logs(sessions);
+  std::vector<std::thread> threads;
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(50);
+  const auto bench_start = Clock::now();
+
+  for (std::size_t s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      SessionLog& log = logs[s];
+      server::LineClient client;
+      client.connect("127.0.0.1", srv.port());
+      if (!client.recv_line().has_value()) {  // greeting (or capacity reject)
+        log.errors += requests;
+        return;
+      }
+      // Stagger sessions across one period so arrivals interleave instead of
+      // stampeding on the same instant.
+      const Clock::time_point start =
+          t0 + period * static_cast<std::int64_t>(s) / static_cast<std::int64_t>(sessions);
+      std::size_t next_batch = 0;
+      for (std::size_t i = 0; i < requests; ++i) {
+        const Clock::time_point scheduled = start + period * static_cast<std::int64_t>(i);
+        std::this_thread::sleep_until(scheduled);  // no-op when behind schedule
+        const bool do_insert = s < writers && (i + 1) % insert_every == 0 &&
+                               next_batch < writer_batches[s].size();
+        std::optional<std::string> response;
+        std::size_t kind = 0;
+        if (do_insert) {
+          response = client.request(json_insert_line(writer_batches[s][next_batch]));
+        } else {
+          kind = i % kinds.size();
+          response = client.request(kinds[kind].line);
+        }
+        const double ms = std::chrono::duration<double, std::milli>(Clock::now() - scheduled).count();
+        if (!response.has_value() || !response_ok(*response)) {
+          ++log.errors;
+          continue;
+        }
+        if (do_insert) {
+          log.inserts.emplace(parse_version(*response), writer_batches[s][next_batch]);
+          ++next_batch;
+          log.insert_ms.push_back(ms);
+        } else {
+          log.queries.push_back({kind, parse_version(*response), strip_metrics(*response)});
+          log.query_ms.push_back(ms);
+        }
+      }
+      (void)client.request("quit");
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - bench_start).count();
+  srv.stop();
+
+  // Merge the per-session logs.
+  std::vector<double> query_ms, insert_ms;
+  std::map<std::uint64_t, data::PointSet> inserts_by_version;
+  std::vector<QueryRecord> all_queries;
+  std::uint64_t errors = 0;
+  for (const auto& log : logs) {
+    query_ms.insert(query_ms.end(), log.query_ms.begin(), log.query_ms.end());
+    insert_ms.insert(insert_ms.end(), log.insert_ms.begin(), log.insert_ms.end());
+    all_queries.insert(all_queries.end(), log.queries.begin(), log.queries.end());
+    for (const auto& [version, rows] : log.inserts) inserts_by_version.emplace(version, rows);
+    errors += log.errors;
+  }
+  std::sort(query_ms.begin(), query_ms.end());
+  std::sort(insert_ms.begin(), insert_ms.end());
+
+  common::Table table({"requests", "count", "p50_ms", "p99_ms", "max_ms"});
+  table.add_row({"query", common::Table::fmt(query_ms.size()),
+                 common::Table::fmt(percentile(query_ms, 50), 3),
+                 common::Table::fmt(percentile(query_ms, 99), 3),
+                 common::Table::fmt(query_ms.empty() ? 0.0 : query_ms.back(), 3)});
+  table.add_row({"insert", common::Table::fmt(insert_ms.size()),
+                 common::Table::fmt(percentile(insert_ms, 50), 3),
+                 common::Table::fmt(percentile(insert_ms, 99), 3),
+                 common::Table::fmt(insert_ms.empty() ? 0.0 : insert_ms.back(), 3)});
+  table.print(std::cout, "open-loop latency (from scheduled arrival)");
+  const std::size_t served = query_ms.size() + insert_ms.size();
+  std::cout << "served " << served << "/" << sessions * requests << " requests in "
+            << common::Table::fmt(wall_s, 2) << "s ("
+            << common::Table::fmt(static_cast<double>(served) / wall_s, 1)
+            << " req/s aggregate), " << errors << " errors, final version "
+            << engine.version() << "\n";
+
+  if (!json_out.empty()) {
+    std::ofstream file(json_out);
+    MRSKY_REQUIRE(static_cast<bool>(file), "cannot open " + json_out);
+    file << "{\"sessions\":" << sessions << ",\"requests\":" << requests
+         << ",\"rate_per_session\":" << rate << ",\"served\":" << served
+         << ",\"errors\":" << errors << ",\"wall_s\":" << wall_s
+         << ",\"query\":{\"count\":" << query_ms.size()
+         << ",\"p50_ms\":" << percentile(query_ms, 50)
+         << ",\"p99_ms\":" << percentile(query_ms, 99) << "}"
+         << ",\"insert\":{\"count\":" << insert_ms.size()
+         << ",\"p50_ms\":" << percentile(insert_ms, 50)
+         << ",\"p99_ms\":" << percentile(insert_ms, 99) << "}}\n";
+    std::cout << "results written to " << json_out << "\n";
+  }
+
+  if (errors != 0) {
+    std::cerr << "FAIL: " << errors << " request errors\n";
+    return 1;
+  }
+  if (!check) return 0;
+
+  // --check: single-threaded replay. Apply the recorded insert batches in
+  // version order on a fresh engine; every recorded query re-executes at the
+  // version its response reported and must reproduce the served payload
+  // byte for byte.
+  std::cout << "\nreplay check: " << all_queries.size() << " query responses across "
+            << inserts_by_version.size() + 1 << " snapshot versions\n";
+  service::QueryEngine replay(dataset, engine_options);
+  std::map<std::uint64_t, std::vector<const QueryRecord*>> queries_by_version;
+  for (const auto& record : all_queries) queries_by_version[record.version].push_back(&record);
+
+  std::uint64_t verified = 0, mismatches = 0;
+  auto verify_at = [&](std::uint64_t version) {
+    const auto it = queries_by_version.find(version);
+    if (it == queries_by_version.end()) return;
+    for (const QueryRecord* record : it->second) {
+      const service::QueryResult result = replay.execute(kinds[record->kind].query);
+      const std::string expected = strip_metrics(server::result_line(kinds[record->kind].query, result));
+      if (expected == record->payload) {
+        ++verified;
+      } else {
+        ++mismatches;
+        if (mismatches <= 3) {
+          std::cerr << "MISMATCH at version " << version << " kind '" << kinds[record->kind].line
+                    << "':\n  served:   " << record->payload.substr(0, 200)
+                    << "\n  replayed: " << expected.substr(0, 200) << "\n";
+        }
+      }
+    }
+  };
+  verify_at(0);
+  for (const auto& [version, rows] : inserts_by_version) {
+    const std::uint64_t replayed = replay.insert_batch(rows);
+    MRSKY_REQUIRE(replayed == version,
+                  "replay version drift: expected " + std::to_string(version) + ", got " +
+                      std::to_string(replayed));
+    verify_at(version);
+  }
+  std::cout << "replay: " << verified << " bitwise-identical, " << mismatches << " mismatches\n";
+  if (mismatches != 0 || verified != all_queries.size()) {
+    std::cerr << "FAIL: served responses are not bitwise-reproducible\n";
+    return 1;
+  }
+  std::cout << "PASS: every served response matches its single-threaded replay\n";
+  return 0;
+}

@@ -40,6 +40,11 @@ FILTER+=':Trace*:*TraceInvariants*:SimulatorTrace*:*ConfigSweep*'
 # (TSan: pool reuse across pipeline runs) and the validation/script/extension
 # sweeps ride along for ASan/UBSan coverage of the new subsystem.
 FILTER+=':QueryEngine*:QueryScript*:ConfigValidate*:*ExtensionSweep*'
+# The multi-session server (ISSUE 6): MVCC snapshot reads racing insert_batch,
+# admission control, session churn over real sockets, and the primitives
+# underneath (semaphore, JSON parser). EngineConcurrency is the suite whose
+# whole point is running under TSan.
+FILTER+=':EngineConcurrency*:SkylineServer*:Session*:Protocol*:Semaphore*:SlotGuard*:JsonValue*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

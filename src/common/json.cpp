@@ -1,5 +1,10 @@
 #include "src/common/json.hpp"
 
+#include <charconv>
+#include <cstdint>
+
+#include "src/common/error.hpp"
+
 namespace mrsky::common {
 
 std::string json_escape(std::string_view s) {
@@ -28,6 +33,289 @@ std::string json_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+namespace {
+
+/// Strict single-pass recursive-descent JSON parser. Positions are byte
+/// offsets into the original document, reported on every error.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) {
+      throw InvalidArgument("JSON parse error at byte " + std::to_string(pos_) +
+                            ": unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    // A hostile wire client must not be able to blow the server's stack with
+    // ten thousand '['s — bound nesting well above any legitimate query.
+    if (depth > 64) fail("nesting deeper than 64 levels");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal (expected null)");
+        return JsonValue(nullptr);
+      case 't':
+        if (!consume_literal("true")) fail("bad literal (expected true)");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal (expected false)");
+        return JsonValue(false);
+      case '"': return JsonValue(parse_string());
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_number() {
+    // RFC 8259 number grammar, checked explicitly: from_chars is laxer than
+    // JSON (it accepts "01", "1.", ".5"), and a lenient parse here would let
+    // two clients disagree about what a request means.
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    const std::size_t int_digits = pos_ - int_start;
+    const bool leading_zero = int_digits > 1 && text_[int_start] == '0';
+    if (int_digits == 0 || leading_zero) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == frac_start) {
+        pos_ = start;
+        fail("malformed number (no digits after '.')");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      if (pos_ == exp_start) {
+        pos_ = start;
+        fail("malformed number (no digits in exponent)");
+      }
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control byte in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out); break;
+        default: fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  /// Decodes \uXXXX (with surrogate pairs) into UTF-8.
+  void append_codepoint(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail("lone high surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("lone low surrogate");
+    }
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(items));
+    }
+    for (;;) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return JsonValue(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      members.insert_or_assign(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return JsonValue(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+bool JsonValue::as_bool() const {
+  MRSKY_REQUIRE(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(value_);
+}
+
+double JsonValue::as_number() const {
+  MRSKY_REQUIRE(is_number(), "JSON value is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::as_string() const {
+  MRSKY_REQUIRE(is_string(), "JSON value is not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  MRSKY_REQUIRE(is_array(), "JSON value is not an array");
+  return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  MRSKY_REQUIRE(is_object(), "JSON value is not an object");
+  return std::get<Object>(value_);
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& object = std::get<Object>(value_);
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
 }
 
 }  // namespace mrsky::common

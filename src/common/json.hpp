@@ -1,11 +1,25 @@
-// Minimal JSON string escaping shared by every hand-rolled writer in the
-// library (metrics_json, the trace exporter). One implementation so hostile
-// names — datasets, partitions, job names containing quotes, backslashes or
-// control bytes — serialise identically everywhere.
+// Minimal JSON support shared by every hand-rolled writer and reader in the
+// library.
+//
+// Writing: json_escape — one implementation so hostile names (datasets,
+// partitions, job names containing quotes, backslashes or control bytes)
+// serialise identically everywhere (metrics_json, the trace exporter, the
+// server's wire protocol).
+//
+// Reading: JsonValue::parse — a small recursive-descent parser for the
+// skyline server's JSON query form. It covers the whole JSON grammar (RFC
+// 8259: null/bool/number/string/array/object, \uXXXX escapes incl. surrogate
+// pairs) but stays deliberately tiny: strict single-document parsing, doubles
+// for every number, std::map for objects. Errors throw mrsky::InvalidArgument
+// with a byte offset.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <string_view>
+#include <variant>
+#include <vector>
 
 namespace mrsky::common {
 
@@ -13,5 +27,49 @@ namespace mrsky::common {
 /// the usual short escapes (\b \f \n \r \t) and every other control byte
 /// below 0x20 as \u00XX. Bytes >= 0x20 pass through untouched (UTF-8 safe).
 [[nodiscard]] std::string json_escape(std::string_view s);
+
+/// One parsed JSON document node.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(std::nullptr_t) : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  /// Parses exactly one JSON document (trailing non-whitespace is an error).
+  /// Throws mrsky::InvalidArgument with a byte offset on malformed input.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] bool is_null() const noexcept { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const noexcept { return holds<bool>(); }
+  [[nodiscard]] bool is_number() const noexcept { return holds<double>(); }
+  [[nodiscard]] bool is_string() const noexcept { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const noexcept { return holds<Array>(); }
+  [[nodiscard]] bool is_object() const noexcept { return holds<Object>(); }
+
+  /// Checked accessors: throw mrsky::InvalidArgument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; null when this is not an object or has no `key`.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const noexcept {
+    return std::holds_alternative<T>(value_);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
 
 }  // namespace mrsky::common

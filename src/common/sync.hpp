@@ -1,0 +1,91 @@
+// Thread-safety helpers shared by the serving layer.
+//
+// The standard library covers most of what the server needs (std::mutex,
+// std::jthread, std::latch); what it does not give us portably is a counting
+// semaphore with a *non-blocking* acquire that reports failure — the exact
+// shape admission control wants: "take a session slot if one is free,
+// otherwise reject the connection right now". std::counting_semaphore's
+// try_acquire is allowed to fail spuriously, which would reject connections
+// with free slots; this one never does.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace mrsky::common {
+
+/// A counting semaphore over a mutex + condition variable. Deliberately
+/// boring: exact (no spurious try_acquire failures), no busy-waiting, and the
+/// count is observable for metrics. Used by server::SkylineServer to cap
+/// concurrent sessions.
+class Semaphore {
+ public:
+  /// Starts with `count` free slots.
+  explicit Semaphore(std::size_t count) : count_(count) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Blocks until a slot is free, then takes it.
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ > 0; });
+    --count_;
+  }
+
+  /// Takes a slot iff one is free right now. Never fails spuriously.
+  [[nodiscard]] bool try_acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  /// Returns a slot and wakes one waiter.
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Free slots at this instant (metrics only — stale by the time it's read).
+  [[nodiscard]] std::size_t available() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+/// RAII slot holder: release() exactly once, on destruction, iff the
+/// acquisition succeeded. `if (SlotGuard slot{sem}) { serve(); }` is the
+/// admission-control idiom.
+class SlotGuard {
+ public:
+  explicit SlotGuard(Semaphore& sem) : sem_(&sem), held_(sem.try_acquire()) {}
+
+  SlotGuard(const SlotGuard&) = delete;
+  SlotGuard& operator=(const SlotGuard&) = delete;
+  SlotGuard(SlotGuard&& other) noexcept : sem_(other.sem_), held_(other.held_) {
+    other.held_ = false;
+  }
+  SlotGuard& operator=(SlotGuard&&) = delete;
+
+  ~SlotGuard() {
+    if (held_) sem_->release();
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return held_; }
+
+ private:
+  Semaphore* sem_;
+  bool held_;
+};
+
+}  // namespace mrsky::common

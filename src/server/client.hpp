@@ -1,0 +1,49 @@
+// Minimal blocking client for the skyline server's line protocol.
+//
+// One connection, synchronous request/response. This is the building block
+// the load bench and the server tests stand on: connect(), read the greeting,
+// then request() per line. It deliberately has no retry / reconnect logic —
+// a failed send or an EOF is a fact the caller (bench, test) wants to see,
+// not paper over.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mrsky::server {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Connects to host:port. Throws mrsky::InvalidArgument on failure. Does
+  /// NOT read the greeting — call recv_line() for it.
+  void connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Sends one request line (newline appended). Returns false if the peer is
+  /// gone.
+  [[nodiscard]] bool send_line(const std::string& line);
+
+  /// Blocks for the next response line; nullopt on EOF / error.
+  [[nodiscard]] std::optional<std::string> recv_line();
+
+  /// send_line + recv_line in one step.
+  [[nodiscard]] std::optional<std::string> request(const std::string& line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace mrsky::server

@@ -1,0 +1,188 @@
+#include "src/server/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/json.hpp"
+
+namespace mrsky::server {
+
+namespace {
+
+/// Converts a JSON number to a size, rejecting negatives and fractions —
+/// `"k":2.5` is a client bug, not a request for k=2.
+std::size_t to_size(const common::JsonValue& v, const std::string& what) {
+  MRSKY_REQUIRE(v.is_number(), what + " must be a number");
+  const double d = v.as_number();
+  MRSKY_REQUIRE(d >= 0.0 && d == std::floor(d) && d <= 1e15,
+                what + " must be a non-negative integer");
+  return static_cast<std::size_t>(d);
+}
+
+Request parse_json_request(const std::string& line, std::size_t dim) {
+  const common::JsonValue doc = common::JsonValue::parse(line);
+  MRSKY_REQUIRE(doc.is_object(), "request must be a JSON object");
+
+  if (const common::JsonValue* command = doc.find("command"); command != nullptr) {
+    const std::string& verb = command->as_string();
+    if (verb == "metrics") return MetricsRequest{};
+    if (verb == "stats") return StatsRequest{};
+    if (verb == "quit") return QuitRequest{};
+    throw InvalidArgument("unknown command '" + verb + "' (expected metrics|stats|quit)");
+  }
+
+  if (const common::JsonValue* insert = doc.find("insert"); insert != nullptr) {
+    if (insert->is_string()) return service::InsertCommand{insert->as_string()};
+    MRSKY_REQUIRE(insert->is_array(),
+                  "insert expects a file path or an array of point rows");
+    InsertInline batch{data::PointSet(dim)};
+    std::vector<double> row;
+    for (const common::JsonValue& item : insert->as_array()) {
+      MRSKY_REQUIRE(item.is_array(), "insert rows must be arrays of numbers");
+      row.clear();
+      for (const common::JsonValue& coord : item.as_array()) {
+        MRSKY_REQUIRE(coord.is_number(), "insert coordinates must be numbers");
+        row.push_back(coord.as_number());
+      }
+      MRSKY_REQUIRE(row.size() == dim,
+                    "insert row has " + std::to_string(row.size()) +
+                        " coordinates, dataset has " + std::to_string(dim) + " attributes");
+      batch.points.push_back(row);
+    }
+    return batch;
+  }
+
+  const common::JsonValue* query = doc.find("query");
+  MRSKY_REQUIRE(query != nullptr,
+                "request needs one of \"query\", \"insert\" or \"command\"");
+  const std::string& kind = query->as_string();
+
+  if (kind == "skyline") return service::Query{service::SkylineQuery{}};
+  if (kind == "subspace") {
+    const common::JsonValue* attrs = doc.find("attributes");
+    MRSKY_REQUIRE(attrs != nullptr && attrs->is_array(),
+                  "subspace needs an \"attributes\" array");
+    service::SubspaceQuery q;
+    for (const common::JsonValue& a : attrs->as_array()) {
+      q.attributes.push_back(to_size(a, "attribute index"));
+    }
+    return service::Query{std::move(q)};
+  }
+  if (kind == "skyband") {
+    const common::JsonValue* k = doc.find("k");
+    MRSKY_REQUIRE(k != nullptr, "skyband needs \"k\"");
+    return service::Query{service::KSkybandQuery{to_size(*k, "k")}};
+  }
+  if (kind == "representative") {
+    const common::JsonValue* k = doc.find("k");
+    MRSKY_REQUIRE(k != nullptr, "representative needs \"k\"");
+    return service::Query{service::RepresentativeQuery{to_size(*k, "k")}};
+  }
+  if (kind == "topk") {
+    const common::JsonValue* k = doc.find("k");
+    const common::JsonValue* weights = doc.find("weights");
+    MRSKY_REQUIRE(k != nullptr, "topk needs \"k\"");
+    MRSKY_REQUIRE(weights != nullptr && weights->is_array(),
+                  "topk needs a \"weights\" array");
+    service::TopKWeightedQuery q;
+    q.k = to_size(*k, "k");
+    for (const common::JsonValue& w : weights->as_array()) {
+      MRSKY_REQUIRE(w.is_number(), "weights must be numbers");
+      q.weights.push_back(w.as_number());
+    }
+    return service::Query{std::move(q)};
+  }
+  throw InvalidArgument("unknown query kind '" + kind +
+                        "' (expected skyline|subspace|skyband|representative|topk)");
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& line, std::size_t dim) {
+  std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return std::nullopt;  // blank line: no request
+  if (line[first] == '#') return std::nullopt;          // comment: no request
+  if (line[first] == '{') return parse_json_request(line.substr(first), dim);
+
+  // Bare control verbs, then the .mrq script grammar for everything else.
+  std::istringstream probe(line);
+  std::string verb;
+  probe >> verb;
+  if (verb == "metrics") return MetricsRequest{};
+  if (verb == "stats") return StatsRequest{};
+  if (verb == "quit") return QuitRequest{};
+
+  std::istringstream one_line(line);
+  std::vector<service::ScriptCommand> commands = service::parse_query_script(one_line);
+  MRSKY_REQUIRE(commands.size() == 1, "expected exactly one command per line");
+  if (auto* insert = std::get_if<service::InsertCommand>(&commands.front())) {
+    return std::move(*insert);
+  }
+  return std::get<service::Query>(std::move(commands.front()));
+}
+
+std::string double_repr(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string error_line(const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + common::json_escape(message) + "\"}";
+}
+
+std::string hello_line(std::uint64_t session_id, std::uint64_t version,
+                       std::size_t dataset_size, std::size_t dim) {
+  return "{\"ok\":true,\"server\":\"mrsky-skyline\",\"session\":" + std::to_string(session_id) +
+         ",\"version\":" + std::to_string(version) +
+         ",\"points\":" + std::to_string(dataset_size) + ",\"dim\":" + std::to_string(dim) + "}";
+}
+
+std::string result_line(const service::Query& query, const service::QueryResult& result) {
+  const service::QueryMetrics& m = result.metrics;
+  std::string out = "{\"ok\":true,\"kind\":\"" + service::query_kind(query) +
+                    "\",\"version\":" + std::to_string(m.dataset_version);
+
+  if (std::holds_alternative<service::TopKWeightedQuery>(query)) {
+    out += ",\"ranking\":[";
+    for (std::size_t i = 0; i < result.ranking.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[' + std::to_string(result.ranking[i].id) + ',' +
+             double_repr(result.ranking[i].score) + ']';
+    }
+    out += ']';
+  } else {
+    out += ",\"points\":[";
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[' + std::to_string(result.points.id(i));
+      for (double c : result.points.point(i)) out += ',' + double_repr(c);
+      out += ']';
+    }
+    out += ']';
+    if (std::holds_alternative<service::RepresentativeQuery>(query)) {
+      out += ",\"coverage\":[";
+      for (std::size_t i = 0; i < result.coverage.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(result.coverage[i]);
+      }
+      out += "],\"total_covered\":" + std::to_string(result.total_covered);
+    }
+  }
+
+  out += ",\"metrics\":{\"cache_hit\":" + std::string(m.cache_hit ? "true" : "false") +
+         ",\"fit_reused\":" + (m.fit_reused ? "true" : "false") +
+         ",\"dominance_tests\":" + std::to_string(m.dominance_tests) +
+         ",\"wall_ns\":" + std::to_string(m.wall_ns) +
+         ",\"result_points\":" + std::to_string(m.result_points) + "}}";
+  return out;
+}
+
+std::string insert_line(std::size_t points, std::uint64_t version) {
+  return "{\"ok\":true,\"inserted\":" + std::to_string(points) +
+         ",\"version\":" + std::to_string(version) + "}";
+}
+
+}  // namespace mrsky::server

@@ -1,0 +1,82 @@
+// Wire protocol of the skyline server (ISSUE 6 tentpole).
+//
+// The server speaks a line-oriented protocol over a plain TCP stream: the
+// client sends one request per line, the server answers with exactly one
+// JSON line per request. Two request syntaxes share the connection:
+//
+//  * the `.mrq` script grammar (src/service/script.hpp) — `skyline`,
+//    `subspace 0,2`, `skyband 3`, `representative 5`, `topk 10 0.5,0.5`,
+//    `insert extra.csv` — so an interactive session types the same commands
+//    a script file holds;
+//  * a JSON form for programmatic clients:
+//      {"query":"skyline"}
+//      {"query":"subspace","attributes":[0,2]}
+//      {"query":"skyband","k":3}
+//      {"query":"representative","k":5}
+//      {"query":"topk","k":10,"weights":[0.25,0.75]}
+//      {"insert":"extra.csv"}              file on the server, insert_dir-relative
+//      {"insert":[[0.1,0.2],[0.3,0.4]]}    inline rows (one array per point)
+//      {"command":"metrics"|"stats"|"quit"}
+//    plus the bare control verbs `metrics`, `stats`, `quit`.
+//
+// Responses are single-line JSON objects with an "ok" flag. Doubles are
+// rendered with 17 significant digits (%.17g), which round-trips every finite
+// IEEE double bit-exactly — the server's bitwise-reproducibility guarantee
+// survives the text protocol. Blank lines and `#` comments produce no
+// response (they are script furniture, not requests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "src/dataset/point_set.hpp"
+#include "src/service/query.hpp"
+#include "src/service/script.hpp"
+
+namespace mrsky::server {
+
+/// Inline insert: the rows arrived on the wire, no file involved.
+struct InsertInline {
+  data::PointSet points;
+};
+
+/// Per-session aggregate metrics request (`metrics`).
+struct MetricsRequest {};
+
+/// Engine-wide stats request (`stats`).
+struct StatsRequest {};
+
+/// Orderly session end (`quit`).
+struct QuitRequest {};
+
+using Request = std::variant<service::Query, service::InsertCommand, InsertInline,
+                             MetricsRequest, StatsRequest, QuitRequest>;
+
+/// Parses one request line (either syntax). Returns nullopt for blank /
+/// comment lines. Throws mrsky::InvalidArgument on malformed input — the
+/// session turns that into an error response, never a dropped connection.
+/// `dim` is the resident dataset's dimensionality, used to size-check inline
+/// insert rows at the protocol boundary.
+[[nodiscard]] std::optional<Request> parse_request(const std::string& line, std::size_t dim);
+
+/// Shortest decimal rendering that round-trips the exact double (%.17g).
+[[nodiscard]] std::string double_repr(double value);
+
+/// `{"ok":false,"error":"..."}`
+[[nodiscard]] std::string error_line(const std::string& message);
+
+/// Connection greeting: session id, dataset shape, current snapshot version.
+[[nodiscard]] std::string hello_line(std::uint64_t session_id, std::uint64_t version,
+                                     std::size_t dataset_size, std::size_t dim);
+
+/// Result of a query: kind, snapshot version, payload (points / ranking /
+/// coverage as the kind demands) and this call's QueryMetrics.
+[[nodiscard]] std::string result_line(const service::Query& query,
+                                      const service::QueryResult& result);
+
+/// Result of an insert: points folded in and the new snapshot version.
+[[nodiscard]] std::string insert_line(std::size_t points, std::uint64_t version);
+
+}  // namespace mrsky::server

@@ -1,0 +1,263 @@
+#include "src/server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/server/protocol.hpp"
+
+namespace mrsky::server {
+
+namespace {
+
+std::string sys_error(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Writes the whole line plus '\n'. MSG_NOSIGNAL: a client that hung up turns
+/// into an error return here, not a process-wide SIGPIPE.
+bool send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over a connection fd. recv() into a chunk, split on
+/// '\n'; a trailing '\r' (telnet-style clients) is stripped.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next full line, or nullopt on EOF / error / shutdown. A final unframed
+  /// fragment before EOF is delivered as a line (be liberal in what we
+  /// accept).
+  std::optional<std::string> next() {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n', scan_from_);
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        scan_from_ = 0;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+      scan_from_ = buffer_.size();
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        if (buffer_.empty()) return std::nullopt;
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        scan_from_ = 0;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;
+};
+
+}  // namespace
+
+SkylineServer::SkylineServer(service::QueryEngine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)), slots_(options_.max_sessions) {
+  MRSKY_REQUIRE(options_.max_sessions >= 1, "max_sessions must be >= 1");
+  MRSKY_REQUIRE(options_.backlog >= 1, "backlog must be >= 1");
+}
+
+SkylineServer::~SkylineServer() { stop(); }
+
+void SkylineServer::start() {
+  MRSKY_REQUIRE(listen_fd_ < 0, "server already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MRSKY_REQUIRE(fd >= 0, sys_error("socket"));
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = sys_error("bind 127.0.0.1:" + std::to_string(options_.port));
+    ::close(fd);
+    MRSKY_FAIL(msg);
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    const std::string msg = sys_error("listen");
+    ::close(fd);
+    MRSKY_FAIL(msg);
+  }
+
+  // Resolve port=0 to the kernel's ephemeral choice.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string msg = sys_error("getsockname");
+    ::close(fd);
+    MRSKY_FAIL(msg);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SkylineServer::stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks a blocked accept(2); close() alone may not.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Unblock every live connection's recv(); the threads notice EOF, finish
+  // their session and exit. Connection threads own (and close) their fds.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      if (!conn->done) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+      conn = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+SkylineServer::Stats SkylineServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SkylineServer::active_sessions() const {
+  return options_.max_sessions - slots_.available();
+}
+
+std::vector<SessionMetrics> SkylineServer::completed_sessions() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return completed_;
+}
+
+void SkylineServer::accept_loop() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket shut down (stop()) or fatal error
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+
+    // Admission control: take a session slot or turn the connection away with
+    // one explicit error line. The slot is released by the connection thread.
+    if (!slots_.try_acquire()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      send_line(fd, error_line("server at capacity (" +
+                               std::to_string(options_.max_sessions) +
+                               " sessions); retry later"));
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    reap_finished();
+
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    const std::uint64_t session_id = ++next_session_id_;
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* conn = connections_.back().get();
+    conn->fd = fd;
+    conn->thread = std::thread(
+        [this, conn, session_id] { serve_connection(conn, session_id); });
+  }
+}
+
+void SkylineServer::serve_connection(Connection* conn, std::uint64_t session_id) {
+  Session session(session_id, engine_, options_.insert_dir);
+  if (send_line(conn->fd, session.greeting())) {
+    LineReader reader(conn->fd);
+    bool quit = false;
+    while (!quit) {
+      const std::optional<std::string> line = reader.next();
+      if (!line.has_value()) break;  // client hung up / server stopping
+      const std::string response = session.handle_line(*line, quit);
+      if (response.empty()) continue;  // blank / comment line
+      if (!send_line(conn->fd, response)) break;
+    }
+  }
+  ::close(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    completed_.push_back(session.metrics());
+  }
+  slots_.release();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    conn->done = true;
+  }
+}
+
+void SkylineServer::reap_finished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+}  // namespace mrsky::server

@@ -1,0 +1,120 @@
+// Concurrent multi-session TCP front end over one shared QueryEngine
+// (ISSUE 6 tentpole).
+//
+// The server binds a loopback listening socket, accepts connections on a
+// dedicated accept thread, and serves each admitted connection on its own
+// thread: read a line, hand it to the connection's Session, write the
+// response line back. All sessions share ONE QueryEngine — the engine's MVCC
+// snapshot contract (query_engine.hpp) is what makes that safe, and what the
+// stress/bench harnesses verify bitwise.
+//
+// Admission control: at most `max_sessions` connections are served at once
+// (a common::Semaphore slot per session). A connection that arrives with all
+// slots busy is told so in one error line and closed immediately — the §II
+// serving scenario prefers a fast, explicit rejection over an unbounded
+// accept queue that silently stretches every client's latency.
+//
+// Lifecycle: start() binds/listens and launches the accept loop; stop()
+// shuts the listening socket and every live connection down, then joins all
+// threads. The destructor calls stop(). Completed sessions leave their
+// SessionMetrics behind for the operator report (completed_sessions()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/sync.hpp"
+#include "src/server/session.hpp"
+#include "src/service/query_engine.hpp"
+
+namespace mrsky::server {
+
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1. 0 = let the kernel pick an ephemeral
+  /// port; read it back with port() after start().
+  std::uint16_t port = 0;
+
+  /// Concurrent session cap (admission-control slots). Must be >= 1.
+  std::size_t max_sessions = 8;
+
+  /// Base directory for relative `insert <path>` requests (empty = process
+  /// CWD). The serve CLI defaults this to the input file's directory.
+  std::string insert_dir;
+
+  /// listen(2) backlog for not-yet-accepted connections.
+  int backlog = 16;
+};
+
+class SkylineServer {
+ public:
+  /// The engine must outlive the server.
+  SkylineServer(service::QueryEngine& engine, ServerOptions options);
+  ~SkylineServer();
+
+  SkylineServer(const SkylineServer&) = delete;
+  SkylineServer& operator=(const SkylineServer&) = delete;
+
+  /// Binds 127.0.0.1:port, starts listening and launches the accept loop.
+  /// Throws mrsky::InvalidArgument on bad options or socket failure.
+  void start();
+
+  /// Stops accepting, shuts down live connections, joins every thread.
+  /// Idempotent; safe to call with start() never having run.
+  void stop();
+
+  /// The bound port (resolves port=0 to the kernel's choice). Valid after
+  /// start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Lifetime accept-loop counters.
+  struct Stats {
+    std::uint64_t accepted = 0;  ///< connections admitted to a session
+    std::uint64_t rejected = 0;  ///< connections turned away at capacity
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Live sessions right now (admission slots in use).
+  [[nodiscard]] std::size_t active_sessions() const;
+
+  /// Metrics of every session that has ended, in completion order.
+  [[nodiscard]] std::vector<SessionMetrics> completed_sessions() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool done = false;  ///< set by the connection thread as it exits
+  };
+
+  void accept_loop();
+  void serve_connection(Connection* conn, std::uint64_t session_id);
+  /// Joins finished connection threads and drops their entries. Caller must
+  /// NOT hold connections_mutex_.
+  void reap_finished();
+
+  service::QueryEngine& engine_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  common::Semaphore slots_;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::uint64_t next_session_id_ = 0;
+
+  mutable std::mutex metrics_mutex_;
+  std::vector<SessionMetrics> completed_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace mrsky::server

@@ -1,0 +1,127 @@
+#include "src/server/session.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/dataset/io.hpp"
+#include "src/dataset/record_file.hpp"
+
+namespace mrsky::server {
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void SessionMetrics::aggregate(const service::QueryMetrics& m) {
+  ++queries;
+  if (m.cache_hit) ++cache_hits;
+  points_returned += m.result_points;
+  wall_ns_total += m.wall_ns;
+  wall_ns_max = std::max(wall_ns_max, m.wall_ns);
+  last_version = std::max(last_version, m.dataset_version);
+}
+
+std::string SessionMetrics::to_json() const {
+  return "{\"ok\":true,\"session\":" + std::to_string(id) +
+         ",\"requests\":" + std::to_string(requests) +
+         ",\"queries\":" + std::to_string(queries) +
+         ",\"cache_hits\":" + std::to_string(cache_hits) +
+         ",\"inserts\":" + std::to_string(inserts) +
+         ",\"points_inserted\":" + std::to_string(points_inserted) +
+         ",\"points_returned\":" + std::to_string(points_returned) +
+         ",\"errors\":" + std::to_string(errors) +
+         ",\"wall_ns_total\":" + std::to_string(wall_ns_total) +
+         ",\"wall_ns_max\":" + std::to_string(wall_ns_max) +
+         ",\"last_version\":" + std::to_string(last_version) + "}";
+}
+
+Session::Session(std::uint64_t id, service::QueryEngine& engine, std::string insert_dir)
+    : engine_(engine), insert_dir_(std::move(insert_dir)) {
+  metrics_.id = id;
+}
+
+std::string Session::greeting() const {
+  const service::EngineSnapshotPtr snap = engine_.snapshot();
+  return hello_line(metrics_.id, snap->version, snap->dataset->size(), snap->dataset->dim());
+}
+
+std::string Session::handle_line(const std::string& line, bool& quit) {
+  quit = false;
+  try {
+    const std::optional<Request> request = parse_request(line, engine_.snapshot()->dataset->dim());
+    if (!request.has_value()) return "";  // blank / comment: no response
+    ++metrics_.requests;
+    return dispatch(*request, quit);
+  } catch (const std::exception& e) {
+    ++metrics_.requests;
+    ++metrics_.errors;
+    return error_line(e.what());
+  }
+}
+
+std::string Session::dispatch(const Request& request, bool& quit) {
+  if (std::holds_alternative<QuitRequest>(request)) {
+    quit = true;
+    return "{\"ok\":true,\"bye\":" + std::to_string(metrics_.id) + "}";
+  }
+  if (std::holds_alternative<MetricsRequest>(request)) return metrics_.to_json();
+  if (std::holds_alternative<StatsRequest>(request)) {
+    const service::QueryEngine::Stats s = engine_.stats();
+    const service::EngineSnapshotPtr snap = engine_.snapshot();
+    return "{\"ok\":true,\"queries\":" + std::to_string(s.queries) +
+           ",\"cache_hits\":" + std::to_string(s.cache_hits) +
+           ",\"fits_computed\":" + std::to_string(s.fits_computed) +
+           ",\"fit_reuses\":" + std::to_string(s.fit_reuses) +
+           ",\"pipeline_runs\":" + std::to_string(s.pipeline_runs) +
+           ",\"incremental_serves\":" + std::to_string(s.incremental_serves) +
+           ",\"inserts\":" + std::to_string(s.inserts) +
+           ",\"points_inserted\":" + std::to_string(s.points_inserted) +
+           ",\"cache_evictions\":" + std::to_string(s.cache_evictions) +
+           ",\"dataset_points\":" + std::to_string(snap->dataset->size()) +
+           ",\"version\":" + std::to_string(snap->version) + "}";
+  }
+  if (const auto* insert = std::get_if<service::InsertCommand>(&request)) {
+    return run_insert_file(insert->path);
+  }
+  if (const auto* inline_insert = std::get_if<InsertInline>(&request)) {
+    return run_insert(inline_insert->points);
+  }
+  return run_query(std::get<service::Query>(request));
+}
+
+std::string Session::run_query(const service::Query& query) {
+  const service::QueryResult result = engine_.execute(query);
+  metrics_.aggregate(result.metrics);
+  return result_line(query, result);
+}
+
+std::string Session::run_insert_file(const std::string& path) {
+  // Server-side file insert: resolve against the configured insert dir, not
+  // wherever the server process was launched (same policy as the .mrq fix).
+  std::filesystem::path resolved(path);
+  if (resolved.is_relative() && !insert_dir_.empty()) {
+    resolved = std::filesystem::path(insert_dir_) / resolved;
+  }
+  // Verbatim load (no normalisation): insert batches must already be in the
+  // resident dataset's attribute space.
+  const std::string name = resolved.string();
+  return run_insert(has_suffix(name, ".mrsk") ? data::read_record_file(name)
+                                              : data::read_csv_file(name));
+}
+
+std::string Session::run_insert(const data::PointSet& points) {
+  const std::uint64_t version = engine_.insert_batch(points);
+  ++metrics_.inserts;
+  metrics_.points_inserted += points.size();
+  metrics_.last_version = std::max(metrics_.last_version, version);
+  return insert_line(points.size(), version);
+}
+
+}  // namespace mrsky::server

@@ -1,0 +1,75 @@
+// One client session against the shared QueryEngine.
+//
+// A Session owns no transport: the server (or a test) feeds it request lines
+// and writes back the response lines it returns. That keeps the whole
+// request→response path unit-testable without a socket, and means one session
+// object behaves identically over TCP, in the serve CLI, or in-process.
+//
+// Sessions aggregate the QueryMetrics of every query they execute (ISSUE 6:
+// per-session metrics): totals, cache behaviour and wall-time extremes are
+// reported by the `metrics` request and collected by the server when the
+// session ends, so operators see per-client cost, not just engine-wide sums.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/server/protocol.hpp"
+#include "src/service/query_engine.hpp"
+
+namespace mrsky::server {
+
+/// Aggregated per-session counters. Plain data — owned by one session thread
+/// while live, snapshotted by the server on session end.
+struct SessionMetrics {
+  std::uint64_t id = 0;             ///< session id (1-based accept order)
+  std::uint64_t requests = 0;       ///< lines answered (incl. errors)
+  std::uint64_t queries = 0;        ///< query requests executed
+  std::uint64_t cache_hits = 0;     ///< of which served from the result cache
+  std::uint64_t inserts = 0;        ///< insert requests executed
+  std::uint64_t points_inserted = 0;
+  std::uint64_t points_returned = 0;
+  std::uint64_t errors = 0;         ///< malformed / invalid requests
+  std::int64_t wall_ns_total = 0;   ///< summed QueryMetrics::wall_ns
+  std::int64_t wall_ns_max = 0;     ///< slowest single query
+  std::uint64_t last_version = 0;   ///< latest snapshot version this session saw
+
+  /// Folds one query's metrics into the aggregate.
+  void aggregate(const service::QueryMetrics& m);
+
+  /// Single-line JSON rendering (the `metrics` response payload).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Session {
+ public:
+  /// `insert_dir`: base directory for relative `insert <path>` requests
+  /// (empty = resolve against the process CWD). The engine must outlive the
+  /// session.
+  Session(std::uint64_t id, service::QueryEngine& engine, std::string insert_dir);
+
+  /// The greeting the server sends on connect.
+  [[nodiscard]] std::string greeting() const;
+
+  /// Executes one request line and returns the response line (no trailing
+  /// newline), or an empty string for blank/comment lines (no response).
+  /// Sets `quit` when the client ended the session. Never throws: malformed
+  /// or invalid requests become {"ok":false,...} responses and count into
+  /// SessionMetrics::errors.
+  [[nodiscard]] std::string handle_line(const std::string& line, bool& quit);
+
+  [[nodiscard]] const SessionMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return metrics_.id; }
+
+ private:
+  [[nodiscard]] std::string dispatch(const Request& request, bool& quit);
+  [[nodiscard]] std::string run_query(const service::Query& query);
+  [[nodiscard]] std::string run_insert_file(const std::string& path);
+  [[nodiscard]] std::string run_insert(const data::PointSet& points);
+
+  service::QueryEngine& engine_;
+  std::string insert_dir_;
+  SessionMetrics metrics_;
+};
+
+}  // namespace mrsky::server

@@ -1,6 +1,7 @@
 #include "src/service/query.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace mrsky::service {
@@ -94,6 +95,15 @@ std::vector<std::string> validate_query(const Query& query, std::size_t dim) {
                    for (double w : q.weights) {
                      if (!(w >= 0.0)) {
                        errors.emplace_back("top_k_weighted: weights must be non-negative");
+                       break;
+                     }
+                   }
+                   // A +inf weight slips past the sign check but poisons every
+                   // score (inf * 0 = nan); reject it here so the API path is
+                   // as strict as the script parser.
+                   for (double w : q.weights) {
+                     if (!std::isfinite(w)) {
+                       errors.emplace_back("top_k_weighted: weights must be finite");
                        break;
                      }
                    }

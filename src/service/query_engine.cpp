@@ -35,14 +35,16 @@ Overloaded(Ts...) -> Overloaded<Ts...>;
 }  // namespace
 
 QueryEngine::QueryEngine(data::PointSet dataset, QueryEngineOptions options)
-    : dataset_(std::move(dataset)), options_(std::move(options)) {
-  MRSKY_REQUIRE(!dataset_.empty(), "QueryEngine needs a non-empty dataset");
+    : options_(std::move(options)) {
+  MRSKY_REQUIRE(!dataset.empty(), "QueryEngine needs a non-empty dataset");
   MRSKY_REQUIRE(options_.config.prepared_partitioner == nullptr,
                 "QueryEngine owns fit preparation; leave prepared_partitioner null");
   options_.config.validate_or_throw();
 
   // One persistent worker pool for the engine's lifetime: every kThreads
   // pipeline run reuses it instead of paying thread start-up per query.
+  // ThreadPool::parallel_for keeps all of its state per-call, so concurrent
+  // sessions can run pipelines on this one pool simultaneously.
   auto& run = options_.config.run_options;
   if (run.mode == mr::ExecutionMode::kThreads && run.pool == nullptr) {
     const std::size_t threads =
@@ -52,22 +54,72 @@ QueryEngine::QueryEngine(data::PointSet dataset, QueryEngineOptions options)
   }
   if (options_.trace != nullptr && run.trace == nullptr) run.trace = options_.trace;
 
-  for (data::PointId id : dataset_.ids()) next_id_ = std::max(next_id_, id + 1);
+  for (data::PointId id : dataset.ids()) next_id_ = std::max(next_id_, id + 1);
+
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->version = 0;
+  snap->dataset = std::make_shared<const data::PointSet>(std::move(dataset));
+  snapshot_ = std::move(snap);
 }
 
-std::string QueryEngine::cache_key(const Query& query) const {
-  return query_signature(query) + "|v" + std::to_string(version_);
+EngineSnapshotPtr QueryEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
 }
 
-const QueryResult* QueryEngine::cache_find(const std::string& key) {
+void QueryEngine::set_snapshot(EngineSnapshotPtr snap) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = std::move(snap);
+}
+
+QueryEngine::Stats QueryEngine::stats() const {
+  Stats out;
+  out.queries = counters_.queries.load(std::memory_order_relaxed);
+  out.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  out.fits_computed = counters_.fits_computed.load(std::memory_order_relaxed);
+  out.fit_reuses = counters_.fit_reuses.load(std::memory_order_relaxed);
+  out.pipeline_runs = counters_.pipeline_runs.load(std::memory_order_relaxed);
+  out.incremental_serves = counters_.incremental_serves.load(std::memory_order_relaxed);
+  out.inserts = counters_.inserts.load(std::memory_order_relaxed);
+  out.points_inserted = counters_.points_inserted.load(std::memory_order_relaxed);
+  out.cache_evictions = counters_.cache_evictions.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t QueryEngine::cache_entries() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_index_.size();
+}
+
+std::size_t QueryEngine::fit_entries() const {
+  std::lock_guard<std::mutex> lock(fits_mutex_);
+  return fits_.size();
+}
+
+std::string QueryEngine::cache_key(const Query& query, std::uint64_t version) {
+  return query_signature(query) + "|v" + std::to_string(version);
+}
+
+bool QueryEngine::cache_find(const std::string& key, CachedPayload& out) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = cache_index_.find(key);
-  if (it == cache_index_.end()) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second);  // touch
-  return &it->second->payload;
+  if (it == cache_index_.end()) return false;
+  // The recency touch mutates only cache-internal state, under the cache's
+  // own mutex — a hit is read-only with respect to every other engine lock.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  out = it->second->payload;  // copied under the lock: eviction-safe
+  return true;
 }
 
-void QueryEngine::cache_store(const std::string& key, const QueryResult& payload) {
+void QueryEngine::cache_store(const std::string& key, std::uint64_t version,
+                              const CachedPayload& payload) {
   if (options_.cache_capacity == 0) return;
+  // A compute that raced with an insert would store an entry no future
+  // lookup can reach (keys embed the version); skip it so occupancy tracks
+  // live entries. The check is best-effort — a racing insert right after it
+  // just leaves one unreachable entry for the LRU to age out.
+  if (version != snapshot()->version) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   if (auto it = cache_index_.find(key); it != cache_index_.end()) {
     it->second->payload = payload;
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -78,22 +130,28 @@ void QueryEngine::cache_store(const std::string& key, const QueryResult& payload
   while (cache_index_.size() > options_.cache_capacity) {
     cache_index_.erase(lru_.back().key);
     lru_.pop_back();
-    ++stats_.cache_evictions;
+    counters_.cache_evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-const part::Partitioner& QueryEngine::prepared_fit(const data::PointSet& ps,
-                                                   const std::string& fit_key, bool& reused) {
-  if (auto it = fits_.find(fit_key); it != fits_.end()) {
-    reused = true;
-    ++stats_.fit_reuses;
-    return *it->second;
+QueryEngine::FitPtr QueryEngine::prepared_fit(const data::PointSet& ps,
+                                              const std::string& fit_key, bool& reused) {
+  {
+    std::lock_guard<std::mutex> lock(fits_mutex_);
+    if (auto it = fits_.find(fit_key); it != fits_.end()) {
+      reused = true;
+      counters_.fit_reuses.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
   reused = false;
-  ++stats_.fits_computed;
+  counters_.fits_computed.fetch_add(1, std::memory_order_relaxed);
   common::ScopedSpan span(options_.trace, "prepared-fit", "service");
   span.arg("key", fit_key);
 
+  // Fit outside the lock: fitting is the expensive part, and two sessions
+  // racing on the same key deterministically produce identical fits (same
+  // data, same seed) — the second emplace loses and adopts the winner.
   const auto& cfg = options_.config;
   part::PartitionerOptions popts;
   popts.num_partitions = cfg.effective_partitions();
@@ -108,14 +166,21 @@ const part::Partitioner& QueryEngine::prepared_fit(const data::PointSet& ps,
     span.arg("fitted_points", ps.size());
   }
   span.arg("partitions", partitioner->num_partitions());
-  return *fits_.emplace(fit_key, std::move(partitioner)).first->second;
+
+  FitPtr shared{std::move(partitioner)};
+  std::lock_guard<std::mutex> lock(fits_mutex_);
+  return fits_.try_emplace(fit_key, std::move(shared)).first->second;
 }
 
 data::PointSet QueryEngine::pipeline_skyline(const data::PointSet& ps,
                                              const std::string& fit_key, QueryResult& result) {
+  // Pin the fit for the whole run: a concurrent insert_batch may clear the
+  // memo, but this shared_ptr keeps the partitioner alive until the pipeline
+  // is done with it (the old `const Partitioner&` into the map dangled here).
+  const FitPtr fit = prepared_fit(ps, fit_key, result.metrics.fit_reused);
   core::MRSkylineConfig config = options_.config;
-  config.prepared_partitioner = &prepared_fit(ps, fit_key, result.metrics.fit_reused);
-  ++stats_.pipeline_runs;
+  config.prepared_partitioner = fit.get();
+  counters_.pipeline_runs.fetch_add(1, std::memory_order_relaxed);
   const core::MRSkylineResult run = core::run_mr_skyline(ps, config);
   result.metrics.dominance_tests += run.partition_job.total_work_units();
   for (const auto& round : run.merge_rounds) {
@@ -124,30 +189,46 @@ data::PointSet QueryEngine::pipeline_skyline(const data::PointSet& ps,
   return canonical_by_id(run.skyline);
 }
 
-QueryResult QueryEngine::compute(const Query& query) {
+void QueryEngine::publish_full_skyline(const EngineSnapshot& snap, const data::PointSet& sky) {
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
+  const EngineSnapshotPtr current = snapshot();
+  if (current->version != snap.version || current->full_skyline != nullptr) return;
+  fold_.emplace(sky);
+  fold_version_ = snap.version;
+  auto next = std::make_shared<EngineSnapshot>();
+  next->version = snap.version;
+  next->dataset = current->dataset;
+  next->full_skyline = std::make_shared<const data::PointSet>(sky);
+  set_snapshot(std::move(next));
+}
+
+QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query) {
+  const data::PointSet& dataset = *snap.dataset;
   QueryResult result;
   std::visit(
       Overloaded{
           [&](const SkylineQuery&) {
-            if (full_skyline_.has_value() && full_skyline_version_ == version_) {
-              // The resident fold is current (insert_batch path with the
-              // cache entry evicted or caching off): serve it directly.
-              ++stats_.incremental_serves;
-              result.points = canonical_by_id(full_skyline_->skyline());
+            if (snap.full_skyline != nullptr) {
+              // The pinned snapshot carries a current skyline (insert-time
+              // fold or an earlier pipeline run, with the cache entry evicted
+              // or caching off): serve it directly.
+              counters_.incremental_serves.fetch_add(1, std::memory_order_relaxed);
+              result.points = *snap.full_skyline;
               return;
             }
             const std::string fit_key =
+                "v" + std::to_string(snap.version) + "/" +
                 part::to_string(options_.config.scheme) + "/p" +
                 std::to_string(options_.config.effective_partitions()) + "/s" +
                 std::to_string(options_.config.fit_sample_size) + "." +
                 std::to_string(options_.config.fit_sample_seed) + "/full";
-            result.points = pipeline_skyline(dataset_, fit_key, result);
-            full_skyline_.emplace(result.points);
-            full_skyline_version_ = version_;
+            result.points = pipeline_skyline(dataset, fit_key, result);
+            publish_full_skyline(snap, result.points);
           },
           [&](const SubspaceQuery& q) {
-            const data::PointSet projected = data::project(dataset_, q.attributes);
-            std::string fit_key = part::to_string(options_.config.scheme) + "/p" +
+            const data::PointSet projected = data::project(dataset, q.attributes);
+            std::string fit_key = "v" + std::to_string(snap.version) + "/" +
+                                  part::to_string(options_.config.scheme) + "/p" +
                                   std::to_string(options_.config.effective_partitions()) +
                                   "/s" + std::to_string(options_.config.fit_sample_size) +
                                   "." + std::to_string(options_.config.fit_sample_seed) +
@@ -160,27 +241,29 @@ QueryResult QueryEngine::compute(const Query& query) {
           },
           [&](const KSkybandQuery& q) {
             skyline::SkylineStats stats;
-            result.points = canonical_by_id(skyline::k_skyband(dataset_, q.k, &stats));
+            result.points = canonical_by_id(skyline::k_skyband(dataset, q.k, &stats));
             result.metrics.dominance_tests = stats.dominance_tests;
           },
           [&](const RepresentativeQuery& q) {
             // Pick order is meaningful (aligned with coverage): no id sort.
-            skyline::RepresentativeResult rep =
-                skyline::representative_skyline(dataset_, q.k);
+            skyline::RepresentativeResult rep = skyline::representative_skyline(dataset, q.k);
             result.points = std::move(rep.representatives);
             result.coverage = std::move(rep.coverage);
             result.total_covered = rep.total_covered;
           },
           [&](const TopKWeightedQuery& q) {
-            result.ranking = skyline::top_k_weighted(dataset_, q.weights, q.k);
+            result.ranking = skyline::top_k_weighted(dataset, q.weights, q.k);
           }},
       query);
   return result;
 }
 
 QueryResult QueryEngine::execute(const Query& query) {
+  // Pin one snapshot for the whole call: every read below — validation,
+  // cache key, compute — sees this version, regardless of concurrent inserts.
+  const EngineSnapshotPtr snap = snapshot();
   {
-    const std::vector<std::string> errors = validate_query(query, dataset_.dim());
+    const std::vector<std::string> errors = validate_query(query, snap->dataset->dim());
     if (!errors.empty()) {
       std::string message = "invalid " + query_kind(query) + " query (" +
                             std::to_string(errors.size()) +
@@ -193,17 +276,20 @@ QueryResult QueryEngine::execute(const Query& query) {
   common::Timer wall;
   common::ScopedSpan span(options_.trace, "query", "service");
   span.arg("kind", query_kind(query));
-  span.arg("version", version_);
-  ++stats_.queries;
+  span.arg("version", snap->version);
+  counters_.queries.fetch_add(1, std::memory_order_relaxed);
 
-  const std::string key = cache_key(query);
+  const std::string key = cache_key(query, snap->version);
   if (options_.cache_capacity > 0) {
-    if (const QueryResult* cached = cache_find(key); cached != nullptr) {
-      ++stats_.cache_hits;
-      QueryResult result = *cached;  // bitwise-identical payload copy
-      result.metrics = QueryMetrics{};
+    if (CachedPayload cached; cache_find(key, cached)) {
+      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      QueryResult result;  // fresh metrics: the cache never stores any
+      result.points = std::move(cached.points);
+      result.coverage = std::move(cached.coverage);
+      result.total_covered = cached.total_covered;
+      result.ranking = std::move(cached.ranking);
       result.metrics.cache_hit = true;
-      result.metrics.dataset_version = version_;
+      result.metrics.dataset_version = snap->version;
       result.metrics.result_points =
           result.ranking.empty() ? result.points.size() : result.ranking.size();
       result.metrics.wall_ns = wall.elapsed_ns();
@@ -213,11 +299,12 @@ QueryResult QueryEngine::execute(const Query& query) {
     }
   }
 
-  QueryResult result = compute(query);
-  result.metrics.dataset_version = version_;
+  QueryResult result = compute(*snap, query);
+  result.metrics.dataset_version = snap->version;
   result.metrics.result_points =
       result.ranking.empty() ? result.points.size() : result.ranking.size();
-  cache_store(key, result);
+  cache_store(key, snap->version,
+              CachedPayload{result.points, result.coverage, result.total_covered, result.ranking});
   result.metrics.wall_ns = wall.elapsed_ns();
   span.arg("cache_hit", 0);
   span.arg("points", result.metrics.result_points);
@@ -234,49 +321,70 @@ std::vector<QueryResult> QueryEngine::execute_batch(std::span<const Query> queri
   return results;
 }
 
-void QueryEngine::insert_batch(const data::PointSet& points) {
-  MRSKY_REQUIRE(points.dim() == dataset_.dim(),
+std::uint64_t QueryEngine::insert_batch(const data::PointSet& points) {
+  // Writers serialise here; readers keep serving their pinned snapshots and
+  // only observe the insert at the final pointer swap.
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
+  const EngineSnapshotPtr old = snapshot();
+  MRSKY_REQUIRE(points.dim() == old->dataset->dim(),
                 "insert_batch dimension mismatch: batch has " + std::to_string(points.dim()) +
-                    " attributes, dataset has " + std::to_string(dataset_.dim()));
-  if (points.empty()) return;
+                    " attributes, dataset has " + std::to_string(old->dataset->dim()));
+  if (points.empty()) return old->version;
 
   common::ScopedSpan span(options_.trace, "insert-batch", "service");
   span.arg("points", points.size());
-  span.arg("version", version_ + 1);
-  ++stats_.inserts;
-  stats_.points_inserted += points.size();
+  span.arg("version", old->version + 1);
+  counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+  counters_.points_inserted.fetch_add(points.size(), std::memory_order_relaxed);
 
-  const bool fold = full_skyline_.has_value() && full_skyline_version_ == version_;
-  dataset_.reserve(dataset_.size() + points.size());
+  const bool fold = fold_.has_value() && fold_version_ == old->version;
+  auto grown = std::make_shared<data::PointSet>(*old->dataset);
+  grown->reserve(grown->size() + points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     const data::PointId id = next_id_++;
-    dataset_.push_back(points.point(i), id);
-    if (fold) full_skyline_->insert(points.point(i), id);
+    grown->push_back(points.point(i), id);
+    if (fold) fold_->insert(points.point(i), id);
   }
 
-  ++version_;
-  // Partition fits were learned on the old data; drop them so the next
-  // pipeline run re-plans (MR-Grid's pruning in particular must never act on
-  // stale cell occupancy).
-  fits_.clear();
-  // Version-keyed entries can no longer hit; purge them eagerly so cache
-  // occupancy reflects live entries only.
-  lru_.clear();
-  cache_index_.clear();
-
+  auto next = std::make_shared<EngineSnapshot>();
+  next->version = old->version + 1;
+  next->dataset = std::move(grown);
   if (fold) {
-    full_skyline_version_ = version_;
+    fold_version_ = next->version;
+    next->full_skyline =
+        std::make_shared<const data::PointSet>(canonical_by_id(fold_->skyline()));
+    span.arg("skyline_points", next->full_skyline->size());
+  } else {
+    fold_.reset();
+  }
+  const EngineSnapshotPtr published = next;
+  set_snapshot(std::move(next));
+
+  // Partition fits were learned on the old data; drop the memo so the next
+  // pipeline run re-plans (MR-Grid's pruning in particular must never act on
+  // stale cell occupancy). In-flight runs pinned their fit via shared_ptr.
+  {
+    std::lock_guard<std::mutex> lock(fits_mutex_);
+    fits_.clear();
+  }
+  // Version-keyed entries can no longer hit; purge them eagerly — counted as
+  // evictions — so cache occupancy reflects live entries only.
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    counters_.cache_evictions.fetch_add(cache_index_.size(), std::memory_order_relaxed);
+    lru_.clear();
+    cache_index_.clear();
+  }
+
+  if (published->full_skyline != nullptr) {
     // Refresh the full-skyline entry at the new version: the one query kind
     // an insert does NOT invalidate.
-    QueryResult payload;
-    payload.points = canonical_by_id(full_skyline_->skyline());
-    payload.metrics.dataset_version = version_;
-    payload.metrics.result_points = payload.points.size();
-    cache_store(cache_key(Query{SkylineQuery{}}), payload);
-    span.arg("skyline_points", payload.points.size());
-  } else {
-    full_skyline_.reset();
+    CachedPayload payload;
+    payload.points = *published->full_skyline;
+    cache_store(cache_key(Query{SkylineQuery{}}, published->version), published->version,
+                payload);
   }
+  return published->version;
 }
 
 }  // namespace mrsky::service

@@ -1,4 +1,5 @@
-// Resident skyline query engine (ISSUE 5 tentpole).
+// Resident skyline query engine (ISSUE 5 tentpole, made concurrency-safe in
+// ISSUE 6).
 //
 // The paper's serving scenario (§II) is a *live* UDDI registry: many skyline
 // queries and service insertions against one resident dataset. Re-running
@@ -9,13 +10,14 @@
 //
 //  * the dataset is loaded once and owned by the engine;
 //  * one persistent common::ThreadPool backs every kThreads pipeline run;
-//  * partition fits are memoised per (scheme, partitions, fit-sample[,
-//    attribute-subset]) key and reused until an insert changes the data;
+//  * partition fits are memoised per (version, scheme, partitions,
+//    fit-sample[, attribute-subset]) key and reused until an insert changes
+//    the data;
 //  * results are kept in an LRU cache keyed by the query's canonical
 //    signature plus the dataset version, so a repeated query is a lookup;
-//  * insert_batch() folds new points into the cached full skyline through
-//    skyline::IncrementalSkyline (no pipeline re-run) and bumps the version,
-//    which invalidates exactly the derived (subspace / k-skyband /
+//  * insert_batch() folds new points into the resident full skyline through
+//    skyline::IncrementalSkyline (no pipeline re-run) and publishes a new
+//    snapshot, which invalidates exactly the derived (subspace / k-skyband /
 //    representative / top-k) entries.
 //
 // Result canonicalisation: skyline, subspace and k-skyband results are
@@ -25,17 +27,29 @@
 // in greedy pick order (aligned with their coverage counts) and rankings in
 // score order — both deterministic.
 //
-// Concurrency contract: the engine itself is not thread-safe — serialise
-// execute()/insert_batch() calls. Inside one execute() the MapReduce pipeline
-// parallelises on the engine's pool when the config says kThreads; results
-// are bitwise identical to kSequential (the engine inherits the job engine's
-// determinism guarantee).
+// Concurrency contract (MVCC snapshot reads): execute(), execute_batch(),
+// insert_batch() and every accessor may be called from any number of threads
+// concurrently. Each execute() pins one immutable EngineSnapshot — the
+// (dataset, full skyline, version) triple — for its whole run, so a reader is
+// never affected by a concurrent insert; its answer is bitwise-exact for the
+// version it reports in QueryMetrics::dataset_version. insert_batch() builds
+// the *next* snapshot on the side (writers serialise on one mutex) and
+// publishes it with a pointer swap; readers never block on a writer beyond
+// that swap. Partition fits are held by shared_ptr so an in-flight pipeline
+// keeps its fit alive across an insert that retires it, and the result
+// cache's recency list is guarded by its own small mutex so cache hits stay
+// read-only with respect to engine state. Within one execute() the MapReduce
+// pipeline parallelises on the engine's pool when the config says kThreads;
+// results are bitwise identical to kSequential (the engine inherits the job
+// engine's determinism guarantee).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -71,6 +85,20 @@ struct QueryEngineOptions {
   common::TraceRecorder* trace = nullptr;
 };
 
+/// One immutable, internally consistent view of the engine's data. Readers
+/// pin a snapshot for the duration of a query; an insert publishes a new one
+/// and never mutates a published snapshot, so everything reachable from here
+/// is safe to read without locks for as long as the shared_ptr is held.
+struct EngineSnapshot {
+  std::uint64_t version = 0;
+  std::shared_ptr<const data::PointSet> dataset;
+  /// Canonical (ascending-id) full skyline at `version` when known — either
+  /// computed by a pipeline run at this version or maintained by the
+  /// insert-time incremental fold. Null until the first skyline query.
+  std::shared_ptr<const data::PointSet> full_skyline;
+};
+using EngineSnapshotPtr = std::shared_ptr<const EngineSnapshot>;
+
 class QueryEngine {
  public:
   /// Loads `dataset` (non-empty; minimisation orientation, non-negative
@@ -81,8 +109,9 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Serves one query. Throws mrsky::InvalidArgument (all problems in one
-  /// message) if the query is invalid for the resident dataset.
+  /// Serves one query against the snapshot current at entry. Thread-safe.
+  /// Throws mrsky::InvalidArgument (all problems in one message) if the query
+  /// is invalid for the resident dataset.
   [[nodiscard]] QueryResult execute(const Query& query);
 
   /// Serves queries in order; element i is execute(queries[i]). Later queries
@@ -91,14 +120,27 @@ class QueryEngine {
 
   /// Appends `points` to the resident dataset under fresh ids (the incoming
   /// ids are ignored; ids continue from max-existing + 1, the §II "new
-  /// service added into UDDI" path). Bumps the dataset version — derived
-  /// cache entries become unreachable — and, when a full skyline is resident,
-  /// folds the new points into it incrementally and refreshes its cache
-  /// entry instead of discarding it. An empty batch is a no-op.
-  void insert_batch(const data::PointSet& points);
+  /// service added into UDDI" path). Builds and publishes the next snapshot —
+  /// derived cache entries become unreachable and are purged (counted in
+  /// Stats::cache_evictions) — and, when a full skyline is resident, folds
+  /// the new points into it incrementally and re-seeds its cache entry
+  /// instead of discarding it. Writers serialise; readers are never blocked
+  /// beyond the snapshot pointer swap. Returns the version this batch
+  /// published (the still-current version for an empty no-op batch) — under
+  /// concurrency, version() may already be newer by the time the caller asks.
+  std::uint64_t insert_batch(const data::PointSet& points);
 
-  [[nodiscard]] const data::PointSet& dataset() const noexcept { return dataset_; }
-  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  /// The current snapshot. Holding the returned pointer keeps that version's
+  /// dataset and skyline alive across later inserts — this is the handle a
+  /// server session uses to answer consistently.
+  [[nodiscard]] EngineSnapshotPtr snapshot() const;
+
+  /// Convenience view of the current snapshot's dataset. The reference is
+  /// only stable while no concurrent insert_batch retires the snapshot —
+  /// single-caller code (CLI, benches) may use it freely; concurrent callers
+  /// should hold snapshot() instead.
+  [[nodiscard]] const data::PointSet& dataset() const { return *snapshot()->dataset; }
+  [[nodiscard]] std::uint64_t version() const { return snapshot()->version; }
 
   /// Lifetime counters (monotone; for benches and tests).
   struct Stats {
@@ -110,54 +152,99 @@ class QueryEngine {
     std::uint64_t incremental_serves = 0;  ///< skyline served from the fold
     std::uint64_t inserts = 0;
     std::uint64_t points_inserted = 0;
-    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_evictions = 0;  ///< LRU capacity + insert-purge evictions
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// A consistent point-in-time copy of the counters. Thread-safe.
+  [[nodiscard]] Stats stats() const;
 
-  /// Current cache / fit-memo occupancy (for tests).
-  [[nodiscard]] std::size_t cache_entries() const noexcept { return cache_index_.size(); }
-  [[nodiscard]] std::size_t fit_entries() const noexcept { return fits_.size(); }
+  /// Current cache / fit-memo occupancy (for tests). Thread-safe.
+  [[nodiscard]] std::size_t cache_entries() const;
+  [[nodiscard]] std::size_t fit_entries() const;
 
  private:
+  /// What the result cache retains: the answer's data, never its
+  /// QueryMetrics — metrics describe one execute() call (wall time, cache
+  /// behaviour), so every hit synthesises fresh ones instead of patching a
+  /// stale stored copy.
+  struct CachedPayload {
+    data::PointSet points{1};
+    std::vector<std::size_t> coverage;
+    std::size_t total_covered = 0;
+    std::vector<skyline::ScoredPoint> ranking;
+  };
   struct CacheEntry {
     std::string key;
-    QueryResult payload;  ///< metrics hold the original compute cost
+    CachedPayload payload;
   };
+  using FitPtr = std::shared_ptr<const part::Partitioner>;
 
-  /// Cache key for `query` at the current dataset version.
-  [[nodiscard]] std::string cache_key(const Query& query) const;
+  /// Cache key for `query` at `version`.
+  [[nodiscard]] static std::string cache_key(const Query& query, std::uint64_t version);
 
   /// Looks up / fits-and-memoises the partitioner for `ps` under `fit_key`.
-  const part::Partitioner& prepared_fit(const data::PointSet& ps, const std::string& fit_key,
-                                        bool& reused);
+  /// The returned shared_ptr pins the fit: a concurrent insert_batch may
+  /// retire the memo entry, but the fit object stays alive for this run.
+  FitPtr prepared_fit(const data::PointSet& ps, const std::string& fit_key, bool& reused);
 
   /// Runs the MapReduce pipeline over `ps` with a prepared fit; returns the
   /// canonical (id-sorted) skyline and charges work into `result`.
   data::PointSet pipeline_skyline(const data::PointSet& ps, const std::string& fit_key,
                                   QueryResult& result);
 
-  /// Computes a fresh payload for `query` (cache miss path).
-  [[nodiscard]] QueryResult compute(const Query& query);
+  /// Computes a fresh payload for `query` against the pinned snapshot.
+  [[nodiscard]] QueryResult compute(const EngineSnapshot& snap, const Query& query);
 
-  void cache_store(const std::string& key, const QueryResult& payload);
-  [[nodiscard]] const QueryResult* cache_find(const std::string& key);
+  /// After a pipeline computed the full skyline at `snap`'s version: seed the
+  /// insert-time fold and re-publish the snapshot with the skyline attached,
+  /// unless a concurrent insert moved the version on (then the result is
+  /// still correct for its version; it just cannot become the resident fold).
+  void publish_full_skyline(const EngineSnapshot& snap, const data::PointSet& sky);
 
-  data::PointSet dataset_;
+  void set_snapshot(EngineSnapshotPtr snap);
+
+  void cache_store(const std::string& key, std::uint64_t version, const CachedPayload& payload);
+  [[nodiscard]] bool cache_find(const std::string& key, CachedPayload& out);
+
   QueryEngineOptions options_;
   std::unique_ptr<common::ThreadPool> pool_;  ///< owned persistent pool (kThreads)
-  std::uint64_t version_ = 0;
+
+  /// Guards only the snapshot pointer itself (reads copy the shared_ptr out).
+  mutable std::mutex snapshot_mutex_;
+  EngineSnapshotPtr snapshot_;
+
+  /// Serialises writers: insert_batch and first-skyline publication. Guards
+  /// next_id_ and the incremental fold.
+  std::mutex write_mutex_;
   data::PointId next_id_ = 0;
+  /// The resident fold, maintained across insert_batch() calls. Valid iff
+  /// engaged and fold_version_ matches the published snapshot's version.
+  std::optional<skyline::IncrementalSkyline> fold_;
+  std::uint64_t fold_version_ = 0;
 
-  /// The resident full skyline, maintained across insert_batch() calls.
-  std::optional<skyline::IncrementalSkyline> full_skyline_;
-  std::uint64_t full_skyline_version_ = 0;
+  /// Fit memo; keys embed the dataset version so a stale fit can never serve
+  /// a newer dataset. Entries are dropped on insert; in-flight runs keep
+  /// their fit alive through the shared_ptr they pinned.
+  mutable std::mutex fits_mutex_;
+  std::map<std::string, FitPtr> fits_;
 
-  std::map<std::string, part::PartitionerPtr> fits_;  ///< fit memo (cleared on insert)
-
+  /// Result cache. Its own small mutex makes the LRU recency touch on the
+  /// hit path safe without taking any engine-wide lock.
+  mutable std::mutex cache_mutex_;
   std::list<CacheEntry> lru_;  ///< front = most recent
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_index_;
 
-  Stats stats_;
+  struct Counters {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> fits_computed{0};
+    std::atomic<std::uint64_t> fit_reuses{0};
+    std::atomic<std::uint64_t> pipeline_runs{0};
+    std::atomic<std::uint64_t> incremental_serves{0};
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> points_inserted{0};
+    std::atomic<std::uint64_t> cache_evictions{0};
+  };
+  mutable Counters counters_;
 };
 
 }  // namespace mrsky::service

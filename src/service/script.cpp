@@ -1,6 +1,8 @@
 #include "src/service/script.hpp"
 
 #include <charconv>
+#include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <sstream>
@@ -42,7 +44,7 @@ bool parse_double(const std::string& s, double& out) {
 
 }  // namespace
 
-std::vector<ScriptCommand> parse_query_script(std::istream& in) {
+std::vector<ScriptCommand> parse_query_script(std::istream& in, const std::string& base_dir) {
   std::vector<ScriptCommand> commands;
   std::vector<std::string> errors;
   std::string line;
@@ -114,6 +116,14 @@ std::vector<ScriptCommand> parse_query_script(std::istream& in) {
           ok = false;
           break;
         }
+        if (!std::isfinite(w)) {
+          // `inf`/`nan` parse as doubles but can never rank a point
+          // (inf * 0 = nan poisons every score): refuse them here, with the
+          // line number, instead of letting the engine reject them later.
+          bad("topk: non-finite weight '" + item + "'");
+          ok = false;
+          break;
+        }
         q.weights.push_back(w);
       }
       if (ok) commands.emplace_back(Query{std::move(q)});
@@ -122,7 +132,14 @@ std::vector<ScriptCommand> parse_query_script(std::istream& in) {
         bad("insert expects one file path, e.g. `insert extra.csv`");
         continue;
       }
-      commands.emplace_back(InsertCommand{args[0]});
+      // Resolve relative to the script, not the process CWD: a script that
+      // says `insert extra.csv` means the file next to it, wherever the
+      // session was launched from.
+      std::filesystem::path path(args[0]);
+      if (path.is_relative() && !base_dir.empty()) {
+        path = std::filesystem::path(base_dir) / path;
+      }
+      commands.emplace_back(InsertCommand{path.string()});
     } else {
       bad("unknown command '" + verb +
           "' (expected skyline|subspace|skyband|representative|topk|insert)");
@@ -141,7 +158,7 @@ std::vector<ScriptCommand> parse_query_script(std::istream& in) {
 std::vector<ScriptCommand> parse_query_script_file(const std::string& path) {
   std::ifstream file(path);
   if (!file) MRSKY_FAIL("cannot open query script " + path);
-  return parse_query_script(file);
+  return parse_query_script(file, std::filesystem::path(path).parent_path().string());
 }
 
 }  // namespace mrsky::service

@@ -25,21 +25,28 @@
 
 namespace mrsky::service {
 
-/// `insert <path>`: load the file and insert_batch it. Path resolution is the
-/// caller's business (the CLI resolves relative to the working directory).
+/// `insert <path>`: load the file and insert_batch it. Relative paths are
+/// resolved against `base_dir` at parse time (parse_query_script_file passes
+/// the script's own directory, so `insert extra.csv` means "next to the
+/// script", not "wherever the process happens to run"); absolute paths pass
+/// through untouched.
 struct InsertCommand {
   std::string path;
 };
 
 using ScriptCommand = std::variant<Query, InsertCommand>;
 
-/// Parses a whole script. Throws mrsky::InvalidArgument listing every bad
-/// line at once. Note this is a *syntax* pass — semantic validation against
-/// the dataset (attribute ranges, weight counts) happens in
-/// QueryEngine::execute via validate_query.
-[[nodiscard]] std::vector<ScriptCommand> parse_query_script(std::istream& in);
+/// Parses a whole script. Relative insert paths are resolved against
+/// `base_dir` (empty = leave them as written). Throws mrsky::InvalidArgument
+/// listing every bad line at once — including non-finite top-k weights, which
+/// parse as doubles but can never score a point. Note this is otherwise a
+/// *syntax* pass — semantic validation against the dataset (attribute ranges,
+/// weight counts) happens in QueryEngine::execute via validate_query.
+[[nodiscard]] std::vector<ScriptCommand> parse_query_script(std::istream& in,
+                                                            const std::string& base_dir = "");
 
-/// Reads and parses `path`; throws mrsky::RuntimeError if unreadable.
+/// Reads and parses `path`, resolving relative insert paths against the
+/// script file's directory; throws mrsky::RuntimeError if unreadable.
 [[nodiscard]] std::vector<ScriptCommand> parse_query_script_file(const std::string& path);
 
 }  // namespace mrsky::service

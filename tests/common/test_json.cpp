@@ -1,0 +1,122 @@
+// common::JsonValue — the recursive-descent parser behind the server's JSON
+// query form. Grammar coverage, escape handling, and the strictness that
+// keeps malformed client requests from turning into silent misparses.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/json.hpp"
+
+namespace mrsky {
+namespace {
+
+using common::JsonValue;
+
+TEST(JsonValue, ParsesLiterals) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse(" false ").as_bool());
+}
+
+TEST(JsonValue, ParsesNumbers) {
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-12").as_number(), -12.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5E-2").as_number(), -0.025);
+  // %.17g output round-trips bitwise through the parser — the property the
+  // wire protocol's bitwise guarantee rests on.
+  const double value = 0.1 + 0.2;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  EXPECT_EQ(JsonValue::parse(buf).as_number(), value);
+}
+
+TEST(JsonValue, RejectsNonJsonNumberSpellings) {
+  EXPECT_THROW((void)JsonValue::parse("01"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("+1"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("1."), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse(".5"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("nan"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("inf"), InvalidArgument);
+}
+
+TEST(JsonValue, ParsesStringsWithEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("plain")").as_string(), "plain");
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(JsonValue::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 as UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValue, RejectsBadStrings) {
+  EXPECT_THROW((void)JsonValue::parse(R"("unterminated)"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse(R"("bad \q escape")"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse(R"("\ud83d")"), InvalidArgument);  // lone surrogate
+  EXPECT_THROW((void)JsonValue::parse("\"ctrl \x01 byte\""), InvalidArgument);
+}
+
+TEST(JsonValue, ParsesArraysAndObjects) {
+  const JsonValue doc = JsonValue::parse(R"({"query":"skyband","k":3,"w":[0.5,0.5],"deep":{"x":null}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("query")->as_string(), "skyband");
+  EXPECT_DOUBLE_EQ(doc.find("k")->as_number(), 3.0);
+  const auto& w = doc.find("w")->as_array();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].as_number(), 0.5);
+  EXPECT_TRUE(doc.find("deep")->find("x")->is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+
+  EXPECT_TRUE(JsonValue::parse("[]").as_array().empty());
+  EXPECT_TRUE(JsonValue::parse("{}").as_object().empty());
+}
+
+TEST(JsonValue, RejectsMalformedStructure) {
+  EXPECT_THROW((void)JsonValue::parse(""), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("[1,2"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\":}"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("{a:1}"), InvalidArgument);
+  EXPECT_THROW((void)JsonValue::parse("[1] trailing"), InvalidArgument);
+}
+
+TEST(JsonValue, ErrorsCarryByteOffset) {
+  try {
+    (void)JsonValue::parse("[1, oops]");
+    FAIL() << "parse accepted malformed input";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonValue, BoundsNestingDepth) {
+  // 64 levels are fine; 65 must be rejected rather than risk stack overflow
+  // on hostile input.
+  std::string ok(64, '['), bad(65, '[');
+  ok += "1";
+  bad += "1";
+  for (int i = 0; i < 64; ++i) ok += ']';
+  for (int i = 0; i < 65; ++i) bad += ']';
+  EXPECT_NO_THROW((void)JsonValue::parse(ok));
+  EXPECT_THROW((void)JsonValue::parse(bad), InvalidArgument);
+}
+
+TEST(JsonValue, CheckedAccessorsThrowOnKindMismatch) {
+  const JsonValue number = JsonValue::parse("42");
+  EXPECT_THROW((void)number.as_string(), InvalidArgument);
+  EXPECT_THROW((void)number.as_array(), InvalidArgument);
+  EXPECT_THROW((void)number.as_object(), InvalidArgument);
+  EXPECT_THROW((void)number.as_bool(), InvalidArgument);
+  EXPECT_DOUBLE_EQ(number.as_number(), 42.0);
+}
+
+TEST(JsonValue, EscapeAndParseRoundTrip) {
+  const std::string hostile = "quote\" slash\\ newline\n tab\t bell\x07 text";
+  const JsonValue parsed = JsonValue::parse('"' + common::json_escape(hostile) + '"');
+  EXPECT_EQ(parsed.as_string(), hostile);
+}
+
+}  // namespace
+}  // namespace mrsky

@@ -1,0 +1,90 @@
+// common::Semaphore / SlotGuard — the admission-control primitives under the
+// skyline server. The concurrency test is the one that matters under TSan:
+// the slot count must never be oversubscribed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/sync.hpp"
+
+namespace mrsky {
+namespace {
+
+TEST(Semaphore, TryAcquireExhaustsExactly) {
+  common::Semaphore sem(2);
+  EXPECT_EQ(sem.available(), 2u);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());  // never spurious: 0 left means false
+  EXPECT_EQ(sem.available(), 0u);
+  sem.release();
+  EXPECT_EQ(sem.available(), 1u);
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(Semaphore, AcquireBlocksUntilRelease) {
+  common::Semaphore sem(0);
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    sem.acquire();
+    acquired.store(true);
+  });
+  EXPECT_FALSE(acquired.load());
+  sem.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(SlotGuard, ReleasesOnDestructionOnlyWhenHeld) {
+  common::Semaphore sem(1);
+  {
+    common::SlotGuard held(sem);
+    EXPECT_TRUE(static_cast<bool>(held));
+    EXPECT_EQ(sem.available(), 0u);
+    common::SlotGuard rejected(sem);
+    EXPECT_FALSE(static_cast<bool>(rejected));
+  }  // `held` releases; `rejected` must not double-release
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(SlotGuard, MoveTransfersOwnership) {
+  common::Semaphore sem(1);
+  common::SlotGuard first(sem);
+  EXPECT_TRUE(static_cast<bool>(first));
+  common::SlotGuard second(std::move(first));
+  EXPECT_TRUE(static_cast<bool>(second));
+  EXPECT_FALSE(static_cast<bool>(first));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(sem.available(), 0u);
+}
+
+TEST(Semaphore, NeverOversubscribesUnderContention) {
+  constexpr std::size_t kSlots = 3;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 400;
+  common::Semaphore sem(kSlots);
+  std::atomic<int> inside{0};
+  std::atomic<bool> oversubscribed{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kRounds; ++i) {
+        if (common::SlotGuard slot{sem}; slot) {
+          if (inside.fetch_add(1) + 1 > static_cast<int>(kSlots)) {
+            oversubscribed.store(true);
+          }
+          inside.fetch_sub(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(oversubscribed.load());
+  EXPECT_EQ(sem.available(), kSlots);
+}
+
+}  // namespace
+}  // namespace mrsky

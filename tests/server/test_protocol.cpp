@@ -1,0 +1,135 @@
+// server wire protocol — request parsing across both syntaxes, response
+// rendering, and the %.17g double round-trip the bitwise guarantee rests on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/server/protocol.hpp"
+
+namespace mrsky {
+namespace {
+
+using server::parse_request;
+using server::Request;
+
+constexpr std::size_t kDim = 4;
+
+TEST(Protocol, BlankAndCommentLinesAreNoRequests) {
+  EXPECT_FALSE(parse_request("", kDim).has_value());
+  EXPECT_FALSE(parse_request("   \t  ", kDim).has_value());
+  EXPECT_FALSE(parse_request("# a comment", kDim).has_value());
+  EXPECT_FALSE(parse_request("   # indented comment", kDim).has_value());
+}
+
+TEST(Protocol, ParsesMrqSyntax) {
+  const auto skyline = parse_request("skyline", kDim);
+  ASSERT_TRUE(skyline.has_value());
+  const auto& q = std::get<service::Query>(*skyline);
+  EXPECT_TRUE(std::holds_alternative<service::SkylineQuery>(q));
+
+  const auto skyband = parse_request("skyband 3", kDim);
+  EXPECT_EQ(std::get<service::KSkybandQuery>(std::get<service::Query>(*skyband)).k, 3u);
+
+  const auto insert = parse_request("insert extra.csv", kDim);
+  EXPECT_EQ(std::get<service::InsertCommand>(*insert).path, "extra.csv");
+}
+
+TEST(Protocol, ParsesBareControlVerbs) {
+  EXPECT_TRUE(std::holds_alternative<server::MetricsRequest>(*parse_request("metrics", kDim)));
+  EXPECT_TRUE(std::holds_alternative<server::StatsRequest>(*parse_request("stats", kDim)));
+  EXPECT_TRUE(std::holds_alternative<server::QuitRequest>(*parse_request("quit", kDim)));
+}
+
+TEST(Protocol, ParsesJsonQueries) {
+  const auto skyline = parse_request(R"({"query":"skyline"})", kDim);
+  EXPECT_TRUE(std::holds_alternative<service::SkylineQuery>(std::get<service::Query>(*skyline)));
+
+  const auto subspace = parse_request(R"({"query":"subspace","attributes":[0,2]})", kDim);
+  EXPECT_EQ(std::get<service::SubspaceQuery>(std::get<service::Query>(*subspace)).attributes,
+            (std::vector<std::size_t>{0, 2}));
+
+  const auto topk = parse_request(R"({"query":"topk","k":5,"weights":[0.25,0.25,0.25,0.25]})", kDim);
+  const auto& tq = std::get<service::TopKWeightedQuery>(std::get<service::Query>(*topk));
+  EXPECT_EQ(tq.k, 5u);
+  EXPECT_EQ(tq.weights.size(), 4u);
+
+  const auto rep = parse_request(R"({"query":"representative","k":7})", kDim);
+  EXPECT_EQ(std::get<service::RepresentativeQuery>(std::get<service::Query>(*rep)).k, 7u);
+
+  EXPECT_TRUE(std::holds_alternative<server::QuitRequest>(
+      *parse_request(R"({"command":"quit"})", kDim)));
+}
+
+TEST(Protocol, ParsesJsonInserts) {
+  const auto file = parse_request(R"({"insert":"extra.csv"})", kDim);
+  EXPECT_EQ(std::get<service::InsertCommand>(*file).path, "extra.csv");
+
+  const auto inline_rows = parse_request(R"({"insert":[[0.1,0.2,0.3,0.4],[1,2,3,4]]})", kDim);
+  const auto& batch = std::get<server::InsertInline>(*inline_rows);
+  ASSERT_EQ(batch.points.size(), 2u);
+  EXPECT_EQ(batch.points.dim(), kDim);
+  EXPECT_DOUBLE_EQ(batch.points.point(1)[2], 3.0);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  // JSON problems surface as InvalidArgument — the session answers with an
+  // error line instead of dropping the connection.
+  EXPECT_THROW((void)parse_request(R"({"query":"warp"})", kDim), InvalidArgument);
+  EXPECT_THROW((void)parse_request(R"({"insert":[[0.1,0.2]]})", kDim), InvalidArgument);  // dim
+  EXPECT_THROW((void)parse_request(R"({"query":"skyband"})", kDim), InvalidArgument);  // no k
+  EXPECT_THROW((void)parse_request(R"({"query":"skyband","k":2.5})", kDim), InvalidArgument);
+  EXPECT_THROW((void)parse_request(R"({"nonsense":1})", kDim), InvalidArgument);
+  EXPECT_THROW((void)parse_request("{broken json", kDim), InvalidArgument);
+  EXPECT_THROW((void)parse_request("warp 9", kDim), InvalidArgument);
+  EXPECT_THROW((void)parse_request(R"({"command":"reboot"})", kDim), InvalidArgument);
+}
+
+TEST(Protocol, DoubleReprRoundTripsExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           0.1 + 0.2,
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           -12345.678901234567};
+  for (const double v : values) {
+    const double back = std::strtod(server::double_repr(v).c_str(), nullptr);
+    EXPECT_EQ(back, v) << server::double_repr(v);
+  }
+}
+
+TEST(Protocol, ResponseBuildersEmitSingleLines) {
+  const std::string err = server::error_line("bad \"quoted\" thing\nline2");
+  EXPECT_EQ(err.find('\n'), std::string::npos);
+  EXPECT_EQ(err.rfind("{\"ok\":false", 0), 0u);
+
+  const std::string hello = server::hello_line(3, 7, 100, 4);
+  EXPECT_NE(hello.find("\"session\":3"), std::string::npos);
+  EXPECT_NE(hello.find("\"version\":7"), std::string::npos);
+
+  EXPECT_NE(server::insert_line(16, 2).find("\"inserted\":16"), std::string::npos);
+}
+
+TEST(Protocol, ResultLineCarriesKindVersionAndPoints) {
+  service::QueryResult result;
+  result.points = data::PointSet(2);
+  const std::vector<double> coords{0.5, 0.25};
+  result.points.push_back(coords, 42);
+  result.metrics.dataset_version = 9;
+  result.metrics.result_points = 1;
+  const std::string line =
+      server::result_line(service::Query{service::SkylineQuery{}}, result);
+  EXPECT_NE(line.find("\"kind\":\"skyline\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"version\":9"), std::string::npos) << line;
+  EXPECT_NE(line.find("[42,0.5,0.25]"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"metrics\":{"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace mrsky

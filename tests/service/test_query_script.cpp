@@ -2,6 +2,8 @@
 // (every malformed line reported in one throw, with line numbers).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <variant>
@@ -88,6 +90,56 @@ TEST(QueryScript, SingleProblemUsesSingularWording) {
 
 TEST(QueryScript, MissingFileThrowsRuntimeError) {
   EXPECT_THROW((void)service::parse_query_script_file("/nonexistent/q.mrq"), RuntimeError);
+}
+
+// An inf/nan weight would poison every weighted score downstream (inf * 0 =
+// nan), so every spelling that could produce one — "inf"/"nan" literals or an
+// overflowing exponent — must be rejected with the offending line, not passed
+// through.
+TEST(QueryScript, RejectsNonFiniteTopkWeights) {
+  try {
+    (void)parse(
+        "topk 3 0.5,inf\n"
+        "topk 3 nan,0.5\n"
+        "topk 3 0.25,-inf\n"
+        "topk 3 1e999,0.5\n");
+    FAIL() << "parse accepted non-finite weights";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4 problems"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("weight 'inf'"), std::string::npos) << what;
+    EXPECT_NE(what.find("weight 'nan'"), std::string::npos) << what;
+    EXPECT_NE(what.find("weight '-inf'"), std::string::npos) << what;
+    EXPECT_NE(what.find("weight '1e999'"), std::string::npos) << what;
+  }
+}
+
+// Relative insert paths resolve against the script's own directory (the file
+// a script names sits next to it), never against wherever the process happens
+// to have been launched.
+TEST(QueryScript, ResolvesRelativeInsertPathsAgainstBaseDir) {
+  std::istringstream in("insert extra.csv\ninsert /abs/other.csv\n");
+  const auto commands = service::parse_query_script(in, "/data/scripts");
+  ASSERT_EQ(commands.size(), 2u);
+  EXPECT_EQ(std::get<service::InsertCommand>(commands[0]).path, "/data/scripts/extra.csv");
+  // Absolute paths are left alone.
+  EXPECT_EQ(std::get<service::InsertCommand>(commands[1]).path, "/abs/other.csv");
+}
+
+TEST(QueryScript, FileParserUsesScriptDirectoryAsBase) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "mrsky_script_dir_test";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path script = dir / "session.mrq";
+  {
+    std::ofstream out(script);
+    out << "insert extra.csv\n";
+  }
+  const auto commands = service::parse_query_script_file(script.string());
+  ASSERT_EQ(commands.size(), 1u);
+  EXPECT_EQ(std::get<service::InsertCommand>(commands[0]).path, (dir / "extra.csv").string());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 //   simulate  — simulated cluster times across server counts
 //   plan      — recommend a pipeline configuration for a workload
 //   query     — serve a query script against a resident QueryEngine
+//   serve     — run the concurrent multi-session skyline server (TCP)
 //
 // Examples:
 //   mrsky generate --output data.csv --n 10000 --dim 6 --qws
@@ -16,6 +17,8 @@
 //   mrsky simulate --input data.csv --scheme angular --servers-list 4,8,16,32
 //   mrsky query --input data.csv --script session.mrq
 //         --metrics-json query_metrics.json --trace-out trace.json
+//   mrsky serve --input data.csv --port 7878 --max-sessions 8
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -38,6 +41,7 @@
 #include "src/mapreduce/trace_export.hpp"
 #include "src/partition/factory.hpp"
 #include "src/partition/stats.hpp"
+#include "src/server/server.hpp"
 #include "src/service/query_engine.hpp"
 #include "src/service/script.hpp"
 
@@ -46,7 +50,7 @@ namespace {
 using namespace mrsky;
 
 int usage() {
-  std::cerr << "usage: mrsky <generate|skyline|report|simulate|plan|query> [--flags]\n"
+  std::cerr << "usage: mrsky <generate|skyline|report|simulate|plan|query|serve> [--flags]\n"
                "run `mrsky <subcommand>` with no flags to see its defaults in action;\n"
                "see tools/tool_main.cpp header for examples.\n";
   return 2;
@@ -354,6 +358,56 @@ int cmd_query(const common::CliArgs& args) {
   return 0;
 }
 
+int cmd_serve(const common::CliArgs& args) {
+  service::QueryEngineOptions options;
+  options.config = config_from(args);
+  options.cache_capacity = static_cast<std::size_t>(args.get_int("cache-capacity", 64));
+  service::QueryEngine engine(load_input(args), options);
+
+  server::ServerOptions server_options;
+  server_options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  server_options.max_sessions = static_cast<std::size_t>(args.get_int("max-sessions", 8));
+  // Relative `insert <path>` requests resolve against the input file's
+  // directory by default — the same base a .mrq script next to the data
+  // would use — so a server started from anywhere serves the same files.
+  server_options.insert_dir = args.get_string(
+      "insert-dir",
+      std::filesystem::path(args.get_string("input", "")).parent_path().string());
+
+  server::SkylineServer srv(engine, server_options);
+  srv.start();
+  std::cout << "mrsky serve: " << engine.dataset().size() << " points x "
+            << engine.dataset().dim() << " attributes resident\n"
+            << "listening on 127.0.0.1:" << srv.port() << " (max "
+            << server_options.max_sessions << " sessions)\n"
+            << "type 'quit' (or EOF) to stop\n"
+            << std::flush;
+
+  for (std::string line; std::getline(std::cin, line);) {
+    if (line == "quit" || line == "exit") break;
+  }
+  srv.stop();
+
+  const auto server_stats = srv.stats();
+  const auto sessions = srv.completed_sessions();
+  common::Table table({"session", "requests", "queries", "hits", "inserts", "errors", "ms"});
+  for (const auto& s : sessions) {
+    table.add_row({common::Table::fmt(s.id), common::Table::fmt(s.requests),
+                   common::Table::fmt(s.queries), common::Table::fmt(s.cache_hits),
+                   common::Table::fmt(s.inserts), common::Table::fmt(s.errors),
+                   common::Table::fmt(static_cast<double>(s.wall_ns_total) / 1e6, 3)});
+  }
+  table.print(std::cout, "per-session metrics");
+
+  const auto& stats = engine.stats();
+  std::cout << "connections: " << server_stats.accepted << " served, " << server_stats.rejected
+            << " rejected at capacity\n"
+            << "engine: " << stats.queries << " queries, " << stats.cache_hits
+            << " cache hits, " << stats.inserts << " inserts ("
+            << stats.points_inserted << " points), final version " << engine.version() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -367,6 +421,7 @@ int main(int argc, char** argv) {
     if (subcommand == "simulate") return cmd_simulate(args);
     if (subcommand == "plan") return cmd_plan(args);
     if (subcommand == "query") return cmd_query(args);
+    if (subcommand == "serve") return cmd_serve(args);
     std::cerr << "unknown subcommand: " << subcommand << "\n";
     return usage();
   } catch (const std::exception& e) {
