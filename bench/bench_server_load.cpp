@@ -21,8 +21,23 @@
 // the served payload byte for byte — the server's concurrency must be
 // invisible in results.
 //
+// Robustness knobs (ISSUE 7): `--deadline-ms` stamps every query with a
+// per-request deadline — responses cancelled for a missed deadline are
+// counted and rated separately, never as errors, and are excluded from the
+// replay gate (they produced no result to reproduce). `--slow-fraction`
+// turns that share of the sessions into slow clients that split each request
+// line across two writes `--slow-delay-ms` apart, mixing fast and dribbling
+// senders on the same server. `--recv-timeout-ms` arms the client-side
+// receive timeout, so a server that stops answering shows up as a counted
+// timeout instead of a hung bench. `--max-sessions` caps server admission
+// below the session count to provoke shedding; shed connections retry with
+// backoff (honouring the server's retry_after_ms hint) and the shed rate is
+// reported.
+//
 //   bench_server_load --cardinality 20000 --dim 6 --sessions 8 --requests 200
 //       --rate 100 --writers 2 --insert-every 10 --check
+//   bench_server_load --sessions 8 --deadline-ms 5 --slow-fraction 0.25
+//       --recv-timeout-ms 2000 --check
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -69,7 +84,14 @@ struct SessionLog {
   std::vector<double> query_ms;
   std::vector<double> insert_ms;
   std::uint64_t errors = 0;
+  std::uint64_t deadline_missed = 0;  ///< typed cancellations — not errors
+  std::uint64_t sheds = 0;            ///< admission rejections seen while connecting
+  std::uint64_t timeouts = 0;         ///< client receive timeouts (session aborts)
 };
+
+bool response_cancelled(const std::string& response) {
+  return response.find("\"cancelled\":true") != std::string::npos;
+}
 
 /// Drops the ,"metrics":{...} tail — wall time differs run to run; the
 /// payload (kind, version, points / ranking / coverage) must not.
@@ -127,8 +149,17 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
   const bool check = args.get_bool("check", false);
   const std::string json_out = args.get_string("json", "");
+  const std::int64_t deadline_ms = args.get_int("deadline-ms", -1);
+  const double slow_fraction = args.get_double("slow-fraction", 0.0);
+  const std::int64_t slow_delay_ms = args.get_int("slow-delay-ms", 20);
+  const std::int64_t recv_timeout_ms = args.get_int("recv-timeout-ms", -1);
+  const auto max_sessions =
+      static_cast<std::size_t>(args.get_int("max-sessions", static_cast<std::int64_t>(sessions)));
   MRSKY_REQUIRE(sessions >= 1 && requests >= 1 && rate > 0.0, "need sessions/requests >= 1, rate > 0");
   MRSKY_REQUIRE(dim >= 2, "need --dim >= 2");
+  MRSKY_REQUIRE(slow_fraction >= 0.0 && slow_fraction <= 1.0, "--slow-fraction must be in [0,1]");
+  MRSKY_REQUIRE(max_sessions >= 1, "--max-sessions must be >= 1");
+  const auto slow_sessions = static_cast<std::size_t>(slow_fraction * static_cast<double>(sessions));
 
   const data::PointSet dataset = bench::qws_workload(n, dim, seed);
 
@@ -162,7 +193,7 @@ int main(int argc, char** argv) {
   service::QueryEngine engine(dataset, engine_options);
 
   server::ServerOptions server_options;
-  server_options.max_sessions = sessions;
+  server_options.max_sessions = max_sessions;
   server::SkylineServer srv(engine, server_options);
   srv.start();
 
@@ -170,7 +201,16 @@ int main(int argc, char** argv) {
             << " requests @ " << rate << " req/s each (" << writers << " writers, insert every "
             << insert_every << "th request, batch " << batch << ")\n"
             << "dataset: QWS-like N=" << n << " d=" << dim << ", server on 127.0.0.1:"
-            << srv.port() << "\n\n";
+            << srv.port() << "\n";
+  if (deadline_ms >= 0) std::cout << "per-query deadline: " << deadline_ms << " ms\n";
+  if (slow_sessions > 0) {
+    std::cout << slow_sessions << " slow sessions (request split across two writes "
+              << slow_delay_ms << " ms apart)\n";
+  }
+  if (max_sessions < sessions) {
+    std::cout << "admission capped at " << max_sessions << " sessions — shed clients retry with backoff\n";
+  }
+  std::cout << "\n";
 
   const auto period = std::chrono::nanoseconds(static_cast<std::int64_t>(1e9 / rate));
   std::vector<SessionLog> logs(sessions);
@@ -181,12 +221,17 @@ int main(int argc, char** argv) {
   for (std::size_t s = 0; s < sessions; ++s) {
     threads.emplace_back([&, s] {
       SessionLog& log = logs[s];
+      const bool slow = s >= sessions - slow_sessions;
       server::LineClient client;
-      client.connect("127.0.0.1", srv.port());
-      if (!client.recv_line().has_value()) {  // greeting (or capacity reject)
+      server::BackoffOptions backoff;
+      backoff.jitter_seed = seed + s;  // decorrelate the retry storms
+      const auto admitted = client.connect_with_backoff("127.0.0.1", srv.port(), backoff);
+      log.sheds += admitted.sheds;
+      if (!admitted.connected) {  // never got past admission control
         log.errors += requests;
         return;
       }
+      if (recv_timeout_ms >= 0) client.set_recv_timeout_ms(recv_timeout_ms);
       // Stagger sessions across one period so arrivals interleave instead of
       // stampeding on the same instant.
       const Clock::time_point start =
@@ -197,16 +242,46 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_until(scheduled);  // no-op when behind schedule
         const bool do_insert = s < writers && (i + 1) % insert_every == 0 &&
                                next_batch < writer_batches[s].size();
-        std::optional<std::string> response;
         std::size_t kind = 0;
+        std::string line;
         if (do_insert) {
-          response = client.request(json_insert_line(writer_batches[s][next_batch]));
+          line = json_insert_line(writer_batches[s][next_batch]);
         } else {
           kind = i % kinds.size();
-          response = client.request(kinds[kind].line);
+          line = kinds[kind].line;
+          if (deadline_ms >= 0) line += " deadline=" + std::to_string(deadline_ms);
+        }
+        std::optional<std::string> response;
+        if (slow) {
+          // Slow client: the request line lands in two writes with a pause
+          // between — the server's per-line read path sees a dribble, not a
+          // single recv.
+          const std::size_t half = line.size() / 2;
+          if (client.send_raw(line.substr(0, half))) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(slow_delay_ms));
+            if (client.send_raw(line.substr(half) + "\n")) response = client.recv_line();
+          }
+        } else {
+          response = client.request(line);
         }
         const double ms = std::chrono::duration<double, std::milli>(Clock::now() - scheduled).count();
-        if (!response.has_value() || !response_ok(*response)) {
+        if (!response.has_value()) {
+          if (client.timed_out()) {
+            // A late response would desync request/response pairing — abort
+            // the session and account the remainder as unsent, not failed.
+            ++log.timeouts;
+            return;
+          }
+          ++log.errors;
+          continue;
+        }
+        if (response_cancelled(*response)) {
+          // Typed deadline abort: the server kept its promise, the budget was
+          // just too small. Counted and rated, never an error.
+          ++log.deadline_missed;
+          continue;
+        }
+        if (!response_ok(*response)) {
           ++log.errors;
           continue;
         }
@@ -231,13 +306,16 @@ int main(int argc, char** argv) {
   std::vector<double> query_ms, insert_ms;
   std::map<std::uint64_t, data::PointSet> inserts_by_version;
   std::vector<QueryRecord> all_queries;
-  std::uint64_t errors = 0;
+  std::uint64_t errors = 0, deadline_missed = 0, sheds = 0, timeouts = 0;
   for (const auto& log : logs) {
     query_ms.insert(query_ms.end(), log.query_ms.begin(), log.query_ms.end());
     insert_ms.insert(insert_ms.end(), log.insert_ms.begin(), log.insert_ms.end());
     all_queries.insert(all_queries.end(), log.queries.begin(), log.queries.end());
     for (const auto& [version, rows] : log.inserts) inserts_by_version.emplace(version, rows);
     errors += log.errors;
+    deadline_missed += log.deadline_missed;
+    sheds += log.sheds;
+    timeouts += log.timeouts;
   }
   std::sort(query_ms.begin(), query_ms.end());
   std::sort(insert_ms.begin(), insert_ms.end());
@@ -253,11 +331,20 @@ int main(int argc, char** argv) {
                  common::Table::fmt(insert_ms.empty() ? 0.0 : insert_ms.back(), 3)});
   table.print(std::cout, "open-loop latency (from scheduled arrival)");
   const std::size_t served = query_ms.size() + insert_ms.size();
+  const std::uint64_t attempted = served + deadline_missed + errors;
+  const double miss_rate =
+      attempted == 0 ? 0.0 : 100.0 * static_cast<double>(deadline_missed) / static_cast<double>(attempted);
+  const std::uint64_t connect_attempts = sheds + sessions;
+  const double shed_rate = 100.0 * static_cast<double>(sheds) / static_cast<double>(connect_attempts);
   std::cout << "served " << served << "/" << sessions * requests << " requests in "
             << common::Table::fmt(wall_s, 2) << "s ("
             << common::Table::fmt(static_cast<double>(served) / wall_s, 1)
             << " req/s aggregate), " << errors << " errors, final version "
-            << engine.version() << "\n";
+            << engine.version() << "\n"
+            << "degradation: " << deadline_missed << " deadline-missed ("
+            << common::Table::fmt(miss_rate, 1) << "% of attempts), " << sheds
+            << " shed connection attempts (" << common::Table::fmt(shed_rate, 1)
+            << "% of " << connect_attempts << "), " << timeouts << " client recv timeouts\n";
 
   if (!json_out.empty()) {
     std::ofstream file(json_out);
@@ -265,6 +352,12 @@ int main(int argc, char** argv) {
     file << "{\"sessions\":" << sessions << ",\"requests\":" << requests
          << ",\"rate_per_session\":" << rate << ",\"served\":" << served
          << ",\"errors\":" << errors << ",\"wall_s\":" << wall_s
+         << ",\"deadline_ms\":" << deadline_ms
+         << ",\"deadline_missed\":" << deadline_missed
+         << ",\"deadline_miss_rate_pct\":" << miss_rate
+         << ",\"sheds\":" << sheds << ",\"shed_rate_pct\":" << shed_rate
+         << ",\"timeouts\":" << timeouts
+         << ",\"slow_sessions\":" << slow_sessions
          << ",\"query\":{\"count\":" << query_ms.size()
          << ",\"p50_ms\":" << percentile(query_ms, 50)
          << ",\"p99_ms\":" << percentile(query_ms, 99) << "}"

@@ -12,6 +12,10 @@
 #      cluster node-loss recovery, metrics round-trip, lenient dataset reads.
 #   3. The CLI driven with aggressive fault injection + node loss: the
 #      skyline must come out byte-identical to a fault-free run.
+#   4. The server under hostile clients (ISSUE 7): the chaos + fuzz suites
+#      under a hard wall-clock cap (a hang is a failure, not a stall), then
+#      the load bench in degradation mode — per-query deadlines, slow
+#      clients, a client receive timeout — with the bitwise replay gate on.
 set -euo pipefail
 
 BUILD_DIR="${1:-build-robustness}"
@@ -23,11 +27,27 @@ cmake -B "$BUILD_DIR" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DMRSKY_BUILD_BENCH=ON \
   -DMRSKY_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD_DIR" -j --target mrsky_tests mrsky ablation_fault_tolerance
+cmake --build "$BUILD_DIR" -j --target mrsky_tests mrsky ablation_fault_tolerance bench_server_load
 
 FILTER='Fault*:SkipBadRecords*:NodeFailure*:Cluster*:LptSchedule*:TraceJob*:Speculation*'
 FILTER+=':MetricsJson*:CsvIo*:RecordFile*:JobEdgeCases*:MRSkyline*'
 "$BUILD_DIR/tests/mrsky_tests" --gtest_filter="$FILTER"
+
+# Server robustness: chaos harness (slowloris, oversized lines, mid-query
+# disconnects, deadline storms, kill-during-drain, shed/backoff) plus the
+# protocol fuzz loop and the cancellation primitives. `timeout` turns any
+# hang — the exact failure mode this gate exists for — into a hard failure.
+# The drain test inside the chaos suite is the timed stop() check: stop()
+# must cancel in-flight queries and return within its two grace periods.
+timeout 300 "$BUILD_DIR/tests/mrsky_tests" \
+  --gtest_filter='SkylineServerChaos*:QueryEngineCancellation*:ProtocolFuzz*:Cancellation*:Deadline*'
+
+# Graceful degradation end to end: tight per-query deadlines, a quarter of
+# the sessions dribbling their requests, client receive timeouts armed, and
+# the single-threaded bitwise replay gate on whatever survived.
+timeout 300 "$BUILD_DIR/bench/bench_server_load" --cardinality 4000 --dim 4 \
+  --sessions 8 --requests 40 --rate 200 --deadline-ms 250 --slow-fraction 0.25 \
+  --recv-timeout-ms 5000 --check
 
 # End-to-end: same dataset, with and without heavy fault injection; the
 # skyline files must be byte-identical (fault tolerance may never change

@@ -45,6 +45,11 @@ FILTER+=':QueryEngine*:QueryScript*:ConfigValidate*:*ExtensionSweep*'
 # underneath (semaphore, JSON parser). EngineConcurrency is the suite whose
 # whole point is running under TSan.
 FILTER+=':EngineConcurrency*:SkylineServer*:Session*:Protocol*:Semaphore*:SlotGuard*:JsonValue*'
+# Deadlines + cooperative cancellation (ISSUE 7): the token/deadline
+# primitives, the protocol fuzz loop, and the engine/server cancellation
+# paths. SkylineServerChaos and QueryEngineCancellation already match the
+# globs above; the explicit additions are the new primitive suites.
+FILTER+=':Cancellation*:Deadline*:ProtocolFuzz*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

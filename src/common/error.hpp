@@ -25,6 +25,29 @@ class RuntimeError : public std::runtime_error {
   explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a query (or the pipeline running it) is stopped cooperatively —
+/// the session's CancellationToken was cancelled or its deadline expired. This
+/// is a *typed* abort, not a failure: callers distinguish it from RuntimeError
+/// so cancelled work is accounted (metrics) instead of reported as an error,
+/// and the engine guarantees a cancelled query never poisons the result cache
+/// or publishes a snapshot (DESIGN.md decision 13).
+class QueryCancelled : public std::runtime_error {
+ public:
+  enum class Reason {
+    kCancelled,  ///< CancellationToken::request_cancel() (drain, client gone)
+    kDeadline,   ///< the token's deadline expired
+  };
+
+  QueryCancelled(Reason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+  [[nodiscard]] bool deadline_expired() const noexcept { return reason_ == Reason::kDeadline; }
+
+ private:
+  Reason reason_;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_invalid_argument(const char* expr, const std::string& msg,

@@ -7,13 +7,163 @@
 // otherwise reject the connection right now". std::counting_semaphore's
 // try_acquire is allowed to fail spuriously, which would reject connections
 // with free slots; this one never does.
+//
+// The second gap is cooperative cancellation with deadlines (ISSUE 7):
+// std::stop_token carries no deadline and cannot be re-armed per request, so
+// one session would need a fresh stop_source per query. CancellationToken is
+// a shared-state handle polled by the MapReduce task loops at split
+// boundaries; one token lives as long as its session, the server cancels it
+// on drain, and the session re-arms the deadline around each request. All
+// state is in std::atomic (TSan-clean by construction): the poll path is one
+// pointer test for an inert token, two relaxed-ish atomic loads for an armed
+// one.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <mutex>
+#include <string>
+
+#include "src/common/error.hpp"
 
 namespace mrsky::common {
+
+/// A point on the steady clock a piece of work must not run past. A
+/// default-constructed Deadline is "none" (never expires); after_ms(0) is
+/// already expired — the deterministic way to say "fail this request now",
+/// which the chaos tests lean on.
+class Deadline {
+ public:
+  Deadline() = default;  ///< no deadline
+
+  /// Expires `ms` from now (ms <= 0: already expired).
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    d.at_ns_ = now_ns() + (ms > 0 ? ms * 1'000'000 : 0);
+    return d;
+  }
+
+  /// True when a deadline is set at all.
+  [[nodiscard]] bool engaged() const noexcept { return at_ns_ != kNone; }
+
+  [[nodiscard]] bool expired() const noexcept { return engaged() && now_ns() >= at_ns_; }
+
+  /// Milliseconds until expiry (clamped at 0; max when no deadline is set).
+  [[nodiscard]] std::int64_t remaining_ms() const noexcept {
+    if (!engaged()) return std::numeric_limits<std::int64_t>::max();
+    const std::int64_t left = at_ns_ - now_ns();
+    return left > 0 ? left / 1'000'000 : 0;
+  }
+
+  /// Steady-clock expiry in ns since the clock's epoch (kNone = no deadline).
+  [[nodiscard]] std::int64_t raw_ns() const noexcept { return at_ns_; }
+
+  static constexpr std::int64_t kNone = std::numeric_limits<std::int64_t>::max();
+
+  [[nodiscard]] static std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  std::int64_t at_ns_ = kNone;
+};
+
+/// Why (whether) cooperatively running work should stop.
+enum class StopReason {
+  kNone,      ///< keep going
+  kCancelled, ///< request_cancel() was called
+  kDeadline,  ///< the deadline passed
+};
+
+/// Cooperative cancellation handle. Copies share state (shared_ptr), so the
+/// server, the session and every pipeline task polling mid-query all observe
+/// the same flag. A default-constructed token is INERT: it never signals and
+/// every poll is a single null-pointer test, which is what keeps the
+/// batch/CLI paths at zero cost. CancellationToken::make() returns an armed
+/// token.
+///
+/// Thread contract: request_cancel() and set_deadline()/clear_deadline() may
+/// race polls from any number of threads (all state is atomic). Deadline
+/// re-arming is single-writer by design — only the session thread that owns
+/// the request sets it; the server's drain path only ever cancels.
+class CancellationToken {
+ public:
+  CancellationToken() = default;  ///< inert: never stops anything
+
+  /// An armed token (no deadline yet, not cancelled).
+  [[nodiscard]] static CancellationToken make() {
+    CancellationToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// An armed token that expires `ms` from now.
+  [[nodiscard]] static CancellationToken with_deadline_ms(std::int64_t ms) {
+    CancellationToken t = make();
+    t.set_deadline(Deadline::after_ms(ms));
+    return t;
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return state_ != nullptr; }
+
+  /// Latches the cancel flag. Irrevocable; no-op on an inert token.
+  void request_cancel() noexcept {
+    if (state_ != nullptr) state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  /// (Re-)arms the deadline — the session does this per request, the same
+  /// token carrying the server's drain cancel across requests. No-op inert.
+  void set_deadline(Deadline d) noexcept {
+    if (state_ != nullptr) state_->deadline_ns.store(d.raw_ns(), std::memory_order_release);
+  }
+
+  void clear_deadline() noexcept {
+    if (state_ != nullptr) state_->deadline_ns.store(Deadline::kNone, std::memory_order_release);
+  }
+
+  /// The poll. kNone for an inert token; cancel wins over an expired deadline
+  /// (a drain cancel must read as "cancelled" even if a deadline also passed).
+  [[nodiscard]] StopReason stop_reason() const noexcept {
+    if (state_ == nullptr) return StopReason::kNone;
+    if (state_->cancelled.load(std::memory_order_acquire)) return StopReason::kCancelled;
+    const std::int64_t at = state_->deadline_ns.load(std::memory_order_acquire);
+    if (at != Deadline::kNone && Deadline::now_ns() >= at) return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_reason() != StopReason::kNone;
+  }
+
+  /// Polls and throws the typed abort. `where` names the split boundary for
+  /// the error message ("map task", "merge round 2", "query admission").
+  void throw_if_stopped(const char* where) const {
+    switch (stop_reason()) {
+      case StopReason::kNone:
+        return;
+      case StopReason::kCancelled:
+        throw QueryCancelled(QueryCancelled::Reason::kCancelled,
+                             std::string("cancelled at ") + where);
+      case StopReason::kDeadline:
+        throw QueryCancelled(QueryCancelled::Reason::kDeadline,
+                             std::string("deadline expired at ") + where);
+    }
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> deadline_ns{Deadline::kNone};
+  };
+  std::shared_ptr<State> state_;
+};
 
 /// A counting semaphore over a mutex + condition variable. Deliberately
 /// boring: exact (no spurious try_acquire failures), no busy-waiting, and the

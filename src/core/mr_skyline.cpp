@@ -280,6 +280,11 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   if (config.use_combiner) job1.combine_fn = make_local_skyline_fn("skyline.combine_points");
   job1.reduce_fn = make_local_skyline_fn("skyline.local_points");
 
+  // Cooperative cancellation polls at pipeline split boundaries: before the
+  // partition/local-skyline job and before every merge round. run_job polls
+  // again inside each phase, so a stopping pipeline unwinds within one task
+  // stride wherever it happens to be.
+  run_opts.cancel.throw_if_stopped("partition/local-skyline job");
   auto job1_result = mr::run_job(job1, PointSetInput{&input}, run_opts);
   result.partition_job = std::move(job1_result.metrics);
 
@@ -307,6 +312,8 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   std::size_t round = 0;
   for (;;) {
     ++round;
+    run_opts.cancel.throw_if_stopped(
+        ("merge round " + std::to_string(round)).c_str());
     const std::size_t next_groups =
         fan_in == 0 ? 1 : (groups + fan_in - 1) / fan_in;
     MergeJob job;

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/sync.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
 #include "src/common/trace.hpp"
@@ -112,7 +113,22 @@ struct RunOptions {
   /// Null (the default) disables tracing at zero cost: every instrumentation
   /// site is a single pointer test.
   common::TraceRecorder* trace = nullptr;
+
+  /// Cooperative cancellation/deadline (ISSUE 7). Task loops poll the token
+  /// at split boundaries — every phase entry, every shuffle bucket, and every
+  /// kCancelPollStride input units inside a task attempt — and abort the job
+  /// with mrsky::QueryCancelled when it signals. The partial output of a
+  /// cancelled job is discarded by unwinding; nothing is committed. The
+  /// default token is inert, so batch/CLI callers pay one pointer test per
+  /// poll site.
+  common::CancellationToken cancel;
 };
+
+/// How many input units a task attempt executes between cancellation polls.
+/// An armed poll is two atomic loads plus a steady_clock read (~tens of ns),
+/// so striding keeps the overhead invisible even for trivial map functions
+/// while still bounding cancellation latency to a few thousand records.
+inline constexpr std::size_t kCancelPollStride = 1024;
 
 namespace detail {
 
@@ -197,17 +213,20 @@ TaskAttemptOutcome run_task_attempts(const RunOptions& opts, const std::string& 
                                      TaskContext& final_ctx, const ResetFn& reset,
                                      const ProcessFn& process) {
   TaskAttemptOutcome outcome;
+  const char* phase_name = phase == 0 ? "map" : "reduce";
+  const char* poll_site = phase == 0 ? "map task" : "reduce task";
   if (!faults_enabled(opts)) {
     common::ScopedSpan span(opts.trace, "attempt", "attempt");
     span.arg("attempt", 0);
     TaskContext ctx;
-    for (std::size_t i = 0; i < num_units; ++i) process(i, ctx, /*may_fail=*/false);
+    for (std::size_t i = 0; i < num_units; ++i) {
+      if (i % kCancelPollStride == 0) opts.cancel.throw_if_stopped(poll_site);
+      process(i, ctx, /*may_fail=*/false);
+    }
     span.arg("status", "ok");
     final_ctx = std::move(ctx);
     return outcome;
   }
-
-  const char* phase_name = phase == 0 ? "map" : "reduce";
   std::vector<std::size_t> skipped;  // sorted unit indices isolated as bad
   bool skipping = false;             // armed by the first bad record
   for (std::uint64_t attempt = 0;; ++attempt) {
@@ -230,6 +249,9 @@ TaskAttemptOutcome run_task_attempts(const RunOptions& opts, const std::string& 
     std::uint64_t records_done = 0;
     bool failed = false;
     for (std::size_t i = 0; i < num_units && !failed; ++i) {
+      // Cancellation is polled OUTSIDE the try below: a stopping query must
+      // abort the job, never be mistaken for a bad record and skipped.
+      if (i % kCancelPollStride == 0) opts.cancel.throw_if_stopped(poll_site);
       if (!skipped.empty() && std::binary_search(skipped.begin(), skipped.end(), i)) continue;
       if (injected && units_done >= limit) {
         outcome.events.push_back(TaskFailureEvent{static_cast<std::uint32_t>(phase), task,
@@ -241,6 +263,10 @@ TaskAttemptOutcome run_task_attempts(const RunOptions& opts, const std::string& 
       try {
         records_done += process(i, ctx, may_fail);
         ++units_done;
+      } catch (const QueryCancelled&) {
+        // A user function (or nested engine call) observed the stop signal:
+        // propagate the typed abort instead of treating it as a bad record.
+        throw;
       } catch (const std::exception& e) {
         if (opts.skip_bad_records) {
           if (skipped.size() >= opts.max_skipped_records) {
@@ -453,6 +479,7 @@ JobResult<OutK, OutV> run_map_only(const MapOnlyConfig<InK, InV, OutK, OutV>& co
   common::ScopedSpan job_span(opts.trace, config.name, "job");
   job_span.arg("map_tasks", config.num_map_tasks);
 
+  opts.cancel.throw_if_stopped("map-only job start");
   const detail::EnginePool pool(opts);
   const auto offsets = detail::split_offsets(input.size(), config.num_map_tasks);
   std::vector<std::vector<KV<OutK, OutV>>> outputs(config.num_map_tasks);
@@ -542,6 +569,7 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     return std::hash<MidK>{}(key) % num_reduces;
   };
 
+  opts.cancel.throw_if_stopped("job start");
   const detail::EnginePool pool(opts);
 
   // ---- Map phase: map, optional combine, then scatter into per-reduce
@@ -622,6 +650,7 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     shuffle_span.arg("records", result.metrics.shuffle_records);
     shuffle_span.arg("bytes", result.metrics.shuffle_bytes);
     detail::for_each_task(num_reduces, pool.get(), [&](std::size_t b) {
+      opts.cancel.throw_if_stopped("shuffle bucket");
       common::ScopedSpan bucket_span(opts.trace, "shuffle-bucket", "shuffle");
       std::size_t total = 0;
       for (std::size_t t = 0; t < num_maps; ++t) total += shards[t][b].size();
@@ -645,6 +674,7 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   // mid-task failure re-reduces the bucket from the first group (Hadoop
   // re-fetches the task's map outputs on retry). Grouping is identical to
   // the former sort-and-sweep, so output bytes are unchanged.
+  opts.cancel.throw_if_stopped("reduce phase start");
   std::vector<std::vector<KV<OutK, OutV>>> reduce_outputs(num_reduces);
   detail::for_each_task(num_reduces, pool.get(), [&](std::size_t t) {
     common::ScopedSpan task_span(opts.trace, "reduce", "task");

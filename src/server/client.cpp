@@ -2,21 +2,49 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/sync.hpp"
 
 namespace mrsky::server {
+
+namespace {
+
+/// Pulls the integer after `"retry_after_ms":` out of a shed rejection line.
+/// 0 when absent — the client then falls back to its own base delay.
+std::int64_t parse_retry_after_ms(const std::string& line) {
+  static const std::string kKey = "\"retry_after_ms\":";
+  const std::size_t pos = line.find(kKey);
+  if (pos == std::string::npos) return 0;
+  std::int64_t value = 0;
+  std::size_t i = pos + kKey.size();
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9' && value < 1'000'000'000) {
+    value = value * 10 + (line[i] - '0');
+    ++i;
+  }
+  return value;
+}
+
+}  // namespace
 
 LineClient::~LineClient() { close(); }
 
 LineClient::LineClient(LineClient&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      recv_timeout_ms_(other.recv_timeout_ms_),
+      timed_out_(other.timed_out_) {
   other.fd_ = -1;
 }
 
@@ -25,6 +53,8 @@ LineClient& LineClient::operator=(LineClient&& other) noexcept {
     close();
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
+    recv_timeout_ms_ = other.recv_timeout_ms_;
+    timed_out_ = other.timed_out_;
     other.fd_ = -1;
   }
   return *this;
@@ -50,16 +80,59 @@ void LineClient::connect(const std::string& host, std::uint16_t port) {
   }
   fd_ = fd;
   buffer_.clear();
+  timed_out_ = false;
 }
 
-bool LineClient::send_line(const std::string& line) {
+LineClient::ConnectResult LineClient::connect_with_backoff(const std::string& host,
+                                                           std::uint16_t port,
+                                                           const BackoffOptions& options) {
+  MRSKY_REQUIRE(options.max_attempts >= 1, "max_attempts must be >= 1");
+  MRSKY_REQUIRE(options.base_delay_ms >= 1, "base_delay_ms must be >= 1");
+  ConnectResult result;
+  common::Rng rng(options.jitter_seed);
+  for (std::size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    ++result.attempts;
+    std::int64_t hint = 0;
+    bool reached = false;
+    try {
+      connect(host, port);
+      reached = true;
+    } catch (const std::exception&) {
+      // connection refused / transient network failure: plain backoff below
+    }
+    if (reached) {
+      const std::optional<std::string> first = recv_line();
+      if (first.has_value() && first->find("\"shed\":true") == std::string::npos) {
+        result.connected = true;
+        result.greeting = *first;
+        return result;
+      }
+      if (first.has_value()) {
+        // Admission control turned us away: honour its retry-after hint.
+        ++result.sheds;
+        hint = parse_retry_after_ms(*first);
+      }
+      close();
+    }
+    if (attempt + 1 == options.max_attempts) break;
+    // Exponential backoff from max(hint, base), +[0, 50%) jitter so a fleet
+    // of shed clients does not return in lockstep.
+    const std::size_t shift = std::min<std::size_t>(attempt, 20);
+    std::int64_t delay = std::max(hint, options.base_delay_ms) << shift;
+    delay = std::min(delay, options.max_delay_ms);
+    delay += static_cast<std::int64_t>(rng.uniform() * 0.5 * static_cast<double>(delay));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  return result;
+}
+
+bool LineClient::send_line(const std::string& line) { return send_raw(line + '\n'); }
+
+bool LineClient::send_raw(const std::string& bytes) {
   if (fd_ < 0) return false;
-  std::string framed = line;
-  framed += '\n';
   std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -70,13 +143,34 @@ bool LineClient::send_line(const std::string& line) {
 }
 
 std::optional<std::string> LineClient::recv_line() {
+  timed_out_ = false;
   if (fd_ < 0) return std::nullopt;
+  // The timeout budget covers the WHOLE line, not each chunk — a server
+  // dribbling a response slower than the budget still times out.
+  const common::Deadline deadline = recv_timeout_ms_ < 0
+                                        ? common::Deadline{}
+                                        : common::Deadline::after_ms(recv_timeout_ms_);
   for (;;) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
       std::string line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
       return line;
+    }
+    if (deadline.engaged()) {
+      const std::int64_t remaining = deadline.remaining_ms();
+      if (remaining == 0) {
+        timed_out_ = true;
+        return std::nullopt;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) {
+        timed_out_ = true;
+        return std::nullopt;
+      }
+      if (ready < 0) return std::nullopt;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
@@ -97,6 +191,7 @@ void LineClient::close() {
     fd_ = -1;
   }
   buffer_.clear();
+  timed_out_ = false;
 }
 
 }  // namespace mrsky::server

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
@@ -21,8 +22,19 @@ std::size_t to_size(const common::JsonValue& v, const std::string& what) {
   return static_cast<std::size_t>(d);
 }
 
-Request parse_json_request(const std::string& line, std::size_t dim) {
-  const common::JsonValue doc = common::JsonValue::parse(line);
+/// Extracts `"deadline_ms"` (optional; non-negative integer) from a JSON
+/// request object. -1 = not present.
+std::int64_t parse_json_deadline(const common::JsonValue& doc) {
+  const common::JsonValue* v = doc.find("deadline_ms");
+  if (v == nullptr) return -1;
+  MRSKY_REQUIRE(v->is_number(), "deadline_ms must be a number");
+  const double d = v->as_number();
+  MRSKY_REQUIRE(d >= 0.0 && d == std::floor(d) && d <= 1e12,
+                "deadline_ms must be a non-negative integer of milliseconds");
+  return static_cast<std::int64_t>(d);
+}
+
+Request parse_json_request(const common::JsonValue& doc, std::size_t dim) {
   MRSKY_REQUIRE(doc.is_object(), "request must be a JSON object");
 
   if (const common::JsonValue* command = doc.find("command"); command != nullptr) {
@@ -98,29 +110,71 @@ Request parse_json_request(const std::string& line, std::size_t dim) {
                         "' (expected skyline|subspace|skyband|representative|topk)");
 }
 
+/// Strips a trailing `deadline=<ms>` token off an `.mrq`-form request line.
+/// Returns the deadline (-1 when absent) and erases the token from `body`.
+std::int64_t strip_script_deadline(std::string& body) {
+  const std::size_t last_end = body.find_last_not_of(" \t\r");
+  if (last_end == std::string::npos) return -1;
+  std::size_t tok_begin = body.find_last_of(" \t", last_end);
+  tok_begin = tok_begin == std::string::npos ? 0 : tok_begin + 1;
+  const std::string token = body.substr(tok_begin, last_end - tok_begin + 1);
+  constexpr std::string_view kPrefix = "deadline=";
+  if (token.compare(0, kPrefix.size(), kPrefix) != 0) return -1;
+  const std::string digits = token.substr(kPrefix.size());
+  MRSKY_REQUIRE(!digits.empty() && digits.find_first_not_of("0123456789") == std::string::npos &&
+                    digits.size() <= 12,
+                "deadline= expects a non-negative integer of milliseconds");
+  body.erase(tok_begin);
+  MRSKY_REQUIRE(body.find_first_not_of(" \t\r") != std::string::npos,
+                "deadline= must follow a request, not stand alone");
+  return std::stoll(digits);
+}
+
 }  // namespace
 
-std::optional<Request> parse_request(const std::string& line, std::size_t dim) {
+std::optional<RequestEnvelope> parse_request_line(const std::string& line, std::size_t dim,
+                                                  std::size_t max_request_bytes) {
+  // Size guard FIRST: a hostile request must be rejected before the JSON
+  // parser materialises a DOM for it. The diagnostic names the byte offset
+  // where the limit was crossed so a streaming client can find the cut.
+  if (max_request_bytes > 0 && line.size() > max_request_bytes) {
+    throw InvalidArgument("request is " + std::to_string(line.size()) +
+                          " bytes, exceeding the " + std::to_string(max_request_bytes) +
+                          "-byte limit at byte offset " + std::to_string(max_request_bytes));
+  }
   std::size_t first = line.find_first_not_of(" \t\r");
   if (first == std::string::npos) return std::nullopt;  // blank line: no request
   if (line[first] == '#') return std::nullopt;          // comment: no request
-  if (line[first] == '{') return parse_json_request(line.substr(first), dim);
+  if (line[first] == '{') {
+    const common::JsonValue doc = common::JsonValue::parse(line.substr(first));
+    MRSKY_REQUIRE(doc.is_object(), "request must be a JSON object");
+    return RequestEnvelope{parse_json_request(doc, dim), parse_json_deadline(doc)};
+  }
+
+  std::string body = line;
+  const std::int64_t deadline_ms = strip_script_deadline(body);
 
   // Bare control verbs, then the .mrq script grammar for everything else.
-  std::istringstream probe(line);
+  std::istringstream probe(body);
   std::string verb;
   probe >> verb;
-  if (verb == "metrics") return MetricsRequest{};
-  if (verb == "stats") return StatsRequest{};
-  if (verb == "quit") return QuitRequest{};
+  if (verb == "metrics") return RequestEnvelope{MetricsRequest{}, deadline_ms};
+  if (verb == "stats") return RequestEnvelope{StatsRequest{}, deadline_ms};
+  if (verb == "quit") return RequestEnvelope{QuitRequest{}, deadline_ms};
 
-  std::istringstream one_line(line);
+  std::istringstream one_line(body);
   std::vector<service::ScriptCommand> commands = service::parse_query_script(one_line);
   MRSKY_REQUIRE(commands.size() == 1, "expected exactly one command per line");
   if (auto* insert = std::get_if<service::InsertCommand>(&commands.front())) {
-    return std::move(*insert);
+    return RequestEnvelope{std::move(*insert), deadline_ms};
   }
-  return std::get<service::Query>(std::move(commands.front()));
+  return RequestEnvelope{std::get<service::Query>(std::move(commands.front())), deadline_ms};
+}
+
+std::optional<Request> parse_request(const std::string& line, std::size_t dim) {
+  std::optional<RequestEnvelope> envelope = parse_request_line(line, dim);
+  if (!envelope.has_value()) return std::nullopt;
+  return std::move(envelope->request);
 }
 
 std::string double_repr(double value) {
@@ -131,6 +185,17 @@ std::string double_repr(double value) {
 
 std::string error_line(const std::string& message) {
   return "{\"ok\":false,\"error\":\"" + common::json_escape(message) + "\"}";
+}
+
+std::string cancelled_line(const std::string& message, bool deadline_expired) {
+  return "{\"ok\":false,\"error\":\"" + common::json_escape(message) +
+         "\",\"cancelled\":true,\"reason\":\"" +
+         (deadline_expired ? "deadline" : "cancelled") + "\"}";
+}
+
+std::string shed_line(std::size_t max_sessions, std::int64_t retry_after_ms) {
+  return "{\"ok\":false,\"error\":\"server at capacity (" + std::to_string(max_sessions) +
+         " sessions)\",\"shed\":true,\"retry_after_ms\":" + std::to_string(retry_after_ms) + "}";
 }
 
 std::string hello_line(std::uint64_t session_id, std::uint64_t version,

@@ -19,6 +19,13 @@
 //      {"command":"metrics"|"stats"|"quit"}
 //    plus the bare control verbs `metrics`, `stats`, `quit`.
 //
+// Per-request deadlines (ISSUE 7): a JSON request may carry
+// `"deadline_ms":<n>`, and a `.mrq`-form request may end with a trailing
+// `deadline=<n>` token (`skyband 3 deadline=50`); both bound the request's
+// wall time from the moment the server parses it. A request whose deadline
+// expires mid-pipeline is abandoned cooperatively and answered with a typed
+// cancellation line (`cancelled_line`), never a dropped connection.
+//
 // Responses are single-line JSON objects with an "ok" flag. Doubles are
 // rendered with 17 significant digits (%.17g), which round-trips every finite
 // IEEE double bit-exactly — the server's bitwise-reproducibility guarantee
@@ -54,11 +61,27 @@ struct QuitRequest {};
 using Request = std::variant<service::Query, service::InsertCommand, InsertInline,
                              MetricsRequest, StatsRequest, QuitRequest>;
 
-/// Parses one request line (either syntax). Returns nullopt for blank /
-/// comment lines. Throws mrsky::InvalidArgument on malformed input — the
-/// session turns that into an error response, never a dropped connection.
-/// `dim` is the resident dataset's dimensionality, used to size-check inline
-/// insert rows at the protocol boundary.
+/// A parsed request plus its lifecycle attributes — today just the optional
+/// per-request deadline (-1 = none; the server may substitute its default).
+struct RequestEnvelope {
+  Request request;
+  std::int64_t deadline_ms = -1;
+};
+
+/// Parses one request line (either syntax), including the per-request
+/// deadline. Returns nullopt for blank / comment lines. Throws
+/// mrsky::InvalidArgument on malformed input — the session turns that into an
+/// error response, never a dropped connection. `dim` is the resident
+/// dataset's dimensionality, used to size-check inline insert rows at the
+/// protocol boundary. `max_request_bytes` (0 = unlimited) rejects an
+/// oversized request up front, with a byte-offset diagnostic, before the JSON
+/// parser allocates a DOM for it.
+[[nodiscard]] std::optional<RequestEnvelope> parse_request_line(const std::string& line,
+                                                               std::size_t dim,
+                                                               std::size_t max_request_bytes = 0);
+
+/// Compatibility shim over parse_request_line: the request alone, deadline
+/// discarded, no size cap.
 [[nodiscard]] std::optional<Request> parse_request(const std::string& line, std::size_t dim);
 
 /// Shortest decimal rendering that round-trips the exact double (%.17g).
@@ -66,6 +89,18 @@ using Request = std::variant<service::Query, service::InsertCommand, InsertInlin
 
 /// `{"ok":false,"error":"..."}`
 [[nodiscard]] std::string error_line(const std::string& message);
+
+/// Typed cancellation response:
+/// `{"ok":false,"error":"...","cancelled":true,"reason":"deadline"|"cancelled"}`.
+/// `deadline` means the request's own time budget ran out; `cancelled` means
+/// the server stopped it (drain). Chaos tests and the bench key off the
+/// "cancelled" flag to account these separately from real errors.
+[[nodiscard]] std::string cancelled_line(const std::string& message, bool deadline_expired);
+
+/// Load-shed response:
+/// `{"ok":false,"error":"server at capacity (...)","shed":true,"retry_after_ms":N}`.
+/// The retry-after hint is what LineClient::connect_with_backoff honours.
+[[nodiscard]] std::string shed_line(std::size_t max_sessions, std::int64_t retry_after_ms);
 
 /// Connection greeting: session id, dataset shape, current snapshot version.
 [[nodiscard]] std::string hello_line(std::uint64_t session_id, std::uint64_t version,

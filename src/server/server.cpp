@@ -2,11 +2,15 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "src/common/error.hpp"
@@ -21,7 +25,9 @@ std::string sys_error(const std::string& what) {
 }
 
 /// Writes the whole line plus '\n'. MSG_NOSIGNAL: a client that hung up turns
-/// into an error return here, not a process-wide SIGPIPE.
+/// into an error return here, not a process-wide SIGPIPE. With SO_SNDTIMEO
+/// set on the socket, a stalled reader makes send() fail with EAGAIN instead
+/// of blocking the session thread forever.
 bool send_line(int fd, const std::string& line) {
   std::string framed = line;
   framed += '\n';
@@ -38,36 +44,70 @@ bool send_line(int fd, const std::string& line) {
   return true;
 }
 
-/// Buffered line reader over a connection fd. recv() into a chunk, split on
-/// '\n'; a trailing '\r' (telnet-style clients) is stripped.
+/// How a LineReader::next() call ended.
+enum class ReadOutcome {
+  kLine,      ///< a full request line was produced
+  kEof,       ///< orderly end of stream (client hung up / read side shut down)
+  kTimeout,   ///< idle deadline passed without a complete line
+  kOverflow,  ///< the line grew past the configured cap
+};
+
+/// Buffered line reader over a connection fd: poll(2) for readability with a
+/// per-line idle deadline, recv() into a chunk, split on '\n'; a trailing
+/// '\r' (telnet-style clients) is stripped.
+///
+/// The idle deadline is armed when next() starts waiting and is NOT reset by
+/// arriving bytes — only by completing a line. A slowloris client dribbling
+/// one byte per tick therefore times out exactly like a silent one. The line
+/// cap bounds buffer growth: the reader reports kOverflow as soon as the
+/// unterminated prefix exceeds it, without waiting for a newline that may
+/// never come.
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  LineReader(int fd, std::int64_t idle_timeout_ms, std::size_t max_line_bytes)
+      : fd_(fd), idle_timeout_ms_(idle_timeout_ms), max_line_bytes_(max_line_bytes) {}
 
-  /// Next full line, or nullopt on EOF / error / shutdown. A final unframed
-  /// fragment before EOF is delivered as a line (be liberal in what we
-  /// accept).
-  std::optional<std::string> next() {
+  ReadOutcome next(std::string& out) {
+    const common::Deadline idle = idle_timeout_ms_ < 0
+                                      ? common::Deadline{}
+                                      : common::Deadline::after_ms(idle_timeout_ms_);
     for (;;) {
       const std::size_t newline = buffer_.find('\n', scan_from_);
       if (newline != std::string::npos) {
-        std::string line = buffer_.substr(0, newline);
+        if (max_line_bytes_ > 0 && newline > max_line_bytes_) return ReadOutcome::kOverflow;
+        out = buffer_.substr(0, newline);
         buffer_.erase(0, newline + 1);
         scan_from_ = 0;
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        return line;
+        if (!out.empty() && out.back() == '\r') out.pop_back();
+        return ReadOutcome::kLine;
       }
       scan_from_ = buffer_.size();
+      if (max_line_bytes_ > 0 && buffer_.size() > max_line_bytes_) {
+        return ReadOutcome::kOverflow;
+      }
+
+      if (idle.engaged()) {
+        const std::int64_t remaining = idle.remaining_ms();
+        if (remaining == 0) return ReadOutcome::kTimeout;
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready == 0) return ReadOutcome::kTimeout;
+        if (ready < 0) return ReadOutcome::kEof;
+      }
+
       char chunk[4096];
       const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
-        if (buffer_.empty()) return std::nullopt;
-        std::string line = std::move(buffer_);
+        if (buffer_.empty()) return ReadOutcome::kEof;
+        // Be liberal in what we accept: a final unframed fragment before EOF
+        // is delivered as a line.
+        out = std::move(buffer_);
         buffer_.clear();
         scan_from_ = 0;
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        return line;
+        if (!out.empty() && out.back() == '\r') out.pop_back();
+        return ReadOutcome::kLine;
       }
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
@@ -75,6 +115,8 @@ class LineReader {
 
  private:
   int fd_;
+  std::int64_t idle_timeout_ms_;
+  std::size_t max_line_bytes_;
   std::string buffer_;
   std::size_t scan_from_ = 0;
 };
@@ -85,6 +127,8 @@ SkylineServer::SkylineServer(service::QueryEngine& engine, ServerOptions options
     : engine_(engine), options_(std::move(options)), slots_(options_.max_sessions) {
   MRSKY_REQUIRE(options_.max_sessions >= 1, "max_sessions must be >= 1");
   MRSKY_REQUIRE(options_.backlog >= 1, "backlog must be >= 1");
+  MRSKY_REQUIRE(options_.drain_grace_ms >= 0, "drain_grace_ms must be >= 0");
+  MRSKY_REQUIRE(options_.retry_after_ms >= 0, "retry_after_ms must be >= 0");
 }
 
 SkylineServer::~SkylineServer() { stop(); }
@@ -128,6 +172,14 @@ void SkylineServer::start() {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
+bool SkylineServer::all_connections_done() const {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& conn : connections_) {
+    if (!conn->done) return false;
+  }
+  return true;
+}
+
 void SkylineServer::stop() {
   if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
   stopping_.store(true, std::memory_order_release);
@@ -142,14 +194,49 @@ void SkylineServer::stop() {
     listen_fd_ = -1;
   }
 
-  // Unblock every live connection's recv(); the threads notice EOF, finish
-  // their session and exit. Connection threads own (and close) their fds.
+  // Graceful drain, step 1: half-close every live connection's READ side.
+  // Sessions waiting for a request see EOF immediately and exit; a session
+  // mid-query keeps its write side, so its in-flight response (or typed
+  // cancellation line) still reaches the client — not a dropped connection.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      if (!conn->done) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+
+  // Step 2: give in-flight queries one grace period to finish naturally.
+  const auto wait_until_drained = [this](std::int64_t grace_ms) {
+    const common::Deadline grace = common::Deadline::after_ms(grace_ms);
+    while (!all_connections_done() && !grace.expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+  wait_until_drained(options_.drain_grace_ms);
+
+  // Step 3: cooperatively cancel the stragglers. Their pipelines observe the
+  // token at the next split boundary, unwind with QueryCancelled, and the
+  // session answers with a well-formed cancellation line before exiting.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      if (!conn->done) {
+        conn->token.request_cancel();
+        drain_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  wait_until_drained(options_.drain_grace_ms);
+
+  // Step 4: anything still alive is beyond cooperation (e.g. blocked in a
+  // send to a stalled client past SO_SNDTIMEO) — sever it.
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (const auto& conn : connections_) {
       if (!conn->done) ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
+
   for (;;) {
     std::unique_ptr<Connection> conn;
     {
@@ -166,6 +253,10 @@ SkylineServer::Stats SkylineServer::stats() const {
   Stats s;
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = s.rejected;
+  s.idle_reaped = idle_reaped_.load(std::memory_order_relaxed);
+  s.oversized_lines = oversized_lines_.load(std::memory_order_relaxed);
+  s.drain_cancelled = drain_cancelled_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -193,13 +284,12 @@ void SkylineServer::accept_loop() {
       return;
     }
 
-    // Admission control: take a session slot or turn the connection away with
-    // one explicit error line. The slot is released by the connection thread.
+    // Admission control: take a session slot or shed the connection with one
+    // structured rejection line carrying the retry-after hint. The slot is
+    // released by the connection thread.
     if (!slots_.try_acquire()) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      send_line(fd, error_line("server at capacity (" +
-                               std::to_string(options_.max_sessions) +
-                               " sessions); retry later"));
+      send_line(fd, shed_line(options_.max_sessions, options_.retry_after_ms));
       ::close(fd);
       continue;
     }
@@ -212,33 +302,63 @@ void SkylineServer::accept_loop() {
     connections_.push_back(std::make_unique<Connection>());
     Connection* conn = connections_.back().get();
     conn->fd = fd;
+    conn->token = common::CancellationToken::make();
     conn->thread = std::thread(
         [this, conn, session_id] { serve_connection(conn, session_id); });
   }
 }
 
 void SkylineServer::serve_connection(Connection* conn, std::uint64_t session_id) {
-  Session session(session_id, engine_, options_.insert_dir);
+  if (options_.send_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.send_timeout_ms / 1000;
+    tv.tv_usec = (options_.send_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  }
+
+  SessionOptions sopts;
+  sopts.insert_dir = options_.insert_dir;
+  sopts.default_deadline_ms = options_.default_deadline_ms;
+  sopts.max_request_bytes = options_.max_line_bytes;
+  Session session(session_id, engine_, std::move(sopts), conn->token);
+
   if (send_line(conn->fd, session.greeting())) {
-    LineReader reader(conn->fd);
+    LineReader reader(conn->fd, options_.idle_timeout_ms, options_.max_line_bytes);
     bool quit = false;
     while (!quit) {
-      const std::optional<std::string> line = reader.next();
-      if (!line.has_value()) break;  // client hung up / server stopping
-      const std::string response = session.handle_line(*line, quit);
+      std::string line;
+      const ReadOutcome outcome = reader.next(line);
+      if (outcome == ReadOutcome::kEof) break;  // client hung up / drain
+      if (outcome == ReadOutcome::kTimeout) {
+        idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+        send_line(conn->fd, error_line("idle timeout: no complete request within " +
+                                       std::to_string(options_.idle_timeout_ms) + " ms"));
+        break;
+      }
+      if (outcome == ReadOutcome::kOverflow) {
+        oversized_lines_.fetch_add(1, std::memory_order_relaxed);
+        send_line(conn->fd, error_line("request line exceeds " +
+                                       std::to_string(options_.max_line_bytes) + " bytes"));
+        break;
+      }
+      const std::string response = session.handle_line(line, quit);
       if (response.empty()) continue;  // blank / comment line
       if (!send_line(conn->fd, response)) break;
     }
   }
-  ::close(conn->fd);
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     completed_.push_back(session.metrics());
   }
   slots_.release();
+  // done is published and the fd closed under the same lock stop() uses to
+  // decide whether to shutdown() this fd — no window where stop() touches a
+  // closed (possibly reused) descriptor.
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     conn->done = true;
+    ::close(conn->fd);
+    conn->fd = -1;
   }
 }
 

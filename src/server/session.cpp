@@ -17,6 +17,20 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// Clears the token's deadline on every exit path out of a query — including
+/// an InvalidArgument thrown mid-execute — so one request's budget can never
+/// leak into the next request on the same session.
+class DeadlineGuard {
+ public:
+  explicit DeadlineGuard(common::CancellationToken& token) : token_(token) {}
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+  ~DeadlineGuard() { token_.clear_deadline(); }
+
+ private:
+  common::CancellationToken& token_;
+};
+
 }  // namespace
 
 void SessionMetrics::aggregate(const service::QueryMetrics& m) {
@@ -37,13 +51,20 @@ std::string SessionMetrics::to_json() const {
          ",\"points_inserted\":" + std::to_string(points_inserted) +
          ",\"points_returned\":" + std::to_string(points_returned) +
          ",\"errors\":" + std::to_string(errors) +
+         ",\"cancelled\":" + std::to_string(cancelled) +
+         ",\"deadline_missed\":" + std::to_string(deadline_missed) +
          ",\"wall_ns_total\":" + std::to_string(wall_ns_total) +
          ",\"wall_ns_max\":" + std::to_string(wall_ns_max) +
          ",\"last_version\":" + std::to_string(last_version) + "}";
 }
 
 Session::Session(std::uint64_t id, service::QueryEngine& engine, std::string insert_dir)
-    : engine_(engine), insert_dir_(std::move(insert_dir)) {
+    : Session(id, engine, SessionOptions{std::move(insert_dir), -1, 0}) {}
+
+Session::Session(std::uint64_t id, service::QueryEngine& engine, SessionOptions options,
+                 common::CancellationToken token)
+    : engine_(engine), options_(std::move(options)), token_(std::move(token)) {
+  if (!token_.armed()) token_ = common::CancellationToken::make();
   metrics_.id = id;
 }
 
@@ -55,10 +76,13 @@ std::string Session::greeting() const {
 std::string Session::handle_line(const std::string& line, bool& quit) {
   quit = false;
   try {
-    const std::optional<Request> request = parse_request(line, engine_.snapshot()->dataset->dim());
-    if (!request.has_value()) return "";  // blank / comment: no response
+    const std::optional<RequestEnvelope> envelope = parse_request_line(
+        line, engine_.snapshot()->dataset->dim(), options_.max_request_bytes);
+    if (!envelope.has_value()) return "";  // blank / comment: no response
     ++metrics_.requests;
-    return dispatch(*request, quit);
+    const std::int64_t deadline_ms =
+        envelope->deadline_ms >= 0 ? envelope->deadline_ms : options_.default_deadline_ms;
+    return dispatch(envelope->request, deadline_ms, quit);
   } catch (const std::exception& e) {
     ++metrics_.requests;
     ++metrics_.errors;
@@ -66,7 +90,7 @@ std::string Session::handle_line(const std::string& line, bool& quit) {
   }
 }
 
-std::string Session::dispatch(const Request& request, bool& quit) {
+std::string Session::dispatch(const Request& request, std::int64_t deadline_ms, bool& quit) {
   if (std::holds_alternative<QuitRequest>(request)) {
     quit = true;
     return "{\"ok\":true,\"bye\":" + std::to_string(metrics_.id) + "}";
@@ -84,6 +108,7 @@ std::string Session::dispatch(const Request& request, bool& quit) {
            ",\"inserts\":" + std::to_string(s.inserts) +
            ",\"points_inserted\":" + std::to_string(s.points_inserted) +
            ",\"cache_evictions\":" + std::to_string(s.cache_evictions) +
+           ",\"queries_cancelled\":" + std::to_string(s.queries_cancelled) +
            ",\"dataset_points\":" + std::to_string(snap->dataset->size()) +
            ",\"version\":" + std::to_string(snap->version) + "}";
   }
@@ -93,21 +118,37 @@ std::string Session::dispatch(const Request& request, bool& quit) {
   if (const auto* inline_insert = std::get_if<InsertInline>(&request)) {
     return run_insert(inline_insert->points);
   }
-  return run_query(std::get<service::Query>(request));
+  return run_query(std::get<service::Query>(request), deadline_ms);
 }
 
-std::string Session::run_query(const service::Query& query) {
-  const service::QueryResult result = engine_.execute(query);
-  metrics_.aggregate(result.metrics);
-  return result_line(query, result);
+std::string Session::run_query(const service::Query& query, std::int64_t deadline_ms) {
+  // One token serves the whole session: the deadline is (re-)armed around
+  // each query, while a server-side cancel latched at any point stops this
+  // and every later query on the session.
+  const DeadlineGuard guard(token_);
+  if (deadline_ms >= 0) token_.set_deadline(common::Deadline::after_ms(deadline_ms));
+  try {
+    const service::QueryResult result = engine_.execute(query, token_);
+    metrics_.aggregate(result.metrics);
+    return result_line(query, result);
+  } catch (const QueryCancelled& e) {
+    // Typed abort: accounted in its own counters, not as an error — the
+    // request was well-formed, the server just stopped doing the work.
+    if (e.deadline_expired()) {
+      ++metrics_.deadline_missed;
+    } else {
+      ++metrics_.cancelled;
+    }
+    return cancelled_line(e.what(), e.deadline_expired());
+  }
 }
 
 std::string Session::run_insert_file(const std::string& path) {
   // Server-side file insert: resolve against the configured insert dir, not
   // wherever the server process was launched (same policy as the .mrq fix).
   std::filesystem::path resolved(path);
-  if (resolved.is_relative() && !insert_dir_.empty()) {
-    resolved = std::filesystem::path(insert_dir_) / resolved;
+  if (resolved.is_relative() && !options_.insert_dir.empty()) {
+    resolved = std::filesystem::path(options_.insert_dir) / resolved;
   }
   // Verbatim load (no normalisation): insert batches must already be in the
   // resident dataset's attribute space.

@@ -9,11 +9,19 @@
 // per-session metrics): totals, cache behaviour and wall-time extremes are
 // reported by the `metrics` request and collected by the server when the
 // session ends, so operators see per-client cost, not just engine-wide sums.
+//
+// Request lifecycle (ISSUE 7): every session holds one CancellationToken for
+// its whole life — the server keeps a copy and cancels it to drain. Around
+// each query the session arms the token with the request's deadline (its own
+// `deadline_ms`, else the server default) and clears it afterwards; a query
+// stopped by either signal is answered with a typed cancellation line and
+// counted in `cancelled` / `deadline_missed`, never in `errors`.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "src/common/sync.hpp"
 #include "src/server/protocol.hpp"
 #include "src/service/query_engine.hpp"
 
@@ -30,6 +38,8 @@ struct SessionMetrics {
   std::uint64_t points_inserted = 0;
   std::uint64_t points_returned = 0;
   std::uint64_t errors = 0;         ///< malformed / invalid requests
+  std::uint64_t cancelled = 0;      ///< queries stopped by server cancel (drain)
+  std::uint64_t deadline_missed = 0;  ///< queries stopped by their deadline
   std::int64_t wall_ns_total = 0;   ///< summed QueryMetrics::wall_ns
   std::int64_t wall_ns_max = 0;     ///< slowest single query
   std::uint64_t last_version = 0;   ///< latest snapshot version this session saw
@@ -41,12 +51,30 @@ struct SessionMetrics {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// Per-session policy the server configures once at accept time.
+struct SessionOptions {
+  /// Base directory for relative `insert <path>` requests (empty = resolve
+  /// against the process CWD).
+  std::string insert_dir;
+  /// Deadline applied to queries that do not carry their own (-1 = none).
+  std::int64_t default_deadline_ms = -1;
+  /// Longest request line accepted by the parser (0 = unlimited); oversized
+  /// requests are rejected with a byte-offset diagnostic before any JSON DOM
+  /// is allocated.
+  std::size_t max_request_bytes = 0;
+};
+
 class Session {
  public:
-  /// `insert_dir`: base directory for relative `insert <path>` requests
-  /// (empty = resolve against the process CWD). The engine must outlive the
+  /// Compatibility form: options all default. The engine must outlive the
   /// session.
   Session(std::uint64_t id, service::QueryEngine& engine, std::string insert_dir);
+
+  /// `token` is the session-lifetime cancellation handle; the caller keeps a
+  /// copy to cancel the session from outside (the server's drain). An inert
+  /// token is replaced with a private armed one, so deadlines always work.
+  Session(std::uint64_t id, service::QueryEngine& engine, SessionOptions options,
+          common::CancellationToken token = {});
 
   /// The greeting the server sends on connect.
   [[nodiscard]] std::string greeting() const;
@@ -55,20 +83,26 @@ class Session {
   /// newline), or an empty string for blank/comment lines (no response).
   /// Sets `quit` when the client ended the session. Never throws: malformed
   /// or invalid requests become {"ok":false,...} responses and count into
-  /// SessionMetrics::errors.
+  /// SessionMetrics::errors; cancelled/deadline-stopped queries become typed
+  /// cancellation responses and count into their own counters.
   [[nodiscard]] std::string handle_line(const std::string& line, bool& quit);
 
   [[nodiscard]] const SessionMetrics& metrics() const noexcept { return metrics_; }
   [[nodiscard]] std::uint64_t id() const noexcept { return metrics_.id; }
 
+  /// The session's cancellation handle (shared state with the server's copy).
+  [[nodiscard]] const common::CancellationToken& token() const noexcept { return token_; }
+
  private:
-  [[nodiscard]] std::string dispatch(const Request& request, bool& quit);
-  [[nodiscard]] std::string run_query(const service::Query& query);
+  [[nodiscard]] std::string dispatch(const Request& request, std::int64_t deadline_ms,
+                                     bool& quit);
+  [[nodiscard]] std::string run_query(const service::Query& query, std::int64_t deadline_ms);
   [[nodiscard]] std::string run_insert_file(const std::string& path);
   [[nodiscard]] std::string run_insert(const data::PointSet& points);
 
   service::QueryEngine& engine_;
-  std::string insert_dir_;
+  SessionOptions options_;
+  common::CancellationToken token_;
   SessionMetrics metrics_;
 };
 

@@ -83,6 +83,7 @@ QueryEngine::Stats QueryEngine::stats() const {
   out.inserts = counters_.inserts.load(std::memory_order_relaxed);
   out.points_inserted = counters_.points_inserted.load(std::memory_order_relaxed);
   out.cache_evictions = counters_.cache_evictions.load(std::memory_order_relaxed);
+  out.queries_cancelled = counters_.queries_cancelled.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -173,13 +174,15 @@ QueryEngine::FitPtr QueryEngine::prepared_fit(const data::PointSet& ps,
 }
 
 data::PointSet QueryEngine::pipeline_skyline(const data::PointSet& ps,
-                                             const std::string& fit_key, QueryResult& result) {
+                                             const std::string& fit_key, QueryResult& result,
+                                             const common::CancellationToken& cancel) {
   // Pin the fit for the whole run: a concurrent insert_batch may clear the
   // memo, but this shared_ptr keeps the partitioner alive until the pipeline
   // is done with it (the old `const Partitioner&` into the map dangled here).
   const FitPtr fit = prepared_fit(ps, fit_key, result.metrics.fit_reused);
   core::MRSkylineConfig config = options_.config;
   config.prepared_partitioner = fit.get();
+  config.run_options.cancel = cancel;
   counters_.pipeline_runs.fetch_add(1, std::memory_order_relaxed);
   const core::MRSkylineResult run = core::run_mr_skyline(ps, config);
   result.metrics.dominance_tests += run.partition_job.total_work_units();
@@ -202,7 +205,8 @@ void QueryEngine::publish_full_skyline(const EngineSnapshot& snap, const data::P
   set_snapshot(std::move(next));
 }
 
-QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query) {
+QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query,
+                                 const common::CancellationToken& cancel) {
   const data::PointSet& dataset = *snap.dataset;
   QueryResult result;
   std::visit(
@@ -222,7 +226,12 @@ QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query)
                 std::to_string(options_.config.effective_partitions()) + "/s" +
                 std::to_string(options_.config.fit_sample_size) + "." +
                 std::to_string(options_.config.fit_sample_seed) + "/full";
-            result.points = pipeline_skyline(dataset, fit_key, result);
+            result.points = pipeline_skyline(dataset, fit_key, result, cancel);
+            // A query that was cancelled between task-loop polls may still
+            // hold a complete skyline; it must NOT become the resident fold —
+            // the caller sees the typed abort, so nothing it produced may be
+            // observable (decision 13).
+            cancel.throw_if_stopped("full-skyline publication");
             publish_full_skyline(snap, result.points);
           },
           [&](const SubspaceQuery& q) {
@@ -237,14 +246,16 @@ QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query)
               if (i > 0) fit_key += ',';
               fit_key += std::to_string(q.attributes[i]);
             }
-            result.points = pipeline_skyline(projected, fit_key, result);
+            result.points = pipeline_skyline(projected, fit_key, result, cancel);
           },
           [&](const KSkybandQuery& q) {
+            cancel.throw_if_stopped("k-skyband scan");
             skyline::SkylineStats stats;
             result.points = canonical_by_id(skyline::k_skyband(dataset, q.k, &stats));
             result.metrics.dominance_tests = stats.dominance_tests;
           },
           [&](const RepresentativeQuery& q) {
+            cancel.throw_if_stopped("representative scan");
             // Pick order is meaningful (aligned with coverage): no id sort.
             skyline::RepresentativeResult rep = skyline::representative_skyline(dataset, q.k);
             result.points = std::move(rep.representatives);
@@ -252,13 +263,16 @@ QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query)
             result.total_covered = rep.total_covered;
           },
           [&](const TopKWeightedQuery& q) {
+            cancel.throw_if_stopped("top-k scan");
             result.ranking = skyline::top_k_weighted(dataset, q.weights, q.k);
           }},
       query);
   return result;
 }
 
-QueryResult QueryEngine::execute(const Query& query) {
+QueryResult QueryEngine::execute(const Query& query) { return execute(query, {}); }
+
+QueryResult QueryEngine::execute(const Query& query, const common::CancellationToken& cancel) {
   // Pin one snapshot for the whole call: every read below — validation,
   // cache key, compute — sees this version, regardless of concurrent inserts.
   const EngineSnapshotPtr snap = snapshot();
@@ -279,37 +293,52 @@ QueryResult QueryEngine::execute(const Query& query) {
   span.arg("version", snap->version);
   counters_.queries.fetch_add(1, std::memory_order_relaxed);
 
-  const std::string key = cache_key(query, snap->version);
-  if (options_.cache_capacity > 0) {
-    if (CachedPayload cached; cache_find(key, cached)) {
-      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      QueryResult result;  // fresh metrics: the cache never stores any
-      result.points = std::move(cached.points);
-      result.coverage = std::move(cached.coverage);
-      result.total_covered = cached.total_covered;
-      result.ranking = std::move(cached.ranking);
-      result.metrics.cache_hit = true;
-      result.metrics.dataset_version = snap->version;
-      result.metrics.result_points =
-          result.ranking.empty() ? result.points.size() : result.ranking.size();
-      result.metrics.wall_ns = wall.elapsed_ns();
-      span.arg("cache_hit", 1);
-      span.arg("points", result.metrics.result_points);
-      return result;
-    }
-  }
+  try {
+    // Admission poll BEFORE the cache lookup: a request arriving with an
+    // already-expired deadline gets the typed error deterministically, even
+    // for a query whose answer is sitting in the cache.
+    cancel.throw_if_stopped("query admission");
 
-  QueryResult result = compute(*snap, query);
-  result.metrics.dataset_version = snap->version;
-  result.metrics.result_points =
-      result.ranking.empty() ? result.points.size() : result.ranking.size();
-  cache_store(key, snap->version,
-              CachedPayload{result.points, result.coverage, result.total_covered, result.ranking});
-  result.metrics.wall_ns = wall.elapsed_ns();
-  span.arg("cache_hit", 0);
-  span.arg("points", result.metrics.result_points);
-  span.arg("dominance_tests", result.metrics.dominance_tests);
-  return result;
+    const std::string key = cache_key(query, snap->version);
+    if (options_.cache_capacity > 0) {
+      if (CachedPayload cached; cache_find(key, cached)) {
+        counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        QueryResult result;  // fresh metrics: the cache never stores any
+        result.points = std::move(cached.points);
+        result.coverage = std::move(cached.coverage);
+        result.total_covered = cached.total_covered;
+        result.ranking = std::move(cached.ranking);
+        result.metrics.cache_hit = true;
+        result.metrics.dataset_version = snap->version;
+        result.metrics.result_points =
+            result.ranking.empty() ? result.points.size() : result.ranking.size();
+        result.metrics.wall_ns = wall.elapsed_ns();
+        span.arg("cache_hit", 1);
+        span.arg("points", result.metrics.result_points);
+        return result;
+      }
+    }
+
+    QueryResult result = compute(*snap, query, cancel);
+    result.metrics.dataset_version = snap->version;
+    result.metrics.result_points =
+        result.ranking.empty() ? result.points.size() : result.ranking.size();
+    // Final poll before the answer becomes observable: a cancelled query
+    // never seeds the result cache, even when its compute happened to finish.
+    cancel.throw_if_stopped("result publication");
+    cache_store(
+        key, snap->version,
+        CachedPayload{result.points, result.coverage, result.total_covered, result.ranking});
+    result.metrics.wall_ns = wall.elapsed_ns();
+    span.arg("cache_hit", 0);
+    span.arg("points", result.metrics.result_points);
+    span.arg("dominance_tests", result.metrics.dominance_tests);
+    return result;
+  } catch (const QueryCancelled&) {
+    counters_.queries_cancelled.fetch_add(1, std::memory_order_relaxed);
+    span.arg("cancelled", 1);
+    throw;
+  }
 }
 
 std::vector<QueryResult> QueryEngine::execute_batch(std::span<const Query> queries) {

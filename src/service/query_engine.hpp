@@ -56,6 +56,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/sync.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/trace.hpp"
 #include "src/core/mr_skyline.hpp"
@@ -114,6 +115,17 @@ class QueryEngine {
   /// is invalid for the resident dataset.
   [[nodiscard]] QueryResult execute(const Query& query);
 
+  /// Like execute(query), under cooperative cancellation: `cancel` is polled
+  /// at admission (before the cache lookup, so an already-expired deadline
+  /// deterministically yields the typed error), threaded into the MapReduce
+  /// pipeline's RunOptions, and re-checked before any result is published.
+  /// Throws mrsky::QueryCancelled when the token signals — and guarantees a
+  /// cancelled query NEVER stores a cache entry or publishes a full-skyline
+  /// snapshot (DESIGN.md decision 13): partial pipeline state unwinds, shared
+  /// engine state is untouched, and Stats::queries_cancelled is incremented.
+  /// An inert (default) token makes this identical to execute(query).
+  [[nodiscard]] QueryResult execute(const Query& query, const common::CancellationToken& cancel);
+
   /// Serves queries in order; element i is execute(queries[i]). Later queries
   /// see cache entries populated by earlier ones.
   [[nodiscard]] std::vector<QueryResult> execute_batch(std::span<const Query> queries);
@@ -153,6 +165,7 @@ class QueryEngine {
     std::uint64_t inserts = 0;
     std::uint64_t points_inserted = 0;
     std::uint64_t cache_evictions = 0;  ///< LRU capacity + insert-purge evictions
+    std::uint64_t queries_cancelled = 0;  ///< typed QueryCancelled aborts (deadline or cancel)
   };
   /// A consistent point-in-time copy of the counters. Thread-safe.
   [[nodiscard]] Stats stats() const;
@@ -187,12 +200,14 @@ class QueryEngine {
   FitPtr prepared_fit(const data::PointSet& ps, const std::string& fit_key, bool& reused);
 
   /// Runs the MapReduce pipeline over `ps` with a prepared fit; returns the
-  /// canonical (id-sorted) skyline and charges work into `result`.
+  /// canonical (id-sorted) skyline and charges work into `result`. `cancel`
+  /// rides into the run's RunOptions, so task loops poll it.
   data::PointSet pipeline_skyline(const data::PointSet& ps, const std::string& fit_key,
-                                  QueryResult& result);
+                                  QueryResult& result, const common::CancellationToken& cancel);
 
   /// Computes a fresh payload for `query` against the pinned snapshot.
-  [[nodiscard]] QueryResult compute(const EngineSnapshot& snap, const Query& query);
+  [[nodiscard]] QueryResult compute(const EngineSnapshot& snap, const Query& query,
+                                    const common::CancellationToken& cancel);
 
   /// After a pipeline computed the full skyline at `snap`'s version: seed the
   /// insert-time fold and re-publish the snapshot with the skyline attached,
@@ -243,6 +258,7 @@ class QueryEngine {
     std::atomic<std::uint64_t> inserts{0};
     std::atomic<std::uint64_t> points_inserted{0};
     std::atomic<std::uint64_t> cache_evictions{0};
+    std::atomic<std::uint64_t> queries_cancelled{0};
   };
   mutable Counters counters_;
 };

@@ -1,12 +1,15 @@
 // common::Semaphore / SlotGuard — the admission-control primitives under the
-// skyline server. The concurrency test is the one that matters under TSan:
-// the slot count must never be oversubscribed.
+// skyline server — plus the cooperative-cancellation primitives (ISSUE 7):
+// Deadline and CancellationToken. The concurrency tests are the ones that
+// matter under TSan: slot counts must never oversubscribe, and a cancel
+// latched on one thread must become visible to pollers on every other.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/common/sync.hpp"
 
 namespace mrsky {
@@ -84,6 +87,115 @@ TEST(Semaphore, NeverOversubscribesUnderContention) {
   for (auto& t : threads) t.join();
   EXPECT_FALSE(oversubscribed.load());
   EXPECT_EQ(sem.available(), kSlots);
+}
+
+TEST(Deadline, DefaultIsDisengaged) {
+  const common::Deadline none;
+  EXPECT_FALSE(none.engaged());
+  EXPECT_FALSE(none.expired());
+  EXPECT_EQ(none.raw_ns(), common::Deadline::kNone);
+  EXPECT_GT(none.remaining_ms(), std::int64_t{1} << 40);  // effectively forever
+}
+
+TEST(Deadline, ZeroMillisecondsIsAlreadyExpired) {
+  // after_ms(0) is the deterministic "expired on arrival" hook the engine and
+  // server tests rely on — no sleeping, no clock slop.
+  const common::Deadline d = common::Deadline::after_ms(0);
+  EXPECT_TRUE(d.engaged());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+}
+
+TEST(Deadline, FutureDeadlineReportsRemainingBudget) {
+  const common::Deadline d = common::Deadline::after_ms(60'000);
+  EXPECT_TRUE(d.engaged());
+  EXPECT_FALSE(d.expired());
+  const std::int64_t remaining = d.remaining_ms();
+  EXPECT_GT(remaining, 59'000);
+  EXPECT_LE(remaining, 60'000);
+}
+
+TEST(Cancellation, DefaultTokenIsInertAndNeverStops) {
+  const common::CancellationToken token;
+  EXPECT_FALSE(token.armed());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.stop_reason(), common::StopReason::kNone);
+  EXPECT_NO_THROW(token.throw_if_stopped("inert poll"));
+  // Mutators on an inert token are harmless no-ops, not UB.
+  common::CancellationToken mutable_token;
+  mutable_token.request_cancel();
+  mutable_token.set_deadline(common::Deadline::after_ms(0));
+  EXPECT_FALSE(mutable_token.stop_requested());
+}
+
+TEST(Cancellation, CancelLatchesAndThrowsTyped) {
+  common::CancellationToken token = common::CancellationToken::make();
+  EXPECT_TRUE(token.armed());
+  EXPECT_FALSE(token.stop_requested());
+  token.request_cancel();
+  EXPECT_EQ(token.stop_reason(), common::StopReason::kCancelled);
+  try {
+    token.throw_if_stopped("merge round 3");
+    FAIL() << "expected QueryCancelled";
+  } catch (const QueryCancelled& e) {
+    EXPECT_FALSE(e.deadline_expired());
+    EXPECT_NE(std::string(e.what()).find("merge round 3"), std::string::npos);
+  }
+  // Irrevocable: clearing the deadline does not un-cancel.
+  token.clear_deadline();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(Cancellation, ExpiredDeadlineThrowsDeadlineReason) {
+  common::CancellationToken token =
+      common::CancellationToken::with_deadline_ms(0);
+  EXPECT_EQ(token.stop_reason(), common::StopReason::kDeadline);
+  try {
+    token.throw_if_stopped("map task");
+    FAIL() << "expected QueryCancelled";
+  } catch (const QueryCancelled& e) {
+    EXPECT_TRUE(e.deadline_expired());
+  }
+  // clear_deadline() restores the token to runnable — the session reuses one
+  // token across requests and re-arms the deadline per query.
+  token.clear_deadline();
+  EXPECT_EQ(token.stop_reason(), common::StopReason::kNone);
+  EXPECT_NO_THROW(token.throw_if_stopped("next request"));
+}
+
+TEST(Cancellation, CancelWinsOverExpiredDeadline) {
+  common::CancellationToken token =
+      common::CancellationToken::with_deadline_ms(0);
+  token.request_cancel();
+  EXPECT_EQ(token.stop_reason(), common::StopReason::kCancelled);
+}
+
+TEST(Cancellation, CopiesShareOneState) {
+  common::CancellationToken original = common::CancellationToken::make();
+  const common::CancellationToken copy = original;
+  original.request_cancel();
+  EXPECT_TRUE(copy.stop_requested());
+}
+
+TEST(Cancellation, CancelVisibleAcrossThreadsUnderTsan) {
+  // One canceller, many pollers: the latch must publish without data races
+  // and every poller must observe it promptly.
+  common::CancellationToken token = common::CancellationToken::make();
+  constexpr std::size_t kPollers = 4;
+  std::atomic<std::size_t> observed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kPollers);
+  for (std::size_t t = 0; t < kPollers; ++t) {
+    threads.emplace_back([&token, &observed] {
+      while (!token.stop_requested()) std::this_thread::yield();
+      observed.fetch_add(1);
+    });
+  }
+  std::thread canceller([&token] { token.request_cancel(); });
+  canceller.join();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(observed.load(), kPollers);
+  EXPECT_EQ(token.stop_reason(), common::StopReason::kCancelled);
 }
 
 }  // namespace

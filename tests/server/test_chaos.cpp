@@ -1,0 +1,504 @@
+// Chaos harness for the hardened skyline server (ISSUE 7 tentpole).
+//
+// Hostile and unlucky clients against a live loopback server: slowloris
+// byte-dribblers, oversized request lines, mid-query disconnects, deadline
+// storms, load shedding with polite backoff, and kill-during-drain. The
+// invariants under attack:
+//
+//  * the server stays up — well-behaved clients are served before, during,
+//    and after each abuse;
+//  * every surviving (ok) response is bitwise-identical to a single-threaded
+//    replay of the same request against the same snapshot version;
+//  * cancelled work is accounted in the per-session metrics (`cancelled`,
+//    `deadline_missed`) and the server stats (`shed`, `idle_reaped`,
+//    `oversized_lines`, `drain_cancelled`), never silently dropped and never
+//    lumped in with malformed-request errors.
+//
+// The QueryEngineCancellation suite pins the engine-level acceptance
+// criterion underneath: an expired deadline aborts in bounded time with a
+// typed QueryCancelled, leaves no cache entry and publishes no snapshot
+// state, while concurrent undeadlined queries complete unaffected.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/sync.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/server/client.hpp"
+#include "src/server/server.hpp"
+#include "src/server/session.hpp"
+#include "src/service/query_engine.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky {
+namespace {
+
+using namespace std::chrono_literals;
+
+data::PointSet workload(std::size_t n = 250, std::size_t dim = 3, std::uint64_t seed = 42) {
+  return data::generate(data::Distribution::kAnticorrelated, n, dim, seed);
+}
+
+bool ok(const std::string& response) { return response.rfind("{\"ok\":true", 0) == 0; }
+
+std::string strip_metrics(const std::string& response) {
+  const std::size_t pos = response.rfind(",\"metrics\":");
+  return pos == std::string::npos ? response : response.substr(0, pos) + "}";
+}
+
+bool is_cancelled(const std::string& response) {
+  return response.find("\"cancelled\":true") != std::string::npos;
+}
+
+/// Raw TCP socket for clients that deliberately misbehave in ways LineClient
+/// refuses to (partial lines, dribbled bytes, reading through to EOF).
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    timeval tv{15, 0};  // hard backstop so a buggy server can't hang the test
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Best-effort send; a peer that already closed on us is not an error here.
+  void send_bytes(const std::string& bytes) const {
+    if (fd_ >= 0) (void)::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  }
+
+  /// Reads until the server closes the connection (or the backstop timeout).
+  [[nodiscard]] std::string read_to_eof() const {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+service::Query skyline_query() { return service::Query{service::SkylineQuery{}}; }
+
+// ---------------------------------------------------------------------------
+// Engine-level acceptance: typed, bounded, side-effect-free cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(QueryEngineCancellation, ExpiredDeadlineIsTypedBoundedAndSideEffectFree) {
+  service::QueryEngine engine(workload(), {});
+  const common::CancellationToken expired = common::CancellationToken::with_deadline_ms(0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)engine.execute(skyline_query(), expired);
+    FAIL() << "expected QueryCancelled";
+  } catch (const QueryCancelled& e) {
+    EXPECT_TRUE(e.deadline_expired());
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, 2s);  // bounded: aborted at a poll point, not after the work
+
+  // No side effects escaped: nothing cached, no full skyline published.
+  EXPECT_EQ(engine.cache_entries(), 0u);
+  EXPECT_EQ(engine.snapshot()->full_skyline, nullptr);
+  EXPECT_EQ(engine.stats().queries_cancelled, 1u);
+
+  // The same query with no deadline completes normally afterwards.
+  const service::QueryResult result = engine.execute(skyline_query());
+  EXPECT_GT(result.points.size(), 0u);
+  EXPECT_NE(engine.snapshot()->full_skyline, nullptr);
+}
+
+TEST(QueryEngineCancellation, ExpiredDeadlineOnCachedQueryStillErrors) {
+  // Admission is polled BEFORE the cache lookup: a zero budget is a
+  // deterministic typed error even when the answer is sitting in the cache.
+  service::QueryEngine engine(workload(), {});
+  (void)engine.execute(skyline_query());  // warm the cache
+  ASSERT_EQ(engine.cache_entries(), 1u);
+  EXPECT_THROW((void)engine.execute(skyline_query(),
+                                    common::CancellationToken::with_deadline_ms(0)),
+               QueryCancelled);
+  EXPECT_EQ(engine.cache_entries(), 1u);  // and the hit path left the cache alone
+}
+
+TEST(QueryEngineCancellation, MidPipelineCancelAbandonsWithoutPublishing) {
+  // The kernel itself pulls the trigger: the first reduce invocation latches
+  // a cancel on the query's own token, so the pipeline is guaranteed to be
+  // mid-flight when the stop request lands.
+  common::CancellationToken token = common::CancellationToken::make();
+  service::QueryEngineOptions options;
+  options.config.servers = 2;
+  options.config.local_skyline_override = [token](const data::PointSet& ps,
+                                                  skyline::SkylineStats* stats) mutable {
+    token.request_cancel();
+    return skyline::bnl_skyline(ps, stats);
+  };
+  service::QueryEngine engine(workload(), std::move(options));
+
+  try {
+    (void)engine.execute(skyline_query(), token);
+    FAIL() << "expected QueryCancelled";
+  } catch (const QueryCancelled& e) {
+    EXPECT_FALSE(e.deadline_expired());  // a cancel, not a missed deadline
+  }
+  EXPECT_EQ(engine.cache_entries(), 0u);
+  EXPECT_EQ(engine.snapshot()->full_skyline, nullptr);
+  EXPECT_EQ(engine.stats().queries_cancelled, 1u);
+}
+
+TEST(QueryEngineCancellation, ConcurrentUndeadlinedQueriesUnaffected) {
+  service::QueryEngine engine(workload(), {});
+  const service::QueryResult reference = engine.execute(skyline_query());
+
+  constexpr std::size_t kRounds = 8;
+  std::atomic<std::size_t> cancelled{0};
+  std::atomic<bool> divergence{false};
+  std::thread storm([&] {
+    for (std::size_t i = 0; i < kRounds; ++i) {
+      try {
+        (void)engine.execute(skyline_query(), common::CancellationToken::with_deadline_ms(0));
+      } catch (const QueryCancelled&) {
+        cancelled.fetch_add(1);
+      }
+    }
+  });
+  std::thread steady([&] {
+    for (std::size_t i = 0; i < kRounds; ++i) {
+      const service::QueryResult r = engine.execute(skyline_query());
+      if (r.points.size() != reference.points.size()) divergence.store(true);
+    }
+  });
+  storm.join();
+  steady.join();
+  EXPECT_EQ(cancelled.load(), kRounds);  // every zero-budget query aborted
+  EXPECT_FALSE(divergence.load());      // every undeadlined query answered in full
+  EXPECT_EQ(engine.stats().queries_cancelled, kRounds);
+}
+
+// ---------------------------------------------------------------------------
+// Server-level chaos.
+// ---------------------------------------------------------------------------
+
+TEST(SkylineServerChaos, SlowlorisIsReapedAndServerKeepsServing) {
+  service::QueryEngine engine(workload(), {});
+  server::ServerOptions options;
+  options.idle_timeout_ms = 150;
+  server::SkylineServer srv(engine, options);
+  srv.start();
+
+  // The attacker dribbles one byte at a time, never completing a line. The
+  // idle clock runs from the start of the line — arriving bytes do NOT reset
+  // it — so the session is reaped even though the socket is never quiet.
+  RawConn slow(srv.port());
+  ASSERT_TRUE(slow.connected());
+  const std::string dribble = "skyline and on and on";
+  for (std::size_t i = 0; i < dribble.size(); ++i) {
+    slow.send_bytes(dribble.substr(i, 1));
+    std::this_thread::sleep_for(20ms);
+  }
+  const std::string transcript = slow.read_to_eof();  // greeting + error, then EOF
+  EXPECT_NE(transcript.find("idle timeout"), std::string::npos) << transcript;
+  EXPECT_GE(srv.stats().idle_reaped, 1u);
+
+  // The server is still healthy for a well-behaved client.
+  server::LineClient good;
+  good.connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(good.recv_line().has_value());
+  const auto response = good.request("skyline");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(ok(*response)) << *response;
+  srv.stop();
+}
+
+TEST(SkylineServerChaos, OversizedLineGetsOneErrorLineThenClose) {
+  service::QueryEngine engine(workload(), {});
+  server::ServerOptions options;
+  options.max_line_bytes = 512;
+  server::SkylineServer srv(engine, options);
+  srv.start();
+
+  server::LineClient abuser;
+  abuser.connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(abuser.recv_line().has_value());
+  ASSERT_TRUE(abuser.send_line(std::string(4096, 'x')));
+  const auto err = abuser.recv_line();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("exceeds"), std::string::npos) << *err;
+  EXPECT_FALSE(abuser.recv_line().has_value());  // then the connection is closed
+  EXPECT_GE(srv.stats().oversized_lines, 1u);
+
+  // A request under the cap still works on a fresh connection.
+  server::LineClient good;
+  good.connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(good.recv_line().has_value());
+  const auto response = good.request("skyline");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(ok(*response)) << *response;
+  srv.stop();
+}
+
+TEST(SkylineServerChaos, MidQueryDisconnectsLeaveServerServing) {
+  service::QueryEngine engine(workload(), {});
+  server::SkylineServer srv(engine, {});
+  srv.start();
+
+  // A wave of clients that fire a query and vanish without reading the
+  // response: the session's write fails, the session ends, the server shrugs.
+  for (std::size_t i = 0; i < 6; ++i) {
+    RawConn hitandrun(srv.port());
+    ASSERT_TRUE(hitandrun.connected());
+    hitandrun.send_bytes("skyline\n");
+    // destructor closes mid-response
+  }
+
+  server::LineClient good;
+  good.connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(good.recv_line().has_value());
+  const auto response = good.request("skyline");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(ok(*response)) << *response;
+  srv.stop();
+  EXPECT_GE(srv.stats().accepted, 7u);
+}
+
+TEST(SkylineServerChaos, DeadlineStormSurvivorsMatchSingleThreadedReplay) {
+  service::QueryEngine engine(workload(), {});
+  server::ServerOptions options;
+  options.max_sessions = 8;
+  server::SkylineServer srv(engine, options);
+  srv.start();
+
+  // Mixed storm: every client interleaves zero-budget (guaranteed-cancelled)
+  // requests with undeadlined ones, across both syntaxes.
+  const std::vector<std::string> doomed = {"skyline deadline=0",
+                                           R"({"query":"skyband","k":2,"deadline_ms":0})"};
+  const std::vector<std::string> healthy = {"skyline", "skyband 2",
+                                            R"({"query":"skyline"})"};
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kRounds = 4;
+  std::vector<std::vector<std::pair<std::string, std::string>>> survived(kClients);
+  std::atomic<std::size_t> cancelled_responses{0};
+  std::atomic<bool> protocol_violation{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      server::LineClient client;
+      client.set_recv_timeout_ms(15'000);
+      client.connect("127.0.0.1", srv.port());
+      if (!client.recv_line().has_value()) {
+        protocol_violation.store(true);
+        return;
+      }
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        const std::string& doom = doomed[(c + r) % doomed.size()];
+        const auto cancelled = client.request(doom);
+        if (!cancelled.has_value() || !is_cancelled(*cancelled) ||
+            cancelled->find("\"reason\":\"deadline\"") == std::string::npos) {
+          protocol_violation.store(true);
+        } else {
+          cancelled_responses.fetch_add(1);
+        }
+        const std::string& query = healthy[(c + r) % healthy.size()];
+        const auto response = client.request(query);
+        if (!response.has_value() || !ok(*response)) {
+          protocol_violation.store(true);
+        } else {
+          survived[c].emplace_back(query, *response);
+        }
+      }
+      (void)client.request("quit");
+    });
+  }
+  for (auto& t : clients) t.join();
+  srv.stop();
+
+  EXPECT_FALSE(protocol_violation.load());
+  EXPECT_EQ(cancelled_responses.load(), kClients * kRounds);
+
+  // Every cancelled request is accounted as a missed deadline in the session
+  // metrics — separate from errors, never silently dropped.
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t errors = 0;
+  for (const server::SessionMetrics& m : srv.completed_sessions()) {
+    deadline_missed += m.deadline_missed;
+    errors += m.errors;
+  }
+  EXPECT_EQ(deadline_missed, kClients * kRounds);
+  EXPECT_EQ(errors, 0u);
+
+  // Bitwise replay: a fresh engine over the same dataset, one single-threaded
+  // session, must reproduce every surviving response exactly (the dataset
+  // never changed, so every response is at snapshot version 0).
+  service::QueryEngine replay_engine(workload(), {});
+  server::Session replay(0, replay_engine, "");
+  std::map<std::string, std::string> replayed;
+  bool quit = false;
+  for (const auto& per_client : survived) {
+    for (const auto& [query, response] : per_client) {
+      auto [it, inserted] = replayed.emplace(query, "");
+      if (inserted) it->second = strip_metrics(replay.handle_line(query, quit));
+      EXPECT_EQ(strip_metrics(response), it->second) << query;
+    }
+  }
+}
+
+TEST(SkylineServerChaos, StopDuringInFlightQueryCancelsCooperatively) {
+  // A kernel that blocks until the test releases it guarantees a query is
+  // mid-pipeline when stop() begins draining.
+  std::atomic<bool> release{false};
+  std::atomic<int> entered{0};
+  service::QueryEngineOptions eopts;
+  eopts.config.servers = 2;
+  eopts.config.local_skyline_override = [&](const data::PointSet& ps,
+                                            skyline::SkylineStats* stats) {
+    entered.fetch_add(1);
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    return skyline::bnl_skyline(ps, stats);
+  };
+  service::QueryEngine engine(workload(), std::move(eopts));
+  server::ServerOptions options;
+  options.drain_grace_ms = 100;
+  server::SkylineServer srv(engine, options);
+  srv.start();
+
+  std::string response;
+  std::thread client_thread([&] {
+    server::LineClient client;
+    client.set_recv_timeout_ms(20'000);
+    client.connect("127.0.0.1", srv.port());
+    if (!client.recv_line().has_value()) return;
+    response = client.request("skyline").value_or("");
+  });
+
+  // Wait for the query to be pinned inside the kernel, then pull the plug.
+  const auto give_up = std::chrono::steady_clock::now() + 10s;
+  while (entered.load() == 0 && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_GT(entered.load(), 0) << "query never reached the kernel";
+
+  std::thread stopper([&] { srv.stop(); });
+  // stop() waits one grace period, then cooperatively cancels stragglers —
+  // only release the kernel once that cancel has been latched, so the abort
+  // deterministically lands at the next pipeline poll point.
+  while (srv.stats().drain_cancelled == 0 && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(srv.stats().drain_cancelled, 1u);
+  release.store(true);
+  stopper.join();
+  client_thread.join();
+
+  // The client got a well-formed typed cancellation line, not a dropped
+  // connection; the session accounted it as a cancel, not an error.
+  EXPECT_TRUE(is_cancelled(response)) << response;
+  EXPECT_NE(response.find("\"reason\":\"cancelled\""), std::string::npos) << response;
+  std::uint64_t cancelled = 0;
+  for (const server::SessionMetrics& m : srv.completed_sessions()) cancelled += m.cancelled;
+  EXPECT_EQ(cancelled, 1u);
+  // The abandoned query left no trace in the engine.
+  EXPECT_EQ(engine.cache_entries(), 0u);
+  EXPECT_EQ(engine.snapshot()->full_skyline, nullptr);
+}
+
+TEST(SkylineServerChaos, ShedClientsBackOffAndEventuallyGetIn) {
+  service::QueryEngine engine(workload(), {});
+  server::ServerOptions options;
+  options.max_sessions = 1;
+  options.retry_after_ms = 5;
+  server::SkylineServer srv(engine, options);
+  srv.start();
+
+  server::LineClient holder;
+  holder.connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(holder.recv_line().has_value());  // the one slot is now busy
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(150ms);
+    (void)holder.request("quit");
+    holder.close();
+  });
+
+  server::LineClient patient;
+  server::LineClient::BackoffOptions backoff;
+  backoff.max_attempts = 10;
+  backoff.base_delay_ms = 20;
+  backoff.jitter_seed = 7;
+  const auto result = patient.connect_with_backoff("127.0.0.1", srv.port(), backoff);
+  releaser.join();
+
+  ASSERT_TRUE(result.connected) << "attempts=" << result.attempts;
+  EXPECT_GE(result.sheds, 1u);               // it was turned away at least once
+  EXPECT_GT(result.attempts, result.sheds);  // ...and then admitted
+  EXPECT_NE(result.greeting.find("\"session\""), std::string::npos) << result.greeting;
+  const auto response = patient.request("skyline");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(ok(*response)) << *response;
+
+  const server::SkylineServer::Stats stats = srv.stats();
+  EXPECT_GE(stats.shed, 1u);
+  EXPECT_EQ(stats.shed, stats.rejected);  // shed is the graceful-degradation alias
+  srv.stop();
+}
+
+TEST(SkylineServerChaos, RecvTimeoutSurfacesInsteadOfBlockingForever) {
+  service::QueryEngine engine(workload(), {});
+  server::SkylineServer srv(engine, {});
+  srv.start();
+
+  server::LineClient client;
+  client.connect("127.0.0.1", srv.port());
+  ASSERT_TRUE(client.recv_line().has_value());
+
+  // No request outstanding: the server has nothing to say, so a blocking
+  // recv_line would hang forever. The timeout turns that into a fact.
+  client.set_recv_timeout_ms(100);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.recv_line().has_value());
+  EXPECT_TRUE(client.timed_out());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+
+  // The connection survives a timeout: the next request works.
+  client.set_recv_timeout_ms(15'000);
+  const auto response = client.request("skyline");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(client.timed_out());
+  EXPECT_TRUE(ok(*response)) << *response;
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace mrsky

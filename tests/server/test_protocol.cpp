@@ -131,5 +131,153 @@ TEST(Protocol, ResultLineCarriesKindVersionAndPoints) {
   EXPECT_NE(line.find("\"metrics\":{"), std::string::npos) << line;
 }
 
+TEST(Protocol, ParsesMrqDeadlineSuffix) {
+  const auto bare = server::parse_request_line("skyline", kDim);
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->deadline_ms, -1);  // absent, not zero
+
+  const auto skyband = server::parse_request_line("skyband 3 deadline=50", kDim);
+  ASSERT_TRUE(skyband.has_value());
+  EXPECT_EQ(skyband->deadline_ms, 50);
+  EXPECT_EQ(std::get<service::KSkybandQuery>(std::get<service::Query>(skyband->request)).k, 3u);
+
+  const auto zero = server::parse_request_line("skyline deadline=0", kDim);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->deadline_ms, 0);  // 0 = expired on arrival, distinct from absent
+
+  // Control verbs take a deadline token too (it is simply unused).
+  const auto stats = server::parse_request_line("stats deadline=10", kDim);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(std::holds_alternative<server::StatsRequest>(stats->request));
+  EXPECT_EQ(stats->deadline_ms, 10);
+}
+
+TEST(Protocol, ParsesJsonDeadlineKey) {
+  const auto q = server::parse_request_line(R"({"query":"skyline","deadline_ms":250})", kDim);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->deadline_ms, 250);
+  EXPECT_TRUE(std::holds_alternative<service::SkylineQuery>(std::get<service::Query>(q->request)));
+
+  const auto absent = server::parse_request_line(R"({"query":"skyline"})", kDim);
+  ASSERT_TRUE(absent.has_value());
+  EXPECT_EQ(absent->deadline_ms, -1);
+
+  EXPECT_THROW((void)server::parse_request_line(R"({"query":"skyline","deadline_ms":-5})", kDim),
+               InvalidArgument);
+  EXPECT_THROW((void)server::parse_request_line(R"({"query":"skyline","deadline_ms":1.5})", kDim),
+               InvalidArgument);
+}
+
+TEST(Protocol, MalformedDeadlineSuffixIsAnError) {
+  // A dangling `deadline=` or garbage value must not silently parse as a
+  // query argument for the script grammar to trip over later.
+  EXPECT_THROW((void)server::parse_request_line("skyline deadline=abc", kDim), std::exception);
+  EXPECT_THROW((void)server::parse_request_line("deadline=5", kDim), std::exception);
+}
+
+TEST(Protocol, OversizedRequestRejectedBeforeParsing) {
+  const std::string big = "{\"query\":\"skyline\",\"pad\":\"" + std::string(4096, 'x') + "\"}";
+  try {
+    (void)server::parse_request_line(big, kDim, 256);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    // The diagnostic names both sizes and the byte offset of the cap — the
+    // client can see exactly where its line crossed the line.
+    EXPECT_NE(what.find(std::to_string(big.size())), std::string::npos) << what;
+    EXPECT_NE(what.find("byte offset 256"), std::string::npos) << what;
+  }
+  // Under the cap: parses normally.
+  EXPECT_TRUE(server::parse_request_line(R"({"query":"skyline"})", kDim, 256).has_value());
+}
+
+TEST(Protocol, CancelledAndShedLinesAreStructured) {
+  const std::string deadline = server::cancelled_line("deadline expired in merge round 2", true);
+  EXPECT_EQ(deadline.rfind("{\"ok\":false", 0), 0u) << deadline;
+  EXPECT_NE(deadline.find("\"cancelled\":true"), std::string::npos) << deadline;
+  EXPECT_NE(deadline.find("\"reason\":\"deadline\""), std::string::npos) << deadline;
+
+  const std::string cancel = server::cancelled_line("server draining", false);
+  EXPECT_NE(cancel.find("\"reason\":\"cancelled\""), std::string::npos) << cancel;
+
+  const std::string shed = server::shed_line(8, 25);
+  EXPECT_NE(shed.find("capacity"), std::string::npos) << shed;
+  EXPECT_NE(shed.find("\"shed\":true"), std::string::npos) << shed;
+  EXPECT_NE(shed.find("\"retry_after_ms\":25"), std::string::npos) << shed;
+  EXPECT_EQ(shed.find('\n'), std::string::npos);
+}
+
+// Seeded random-bytes fuzz over the protocol surface (ISSUE 7 satellite).
+// Every input — pure noise, noise with a JSON prefix, or a mutated valid
+// request — must either parse or throw a typed error. No crash, no hang, no
+// uncontained exception type: the session layer turns exactly these throws
+// into one error line per malformed input.
+TEST(ProtocolFuzz, RandomBytesNeverEscapeTypedErrors) {
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;  // splitmix64, fixed seed
+  const auto next = [&state]() {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  const std::vector<std::string> seeds = {
+      "skyline", "skyband 3", "subspace 0,2", "topk 5 0.5,0.5,0.5,0.5",
+      R"({"query":"skyline"})", R"({"query":"skyband","k":3,"deadline_ms":10})",
+      R"({"insert":[[0.1,0.2,0.3,0.4]]})", "skyline deadline=25", "stats", "metrics"};
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  for (std::size_t iter = 0; iter < 3000; ++iter) {
+    std::string line;
+    const std::uint64_t mode = next() % 3;
+    if (mode == 0) {
+      // Pure random bytes (newline excluded — the framing layer owns it).
+      const std::size_t len = next() % 128;
+      for (std::size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(next() & 0xFF);
+        if (c == '\n') c = ' ';
+        line.push_back(c);
+      }
+    } else if (mode == 1) {
+      // Random bytes behind a JSON-ish prefix: exercises the DOM parser.
+      line = "{\"query\":";
+      const std::size_t len = next() % 64;
+      for (std::size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(next() & 0xFF);
+        if (c == '\n') c = ' ';
+        line.push_back(c);
+      }
+    } else {
+      // Mutate a valid request: flip, insert, or truncate.
+      line = seeds[next() % seeds.size()];
+      const std::uint64_t op = next() % 3;
+      if (op == 0 && !line.empty()) {
+        line[next() % line.size()] = static_cast<char>(next() & 0x7F);
+      } else if (op == 1) {
+        line.insert(line.begin() + static_cast<std::ptrdiff_t>(next() % (line.size() + 1)),
+                    static_cast<char>(next() & 0x7F));
+      } else if (!line.empty()) {
+        line.resize(next() % line.size());
+      }
+    }
+    try {
+      const auto envelope = server::parse_request_line(line, kDim, 512);
+      if (envelope.has_value()) {
+        ++parsed;
+        EXPECT_GE(envelope->deadline_ms, -1);
+      }
+    } catch (const InvalidArgument&) {
+      ++rejected;  // typed rejection: exactly what the session contains
+    } catch (const RuntimeError&) {
+      ++rejected;
+    }
+    // Anything else (std::bad_alloc, segfault, std::logic_error...) escapes
+    // and fails the test — that is the point.
+  }
+  // The corpus genuinely exercises both paths.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 100u);
+}
+
 }  // namespace
 }  // namespace mrsky

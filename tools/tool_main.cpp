@@ -17,7 +17,8 @@
 //   mrsky simulate --input data.csv --scheme angular --servers-list 4,8,16,32
 //   mrsky query --input data.csv --script session.mrq
 //         --metrics-json query_metrics.json --trace-out trace.json
-//   mrsky serve --input data.csv --port 7878 --max-sessions 8
+//   mrsky serve --input data.csv --port 7878 --max-sessions 8 \
+//       --default-deadline-ms 500 --idle-timeout-ms 30000 --metrics-json serve.json
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -373,15 +374,27 @@ int cmd_serve(const common::CliArgs& args) {
   server_options.insert_dir = args.get_string(
       "insert-dir",
       std::filesystem::path(args.get_string("input", "")).parent_path().string());
+  // Robustness knobs (ISSUE 7).
+  server_options.default_deadline_ms = args.get_int("default-deadline-ms", -1);
+  server_options.idle_timeout_ms = args.get_int("idle-timeout-ms", -1);
+  server_options.max_line_bytes = static_cast<std::size_t>(
+      args.get_int("max-line-bytes", static_cast<std::int64_t>(server_options.max_line_bytes)));
+  server_options.drain_grace_ms = args.get_int("drain-grace-ms", server_options.drain_grace_ms);
+  server_options.retry_after_ms = args.get_int("retry-after-ms", server_options.retry_after_ms);
 
   server::SkylineServer srv(engine, server_options);
   srv.start();
   std::cout << "mrsky serve: " << engine.dataset().size() << " points x "
             << engine.dataset().dim() << " attributes resident\n"
             << "listening on 127.0.0.1:" << srv.port() << " (max "
-            << server_options.max_sessions << " sessions)\n"
-            << "type 'quit' (or EOF) to stop\n"
-            << std::flush;
+            << server_options.max_sessions << " sessions";
+  if (server_options.default_deadline_ms >= 0) {
+    std::cout << ", default deadline " << server_options.default_deadline_ms << " ms";
+  }
+  if (server_options.idle_timeout_ms >= 0) {
+    std::cout << ", idle timeout " << server_options.idle_timeout_ms << " ms";
+  }
+  std::cout << ")\ntype 'quit' (or EOF) to stop\n" << std::flush;
 
   for (std::string line; std::getline(std::cin, line);) {
     if (line == "quit" || line == "exit") break;
@@ -390,21 +403,49 @@ int cmd_serve(const common::CliArgs& args) {
 
   const auto server_stats = srv.stats();
   const auto sessions = srv.completed_sessions();
-  common::Table table({"session", "requests", "queries", "hits", "inserts", "errors", "ms"});
+  common::Table table({"session", "requests", "queries", "hits", "inserts", "errors",
+                       "cancelled", "deadline_missed", "ms"});
   for (const auto& s : sessions) {
     table.add_row({common::Table::fmt(s.id), common::Table::fmt(s.requests),
                    common::Table::fmt(s.queries), common::Table::fmt(s.cache_hits),
                    common::Table::fmt(s.inserts), common::Table::fmt(s.errors),
+                   common::Table::fmt(s.cancelled), common::Table::fmt(s.deadline_missed),
                    common::Table::fmt(static_cast<double>(s.wall_ns_total) / 1e6, 3)});
   }
   table.print(std::cout, "per-session metrics");
 
   const auto& stats = engine.stats();
-  std::cout << "connections: " << server_stats.accepted << " served, " << server_stats.rejected
-            << " rejected at capacity\n"
+  std::cout << "connections: " << server_stats.accepted << " served, " << server_stats.shed
+            << " shed at capacity, " << server_stats.idle_reaped << " idle-reaped, "
+            << server_stats.oversized_lines << " oversized, "
+            << server_stats.drain_cancelled << " cancelled in drain\n"
             << "engine: " << stats.queries << " queries, " << stats.cache_hits
-            << " cache hits, " << stats.inserts << " inserts ("
-            << stats.points_inserted << " points), final version " << engine.version() << "\n";
+            << " cache hits, " << stats.queries_cancelled << " cancelled, "
+            << stats.inserts << " inserts (" << stats.points_inserted
+            << " points), final version " << engine.version() << "\n";
+
+  if (const std::string json = args.get_string("metrics-json", ""); !json.empty()) {
+    std::ofstream file(json);
+    MRSKY_REQUIRE(static_cast<bool>(file), "cannot open " + json);
+    std::string sessions_json;
+    for (const auto& s : sessions) {
+      if (!sessions_json.empty()) sessions_json += ',';
+      sessions_json += s.to_json();
+    }
+    file << "{\"server\":{\"accepted\":" << server_stats.accepted
+         << ",\"shed\":" << server_stats.shed
+         << ",\"idle_reaped\":" << server_stats.idle_reaped
+         << ",\"oversized_lines\":" << server_stats.oversized_lines
+         << ",\"drain_cancelled\":" << server_stats.drain_cancelled
+         << "},\"engine\":{\"queries\":" << stats.queries
+         << ",\"cache_hits\":" << stats.cache_hits
+         << ",\"queries_cancelled\":" << stats.queries_cancelled
+         << ",\"inserts\":" << stats.inserts
+         << ",\"points_inserted\":" << stats.points_inserted
+         << ",\"dataset_version\":" << engine.version()
+         << "},\"sessions\":[" << sessions_json << "]}\n";
+    std::cout << "metrics written to " << json << "\n";
+  }
   return 0;
 }
 
