@@ -24,7 +24,7 @@ build_tree() {
     -DMRSKY_BUILD_TESTS=ON \
     -DMRSKY_BUILD_BENCH=ON \
     -DMRSKY_BUILD_EXAMPLES=OFF
-  cmake --build "$dir" -j --target micro_kernels mrsky mrsky_tests bench_query_engine
+  cmake --build "$dir" -j --target micro_kernels mrsky mrsky_tests bench_query_engine ablation_planner
 }
 
 build_tree "$ROOT/build-perf-scalar" OFF
@@ -81,4 +81,14 @@ done
   --json "$RESULTS/query_engine.json" \
   --check --min-warm-speedup 5
 
-echo "== perf smoke passed: results identical; timings in $RESULTS/micro_kernels_{scalar,native}.json and $RESULTS/query_engine.json"
+# Adaptive planner gate (ISSUE 8 acceptance): at perf scale scheme=auto's
+# ex-planning pipeline wall must be within 10% (+ noise floor) of the best
+# static scheme on every workload family, with bitwise-identical skylines and
+# bounded planning overhead. Asserted (--check), and the sweep is landed as
+# machine-readable JSON next to the other perf results.
+"$ROOT/build-perf-scalar/bench/ablation_planner" \
+  --cardinality 60000 --dim 5 --seed 2012 --repeats 3 \
+  --json "$RESULTS/planner_sweep.json" \
+  --check
+
+echo "== perf smoke passed: results identical; timings in $RESULTS/micro_kernels_{scalar,native}.json, $RESULTS/query_engine.json and $RESULTS/planner_sweep.json"

@@ -50,6 +50,11 @@ FILTER+=':EngineConcurrency*:SkylineServer*:Session*:Protocol*:Semaphore*:SlotGu
 # paths. SkylineServerChaos and QueryEngineCancellation already match the
 # globs above; the explicit additions are the new primitive suites.
 FILTER+=':Cancellation*:Deadline*:ProtocolFuzz*'
+# The adaptive planner (ISSUE 8): candidate pricing + the process-wide
+# CostModel singleton, which scheme=auto pipeline runs mutate concurrently
+# via observe_run (TSan checks the mutex discipline); partition diagnostics
+# feed the planner's analyze stage.
+FILTER+=':AdaptivePlanner*:CostModel*:GrowthFactor*:SchemeAuto*:PartitionStats*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

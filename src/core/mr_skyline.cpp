@@ -11,6 +11,8 @@
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/adaptive_planner.hpp"
+#include "src/core/cost_model.hpp"
 #include "src/dataset/transforms.hpp"
 
 namespace mrsky::core {
@@ -124,6 +126,51 @@ mr::PhaseTimes MRSkylineResult::simulate(const mr::ClusterModel& model) const {
 MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfig& config) {
   config.validate_or_throw();
   MRSKY_REQUIRE(!input.empty(), "cannot compute the skyline of an empty dataset");
+
+  // scheme=auto: resolve the configuration through the adaptive planner,
+  // then run the pipeline with the winner. A prepared partitioner bypasses
+  // this — the existing contract is that `scheme` is ignored when the caller
+  // hands in a fitted partitioner (the QueryEngine plans before preparing).
+  if (config.scheme == part::Scheme::kAuto && config.prepared_partitioner == nullptr) {
+    AdaptivePlannerOptions popts;
+    popts.sample_seed = config.fit_sample_seed;
+    const AdaptivePlanner planner(popts);
+    AdaptivePlan plan;
+    {
+      common::ScopedSpan plan_span(config.run_options.trace, "adaptive-plan", "plan");
+      plan = planner.plan(input, config);
+      plan_span.arg("scheme", part::to_string(plan.config.scheme));
+      plan_span.arg("partitions", plan.config.effective_partitions());
+      plan_span.arg("candidates", plan.candidates.size());
+      plan_span.arg("fallback", plan.fallback ? 1 : 0);
+      plan_span.arg("sample_points", plan.sample_points);
+    }
+    MRSkylineResult result = run_mr_skyline(input, plan.config);
+
+    // Refine the process-wide cost model with what actually happened before
+    // folding the planning time into the reported wall.
+    std::uint64_t work = result.partition_job.total_work_units();
+    std::uint64_t shuffled = result.partition_job.shuffle_records;
+    for (const auto& round : result.merge_rounds) {
+      work += round.total_work_units();
+      shuffled += round.shuffle_records;
+    }
+    CostModel::process().observe_run(work, shuffled, result.wall_seconds);
+
+    result.plan.engaged = true;
+    result.plan.fallback = plan.fallback;
+    result.plan.scheme = plan.config.scheme;
+    result.plan.partitions = plan.config.effective_partitions();
+    result.plan.merge_fan_in = plan.config.merge_fan_in;
+    result.plan.salted = plan.config.salt_oversized_partitions;
+    result.plan.candidates = plan.candidates.size();
+    result.plan.sample_points = plan.sample_points;
+    result.plan.predicted_seconds = plan.fallback ? 0.0 : plan.chosen.total_seconds();
+    result.plan.planning_seconds = plan.planning_seconds;
+    result.plan.rationale = plan.rationale;
+    result.wall_seconds += plan.planning_seconds;
+    return result;
+  }
   common::Timer wall;
   common::TraceRecorder* const trace = config.run_options.trace;
   common::ScopedSpan pipeline_span(trace, "mr-skyline", "pipeline");

@@ -134,6 +134,24 @@ struct MRSkylineConfig {
   void validate_or_throw() const;
 };
 
+/// Record of a `scheme=auto` planning decision. Attached by run_mr_skyline
+/// when it resolves kAuto through core::AdaptivePlanner; `engaged` stays
+/// false on static-scheme runs. Carries only plain data (the full candidate
+/// table lives on core::AdaptivePlan) so the result stays cheap to copy.
+struct PlanDecision {
+  bool engaged = false;   ///< true when the adaptive planner picked the config
+  bool fallback = false;  ///< planner fell back to the static heuristic
+  part::Scheme scheme = part::Scheme::kAngular;  ///< resolved scheme
+  std::size_t partitions = 0;
+  std::size_t merge_fan_in = 0;
+  bool salted = false;
+  std::size_t candidates = 0;     ///< plans scored (0 on fallback)
+  std::size_t sample_points = 0;  ///< planning sample actually analyzed
+  double predicted_seconds = 0.0; ///< chosen plan's predicted in-process wall
+  double planning_seconds = 0.0;  ///< cost of planning itself
+  std::string rationale;          ///< human-readable decision trail
+};
+
 struct MRSkylineResult {
   data::PointSet skyline;                        ///< the global skyline
   std::vector<data::PointSet> local_skylines;    ///< per partition (post Job 1)
@@ -142,6 +160,10 @@ struct MRSkylineResult {
   /// All merge rounds in execution order (size 1 with merge_fan_in = 0,
   /// never empty after a run).
   std::vector<mr::JobMetrics> merge_rounds;
+  /// Planner decision trail (engaged only on scheme=auto runs). When engaged,
+  /// `wall_seconds` includes `plan.planning_seconds` — the planner is part of
+  /// what the caller waited for.
+  PlanDecision plan;
   double wall_seconds = 0.0;                     ///< real in-process time
 
   MRSkylineResult() : skyline(1) {}

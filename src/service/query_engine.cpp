@@ -6,6 +6,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/cost_model.hpp"
 #include "src/dataset/transforms.hpp"
 #include "src/partition/factory.hpp"
 #include "src/skyline/extensions.hpp"
@@ -84,6 +85,10 @@ QueryEngine::Stats QueryEngine::stats() const {
   out.points_inserted = counters_.points_inserted.load(std::memory_order_relaxed);
   out.cache_evictions = counters_.cache_evictions.load(std::memory_order_relaxed);
   out.queries_cancelled = counters_.queries_cancelled.load(std::memory_order_relaxed);
+  out.plans_computed = counters_.plans_computed.load(std::memory_order_relaxed);
+  out.plan_reuses = counters_.plan_reuses.load(std::memory_order_relaxed);
+  out.plan_predicted_ns = counters_.plan_predicted_ns.load(std::memory_order_relaxed);
+  out.plan_actual_ns = counters_.plan_actual_ns.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -95,6 +100,11 @@ std::size_t QueryEngine::cache_entries() const {
 std::size_t QueryEngine::fit_entries() const {
   std::lock_guard<std::mutex> lock(fits_mutex_);
   return fits_.size();
+}
+
+std::size_t QueryEngine::plan_entries() const {
+  std::lock_guard<std::mutex> lock(plans_mutex_);
+  return plans_.size();
 }
 
 std::string QueryEngine::cache_key(const Query& query, std::uint64_t version) {
@@ -136,6 +146,7 @@ void QueryEngine::cache_store(const std::string& key, std::uint64_t version,
 }
 
 QueryEngine::FitPtr QueryEngine::prepared_fit(const data::PointSet& ps,
+                                              const core::MRSkylineConfig& config,
                                               const std::string& fit_key, bool& reused) {
   {
     std::lock_guard<std::mutex> lock(fits_mutex_);
@@ -153,7 +164,7 @@ QueryEngine::FitPtr QueryEngine::prepared_fit(const data::PointSet& ps,
   // Fit outside the lock: fitting is the expensive part, and two sessions
   // racing on the same key deterministically produce identical fits (same
   // data, same seed) — the second emplace loses and adopts the winner.
-  const auto& cfg = options_.config;
+  const auto& cfg = config;
   part::PartitionerOptions popts;
   popts.num_partitions = cfg.effective_partitions();
   popts.split_dim = cfg.split_dim;
@@ -173,21 +184,77 @@ QueryEngine::FitPtr QueryEngine::prepared_fit(const data::PointSet& ps,
   return fits_.try_emplace(fit_key, std::move(shared)).first->second;
 }
 
+core::MRSkylineConfig QueryEngine::resolved_config(const EngineSnapshot& snap,
+                                                   QueryMetrics& metrics) {
+  if (options_.config.scheme != part::Scheme::kAuto) return options_.config;
+  metrics.planned = true;
+  const std::string key = "v" + std::to_string(snap.version) + "/s" +
+                          std::to_string(options_.config.fit_sample_seed);
+  std::shared_ptr<const core::AdaptivePlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    if (auto it = plans_.find(key); it != plans_.end()) plan = it->second;
+  }
+  if (plan != nullptr) {
+    metrics.plan_reused = true;
+    counters_.plan_reuses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Plan outside the lock, same discipline as prepared_fit: planning is
+    // the expensive part, and two racing planners produce identical plans
+    // (same snapshot, same seed) — the losing emplace adopts the winner.
+    counters_.plans_computed.fetch_add(1, std::memory_order_relaxed);
+    common::ScopedSpan span(options_.trace, "adaptive-plan", "service");
+    span.arg("version", snap.version);
+    core::AdaptivePlannerOptions popts;
+    popts.sample_seed = options_.config.fit_sample_seed;
+    auto fresh = std::make_shared<core::AdaptivePlan>(
+        core::AdaptivePlanner(popts).plan(*snap.dataset, options_.config));
+    span.arg("scheme", part::to_string(fresh->config.scheme));
+    span.arg("partitions", fresh->config.effective_partitions());
+    span.arg("candidates", fresh->candidates.size());
+    span.arg("fallback", fresh->fallback ? 1 : 0);
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    plan = plans_.try_emplace(key, std::move(fresh)).first->second;
+    metrics.plan_planning_ns = static_cast<std::int64_t>(plan->planning_seconds * 1e9);
+  }
+  metrics.plan_scheme = part::to_string(plan->config.scheme);
+  metrics.plan_partitions = plan->config.effective_partitions();
+  metrics.plan_predicted_ns =
+      plan->fallback ? 0 : static_cast<std::int64_t>(plan->chosen.total_seconds() * 1e9);
+  return plan->config;
+}
+
 data::PointSet QueryEngine::pipeline_skyline(const data::PointSet& ps,
+                                             const core::MRSkylineConfig& base,
                                              const std::string& fit_key, QueryResult& result,
                                              const common::CancellationToken& cancel) {
   // Pin the fit for the whole run: a concurrent insert_batch may clear the
   // memo, but this shared_ptr keeps the partitioner alive until the pipeline
   // is done with it (the old `const Partitioner&` into the map dangled here).
-  const FitPtr fit = prepared_fit(ps, fit_key, result.metrics.fit_reused);
-  core::MRSkylineConfig config = options_.config;
+  const FitPtr fit = prepared_fit(ps, base, fit_key, result.metrics.fit_reused);
+  core::MRSkylineConfig config = base;
   config.prepared_partitioner = fit.get();
   config.run_options.cancel = cancel;
   counters_.pipeline_runs.fetch_add(1, std::memory_order_relaxed);
   const core::MRSkylineResult run = core::run_mr_skyline(ps, config);
+  std::uint64_t work = run.partition_job.total_work_units();
+  std::uint64_t shuffled = run.partition_job.shuffle_records;
   result.metrics.dominance_tests += run.partition_job.total_work_units();
   for (const auto& round : run.merge_rounds) {
     result.metrics.dominance_tests += round.total_work_units();
+    work += round.total_work_units();
+    shuffled += round.shuffle_records;
+  }
+  if (result.metrics.planned) {
+    // Predicted-vs-actual bookkeeping plus cost-model refinement: a resident
+    // engine converges its dominance-test rate onto what this process really
+    // sustains under serving load.
+    counters_.plan_predicted_ns.fetch_add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, result.metrics.plan_predicted_ns)),
+        std::memory_order_relaxed);
+    counters_.plan_actual_ns.fetch_add(static_cast<std::uint64_t>(run.wall_seconds * 1e9),
+                                       std::memory_order_relaxed);
+    core::CostModel::process().observe_run(work, shuffled, run.wall_seconds);
   }
   return canonical_by_id(run.skyline);
 }
@@ -220,13 +287,13 @@ QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query,
               result.points = *snap.full_skyline;
               return;
             }
+            const core::MRSkylineConfig cfg = resolved_config(snap, result.metrics);
             const std::string fit_key =
-                "v" + std::to_string(snap.version) + "/" +
-                part::to_string(options_.config.scheme) + "/p" +
-                std::to_string(options_.config.effective_partitions()) + "/s" +
-                std::to_string(options_.config.fit_sample_size) + "." +
-                std::to_string(options_.config.fit_sample_seed) + "/full";
-            result.points = pipeline_skyline(dataset, fit_key, result, cancel);
+                "v" + std::to_string(snap.version) + "/" + part::to_string(cfg.scheme) +
+                "/p" + std::to_string(cfg.effective_partitions()) + "/s" +
+                std::to_string(cfg.fit_sample_size) + "." +
+                std::to_string(cfg.fit_sample_seed) + "/full";
+            result.points = pipeline_skyline(dataset, cfg, fit_key, result, cancel);
             // A query that was cancelled between task-loop polls may still
             // hold a complete skyline; it must NOT become the resident fold —
             // the caller sees the typed abort, so nothing it produced may be
@@ -236,17 +303,21 @@ QueryResult QueryEngine::compute(const EngineSnapshot& snap, const Query& query,
           },
           [&](const SubspaceQuery& q) {
             const data::PointSet projected = data::project(dataset, q.attributes);
+            // Subspace pipelines reuse the full-dataset plan's shape: the
+            // projection is derived data at the same version, and planning
+            // per attribute subset would multiply planner work for marginal
+            // gain (the fit is still per-subspace via the key suffix).
+            const core::MRSkylineConfig cfg = resolved_config(snap, result.metrics);
             std::string fit_key = "v" + std::to_string(snap.version) + "/" +
-                                  part::to_string(options_.config.scheme) + "/p" +
-                                  std::to_string(options_.config.effective_partitions()) +
-                                  "/s" + std::to_string(options_.config.fit_sample_size) +
-                                  "." + std::to_string(options_.config.fit_sample_seed) +
-                                  "/sub:";
+                                  part::to_string(cfg.scheme) + "/p" +
+                                  std::to_string(cfg.effective_partitions()) + "/s" +
+                                  std::to_string(cfg.fit_sample_size) + "." +
+                                  std::to_string(cfg.fit_sample_seed) + "/sub:";
             for (std::size_t i = 0; i < q.attributes.size(); ++i) {
               if (i > 0) fit_key += ',';
               fit_key += std::to_string(q.attributes[i]);
             }
-            result.points = pipeline_skyline(projected, fit_key, result, cancel);
+            result.points = pipeline_skyline(projected, cfg, fit_key, result, cancel);
           },
           [&](const KSkybandQuery& q) {
             cancel.throw_if_stopped("k-skyband scan");
@@ -395,6 +466,12 @@ std::uint64_t QueryEngine::insert_batch(const data::PointSet& points) {
   {
     std::lock_guard<std::mutex> lock(fits_mutex_);
     fits_.clear();
+  }
+  // The adaptive plan was scored against the old data's sample; a new
+  // version replans on first use (in-flight queries keep theirs pinned).
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    plans_.clear();
   }
   // Version-keyed entries can no longer hit; purge them eagerly — counted as
   // evictions — so cache occupancy reflects live entries only.

@@ -13,6 +13,9 @@
 //  * partition fits are memoised per (version, scheme, partitions,
 //    fit-sample[, attribute-subset]) key and reused until an insert changes
 //    the data;
+//  * under scheme=auto, the adaptive plan (core::AdaptivePlanner) is memoised
+//    per dataset version the same way — planned once, reused by every query
+//    at that version, invalidated by insert_batch;
 //  * results are kept in an LRU cache keyed by the query's canonical
 //    signature plus the dataset version, so a repeated query is a lookup;
 //  * insert_batch() folds new points into the resident full skyline through
@@ -59,6 +62,7 @@
 #include "src/common/sync.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/trace.hpp"
+#include "src/core/adaptive_planner.hpp"
 #include "src/core/mr_skyline.hpp"
 #include "src/dataset/point_set.hpp"
 #include "src/partition/partitioner.hpp"
@@ -166,6 +170,11 @@ class QueryEngine {
     std::uint64_t points_inserted = 0;
     std::uint64_t cache_evictions = 0;  ///< LRU capacity + insert-purge evictions
     std::uint64_t queries_cancelled = 0;  ///< typed QueryCancelled aborts (deadline or cancel)
+    // scheme=auto only: adaptive-planner activity and its prediction quality.
+    std::uint64_t plans_computed = 0;   ///< adaptive plans built (one per version)
+    std::uint64_t plan_reuses = 0;      ///< queries served from the plan memo
+    std::uint64_t plan_predicted_ns = 0;  ///< summed predicted pipeline wall (planned runs)
+    std::uint64_t plan_actual_ns = 0;     ///< summed measured pipeline wall (planned runs)
   };
   /// A consistent point-in-time copy of the counters. Thread-safe.
   [[nodiscard]] Stats stats() const;
@@ -173,6 +182,8 @@ class QueryEngine {
   /// Current cache / fit-memo occupancy (for tests). Thread-safe.
   [[nodiscard]] std::size_t cache_entries() const;
   [[nodiscard]] std::size_t fit_entries() const;
+  /// Plan-memo occupancy (scheme=auto; 0 otherwise). Thread-safe.
+  [[nodiscard]] std::size_t plan_entries() const;
 
  private:
   /// What the result cache retains: the answer's data, never its
@@ -194,16 +205,32 @@ class QueryEngine {
   /// Cache key for `query` at `version`.
   [[nodiscard]] static std::string cache_key(const Query& query, std::uint64_t version);
 
-  /// Looks up / fits-and-memoises the partitioner for `ps` under `fit_key`.
-  /// The returned shared_ptr pins the fit: a concurrent insert_batch may
-  /// retire the memo entry, but the fit object stays alive for this run.
-  FitPtr prepared_fit(const data::PointSet& ps, const std::string& fit_key, bool& reused);
+  /// Looks up / fits-and-memoises the partitioner for `ps` under `fit_key`,
+  /// constructing it from `config` (the resolved pipeline config — never
+  /// scheme=auto) on a miss. The returned shared_ptr pins the fit: a
+  /// concurrent insert_batch may retire the memo entry, but the fit object
+  /// stays alive for this run.
+  FitPtr prepared_fit(const data::PointSet& ps, const core::MRSkylineConfig& config,
+                      const std::string& fit_key, bool& reused);
 
-  /// Runs the MapReduce pipeline over `ps` with a prepared fit; returns the
-  /// canonical (id-sorted) skyline and charges work into `result`. `cancel`
-  /// rides into the run's RunOptions, so task loops poll it.
-  data::PointSet pipeline_skyline(const data::PointSet& ps, const std::string& fit_key,
-                                  QueryResult& result, const common::CancellationToken& cancel);
+  /// The pipeline config queries at `snap` should run with: options_.config
+  /// as-is for static schemes; under scheme=auto, the memoised adaptive plan
+  /// for `snap`'s version (planned on first use, reused after — the plan
+  /// fields of `metrics` record which). Thread-safe like prepared_fit: the
+  /// planner runs outside the memo lock, racing planners produce identical
+  /// plans (same data, same seed) and the loser adopts the winner.
+  [[nodiscard]] core::MRSkylineConfig resolved_config(const EngineSnapshot& snap,
+                                                      QueryMetrics& metrics);
+
+  /// Runs the MapReduce pipeline over `ps` with `config` plus a prepared fit;
+  /// returns the canonical (id-sorted) skyline and charges work into
+  /// `result`. `cancel` rides into the run's RunOptions, so task loops poll
+  /// it. Planned runs (result.metrics.planned) also feed the process cost
+  /// model and the predicted-vs-actual counters.
+  data::PointSet pipeline_skyline(const data::PointSet& ps,
+                                  const core::MRSkylineConfig& config,
+                                  const std::string& fit_key, QueryResult& result,
+                                  const common::CancellationToken& cancel);
 
   /// Computes a fresh payload for `query` against the pinned snapshot.
   [[nodiscard]] QueryResult compute(const EngineSnapshot& snap, const Query& query,
@@ -242,6 +269,12 @@ class QueryEngine {
   mutable std::mutex fits_mutex_;
   std::map<std::string, FitPtr> fits_;
 
+  /// Adaptive-plan memo (scheme=auto): one entry per dataset version, keyed
+  /// "v{version}/s{sample seed}". Dropped on insert like the fit memo;
+  /// in-flight queries keep their plan alive through the shared_ptr.
+  mutable std::mutex plans_mutex_;
+  std::map<std::string, std::shared_ptr<const core::AdaptivePlan>> plans_;
+
   /// Result cache. Its own small mutex makes the LRU recency touch on the
   /// hit path safe without taking any engine-wide lock.
   mutable std::mutex cache_mutex_;
@@ -259,6 +292,10 @@ class QueryEngine {
     std::atomic<std::uint64_t> points_inserted{0};
     std::atomic<std::uint64_t> cache_evictions{0};
     std::atomic<std::uint64_t> queries_cancelled{0};
+    std::atomic<std::uint64_t> plans_computed{0};
+    std::atomic<std::uint64_t> plan_reuses{0};
+    std::atomic<std::uint64_t> plan_predicted_ns{0};
+    std::atomic<std::uint64_t> plan_actual_ns{0};
   };
   mutable Counters counters_;
 };

@@ -11,6 +11,15 @@
 // to predict merge-stage input sizes; the distribution ablation shows how
 // far real workloads (correlated / anticorrelated) sit from the independence
 // assumption.
+//
+// The independence assumption matters for how callers should read the
+// numbers: correlated attributes shrink the skyline (often dramatically)
+// while anticorrelated ones inflate it, but in the regimes this codebase
+// targets — service-selection data where QoS attributes trade off mildly —
+// H(n, d) behaves as a loose upper-ish bound. The adaptive planner therefore
+// uses the *ratio* H(full)/H(sample) to grow measured sample skylines
+// (core/cost_model.hpp: skyline_growth_factor), never the absolute value;
+// the ratio is far less sensitive to the assumption than the level is.
 #pragma once
 
 #include <cstddef>
@@ -18,9 +27,15 @@
 namespace mrsky::skyline {
 
 /// Exact expected skyline size for independent continuous attributes, via
-/// the harmonic recurrence H(n, 1) = 1? No — H(n, 1) = 1 for any n, and
-/// H(n, d) = H(n-1, d) + H(n-1, d-1)/n with H(0, d) = 0. O(n·d) time,
-/// O(d) space. Requires d >= 1.
+/// the harmonic recurrence
+///
+///   H(n, 1) = 1 for n >= 1,   H(0, d) = 0,
+///   H(n, d) = H(n-1, d) + H(n, d-1) / n,
+///
+/// i.e. point n is a d-dimensional record iff it is a (d-1)-dimensional
+/// record among the points tied for last place in the remaining dimension —
+/// probability H(n, d-1)/n under independence. O(n·d) time, O(n) space
+/// (one level of the recurrence kept in place). Requires d >= 1.
 [[nodiscard]] double expected_skyline_size(std::size_t n, std::size_t dim);
 
 /// Closed-form approximation (ln n)^(d-1) / (d-1)! — cheap, asymptotic.

@@ -1,0 +1,166 @@
+// core::AdaptivePlanner — sample → analyze → optimize, and the scheme=auto
+// resolution path through run_mr_skyline. Tests pin explicit CostConstants so
+// candidate pricing (and hence every assertion) is machine-independent.
+#include "src/core/adaptive_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/partition/factory.hpp"
+#include "src/skyline/algorithms.hpp"
+#include "src/skyline/verify.hpp"
+
+namespace mrsky::core {
+namespace {
+
+/// Fixed constants: deterministic pricing regardless of the host machine.
+CostConstants pinned_constants() {
+  CostConstants c;
+  c.seconds_per_dominance_test = 4e-9;
+  c.seconds_per_assign_dim = 2e-9;
+  c.seconds_per_shuffle_record = 1.2e-7;
+  c.seconds_per_job = 2e-4;
+  return c;
+}
+
+AdaptivePlannerOptions pinned_options() {
+  AdaptivePlannerOptions options;
+  options.constants = pinned_constants();
+  return options;
+}
+
+data::PointSet workload(std::size_t n = 4000, std::size_t dim = 4,
+                        std::uint64_t seed = 71) {
+  return data::generate(data::Distribution::kAnticorrelated, n, dim, seed);
+}
+
+TEST(AdaptivePlanner, SmallDatasetsFallBackToStaticHeuristic) {
+  const auto ps = data::generate(data::Distribution::kIndependent, 100, 4, 7);
+  const AdaptivePlanner planner(pinned_options());
+  const AdaptivePlan plan = planner.plan(ps, MRSkylineConfig{});
+  EXPECT_TRUE(plan.fallback);
+  EXPECT_TRUE(plan.candidates.empty());
+  EXPECT_NE(plan.config.scheme, part::Scheme::kAuto);
+  EXPECT_TRUE(plan.config.validate().empty());
+  EXPECT_NE(plan.rationale.find("static heuristic"), std::string::npos);
+}
+
+TEST(AdaptivePlanner, PlanIsDeterministic) {
+  const auto ps = workload();
+  const AdaptivePlanner planner(pinned_options());
+  const AdaptivePlan a = planner.plan(ps, MRSkylineConfig{});
+  const AdaptivePlan b = planner.plan(ps, MRSkylineConfig{});
+  EXPECT_EQ(a.chosen.scheme, b.chosen.scheme);
+  EXPECT_EQ(a.chosen.partitions, b.chosen.partitions);
+  EXPECT_EQ(a.chosen.merge_fan_in, b.chosen.merge_fan_in);
+  EXPECT_EQ(a.chosen.salted, b.chosen.salted);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(a.candidates[i].scheme, b.candidates[i].scheme) << "candidate " << i;
+    EXPECT_DOUBLE_EQ(a.candidates[i].total_seconds(), b.candidates[i].total_seconds());
+  }
+}
+
+TEST(AdaptivePlanner, ResolvedConfigValidatesAndIsNeverAuto) {
+  const auto ps = workload();
+  MRSkylineConfig base;
+  base.scheme = part::Scheme::kAuto;
+  base.servers = 6;
+  const AdaptivePlan plan = AdaptivePlanner(pinned_options()).plan(ps, base);
+  EXPECT_FALSE(plan.fallback);
+  EXPECT_NE(plan.config.scheme, part::Scheme::kAuto);
+  EXPECT_TRUE(plan.config.validate().empty());
+  // Fields the planner does not decide pass through from the base config.
+  EXPECT_EQ(plan.config.servers, 6u);
+  EXPECT_EQ(plan.config.prepared_partitioner, nullptr);
+}
+
+TEST(AdaptivePlanner, CandidatesSortedCheapestFirstAndChosenIsFirst) {
+  const auto ps = workload();
+  const AdaptivePlan plan = AdaptivePlanner(pinned_options()).plan(ps, MRSkylineConfig{});
+  ASSERT_FALSE(plan.candidates.empty());
+  EXPECT_TRUE(std::is_sorted(
+      plan.candidates.begin(), plan.candidates.end(),
+      [](const PlanCandidate& a, const PlanCandidate& b) {
+        return a.total_seconds() < b.total_seconds();
+      }));
+  EXPECT_EQ(plan.chosen.scheme, plan.candidates.front().scheme);
+  EXPECT_EQ(plan.chosen.partitions, plan.candidates.front().partitions);
+  EXPECT_DOUBLE_EQ(plan.chosen.total_seconds(), plan.candidates.front().total_seconds());
+  // Every candidate carries a full phase breakdown and analysis fields.
+  for (const PlanCandidate& c : plan.candidates) {
+    EXPECT_GT(c.total_seconds(), 0.0);
+    EXPECT_GT(c.partitions, 0u);
+    EXPECT_GE(c.predicted_merge_input, 0.0);
+  }
+}
+
+TEST(AdaptivePlanner, RationaleNamesTheDecision) {
+  const auto ps = workload();
+  const AdaptivePlan plan = AdaptivePlanner(pinned_options()).plan(ps, MRSkylineConfig{});
+  EXPECT_NE(plan.rationale.find(part::to_string(plan.chosen.scheme)), std::string::npos);
+  EXPECT_NE(plan.rationale.find("candidate"), std::string::npos);
+  EXPECT_GT(plan.sample_points, 0u);
+}
+
+TEST(AdaptivePlanner, SampleSizeCapsAnalyzedPoints) {
+  const auto ps = workload(5000);
+  AdaptivePlannerOptions options = pinned_options();
+  options.sample_size = 1024;
+  const AdaptivePlan plan = AdaptivePlanner(options).plan(ps, MRSkylineConfig{});
+  EXPECT_EQ(plan.sample_points, 1024u);
+}
+
+TEST(SchemeAuto, FactoryRejectsAutoAsPartitioner) {
+  part::PartitionerOptions options;
+  options.num_partitions = 8;
+  EXPECT_THROW((void)part::make_partitioner(part::Scheme::kAuto, options),
+               mrsky::RuntimeError);
+}
+
+TEST(SchemeAuto, ParseAndToStringRoundTrip) {
+  EXPECT_EQ(part::parse_scheme("auto"), part::Scheme::kAuto);
+  EXPECT_EQ(part::parse_scheme("adaptive"), part::Scheme::kAuto);
+  EXPECT_EQ(part::to_string(part::Scheme::kAuto), "auto");
+}
+
+TEST(SchemeAuto, RunMrSkylineResolvesAutoAndMatchesBnl) {
+  const auto ps = workload(3000);
+  MRSkylineConfig config;
+  config.scheme = part::Scheme::kAuto;
+  const MRSkylineResult result = run_mr_skyline(ps, config);
+  EXPECT_TRUE(result.plan.engaged);
+  EXPECT_NE(result.plan.scheme, part::Scheme::kAuto);
+  EXPECT_GT(result.plan.candidates, 0u);
+  EXPECT_GE(result.wall_seconds, result.plan.planning_seconds);
+  EXPECT_TRUE(skyline::same_ids(result.skyline, skyline::bnl_skyline(ps)));
+}
+
+TEST(SchemeAuto, StaticRunsLeavePlanDisengaged) {
+  const auto ps = workload(1000);
+  const MRSkylineResult result = run_mr_skyline(ps, MRSkylineConfig{});
+  EXPECT_FALSE(result.plan.engaged);
+  EXPECT_DOUBLE_EQ(result.plan.planning_seconds, 0.0);
+}
+
+TEST(SchemeAuto, ReplayingResolvedConfigGivesSameIds) {
+  const auto ps = workload(3000);
+  MRSkylineConfig config;
+  config.scheme = part::Scheme::kAuto;
+  const MRSkylineResult auto_run = run_mr_skyline(ps, config);
+
+  MRSkylineConfig resolved;
+  resolved.scheme = auto_run.plan.scheme;
+  resolved.num_partitions = auto_run.plan.partitions;
+  resolved.merge_fan_in = auto_run.plan.merge_fan_in;
+  resolved.salt_oversized_partitions = auto_run.plan.salted;
+  const MRSkylineResult replay = run_mr_skyline(ps, resolved);
+  EXPECT_FALSE(replay.plan.engaged);
+  EXPECT_TRUE(skyline::same_ids(auto_run.skyline, replay.skyline));
+}
+
+}  // namespace
+}  // namespace mrsky::core

@@ -1,0 +1,125 @@
+// core::CostModel — EWMA refinement, outlier clamping, small-run guard, and
+// the skyline growth factor the planner uses to scale sample measurements.
+#include "src/core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/skyline/estimate.hpp"
+
+namespace mrsky::core {
+namespace {
+
+TEST(CostModel, DefaultConstructionUsesLibraryDefaults) {
+  const CostModel model;
+  const CostConstants defaults;
+  EXPECT_DOUBLE_EQ(model.constants().seconds_per_dominance_test,
+                   defaults.seconds_per_dominance_test);
+  EXPECT_EQ(model.observations(), 0u);
+}
+
+TEST(CostModel, ExplicitConstantsAreReturnedVerbatim) {
+  CostConstants fixed;
+  fixed.seconds_per_dominance_test = 1e-8;
+  fixed.seconds_per_job = 5e-4;
+  const CostModel model(fixed);
+  EXPECT_DOUBLE_EQ(model.constants().seconds_per_dominance_test, 1e-8);
+  EXPECT_DOUBLE_EQ(model.constants().seconds_per_job, 5e-4);
+}
+
+TEST(CostModel, ObserveRunMovesRateTowardImplied) {
+  CostModel model;  // defaults: 4e-9 per dominance test
+  // 1e6 work units in 8 ms with no shuffle => implied rate 8e-9, inside the
+  // clamp window. EWMA with alpha 0.3: 0.7*4e-9 + 0.3*8e-9 = 5.2e-9.
+  model.observe_run(1'000'000, 0, 8e-3);
+  EXPECT_EQ(model.observations(), 1u);
+  EXPECT_NEAR(model.constants().seconds_per_dominance_test, 5.2e-9, 1e-12);
+}
+
+TEST(CostModel, ObserveRunSubtractsShuffleOverhead) {
+  CostConstants fixed;
+  fixed.seconds_per_dominance_test = 4e-9;
+  fixed.seconds_per_shuffle_record = 1e-6;
+  CostModel model(fixed);
+  // Wall = 1000 shuffle records at 1e-6 (= 1 ms overhead) + 1e6 tests at the
+  // current 4e-9 rate (= 4 ms attributable). Implied == current => no drift.
+  model.observe_run(1'000'000, 1000, 1e-3 + 4e-3);
+  EXPECT_EQ(model.observations(), 1u);
+  EXPECT_NEAR(model.constants().seconds_per_dominance_test, 4e-9, 1e-12);
+}
+
+TEST(CostModel, ObserveRunClampsOutliers) {
+  CostModel model;  // 4e-9 default
+  // Implied rate 1e-3 per test — an absurd outlier (e.g. the process was
+  // descheduled). Clamped to 8x the current rate before the EWMA step:
+  // 0.7*4e-9 + 0.3*(8*4e-9) = 12.4e-9.
+  model.observe_run(10'000, 0, 10.0);
+  EXPECT_NEAR(model.constants().seconds_per_dominance_test, 12.4e-9, 1e-12);
+  // Implied rate ~0 (impossibly fast) clamps at 1/8x from the other side.
+  CostModel fast;
+  fast.observe_run(1'000'000'000, 0, 1e-6);
+  const double floor = 0.7 * 4e-9 + 0.3 * (4e-9 / 8.0);
+  EXPECT_NEAR(fast.constants().seconds_per_dominance_test, floor, 1e-12);
+}
+
+TEST(CostModel, ObserveRunIgnoresRunsWithoutSignal) {
+  CostModel model;
+  model.observe_run(9'999, 0, 1.0);        // below the min-work guard
+  model.observe_run(1'000'000, 0, 0.0);    // no wall
+  model.observe_run(1'000'000, 0, -1.0);   // negative wall
+  // Shuffle overhead exceeds the wall — nothing attributable to tests.
+  CostConstants fixed;
+  fixed.seconds_per_shuffle_record = 1.0;
+  CostModel shuffled(fixed);
+  shuffled.observe_run(1'000'000, 10, 1.0);
+  EXPECT_EQ(model.observations(), 0u);
+  EXPECT_EQ(shuffled.observations(), 0u);
+  const CostConstants defaults;
+  EXPECT_DOUBLE_EQ(model.constants().seconds_per_dominance_test,
+                   defaults.seconds_per_dominance_test);
+}
+
+TEST(CostModel, ProbeCalibrationYieldsPositiveConstants) {
+  const CostConstants measured = CostModel::calibrate_by_probe();
+  EXPECT_GT(measured.seconds_per_dominance_test, 0.0);
+  EXPECT_GT(measured.seconds_per_assign_dim, 0.0);
+  EXPECT_GT(measured.seconds_per_shuffle_record, 0.0);
+  EXPECT_GT(measured.seconds_per_job, 0.0);
+}
+
+TEST(GrowthFactor, DegenerateInputsReturnOne) {
+  EXPECT_DOUBLE_EQ(skyline_growth_factor(0, 1000, 4), 1.0);
+  EXPECT_DOUBLE_EQ(skyline_growth_factor(1000, 1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(skyline_growth_factor(100, 1000, 0), 1.0);
+  EXPECT_DOUBLE_EQ(skyline_growth_factor(1000, 1000, 4), 1.0);
+}
+
+TEST(GrowthFactor, OneDimensionalSkylinesNeverGrow) {
+  // d=1: the skyline is a single point at any scale.
+  EXPECT_DOUBLE_EQ(skyline_growth_factor(100, 1'000'000, 1), 1.0);
+}
+
+TEST(GrowthFactor, GrowingPopulationGrowsAtLeastOne) {
+  const double g = skyline_growth_factor(2048, 100'000, 5);
+  EXPECT_GE(g, 1.0);
+  // Matches the closed-form ratio exactly.
+  const double expected = skyline::approx_skyline_size(100'000, 5) /
+                          skyline::approx_skyline_size(2048, 5);
+  EXPECT_DOUBLE_EQ(g, expected);
+}
+
+TEST(GrowthFactor, MonotoneInTargetSize) {
+  const double small = skyline_growth_factor(2048, 10'000, 4);
+  const double large = skyline_growth_factor(2048, 1'000'000, 4);
+  EXPECT_LT(small, large);
+}
+
+TEST(GrowthFactor, ShrinkingPopulationShrinksButStaysPositive) {
+  // Salted sub-keys scale a partition skyline DOWN (full_n < sample_n):
+  // the factor must drop below 1 and never go negative.
+  const double g = skyline_growth_factor(100'000, 2048, 5);
+  EXPECT_LT(g, 1.0);
+  EXPECT_GT(g, 0.0);
+}
+
+}  // namespace
+}  // namespace mrsky::core

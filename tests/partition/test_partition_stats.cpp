@@ -53,6 +53,58 @@ TEST(PartitionStats, BalancedAssignmentHasLowCv) {
   EXPECT_LT(report.balance_cv, 1.0);
 }
 
+TEST(PartitionStats, EmptyDatasetYieldsZeroedReport) {
+  // Fitted on real data, analyzed over an empty set of the same dim: every
+  // aggregate must be zero and the CV must be 0 (not NaN).
+  const PointSet fit_on = data::generate(data::Distribution::kIndependent, 400, 3, 19);
+  DimensionalPartitioner p(4);
+  p.fit(fit_on);
+  const PointSet empty(fit_on.dim());
+  const auto report = analyze_partitioning(p, empty);
+  ASSERT_EQ(report.sizes.size(), 4u);
+  for (std::size_t s : report.sizes) EXPECT_EQ(s, 0u);
+  EXPECT_EQ(report.non_empty, 0u);
+  EXPECT_EQ(report.largest, 0u);
+  EXPECT_EQ(report.pruned_points, 0u);
+  EXPECT_EQ(report.balance_cv, 0.0);
+}
+
+TEST(PartitionStats, SinglePartitionIsPerfectlyBalanced) {
+  const PointSet ps = data::generate(data::Distribution::kAnticorrelated, 700, 3, 23);
+  AngularPartitioner p(1);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  ASSERT_EQ(report.sizes.size(), 1u);
+  EXPECT_EQ(report.sizes[0], ps.size());
+  EXPECT_EQ(report.non_empty, 1u);
+  EXPECT_EQ(report.largest, ps.size());
+  EXPECT_EQ(report.balance_cv, 0.0);
+}
+
+TEST(PartitionStats, AllPointsInOnePartitionShowsImbalance) {
+  // Identical points collapse every dimensional split boundary: the whole
+  // dataset lands in one of the 4 partitions and the CV reflects it.
+  PointSet ps(3);
+  const std::vector<double> coords{0.5, 0.5, 0.5};
+  for (data::PointId id = 0; id < 120; ++id) ps.push_back(coords, id);
+  DimensionalPartitioner p(4);
+  p.fit(ps);
+  const auto report = analyze_partitioning(p, ps);
+  EXPECT_EQ(report.non_empty, 1u);
+  EXPECT_EQ(report.largest, ps.size());
+  // sizes = {120, 0, 0, 0} up to position: mean 30, stddev 30*sqrt(3).
+  EXPECT_GT(report.balance_cv, 1.0);
+}
+
+TEST(SplitByPartition, EmptyDatasetGivesAllEmptyParts) {
+  const PointSet fit_on = data::generate(data::Distribution::kIndependent, 200, 2, 29);
+  GridPartitioner p(8);
+  p.fit(fit_on);
+  const auto parts = split_by_partition(p, PointSet(fit_on.dim()));
+  ASSERT_EQ(parts.size(), 8u);
+  for (const auto& part : parts) EXPECT_TRUE(part.empty());
+}
+
 TEST(SplitByPartition, PartitionsAreDisjointAndComplete) {
   const PointSet ps = data::generate(data::Distribution::kClustered, 600, 3, 11);
   GridPartitioner p(8);

@@ -5,7 +5,9 @@
 //   skyline   — compute a skyline from a CSV dataset with the MR pipeline
 //   report    — partition diagnostics for a dataset under a scheme
 //   simulate  — simulated cluster times across server counts
-//   plan      — recommend a pipeline configuration for a workload
+//   plan      — recommend a pipeline configuration: static heuristic from
+//               (N, d, servers), or the adaptive sample-analyze-optimize
+//               planner's full candidate table when --input is given
 //   query     — serve a query script against a resident QueryEngine
 //   serve     — run the concurrent multi-session skyline server (TCP)
 //
@@ -29,6 +31,7 @@
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
 #include "src/common/table.hpp"
+#include "src/core/adaptive_planner.hpp"
 #include "src/core/mr_skyline.hpp"
 #include "src/core/optimality.hpp"
 #include "src/core/planner.hpp"
@@ -181,6 +184,14 @@ int cmd_skyline(const common::CliArgs& args) {
             << "scheme:  " << part::to_string(config.scheme) << " ("
             << result.local_skylines.size() << " partitions)\n"
             << "skyline: " << result.skyline.size() << " points\n";
+  if (result.plan.engaged) {
+    std::cout << "planner: resolved auto -> " << part::to_string(result.plan.scheme) << " Np="
+              << result.plan.partitions << " fan=" << result.plan.merge_fan_in << " salt="
+              << (result.plan.salted ? "on" : "off") << (result.plan.fallback ? " (fallback)" : "")
+              << ", " << result.plan.candidates << " candidates over " << result.plan.sample_points
+              << " sample points in " << result.plan.planning_seconds * 1e3 << " ms\n";
+    if (args.get_bool("verbose", false)) std::cout << result.plan.rationale << "\n";
+  }
   const auto opt = core::local_skyline_optimality(result.local_skylines, result.skyline);
   std::cout << "local skyline optimality (Eq.5): " << opt.mean_optimality << "\n";
   if (args.get_bool("verbose", false)) std::cout << result.summary();
@@ -192,7 +203,19 @@ int cmd_skyline(const common::CliArgs& args) {
   if (const std::string json = args.get_string("metrics-json", ""); !json.empty()) {
     std::ofstream file(json);
     MRSKY_REQUIRE(static_cast<bool>(file), "cannot open " + json);
-    file << "{\"partition_job\":" << mr::to_json(result.partition_job) << ",\"merge_rounds\":[";
+    file << "{";
+    if (result.plan.engaged) {
+      file << "\"plan\":{\"scheme\":\"" << part::to_string(result.plan.scheme)
+           << "\",\"partitions\":" << result.plan.partitions
+           << ",\"merge_fan_in\":" << result.plan.merge_fan_in
+           << ",\"salted\":" << (result.plan.salted ? "true" : "false")
+           << ",\"fallback\":" << (result.plan.fallback ? "true" : "false")
+           << ",\"candidates\":" << result.plan.candidates
+           << ",\"sample_points\":" << result.plan.sample_points
+           << ",\"predicted_seconds\":" << result.plan.predicted_seconds
+           << ",\"planning_seconds\":" << result.plan.planning_seconds << "},";
+    }
+    file << "\"partition_job\":" << mr::to_json(result.partition_job) << ",\"merge_rounds\":[";
     for (std::size_t i = 0; i < result.merge_rounds.size(); ++i) {
       if (i > 0) file << ",";
       file << mr::to_json(result.merge_rounds[i]);
@@ -238,6 +261,40 @@ int cmd_report(const common::CliArgs& args) {
 }
 
 int cmd_plan(const common::CliArgs& args) {
+  // Two modes. With --input: the adaptive planner samples the actual data
+  // and prints the full candidate table — planning only, no pipeline run.
+  // Without: the static (N, d, servers) heuristic, as before.
+  if (!args.get_string("input", "").empty()) {
+    const data::PointSet ps = load_input(args);
+    core::MRSkylineConfig base;
+    base.servers = static_cast<std::size_t>(args.get_int("servers", 8));
+    base.salt_target_factor = args.get_double("salt-target-factor", base.salt_target_factor);
+    core::AdaptivePlannerOptions popts;
+    popts.sample_size = static_cast<std::size_t>(args.get_int("sample-size", 2048));
+    popts.sample_seed = static_cast<std::uint64_t>(args.get_int("sample-seed", 0x5a3e));
+    const core::AdaptivePlan plan = core::AdaptivePlanner(popts).plan(ps, base);
+
+    common::Table table({"scheme", "Np", "fan", "salt", "pred_ms", "balance_cv", "prunable_%",
+                         "merge_in"});
+    for (const auto& c : plan.candidates) {
+      table.add_row({part::to_string(c.scheme), common::Table::fmt(c.partitions),
+                     common::Table::fmt(c.merge_fan_in), c.salted ? "on" : "",
+                     common::Table::fmt(c.total_seconds() * 1e3, 3),
+                     common::Table::fmt(c.balance_cv, 3),
+                     common::Table::fmt(c.prunable_fraction * 100.0, 1),
+                     common::Table::fmt(c.predicted_merge_input, 0)});
+    }
+    table.print(std::cout, "adaptive plan candidates (" + std::to_string(ps.size()) +
+                               " points, " + std::to_string(plan.sample_points) + " sampled)");
+    std::cout << "\nchosen: --scheme " << part::to_string(plan.config.scheme) << " --partitions "
+              << plan.config.effective_partitions() << " --servers " << plan.config.servers;
+    if (plan.config.merge_fan_in > 0) std::cout << " --merge-fan-in " << plan.config.merge_fan_in;
+    if (plan.config.salt_oversized_partitions) std::cout << " --salt true";
+    std::cout << "\nplanning took " << plan.planning_seconds * 1e3 << " ms\n\nrationale:\n"
+              << plan.rationale << "\n";
+    return 0;
+  }
+
   core::PlannerInputs in;
   in.cardinality = static_cast<std::size_t>(args.get_int("n", 100000));
   in.dim = static_cast<std::size_t>(args.get_int("dim", 10));
@@ -329,7 +386,15 @@ int cmd_query(const common::CliArgs& args) {
                     ",\"fit_reused\":" + (m.fit_reused ? "true" : "false") +
                     ",\"dominance_tests\":" + std::to_string(m.dominance_tests) +
                     ",\"wall_ns\":" + std::to_string(m.wall_ns) +
-                    ",\"version\":" + std::to_string(m.dataset_version) + "}";
+                    ",\"version\":" + std::to_string(m.dataset_version);
+    if (m.planned) {
+      queries_json += ",\"plan\":{\"scheme\":\"" + m.plan_scheme +
+                      "\",\"partitions\":" + std::to_string(m.plan_partitions) +
+                      ",\"reused\":" + (m.plan_reused ? "true" : "false") +
+                      ",\"predicted_ns\":" + std::to_string(m.plan_predicted_ns) +
+                      ",\"planning_ns\":" + std::to_string(m.plan_planning_ns) + "}";
+    }
+    queries_json += "}";
   }
   table.print(std::cout, "query session: " + script_path);
 
@@ -338,6 +403,12 @@ int cmd_query(const common::CliArgs& args) {
             << "  pipeline runs: " << stats.pipeline_runs
             << "  fits computed/reused: " << stats.fits_computed << "/" << stats.fit_reuses
             << "  inserts: " << stats.inserts << "\n";
+  if (stats.plans_computed > 0 || stats.plan_reuses > 0) {
+    std::cout << "planner: " << stats.plans_computed << " plans computed, "
+              << stats.plan_reuses << " reused, predicted "
+              << static_cast<double>(stats.plan_predicted_ns) / 1e6 << " ms vs actual "
+              << static_cast<double>(stats.plan_actual_ns) / 1e6 << " ms pipeline wall\n";
+  }
 
   if (const std::string json = args.get_string("metrics-json", ""); !json.empty()) {
     std::ofstream file(json);
@@ -348,6 +419,10 @@ int cmd_query(const common::CliArgs& args) {
          << ",\"incremental_serves\":" << stats.incremental_serves
          << ",\"inserts\":" << stats.inserts << ",\"points_inserted\":" << stats.points_inserted
          << ",\"cache_evictions\":" << stats.cache_evictions
+         << ",\"plans_computed\":" << stats.plans_computed
+         << ",\"plan_reuses\":" << stats.plan_reuses
+         << ",\"plan_predicted_ns\":" << stats.plan_predicted_ns
+         << ",\"plan_actual_ns\":" << stats.plan_actual_ns
          << ",\"dataset_version\":" << engine.version() << "}}\n";
     std::cout << "metrics written to " << json << "\n";
   }
@@ -423,6 +498,12 @@ int cmd_serve(const common::CliArgs& args) {
             << " cache hits, " << stats.queries_cancelled << " cancelled, "
             << stats.inserts << " inserts (" << stats.points_inserted
             << " points), final version " << engine.version() << "\n";
+  if (stats.plans_computed > 0 || stats.plan_reuses > 0) {
+    std::cout << "planner: " << stats.plans_computed << " plans computed, "
+              << stats.plan_reuses << " reused, predicted "
+              << static_cast<double>(stats.plan_predicted_ns) / 1e6 << " ms vs actual "
+              << static_cast<double>(stats.plan_actual_ns) / 1e6 << " ms pipeline wall\n";
+  }
 
   if (const std::string json = args.get_string("metrics-json", ""); !json.empty()) {
     std::ofstream file(json);
@@ -442,6 +523,10 @@ int cmd_serve(const common::CliArgs& args) {
          << ",\"queries_cancelled\":" << stats.queries_cancelled
          << ",\"inserts\":" << stats.inserts
          << ",\"points_inserted\":" << stats.points_inserted
+         << ",\"plans_computed\":" << stats.plans_computed
+         << ",\"plan_reuses\":" << stats.plan_reuses
+         << ",\"plan_predicted_ns\":" << stats.plan_predicted_ns
+         << ",\"plan_actual_ns\":" << stats.plan_actual_ns
          << ",\"dataset_version\":" << engine.version()
          << "},\"sessions\":[" << sessions_json << "]}\n";
     std::cout << "metrics written to " << json << "\n";
