@@ -1,0 +1,258 @@
+// Streaming skyline maintenance — maintained apply_batch vs recompute.
+//
+// ISSUE 9 perf gate: the whole point of exclusive-dominee bookkeeping
+// (skyline::MaintainedSkyline) is that a tick of stream mutations — TTL
+// expiries, deletes, inserts — costs work proportional to what changed, not
+// to the live set. This bench replays ONE deterministic mutation schedule
+// through both implementations:
+//
+//  * maintained: a streaming QueryEngine, one apply_batch per tick (the
+//    snapshot published each tick carries the exact full skyline);
+//  * recompute: the from-scratch baseline every streaming paper compares
+//    against — apply the tick's mutations to a plain live set, then
+//    bnl_skyline the whole thing.
+//
+// Both paths see identical ids, identical TTL semantics and identical
+// mutation order, so their final skylines must match BITWISE — that identity
+// is asserted unconditionally (exactness gate), while `--check
+// --min-speedup R` additionally turns the events/sec ratio into an exit code
+// (scripts/ci_perf_smoke.sh gates on 5x).
+//
+//   bench_stream --cardinality 12000 --dim 4 --ticks 200 --check
+//       --min-speedup 5 --json experiment_results/stream_sweep.json
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/support.hpp"
+#include "src/common/cli.hpp"
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/table.hpp"
+#include "src/service/query_engine.hpp"
+#include "src/skyline/algorithms.hpp"
+
+using namespace mrsky;
+
+namespace {
+
+/// Ascending-id copy — the engine's canonical result order.
+data::PointSet canonical_by_id(const data::PointSet& ps) {
+  std::vector<std::size_t> order(ps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ps.id(a) < ps.id(b); });
+  return ps.select(order);
+}
+
+bool same_bits(const data::PointSet& a, const data::PointSet& b) {
+  if (a.size() != b.size() || a.dim() != b.dim()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.id(i) != b.id(i)) return false;
+    const auto pa = a.point(i);
+    const auto pb = b.point(i);
+    for (std::size_t d = 0; d < pa.size(); ++d) {
+      if (std::bit_cast<std::uint64_t>(pa[d]) != std::bit_cast<std::uint64_t>(pb[d])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Plain live-set replica driven by the same schedule: the recompute
+/// baseline's state, and the source of its per-tick skyline input.
+class NaiveStream {
+ public:
+  explicit NaiveStream(const data::PointSet& initial, data::PointId next_id)
+      : dim_(initial.dim()), next_id_(next_id) {
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      std::vector<double> row(initial.point(i).begin(), initial.point(i).end());
+      live_.emplace(initial.id(i), std::move(row));
+    }
+  }
+
+  void apply(const service::MutationBatch& batch) {
+    ++tick_;
+    while (!expiries_.empty() && expiries_.top().first <= tick_) {
+      live_.erase(expiries_.top().second);
+      expiries_.pop();
+    }
+    for (data::PointId id : batch.deletes) live_.erase(id);
+    for (std::size_t i = 0; i < batch.inserts.size(); ++i) {
+      const data::PointId id = next_id_++;
+      const auto p = batch.inserts.point(i);
+      live_.emplace(id, std::vector<double>(p.begin(), p.end()));
+      const std::int64_t ttl = batch.ttl_ticks.empty() ? 0 : batch.ttl_ticks[i];
+      if (ttl > 0) expiries_.emplace(tick_ + static_cast<std::uint64_t>(ttl), id);
+    }
+  }
+
+  [[nodiscard]] data::PointSet skyline() const {
+    std::vector<std::pair<data::PointId, const std::vector<double>*>> rows;
+    rows.reserve(live_.size());
+    for (const auto& [id, coords] : live_) rows.emplace_back(id, &coords);
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    data::PointSet ps(dim_);
+    for (const auto& [id, coords] : rows) ps.push_back(*coords, id);
+    return canonical_by_id(skyline::bnl_skyline(ps));
+  }
+
+ private:
+  std::size_t dim_;
+  data::PointId next_id_;
+  std::uint64_t tick_ = 0;
+  std::unordered_map<data::PointId, std::vector<double>> live_;
+  std::priority_queue<std::pair<std::uint64_t, data::PointId>,
+                      std::vector<std::pair<std::uint64_t, data::PointId>>, std::greater<>>
+      expiries_;
+};
+
+double events_per_sec(std::size_t events, std::int64_t ns) {
+  return ns > 0 ? static_cast<double>(events) * 1e9 / static_cast<double>(ns) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("cardinality", 12000));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 4));
+  const auto ticks = static_cast<std::size_t>(args.get_int("ticks", 200));
+  const auto insert_batch = static_cast<std::size_t>(args.get_int("insert-batch", 8));
+  const auto delete_batch = static_cast<std::size_t>(args.get_int("delete-batch", 8));
+  const auto ttl = static_cast<std::int64_t>(args.get_int("ttl", 48));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", bench::kDefaultSeed));
+  const bool check = args.get_bool("check", false);
+  const double min_speedup = args.get_double("min-speedup", 5.0);
+  const std::string json_out = args.get_string("json", "");
+
+  // One shared pool of rows: the first n seed the resident dataset, the rest
+  // arrive tick by tick. Both implementations assign stream ids n, n+1, ...
+  const data::PointSet all = bench::qws_workload(n + ticks * insert_batch, dim, seed);
+  std::vector<std::size_t> head(n);
+  for (std::size_t i = 0; i < n; ++i) head[i] = i;
+  const data::PointSet initial = all.select(head);
+
+  // The schedule is generated once and replayed verbatim by both paths.
+  // Deletes sample uniformly over every id ever assigned — hitting an
+  // already-dead id is the protocol's missing-delete case, and both sides
+  // must count it identically.
+  common::Rng rng(seed * 0x9e3779b9ull + 0x57ull);
+  std::vector<service::MutationBatch> schedule(ticks);
+  std::size_t events = 0;
+  std::size_t next_row = n;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    service::MutationBatch& batch = schedule[t];
+    batch.inserts = data::PointSet(dim);
+    for (std::size_t i = 0; i < insert_batch; ++i, ++next_row) {
+      batch.inserts.push_back(all.point(next_row), all.id(next_row));
+      batch.ttl_ticks.push_back(i % 4 == 0 ? ttl : 0);  // every 4th row expires
+    }
+    const std::size_t assigned = n + t * insert_batch;
+    for (std::size_t i = 0; i < delete_batch; ++i) {
+      batch.deletes.push_back(static_cast<data::PointId>(rng.uniform_index(assigned)));
+    }
+    events += insert_batch + delete_batch;
+  }
+
+  std::cout << "streaming skyline maintenance — maintained apply_batch vs recompute\n"
+            << "workload: QWS-like N=" << n << " d=" << dim << ", " << ticks << " ticks x ("
+            << insert_batch << " inserts + " << delete_batch << " deletes), ttl " << ttl
+            << " on every 4th insert\n\n";
+
+  // --- maintained path ---
+  service::QueryEngine engine(initial, {});
+  data::PointSet maintained_final(dim);
+  const auto m0 = std::chrono::steady_clock::now();
+  for (const auto& batch : schedule) {
+    const service::ApplyResult r = engine.apply_batch(batch);
+    maintained_final = *r.snapshot->full_skyline;
+  }
+  const auto m1 = std::chrono::steady_clock::now();
+  const auto maintained_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(m1 - m0).count();
+
+  // --- recompute-from-scratch baseline ---
+  NaiveStream naive(initial, static_cast<data::PointId>(n));
+  data::PointSet recompute_final(dim);
+  const auto r0 = std::chrono::steady_clock::now();
+  for (const auto& batch : schedule) {
+    naive.apply(batch);
+    recompute_final = naive.skyline();
+  }
+  const auto r1 = std::chrono::steady_clock::now();
+  const auto recompute_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(r1 - r0).count();
+
+  // Exactness gate — unconditional, even without --check: the maintained
+  // final skyline must equal the from-scratch recompute bit for bit.
+  MRSKY_REQUIRE(same_bits(maintained_final, recompute_final),
+                "maintained and recomputed final skylines differ — delete/TTL "
+                "maintenance is NOT exact");
+
+  const double maintained_eps = events_per_sec(events, maintained_ns);
+  const double recompute_eps = events_per_sec(events, recompute_ns);
+  const double speedup =
+      recompute_ns > 0 && maintained_ns > 0
+          ? static_cast<double>(recompute_ns) / static_cast<double>(maintained_ns)
+          : 0.0;
+
+  const service::QueryEngine::Stats stats = engine.stats();
+  common::Table table({"path", "events", "wall_ms", "events_per_sec", "final_skyline"});
+  table.add_row({"maintained", common::Table::fmt(events),
+                 common::Table::fmt(static_cast<double>(maintained_ns) / 1e6, 2),
+                 common::Table::fmt(maintained_eps, 0),
+                 common::Table::fmt(maintained_final.size())});
+  table.add_row({"recompute", common::Table::fmt(events),
+                 common::Table::fmt(static_cast<double>(recompute_ns) / 1e6, 2),
+                 common::Table::fmt(recompute_eps, 0),
+                 common::Table::fmt(recompute_final.size())});
+  table.print(std::cout, "final skylines bitwise-identical; speedup " +
+                             common::Table::fmt(speedup, 1) + "x");
+
+  std::cout << "\napply_batches: " << stats.apply_batches
+            << "  deleted: " << stats.points_deleted << "  expired: " << stats.points_expired
+            << "  missing deletes: " << stats.deletes_missed
+            << "  skyline entered/left: " << stats.stream_entered << "/" << stats.stream_left
+            << "\n";
+
+  if (!json_out.empty()) {
+    std::ofstream file(json_out);
+    MRSKY_REQUIRE(static_cast<bool>(file), "cannot open " + json_out);
+    file << "{\"workload\":{\"cardinality\":" << n << ",\"dim\":" << dim
+         << ",\"ticks\":" << ticks << ",\"insert_batch\":" << insert_batch
+         << ",\"delete_batch\":" << delete_batch << ",\"ttl\":" << ttl << ",\"seed\":" << seed
+         << "},\"events\":" << events << ",\"maintained_ns\":" << maintained_ns
+         << ",\"recompute_ns\":" << recompute_ns
+         << ",\"maintained_events_per_sec\":" << maintained_eps
+         << ",\"recompute_events_per_sec\":" << recompute_eps << ",\"speedup\":" << speedup
+         << ",\"bitwise_identical\":true,\"final_skyline\":" << maintained_final.size()
+         << ",\"stats\":{\"apply_batches\":" << stats.apply_batches
+         << ",\"points_deleted\":" << stats.points_deleted
+         << ",\"points_expired\":" << stats.points_expired
+         << ",\"deletes_missed\":" << stats.deletes_missed
+         << ",\"stream_entered\":" << stats.stream_entered
+         << ",\"stream_left\":" << stats.stream_left << "}}\n";
+    std::cout << "json written to " << json_out << "\n";
+  }
+
+  if (check && speedup < min_speedup) {
+    std::cerr << "FAIL: maintained path " << speedup << "x over recompute, below required "
+              << min_speedup << "x\n";
+    return 1;
+  }
+  if (check) {
+    std::cout << "CHECK OK: bitwise-identical skylines, speedup >= " << min_speedup << "x\n";
+  }
+  return 0;
+}

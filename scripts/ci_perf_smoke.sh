@@ -24,7 +24,7 @@ build_tree() {
     -DMRSKY_BUILD_TESTS=ON \
     -DMRSKY_BUILD_BENCH=ON \
     -DMRSKY_BUILD_EXAMPLES=OFF
-  cmake --build "$dir" -j --target micro_kernels mrsky mrsky_tests bench_query_engine ablation_planner
+  cmake --build "$dir" -j --target micro_kernels mrsky mrsky_tests bench_query_engine ablation_planner bench_stream
 }
 
 build_tree "$ROOT/build-perf-scalar" OFF
@@ -91,4 +91,14 @@ done
   --json "$RESULTS/planner_sweep.json" \
   --check
 
-echo "== perf smoke passed: results identical; timings in $RESULTS/micro_kernels_{scalar,native}.json, $RESULTS/query_engine.json and $RESULTS/planner_sweep.json"
+# Streaming maintenance gate (ISSUE 9 acceptance): on a resident set large
+# enough that a from-scratch recompute per tick hurts, maintained apply_batch
+# must process events at >= 5x the recompute baseline's rate, with the final
+# skylines bitwise identical (that identity is asserted unconditionally
+# inside the bench, before the ratio gate).
+"$ROOT/build-perf-scalar/bench/bench_stream" \
+  --cardinality 12000 --dim 4 --ticks 200 --seed 2012 \
+  --json "$RESULTS/stream_sweep.json" \
+  --check --min-speedup 5
+
+echo "== perf smoke passed: results identical; timings in $RESULTS/micro_kernels_{scalar,native}.json, $RESULTS/query_engine.json, $RESULTS/planner_sweep.json and $RESULTS/stream_sweep.json"

@@ -55,6 +55,11 @@ FILTER+=':Cancellation*:Deadline*:ProtocolFuzz*'
 # via observe_run (TSan checks the mutex discipline); partition diagnostics
 # feed the planner's analyze stage.
 FILTER+=':AdaptivePlanner*:CostModel*:GrowthFactor*:SchemeAuto*:PartitionStats*'
+# Streaming skylines (ISSUE 9): exact maintenance under deletes/TTL
+# (MaintainedSkyline), windowed eviction, the randomized insert/delete/TTL
+# sweep, and — the part that exists FOR TSan — standing subscriptions racing
+# apply_batch publishers and server drain (Subscription*).
+FILTER+=':MaintainedSkyline*:SlidingWindow*:StreamSweep*:Subscription*:NotifyQueue*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

@@ -24,10 +24,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "src/common/error.hpp"
 
@@ -211,6 +214,93 @@ class Semaphore {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t count_;
+};
+
+/// A bounded multi-producer single(or multi)-consumer notification queue —
+/// the delivery channel for streaming-subscription deltas (ISSUE 9). Two
+/// deliberate policy choices over a plain condition-variable queue:
+///
+///  * push() NEVER blocks the producer. The producer is the engine's write
+///    path; a slow subscriber must not be able to stall apply_batch for every
+///    other session. When the queue is full, the OLDEST item is dropped and
+///    the queue is latched "lagged" — the consumer learns its replay has a
+///    gap and must resynchronise from a fresh snapshot rather than silently
+///    continuing from a hole.
+///  * close() wakes all poppers; a closed queue still drains its backlog
+///    (pop returns items until empty, then nullopt), so a graceful shutdown
+///    delivers what was already published.
+template <typename T>
+class NotifyQueue {
+ public:
+  /// Holds at most `capacity` (>= 1) undelivered items.
+  explicit NotifyQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  NotifyQueue(const NotifyQueue&) = delete;
+  NotifyQueue& operator=(const NotifyQueue&) = delete;
+
+  /// Enqueues (dropping the oldest item when full). False iff closed.
+  bool push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      if (items_.size() == capacity_) {
+        items_.pop_front();
+        lagged_ = true;
+      }
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Waits up to `timeout_ms` for an item (0 = poll, < 0 = wait forever).
+  /// nullopt on timeout, or when the queue is closed AND drained.
+  std::optional<T> pop(std::int64_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [this] { return !items_.empty() || closed_; };
+    if (timeout_ms < 0) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Latches closed and wakes every waiter. Backlog stays poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// True once any item has been dropped for capacity. Latched.
+  [[nodiscard]] bool lagged() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lagged_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  bool lagged_ = false;
 };
 
 /// RAII slot holder: release() exactly once, on destruction, iff the

@@ -42,14 +42,31 @@ Request parse_json_request(const common::JsonValue& doc, std::size_t dim) {
     if (verb == "metrics") return MetricsRequest{};
     if (verb == "stats") return StatsRequest{};
     if (verb == "quit") return QuitRequest{};
-    throw InvalidArgument("unknown command '" + verb + "' (expected metrics|stats|quit)");
+    if (verb == "subscribe") return SubscribeRequest{};
+    if (verb == "unsubscribe") return UnsubscribeRequest{};
+    throw InvalidArgument("unknown command '" + verb +
+                          "' (expected metrics|stats|quit|subscribe|unsubscribe)");
+  }
+
+  if (const common::JsonValue* del = doc.find("delete"); del != nullptr) {
+    MRSKY_REQUIRE(del->is_array(), "delete expects an array of point ids");
+    service::DeleteCommand cmd;
+    for (const common::JsonValue& id : del->as_array()) {
+      cmd.ids.push_back(static_cast<data::PointId>(to_size(id, "point id")));
+    }
+    return cmd;
   }
 
   if (const common::JsonValue* insert = doc.find("insert"); insert != nullptr) {
+    std::int64_t ttl = 0;
+    if (const common::JsonValue* t = doc.find("ttl_ticks"); t != nullptr) {
+      ttl = static_cast<std::int64_t>(to_size(*t, "ttl_ticks"));
+      MRSKY_REQUIRE(insert->is_array(), "ttl_ticks applies to inline insert rows only");
+    }
     if (insert->is_string()) return service::InsertCommand{insert->as_string()};
     MRSKY_REQUIRE(insert->is_array(),
                   "insert expects a file path or an array of point rows");
-    InsertInline batch{data::PointSet(dim)};
+    InsertInline batch{data::PointSet(dim), ttl};
     std::vector<double> row;
     for (const common::JsonValue& item : insert->as_array()) {
       MRSKY_REQUIRE(item.is_array(), "insert rows must be arrays of numbers");
@@ -161,12 +178,17 @@ std::optional<RequestEnvelope> parse_request_line(const std::string& line, std::
   if (verb == "metrics") return RequestEnvelope{MetricsRequest{}, deadline_ms};
   if (verb == "stats") return RequestEnvelope{StatsRequest{}, deadline_ms};
   if (verb == "quit") return RequestEnvelope{QuitRequest{}, deadline_ms};
+  if (verb == "subscribe") return RequestEnvelope{SubscribeRequest{}, deadline_ms};
+  if (verb == "unsubscribe") return RequestEnvelope{UnsubscribeRequest{}, deadline_ms};
 
   std::istringstream one_line(body);
   std::vector<service::ScriptCommand> commands = service::parse_query_script(one_line);
   MRSKY_REQUIRE(commands.size() == 1, "expected exactly one command per line");
   if (auto* insert = std::get_if<service::InsertCommand>(&commands.front())) {
     return RequestEnvelope{std::move(*insert), deadline_ms};
+  }
+  if (auto* del = std::get_if<service::DeleteCommand>(&commands.front())) {
+    return RequestEnvelope{std::move(*del), deadline_ms};
   }
   return RequestEnvelope{std::get<service::Query>(std::move(commands.front())), deadline_ms};
 }
@@ -248,6 +270,58 @@ std::string result_line(const service::Query& query, const service::QueryResult&
 std::string insert_line(std::size_t points, std::uint64_t version) {
   return "{\"ok\":true,\"inserted\":" + std::to_string(points) +
          ",\"version\":" + std::to_string(version) + "}";
+}
+
+namespace {
+
+/// Renders a PointSet as `[[id,c,...],...]`, the same shape result_line uses.
+std::string points_array(const data::PointSet& points) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '[' + std::to_string(points.id(i));
+    for (double c : points.point(i)) out += ',' + double_repr(c);
+    out += ']';
+  }
+  out += ']';
+  return out;
+}
+
+std::string ids_array(const std::vector<data::PointId>& ids) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+std::string delete_line(const service::StreamDelta& delta) {
+  return "{\"ok\":true,\"deleted\":" + std::to_string(delta.deleted) +
+         ",\"missing\":" + std::to_string(delta.missing_deletes) +
+         ",\"expired\":" + std::to_string(delta.expired) +
+         ",\"version\":" + std::to_string(delta.version) + "}";
+}
+
+std::string subscribed_line(std::uint64_t base_version, const data::PointSet& base_skyline) {
+  return "{\"ok\":true,\"event\":\"subscribed\",\"version\":" + std::to_string(base_version) +
+         ",\"skyline\":" + points_array(base_skyline) + "}";
+}
+
+std::string unsubscribed_line() { return "{\"ok\":true,\"event\":\"unsubscribed\"}"; }
+
+std::string delta_line(const service::StreamDelta& delta) {
+  return "{\"ok\":true,\"event\":\"delta\",\"version\":" + std::to_string(delta.version) +
+         ",\"tick\":" + std::to_string(delta.tick) +
+         ",\"inserted\":" + std::to_string(delta.inserted) +
+         ",\"deleted\":" + std::to_string(delta.deleted) +
+         ",\"expired\":" + std::to_string(delta.expired) +
+         ",\"missing\":" + std::to_string(delta.missing_deletes) +
+         ",\"entered\":" + points_array(delta.entered) +
+         ",\"left\":" + ids_array(delta.left) + "}";
 }
 
 }  // namespace mrsky::server

@@ -16,8 +16,22 @@
 //      {"query":"topk","k":10,"weights":[0.25,0.75]}
 //      {"insert":"extra.csv"}              file on the server, insert_dir-relative
 //      {"insert":[[0.1,0.2],[0.3,0.4]]}    inline rows (one array per point)
-//      {"command":"metrics"|"stats"|"quit"}
-//    plus the bare control verbs `metrics`, `stats`, `quit`.
+//      {"insert":[[...]],"ttl_ticks":5}    inline rows expiring after 5 ticks
+//      {"delete":[3,17,42]}                delete points by engine id
+//      {"command":"metrics"|"stats"|"quit"|"subscribe"|"unsubscribe"}
+//    plus the bare control verbs `metrics`, `stats`, `quit`, `subscribe`,
+//    `unsubscribe`, and the script verb `delete 3,17,42`.
+//
+// Streaming (ISSUE 9): `subscribe` answers with `subscribed_line` — the base
+// snapshot version AND its full skyline, one atomic handoff — after which the
+// server pushes one `delta_line` per published version:
+//   {"ok":true,"event":"delta","version":V,"tick":T,"inserted":i,"deleted":d,
+//    "expired":e,"missing":m,"entered":[[id,c,...],...],"left":[id,...]}
+// Replaying entered/left onto the base skyline in version order reproduces
+// every published skyline bitwise. Regular requests still work while
+// subscribed; `unsubscribe` stops the pushes with `unsubscribed_line`. A
+// server drain cancels subscriptions with the same typed cancelled line a
+// query would get.
 //
 // Per-request deadlines (ISSUE 7): a JSON request may carry
 // `"deadline_ms":<n>`, and a `.mrq`-form request may end with a trailing
@@ -41,12 +55,16 @@
 #include "src/dataset/point_set.hpp"
 #include "src/service/query.hpp"
 #include "src/service/script.hpp"
+#include "src/service/stream.hpp"
 
 namespace mrsky::server {
 
 /// Inline insert: the rows arrived on the wire, no file involved.
 struct InsertInline {
   data::PointSet points;
+  /// Ticks until these rows expire (0 = engine default / no expiry). Applies
+  /// to every row of the batch.
+  std::int64_t ttl_ticks = 0;
 };
 
 /// Per-session aggregate metrics request (`metrics`).
@@ -58,8 +76,15 @@ struct StatsRequest {};
 /// Orderly session end (`quit`).
 struct QuitRequest {};
 
-using Request = std::variant<service::Query, service::InsertCommand, InsertInline,
-                             MetricsRequest, StatsRequest, QuitRequest>;
+/// Standing continuous-skyline query registration (`subscribe`).
+struct SubscribeRequest {};
+
+/// Ends the session's subscription (`unsubscribe`).
+struct UnsubscribeRequest {};
+
+using Request =
+    std::variant<service::Query, service::InsertCommand, service::DeleteCommand, InsertInline,
+                 MetricsRequest, StatsRequest, QuitRequest, SubscribeRequest, UnsubscribeRequest>;
 
 /// A parsed request plus its lifecycle attributes — today just the optional
 /// per-request deadline (-1 = none; the server may substitute its default).
@@ -113,5 +138,19 @@ struct RequestEnvelope {
 
 /// Result of an insert: points folded in and the new snapshot version.
 [[nodiscard]] std::string insert_line(std::size_t points, std::uint64_t version);
+
+/// Result of a delete tick: ids removed, ids unknown, new snapshot version.
+[[nodiscard]] std::string delete_line(const service::StreamDelta& delta);
+
+/// Subscription acknowledgement: the base version plus its FULL skyline (as
+/// `[id,c,...]` point arrays) — the atomic starting replica deltas build on.
+[[nodiscard]] std::string subscribed_line(std::uint64_t base_version,
+                                          const data::PointSet& base_skyline);
+
+/// `{"ok":true,"event":"unsubscribed"}` (idempotent).
+[[nodiscard]] std::string unsubscribed_line();
+
+/// One published version's skyline diff, pushed to a subscribed session.
+[[nodiscard]] std::string delta_line(const service::StreamDelta& delta);
 
 }  // namespace mrsky::server

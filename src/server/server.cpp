@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -64,13 +66,21 @@ enum class ReadOutcome {
 /// never come.
 class LineReader {
  public:
+  /// Sentinel for next(): use the reader's configured idle timeout.
+  static constexpr std::int64_t kConfiguredTimeout = std::numeric_limits<std::int64_t>::min();
+
   LineReader(int fd, std::int64_t idle_timeout_ms, std::size_t max_line_bytes)
       : fd_(fd), idle_timeout_ms_(idle_timeout_ms), max_line_bytes_(max_line_bytes) {}
 
-  ReadOutcome next(std::string& out) {
-    const common::Deadline idle = idle_timeout_ms_ < 0
-                                      ? common::Deadline{}
-                                      : common::Deadline::after_ms(idle_timeout_ms_);
+  /// `timeout_override_ms` replaces the configured idle timeout for this one
+  /// call (0 = non-blocking poll, the subscription pump's interleaved-request
+  /// check; <0 = wait forever). Bytes already buffered are consumed either
+  /// way, so an override can never lose a partially received request.
+  ReadOutcome next(std::string& out, std::int64_t timeout_override_ms = kConfiguredTimeout) {
+    const std::int64_t timeout_ms =
+        timeout_override_ms == kConfiguredTimeout ? idle_timeout_ms_ : timeout_override_ms;
+    const common::Deadline idle =
+        timeout_ms < 0 ? common::Deadline{} : common::Deadline::after_ms(timeout_ms);
     for (;;) {
       const std::size_t newline = buffer_.find('\n', scan_from_);
       if (newline != std::string::npos) {
@@ -87,8 +97,9 @@ class LineReader {
       }
 
       if (idle.engaged()) {
+        // poll() decides, even at remaining==0: bytes already queued on the
+        // socket are still read on a non-blocking (0 ms) call.
         const std::int64_t remaining = idle.remaining_ms();
-        if (remaining == 0) return ReadOutcome::kTimeout;
         pollfd pfd{fd_, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
         if (ready < 0 && errno == EINTR) continue;
@@ -198,10 +209,19 @@ void SkylineServer::stop() {
   // Sessions waiting for a request see EOF immediately and exit; a session
   // mid-query keeps its write side, so its in-flight response (or typed
   // cancellation line) still reaches the client — not a dropped connection.
+  // Subscribed connections are cancelled through their tokens instead: their
+  // pump loop notices and answers with the typed cancellation line, so a
+  // standing subscription ends explicitly, never as a silent EOF.
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (const auto& conn : connections_) {
-      if (!conn->done) ::shutdown(conn->fd, SHUT_RD);
+      if (conn->done) continue;
+      if (conn->subscribed.load(std::memory_order_acquire)) {
+        conn->token.request_cancel();
+        drain_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ::shutdown(conn->fd, SHUT_RD);
+      }
     }
   }
 
@@ -221,8 +241,12 @@ void SkylineServer::stop() {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (const auto& conn : connections_) {
       if (!conn->done) {
+        // Don't double-count a subscribed connection already cancelled in
+        // step 1 (request_cancel itself is idempotent).
+        if (conn->token.stop_reason() != common::StopReason::kCancelled) {
+          drain_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        }
         conn->token.request_cancel();
-        drain_cancelled_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -326,15 +350,47 @@ void SkylineServer::serve_connection(Connection* conn, std::uint64_t session_id)
     LineReader reader(conn->fd, options_.idle_timeout_ms, options_.max_line_bytes);
     bool quit = false;
     while (!quit) {
+      const bool subscribed = session.subscription() != nullptr;
+      conn->subscribed.store(subscribed, std::memory_order_release);
+
       std::string line;
-      const ReadOutcome outcome = reader.next(line);
-      if (outcome == ReadOutcome::kEof) break;  // client hung up / drain
-      if (outcome == ReadOutcome::kTimeout) {
-        idle_reaped_.fetch_add(1, std::memory_order_relaxed);
-        send_line(conn->fd, error_line("idle timeout: no complete request within " +
-                                       std::to_string(options_.idle_timeout_ms) + " ms"));
-        break;
+      ReadOutcome outcome;
+      if (subscribed) {
+        // Subscription pump: a drain cancel ends the subscription with the
+        // same typed line a cancelled query gets; otherwise wait briefly on
+        // the delta queue, push everything pending, then poll the socket
+        // without blocking for an interleaved request.
+        if (conn->token.stop_reason() == common::StopReason::kCancelled) {
+          send_line(conn->fd, cancelled_line("subscription cancelled: server draining",
+                                             /*deadline_expired=*/false));
+          break;
+        }
+        const service::StreamSubscriptionPtr& sub = session.subscription();
+        std::optional<service::StreamDelta> delta = sub->next(/*timeout_ms=*/25);
+        bool write_failed = false;
+        std::uint64_t pushed = 0;
+        while (delta.has_value()) {
+          if (!send_line(conn->fd, delta_line(*delta))) {
+            write_failed = true;
+            break;
+          }
+          ++pushed;
+          delta = sub->next(/*timeout_ms=*/0);
+        }
+        session.note_deltas(pushed);
+        if (write_failed) break;
+        outcome = reader.next(line, /*timeout_override_ms=*/0);
+        if (outcome == ReadOutcome::kTimeout) continue;  // no request pending: keep pumping
+      } else {
+        outcome = reader.next(line);
+        if (outcome == ReadOutcome::kTimeout) {
+          idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+          send_line(conn->fd, error_line("idle timeout: no complete request within " +
+                                         std::to_string(options_.idle_timeout_ms) + " ms"));
+          break;
+        }
       }
+      if (outcome == ReadOutcome::kEof) break;  // client hung up / drain
       if (outcome == ReadOutcome::kOverflow) {
         oversized_lines_.fetch_add(1, std::memory_order_relaxed);
         send_line(conn->fd, error_line("request line exceeds " +
@@ -342,6 +398,12 @@ void SkylineServer::serve_connection(Connection* conn, std::uint64_t session_id)
         break;
       }
       const std::string response = session.handle_line(line, quit);
+      // Publish the subscription state before the ack leaves the socket:
+      // once the client has read the "subscribed" response, stop() must see
+      // this connection as subscribed, or a drain racing the next loop
+      // iteration would half-close it instead of sending the typed line.
+      conn->subscribed.store(session.subscription() != nullptr,
+                             std::memory_order_release);
       if (response.empty()) continue;  // blank / comment line
       if (!send_line(conn->fd, response)) break;
     }

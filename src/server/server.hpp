@@ -23,14 +23,24 @@
 // connection is closed before its line can grow the buffer further. Writes
 // carry SO_SNDTIMEO so a stalled reader cannot wedge a session thread.
 //
+// Streaming (ISSUE 9): a connection whose session holds a subscription is
+// served by a pump loop instead of the blocking read: wait briefly on the
+// subscription queue, push every pending `delta_line`, then poll the socket
+// without blocking for interleaved requests. Regular queries keep working
+// while subscribed. A server drain treats a subscribed connection like an
+// in-flight query — its token is cancelled so the pump answers with the same
+// typed cancellation line before the connection ends.
+//
 // Lifecycle: start() binds/listens and launches the accept loop; stop()
 // drains gracefully — stop accepting, half-close every connection's read
-// side (idle sessions see EOF at once; in-flight queries can still answer),
-// wait `drain_grace_ms`, cooperatively cancel the stragglers through their
-// session CancellationTokens (they answer with a typed cancellation line),
-// wait one more grace period, force-close whatever is left, then join all
-// threads. The destructor calls stop(). Completed sessions leave their
-// SessionMetrics behind for the operator report (completed_sessions()).
+// side (idle sessions see EOF at once; in-flight queries can still answer;
+// subscribed connections are instead cancelled through their tokens so the
+// pump can emit its typed line), wait `drain_grace_ms`, cooperatively cancel
+// the stragglers through their session CancellationTokens (they answer with
+// a typed cancellation line), wait one more grace period, force-close
+// whatever is left, then join all threads. The destructor calls stop().
+// Completed sessions leave their SessionMetrics behind for the operator
+// report (completed_sessions()).
 #pragma once
 
 #include <cstdint>
@@ -134,6 +144,10 @@ class SkylineServer {
     std::thread thread;
     bool done = false;  ///< set by the connection thread as it exits
     common::CancellationToken token;  ///< session-lifetime cancel handle
+    /// True while the session holds a standing subscription — stop() cancels
+    /// these through the token (typed line) instead of half-closing the read
+    /// side (silent EOF).
+    std::atomic<bool> subscribed{false};
   };
 
   void accept_loop();

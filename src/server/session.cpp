@@ -49,6 +49,9 @@ std::string SessionMetrics::to_json() const {
          ",\"cache_hits\":" + std::to_string(cache_hits) +
          ",\"inserts\":" + std::to_string(inserts) +
          ",\"points_inserted\":" + std::to_string(points_inserted) +
+         ",\"deletes\":" + std::to_string(deletes) +
+         ",\"points_deleted\":" + std::to_string(points_deleted) +
+         ",\"deltas_sent\":" + std::to_string(deltas_sent) +
          ",\"points_returned\":" + std::to_string(points_returned) +
          ",\"errors\":" + std::to_string(errors) +
          ",\"cancelled\":" + std::to_string(cancelled) +
@@ -120,7 +123,18 @@ std::string Session::dispatch(const Request& request, std::int64_t deadline_ms, 
     return run_insert_file(insert->path);
   }
   if (const auto* inline_insert = std::get_if<InsertInline>(&request)) {
-    return run_insert(inline_insert->points);
+    return run_insert(inline_insert->points, inline_insert->ttl_ticks);
+  }
+  if (const auto* del = std::get_if<service::DeleteCommand>(&request)) {
+    return run_delete(*del);
+  }
+  if (std::holds_alternative<SubscribeRequest>(request)) return run_subscribe();
+  if (std::holds_alternative<UnsubscribeRequest>(request)) {
+    if (sub_) {
+      sub_->close();
+      sub_.reset();
+    }
+    return unsubscribed_line();  // idempotent: unsubscribing twice is fine
   }
   return run_query(std::get<service::Query>(request), deadline_ms);
 }
@@ -158,15 +172,45 @@ std::string Session::run_insert_file(const std::string& path) {
   // resident dataset's attribute space.
   const std::string name = resolved.string();
   return run_insert(has_suffix(name, ".mrsk") ? data::read_record_file(name)
-                                              : data::read_csv_file(name));
+                                              : data::read_csv_file(name),
+                    /*ttl_ticks=*/0);
 }
 
-std::string Session::run_insert(const data::PointSet& points) {
-  const std::uint64_t version = engine_.insert_batch(points);
+std::string Session::run_insert(const data::PointSet& points, std::int64_t ttl_ticks) {
+  std::uint64_t version = 0;
+  if (ttl_ticks > 0) {
+    // TTL rows must go through the streaming path: insert_batch has no way to
+    // carry per-row expiries.
+    service::MutationBatch batch;
+    batch.inserts = points;
+    batch.ttl_ticks.assign(points.size(), ttl_ticks);
+    version = engine_.apply_batch(batch).snapshot->version;
+  } else {
+    version = engine_.insert_batch(points);
+  }
   ++metrics_.inserts;
   metrics_.points_inserted += points.size();
   metrics_.last_version = std::max(metrics_.last_version, version);
   return insert_line(points.size(), version);
+}
+
+std::string Session::run_delete(const service::DeleteCommand& command) {
+  service::MutationBatch batch;
+  batch.deletes = command.ids;
+  const service::ApplyResult r = engine_.apply_batch(batch);
+  ++metrics_.deletes;
+  metrics_.points_deleted += r.delta.deleted;
+  metrics_.last_version = std::max(metrics_.last_version, r.delta.version);
+  return delete_line(r.delta);
+}
+
+std::string Session::run_subscribe() {
+  if (sub_ && !sub_->closed()) {
+    return error_line("already subscribed (send `unsubscribe` first)");
+  }
+  sub_ = engine_.subscribe();
+  metrics_.last_version = std::max(metrics_.last_version, sub_->base_version());
+  return subscribed_line(sub_->base_version(), sub_->base_skyline());
 }
 
 }  // namespace mrsky::server

@@ -36,6 +36,9 @@ struct SessionMetrics {
   std::uint64_t cache_hits = 0;     ///< of which served from the result cache
   std::uint64_t inserts = 0;        ///< insert requests executed
   std::uint64_t points_inserted = 0;
+  std::uint64_t deletes = 0;        ///< delete requests executed
+  std::uint64_t points_deleted = 0;
+  std::uint64_t deltas_sent = 0;    ///< subscription delta lines pushed
   std::uint64_t points_returned = 0;
   std::uint64_t errors = 0;         ///< malformed / invalid requests
   std::uint64_t cancelled = 0;      ///< queries stopped by server cancel (drain)
@@ -93,17 +96,29 @@ class Session {
   /// The session's cancellation handle (shared state with the server's copy).
   [[nodiscard]] const common::CancellationToken& token() const noexcept { return token_; }
 
+  /// The session's standing subscription, or nullptr. The transport layer
+  /// drains it between request lines (same thread as handle_line — no lock).
+  [[nodiscard]] const service::StreamSubscriptionPtr& subscription() const noexcept {
+    return sub_;
+  }
+
+  /// Accounts delta lines the transport pushed for this session.
+  void note_deltas(std::uint64_t n) noexcept { metrics_.deltas_sent += n; }
+
  private:
   [[nodiscard]] std::string dispatch(const Request& request, std::int64_t deadline_ms,
                                      bool& quit);
   [[nodiscard]] std::string run_query(const service::Query& query, std::int64_t deadline_ms);
   [[nodiscard]] std::string run_insert_file(const std::string& path);
-  [[nodiscard]] std::string run_insert(const data::PointSet& points);
+  [[nodiscard]] std::string run_insert(const data::PointSet& points, std::int64_t ttl_ticks);
+  [[nodiscard]] std::string run_delete(const service::DeleteCommand& command);
+  [[nodiscard]] std::string run_subscribe();
 
   service::QueryEngine& engine_;
   SessionOptions options_;
   common::CancellationToken token_;
   SessionMetrics metrics_;
+  service::StreamSubscriptionPtr sub_;
 };
 
 }  // namespace mrsky::server

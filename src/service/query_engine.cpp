@@ -9,6 +9,7 @@
 #include "src/core/cost_model.hpp"
 #include "src/dataset/transforms.hpp"
 #include "src/partition/factory.hpp"
+#include "src/skyline/algorithms.hpp"
 #include "src/skyline/extensions.hpp"
 
 namespace mrsky::service {
@@ -63,6 +64,13 @@ QueryEngine::QueryEngine(data::PointSet dataset, QueryEngineOptions options)
   snapshot_ = std::move(snap);
 }
 
+QueryEngine::~QueryEngine() {
+  std::lock_guard<std::mutex> lock(subs_mutex_);
+  for (const auto& weak : subs_) {
+    if (StreamSubscriptionPtr sub = weak.lock()) sub->close();
+  }
+}
+
 EngineSnapshotPtr QueryEngine::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   return snapshot_;
@@ -89,6 +97,13 @@ QueryEngine::Stats QueryEngine::stats() const {
   out.plan_reuses = counters_.plan_reuses.load(std::memory_order_relaxed);
   out.plan_predicted_ns = counters_.plan_predicted_ns.load(std::memory_order_relaxed);
   out.plan_actual_ns = counters_.plan_actual_ns.load(std::memory_order_relaxed);
+  out.apply_batches = counters_.apply_batches.load(std::memory_order_relaxed);
+  out.points_deleted = counters_.points_deleted.load(std::memory_order_relaxed);
+  out.points_expired = counters_.points_expired.load(std::memory_order_relaxed);
+  out.deletes_missed = counters_.deletes_missed.load(std::memory_order_relaxed);
+  out.stream_entered = counters_.stream_entered.load(std::memory_order_relaxed);
+  out.stream_left = counters_.stream_left.load(std::memory_order_relaxed);
+  out.deltas_published = counters_.deltas_published.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -422,6 +437,13 @@ std::vector<QueryResult> QueryEngine::execute_batch(std::span<const Query> queri
 }
 
 std::uint64_t QueryEngine::insert_batch(const data::PointSet& points) {
+  // In streaming mode every mutation goes through apply_batch, so a plain
+  // insert still respects windows/TTL and publishes a delta to subscribers.
+  if (streaming()) {
+    MutationBatch batch;
+    batch.inserts = points;
+    return apply_batch(batch).snapshot->version;
+  }
   // Writers serialise here; readers keep serving their pinned snapshots and
   // only observe the insert at the final pointer swap.
   std::lock_guard<std::mutex> write_lock(write_mutex_);
@@ -459,7 +481,11 @@ std::uint64_t QueryEngine::insert_batch(const data::PointSet& points) {
   }
   const EngineSnapshotPtr published = next;
   set_snapshot(std::move(next));
+  purge_derived_state(published);
+  return published->version;
+}
 
+void QueryEngine::purge_derived_state(const EngineSnapshotPtr& published) {
   // Partition fits were learned on the old data; drop the memo so the next
   // pipeline run re-plans (MR-Grid's pruning in particular must never act on
   // stale cell occupancy). In-flight runs pinned their fit via shared_ptr.
@@ -484,13 +510,224 @@ std::uint64_t QueryEngine::insert_batch(const data::PointSet& points) {
 
   if (published->full_skyline != nullptr) {
     // Refresh the full-skyline entry at the new version: the one query kind
-    // an insert does NOT invalidate.
+    // a write does NOT invalidate.
     CachedPayload payload;
     payload.points = *published->full_skyline;
     cache_store(cache_key(Query{SkylineQuery{}}, published->version), published->version,
                 payload);
   }
-  return published->version;
+}
+
+void QueryEngine::engage_streaming(const data::PointSet& dataset) {
+  maintained_ = std::make_unique<skyline::MaintainedSkyline>(dataset);
+  for (data::PointId id : dataset.ids()) arrival_order_.push_back(id);
+  // The IncrementalSkyline fold cannot process deletions; the maintained
+  // structure replaces it for good.
+  fold_.reset();
+  streaming_.store(true, std::memory_order_release);
+}
+
+void QueryEngine::publish_delta(const StreamDelta& delta) {
+  std::lock_guard<std::mutex> lock(subs_mutex_);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    if (StreamSubscriptionPtr sub = subs_[i].lock()) {
+      sub->publish(delta);
+      // Compact dead entries in place; a self-move would EMPTY the weak_ptr.
+      if (live != i) subs_[live] = std::move(subs_[i]);
+      ++live;
+      counters_.deltas_published.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  subs_.resize(live);
+}
+
+ApplyResult QueryEngine::apply_batch(const MutationBatch& batch) {
+  std::lock_guard<std::mutex> write_lock(write_mutex_);
+  const EngineSnapshotPtr old = snapshot();
+  if (!batch.inserts.empty()) {
+    MRSKY_REQUIRE(batch.inserts.dim() == old->dataset->dim(),
+                  "apply_batch dimension mismatch: batch has " +
+                      std::to_string(batch.inserts.dim()) + " attributes, dataset has " +
+                      std::to_string(old->dataset->dim()));
+  }
+  MRSKY_REQUIRE(batch.ttl_ticks.empty() || batch.ttl_ticks.size() == batch.inserts.size(),
+                "apply_batch: ttl_ticks must be empty or parallel to inserts (" +
+                    std::to_string(batch.ttl_ticks.size()) + " ttls for " +
+                    std::to_string(batch.inserts.size()) + " inserts)");
+
+  if (maintained_ == nullptr) engage_streaming(*old->dataset);
+  ++tick_;
+
+  common::ScopedSpan span(options_.trace, "apply-batch", "service");
+  span.arg("tick", tick_);
+  span.arg("version", old->version + 1);
+  counters_.apply_batches.fetch_add(1, std::memory_order_relaxed);
+
+  StreamDelta delta;
+  delta.tick = tick_;
+  delta.version = old->version + 1;
+  delta.entered = data::PointSet(old->dataset->dim());
+  const std::vector<data::PointId> before = maintained_->skyline_ids();
+  std::vector<data::PointId> removed_ids;
+  std::vector<data::PointId> new_ids;
+
+  // 1. TTL expiry. Liveness is checked lazily: an id deleted before its
+  // expiry just pops as a no-op (ids are never reused, so no ambiguity).
+  while (!expiries_.empty() && expiries_.top().first <= tick_) {
+    const data::PointId id = expiries_.top().second;
+    expiries_.pop();
+    if (maintained_->erase(id).erased) {
+      ++delta.expired;
+      removed_ids.push_back(id);
+    }
+  }
+
+  // 2. Explicit deletes.
+  for (data::PointId id : batch.deletes) {
+    if (maintained_->erase(id).erased) {
+      ++delta.deleted;
+      removed_ids.push_back(id);
+    } else {
+      ++delta.missing_deletes;
+    }
+  }
+
+  // 3. Inserts, under fresh engine ids (insert_batch's contract).
+  for (std::size_t i = 0; i < batch.inserts.size(); ++i) {
+    const data::PointId id = next_id_++;
+    (void)maintained_->insert(batch.inserts.point(i), id);
+    arrival_order_.push_back(id);
+    new_ids.push_back(id);
+    const std::int64_t requested = batch.ttl_ticks.empty() ? 0 : batch.ttl_ticks[i];
+    const std::uint64_t ttl = requested > 0 ? static_cast<std::uint64_t>(requested)
+                                            : options_.window_ticks;
+    if (ttl > 0) expiries_.emplace(tick_ + ttl, id);
+    ++delta.inserted;
+  }
+
+  // 4. Count-window eviction: oldest surviving arrivals leave first.
+  if (options_.window_capacity > 0) {
+    while (maintained_->size() > options_.window_capacity && !arrival_order_.empty()) {
+      const data::PointId id = arrival_order_.front();
+      arrival_order_.pop_front();
+      if (maintained_->erase(id).erased) {
+        ++delta.expired;
+        removed_ids.push_back(id);
+      }
+    }
+  }
+
+  // Publish: streaming snapshots canonicalise the dataset to ascending-id
+  // order and always carry the exact full skyline. The previous snapshot is
+  // already ascending and fresh ids sort after every existing one, so the
+  // next dataset is one linear merge-skip pass over contiguous rows — NOT a
+  // re-canonicalisation of the whole live set from the hash index, which
+  // would make every tick pay an O(n log n) scatter-sort for a handful of
+  // mutations.
+  std::sort(removed_ids.begin(), removed_ids.end());
+  const data::PointSet& prev = *old->dataset;
+  auto live = std::make_shared<data::PointSet>(prev.dim());
+  live->reserve(prev.size() + new_ids.size());
+  std::size_t ri = 0;
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    const data::PointId id = prev.id(i);
+    while (ri < removed_ids.size() && removed_ids[ri] < id) ++ri;
+    if (ri < removed_ids.size() && removed_ids[ri] == id) {
+      ++ri;
+      continue;
+    }
+    live->push_back(prev.point(i), id);
+  }
+  for (std::size_t i = 0; i < new_ids.size(); ++i) {
+    // A count window smaller than the batch can evict a row inserted this
+    // very tick; those ids are in removed_ids, not in the previous snapshot.
+    if (std::binary_search(removed_ids.begin(), removed_ids.end(), new_ids[i])) continue;
+    live->push_back(batch.inserts.point(i), new_ids[i]);
+  }
+
+  auto next = std::make_shared<EngineSnapshot>();
+  next->version = delta.version;
+  next->dataset = std::move(live);
+  next->full_skyline = std::make_shared<const data::PointSet>(maintained_->skyline_points());
+  span.arg("live_points", next->dataset->size());
+  span.arg("skyline_points", next->full_skyline->size());
+
+  // Skyline diff vs the previous version (both sides ascending by id).
+  const data::PointSet& after = *next->full_skyline;
+  std::size_t bi = 0;
+  for (std::size_t ai = 0; ai < after.size(); ++ai) {
+    const data::PointId id = after.id(ai);
+    while (bi < before.size() && before[bi] < id) {
+      delta.left.push_back(before[bi]);
+      ++bi;
+    }
+    if (bi < before.size() && before[bi] == id) {
+      ++bi;
+    } else {
+      delta.entered.push_back(after.point(ai), id);
+    }
+  }
+  while (bi < before.size()) {
+    delta.left.push_back(before[bi]);
+    ++bi;
+  }
+
+  counters_.points_deleted.fetch_add(delta.deleted, std::memory_order_relaxed);
+  counters_.points_expired.fetch_add(delta.expired, std::memory_order_relaxed);
+  counters_.deletes_missed.fetch_add(delta.missing_deletes, std::memory_order_relaxed);
+  counters_.inserts.fetch_add(batch.inserts.empty() ? 0 : 1, std::memory_order_relaxed);
+  counters_.points_inserted.fetch_add(delta.inserted, std::memory_order_relaxed);
+  counters_.stream_entered.fetch_add(delta.entered.size(), std::memory_order_relaxed);
+  counters_.stream_left.fetch_add(delta.left.size(), std::memory_order_relaxed);
+
+  const EngineSnapshotPtr published = next;
+  set_snapshot(std::move(next));
+  purge_derived_state(published);
+  // Fan out AFTER the snapshot swap, still under write_mutex_: subscribers
+  // see versions in publication order, and a subscriber that registered
+  // between the swap and this point drops the delta as covered by its base.
+  publish_delta(delta);
+  return ApplyResult{published, std::move(delta)};
+}
+
+StreamSubscriptionPtr QueryEngine::subscribe() {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    {
+      // Registration and base-snapshot read happen under subs_mutex_ so the
+      // handoff with publish_delta (which holds it while fanning out) is
+      // gapless: either the base snapshot already covers a delta, or the
+      // registered subscription receives it.
+      std::lock_guard<std::mutex> lock(subs_mutex_);
+      const EngineSnapshotPtr snap = snapshot();
+      if (snap->full_skyline != nullptr) {
+        auto sub = std::make_shared<StreamSubscription>(snap->version, snap->full_skyline,
+                                                        options_.subscription_queue_capacity);
+        subs_.push_back(sub);
+        return sub;
+      }
+    }
+    // No skyline resident yet: run one (caches + publishes it), then retry.
+    (void)execute(Query{SkylineQuery{}});
+  }
+  // A writer raced every retry. Compute the base directly from a pinned
+  // snapshot — exact for that version, and deltas take over from there.
+  std::lock_guard<std::mutex> lock(subs_mutex_);
+  const EngineSnapshotPtr snap = snapshot();
+  std::shared_ptr<const data::PointSet> base = snap->full_skyline;
+  if (base == nullptr) {
+    base = std::make_shared<const data::PointSet>(
+        canonical_by_id(skyline::bnl_skyline(*snap->dataset)));
+  }
+  auto sub = std::make_shared<StreamSubscription>(snap->version, std::move(base),
+                                                  options_.subscription_queue_capacity);
+  subs_.push_back(sub);
+  return sub;
+}
+
+std::uint64_t QueryEngine::tick() const {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  return tick_;
 }
 
 }  // namespace mrsky::service

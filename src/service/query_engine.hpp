@@ -49,14 +49,18 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <queue>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/sync.hpp"
@@ -67,7 +71,9 @@
 #include "src/dataset/point_set.hpp"
 #include "src/partition/partitioner.hpp"
 #include "src/service/query.hpp"
+#include "src/service/stream.hpp"
 #include "src/skyline/incremental.hpp"
+#include "src/skyline/maintained.hpp"
 
 namespace mrsky::service {
 
@@ -88,6 +94,21 @@ struct QueryEngineOptions {
   /// pipeline's RunOptions, so one file holds the service and engine levels.
   /// Must outlive the engine. Null = tracing off at zero cost.
   common::TraceRecorder* trace = nullptr;
+
+  /// Streaming count window: when > 0, the live set is capped at this many
+  /// points — each apply_batch evicts the oldest surviving insertions beyond
+  /// the cap (counted as expiries in the delta). 0 = unbounded.
+  std::size_t window_capacity = 0;
+
+  /// Streaming time window: default TTL, in logical ticks, for points
+  /// inserted without an explicit per-point TTL. 0 = no default expiry.
+  /// Either window option puts insert_batch() on the apply_batch path from
+  /// the first call, so plain inserts respect the window too.
+  std::uint64_t window_ticks = 0;
+
+  /// Undelivered deltas buffered per subscription before the oldest is
+  /// dropped and the subscription latches lagged().
+  std::size_t subscription_queue_capacity = 1024;
 };
 
 /// One immutable, internally consistent view of the engine's data. Readers
@@ -104,12 +125,23 @@ struct EngineSnapshot {
 };
 using EngineSnapshotPtr = std::shared_ptr<const EngineSnapshot>;
 
+/// What one apply_batch published: the new snapshot (pinned, so the caller
+/// can read the exact dataset/skyline this batch produced regardless of
+/// later writers) plus the skyline delta against the previous version.
+struct ApplyResult {
+  EngineSnapshotPtr snapshot;
+  StreamDelta delta;
+};
+
 class QueryEngine {
  public:
   /// Loads `dataset` (non-empty; minimisation orientation, non-negative
   /// coordinates for the angular schemes — run_mr_skyline's contract).
   /// Throws mrsky::InvalidArgument listing every config problem at once.
   explicit QueryEngine(data::PointSet dataset, QueryEngineOptions options = {});
+
+  /// Closes every live subscription (backlogs stay drainable by holders).
+  ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -146,6 +178,37 @@ class QueryEngine {
   /// concurrency, version() may already be newer by the time the caller asks.
   std::uint64_t insert_batch(const data::PointSet& points);
 
+  /// Applies one streaming tick — TTL expiry, explicit deletes, inserts,
+  /// window eviction, in that order — and publishes the next snapshot plus
+  /// its skyline delta (ISSUE 9 tentpole). The first call engages streaming
+  /// mode: the resident dataset is bulk-loaded into an exact
+  /// skyline::MaintainedSkyline, and from then on every published snapshot
+  /// carries the full skyline (ascending-id dataset, exact under deletion —
+  /// deleting a skyline member promotes exactly its exclusive dominees).
+  /// Writers serialise with insert_batch; readers still only see the pointer
+  /// swap. Deltas are fanned out to live subscriptions under the same writer
+  /// ordering, so every subscriber observes versions in publication order.
+  ApplyResult apply_batch(const MutationBatch& batch);
+
+  /// True once apply_batch has engaged streaming (or a window option forces
+  /// the first insert_batch onto the apply path).
+  [[nodiscard]] bool streaming() const noexcept {
+    return streaming_.load(std::memory_order_acquire) || options_.window_capacity > 0 ||
+           options_.window_ticks > 0;
+  }
+
+  /// Registers a standing continuous-skyline query: the returned subscription
+  /// carries a base (version, full skyline) pair and receives the delta of
+  /// every later apply_batch, gaplessly — replaying deltas onto the base
+  /// reproduces each published skyline bitwise. Ensures a full skyline is
+  /// resident first (running one skyline query if needed). The subscription
+  /// stays registered while the caller holds the pointer; close() (or
+  /// dropping it) ends delivery.
+  [[nodiscard]] StreamSubscriptionPtr subscribe();
+
+  /// The engine's logical stream clock (ticks advanced by apply_batch).
+  [[nodiscard]] std::uint64_t tick() const;
+
   /// The current snapshot. Holding the returned pointer keeps that version's
   /// dataset and skyline alive across later inserts — this is the handle a
   /// server session uses to answer consistently.
@@ -175,6 +238,14 @@ class QueryEngine {
     std::uint64_t plan_reuses = 0;      ///< queries served from the plan memo
     std::uint64_t plan_predicted_ns = 0;  ///< summed predicted pipeline wall (planned runs)
     std::uint64_t plan_actual_ns = 0;     ///< summed measured pipeline wall (planned runs)
+    // Streaming (apply_batch) activity.
+    std::uint64_t apply_batches = 0;
+    std::uint64_t points_deleted = 0;   ///< explicit deletes that hit a live point
+    std::uint64_t points_expired = 0;   ///< TTL expiries + count-window evictions
+    std::uint64_t deletes_missed = 0;   ///< delete requests for unknown ids
+    std::uint64_t stream_entered = 0;   ///< skyline entries across all deltas
+    std::uint64_t stream_left = 0;      ///< skyline exits across all deltas
+    std::uint64_t deltas_published = 0; ///< delta deliveries to subscriptions
   };
   /// A consistent point-in-time copy of the counters. Thread-safe.
   [[nodiscard]] Stats stats() const;
@@ -244,6 +315,18 @@ class QueryEngine {
 
   void set_snapshot(EngineSnapshotPtr snap);
 
+  /// Drops version-derived state after a write (fit memo, plan memo, result
+  /// cache — evictions counted) and re-seeds the full-skyline cache entry for
+  /// `published` when it carries one. Shared by insert_batch and apply_batch.
+  void purge_derived_state(const EngineSnapshotPtr& published);
+
+  /// Engages streaming mode (caller holds write_mutex_): bulk-loads the
+  /// maintained structure from `dataset` and records arrival order.
+  void engage_streaming(const data::PointSet& dataset);
+
+  /// Fans `delta` out to live subscriptions (prunes dead ones).
+  void publish_delta(const StreamDelta& delta);
+
   void cache_store(const std::string& key, std::uint64_t version, const CachedPayload& payload);
   [[nodiscard]] bool cache_find(const std::string& key, CachedPayload& out);
 
@@ -254,14 +337,36 @@ class QueryEngine {
   mutable std::mutex snapshot_mutex_;
   EngineSnapshotPtr snapshot_;
 
-  /// Serialises writers: insert_batch and first-skyline publication. Guards
-  /// next_id_ and the incremental fold.
-  std::mutex write_mutex_;
+  /// Serialises writers: insert_batch, apply_batch and first-skyline
+  /// publication. Guards next_id_, the incremental fold, and the streaming
+  /// state below. Mutable so tick() can read under it.
+  mutable std::mutex write_mutex_;
   data::PointId next_id_ = 0;
   /// The resident fold, maintained across insert_batch() calls. Valid iff
   /// engaged and fold_version_ matches the published snapshot's version.
+  /// Superseded by maintained_ once streaming engages (apply_batch resets it).
   std::optional<skyline::IncrementalSkyline> fold_;
   std::uint64_t fold_version_ = 0;
+
+  /// Streaming state (guarded by write_mutex_; streaming_ is the lock-free
+  /// "has apply_batch ever run" flag insert_batch routes on).
+  std::atomic<bool> streaming_{false};
+  std::unique_ptr<skyline::MaintainedSkyline> maintained_;
+  std::uint64_t tick_ = 0;
+  /// Pending TTL expiries: (expires_at_tick, id) min-heap, checked lazily
+  /// against liveness (an id deleted early just pops as a no-op).
+  std::priority_queue<std::pair<std::uint64_t, data::PointId>,
+                      std::vector<std::pair<std::uint64_t, data::PointId>>,
+                      std::greater<>>
+      expiries_;
+  /// Live insertion order for the count window (stale ids popped lazily).
+  std::deque<data::PointId> arrival_order_;
+
+  /// Live subscriptions (weak: a dropped subscriber unregisters itself).
+  /// Publication happens under write_mutex_ THEN subs_mutex_; registration
+  /// takes subs_mutex_ and reads the snapshot inside it — see subscribe().
+  mutable std::mutex subs_mutex_;
+  std::vector<std::weak_ptr<StreamSubscription>> subs_;
 
   /// Fit memo; keys embed the dataset version so a stale fit can never serve
   /// a newer dataset. Entries are dropped on insert; in-flight runs keep
@@ -296,6 +401,13 @@ class QueryEngine {
     std::atomic<std::uint64_t> plan_reuses{0};
     std::atomic<std::uint64_t> plan_predicted_ns{0};
     std::atomic<std::uint64_t> plan_actual_ns{0};
+    std::atomic<std::uint64_t> apply_batches{0};
+    std::atomic<std::uint64_t> points_deleted{0};
+    std::atomic<std::uint64_t> points_expired{0};
+    std::atomic<std::uint64_t> deletes_missed{0};
+    std::atomic<std::uint64_t> stream_entered{0};
+    std::atomic<std::uint64_t> stream_left{0};
+    std::atomic<std::uint64_t> deltas_published{0};
   };
   mutable Counters counters_;
 };

@@ -140,9 +140,26 @@ std::vector<ScriptCommand> parse_query_script(std::istream& in, const std::strin
         path = std::filesystem::path(base_dir) / path;
       }
       commands.emplace_back(InsertCommand{path.string()});
+    } else if (verb == "delete") {
+      if (args.size() != 1) {
+        bad("delete expects one id list, e.g. `delete 3,17,42`");
+        continue;
+      }
+      DeleteCommand cmd;
+      bool ok = true;
+      for (const std::string& item : split_commas(args[0])) {
+        std::size_t id = 0;
+        if (!parse_size(item, id)) {
+          bad("delete: bad point id '" + item + "'");
+          ok = false;
+          break;
+        }
+        cmd.ids.push_back(static_cast<data::PointId>(id));
+      }
+      if (ok) commands.emplace_back(std::move(cmd));
     } else {
       bad("unknown command '" + verb +
-          "' (expected skyline|subspace|skyband|representative|topk|insert)");
+          "' (expected skyline|subspace|skyband|representative|topk|insert|delete)");
     }
   }
 

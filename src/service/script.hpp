@@ -10,6 +10,7 @@
 //   representative 5             5 greedy max-coverage representatives
 //   topk 10 0.25,0.25,0.5        best 10 by weighted sum (one weight/attr)
 //   insert extra.csv             insert_batch from a CSV / .mrsk file
+//   delete 3,17,42               delete points by engine id (one tick)
 //
 // Parsing follows the library's all-errors validation style: every malformed
 // line is collected and reported in ONE mrsky::InvalidArgument, with line
@@ -34,7 +35,13 @@ struct InsertCommand {
   std::string path;
 };
 
-using ScriptCommand = std::variant<Query, InsertCommand>;
+/// `delete <id,id,...>`: apply_batch one tick deleting those engine ids
+/// (unknown ids count as missing in the delta, not errors).
+struct DeleteCommand {
+  std::vector<data::PointId> ids;
+};
+
+using ScriptCommand = std::variant<Query, InsertCommand, DeleteCommand>;
 
 /// Parses a whole script. Relative insert paths are resolved against
 /// `base_dir` (empty = leave them as written). Throws mrsky::InvalidArgument

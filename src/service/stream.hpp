@@ -1,0 +1,119 @@
+// Streaming-mutation types for the QueryEngine (ISSUE 9).
+//
+// A MutationBatch is one logical tick of a data stream: deletions, TTL'd
+// insertions, and (engine-side) window evictions, applied atomically under
+// the engine's writer lock and published as one new MVCC snapshot. Each
+// published version carries a StreamDelta — the exact entered/left diff of
+// the full skyline between the previous version and this one — which is what
+// a standing subscription replays: starting from the base snapshot's skyline
+// and applying deltas in version order reproduces every published skyline
+// bitwise.
+//
+// Time is logical: the engine's tick advances by exactly one per apply_batch
+// call, never by wall clock, so TTL expiry is deterministic — the oracle
+// suite replays schedules and compares against recompute-from-scratch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/sync.hpp"
+#include "src/dataset/point_set.hpp"
+
+namespace mrsky::service {
+
+/// One tick's worth of stream mutations. Order of application within the
+/// tick: TTL expiry (of previously inserted points) → explicit deletes →
+/// inserts → window eviction. Incoming point ids are ignored (the engine
+/// assigns fresh ids, as insert_batch does); deletes address engine ids.
+struct MutationBatch {
+  /// Points to insert this tick (may be empty). Dimension must match the
+  /// resident dataset when non-empty.
+  data::PointSet inserts{1};
+
+  /// Optional per-point time-to-live in ticks, parallel to `inserts` (empty =
+  /// engine default for every point; otherwise one entry per inserted point,
+  /// <= 0 meaning the engine default). A point with effective TTL k inserted
+  /// at tick T expires at the start of tick T + k; effective TTL 0 = never.
+  std::vector<std::int64_t> ttl_ticks;
+
+  /// Engine-assigned ids to delete this tick. Unknown ids are counted in
+  /// StreamDelta::missing_deletes, not errors — under concurrency a client
+  /// may race another session's expiry.
+  std::vector<data::PointId> deletes;
+};
+
+/// The skyline diff one apply_batch published, keyed by the version it
+/// created. `entered` and `left` are relative to the PREVIOUS version's full
+/// skyline; both are in ascending-id order.
+struct StreamDelta {
+  std::uint64_t version = 0;
+  std::uint64_t tick = 0;
+  /// Points that joined the skyline at `version` (with coordinates — enough
+  /// for a subscriber to maintain its replica without a second query).
+  data::PointSet entered{1};
+  /// Ids that left the skyline at `version` (deleted, expired, or demoted).
+  std::vector<data::PointId> left;
+  /// Tick totals for observability.
+  std::size_t inserted = 0;
+  std::size_t deleted = 0;
+  std::size_t expired = 0;  ///< TTL expiries + count-window evictions
+  std::size_t missing_deletes = 0;
+};
+
+/// A standing continuous-skyline query. Created by QueryEngine::subscribe():
+/// carries the base snapshot's version and full skyline (the starting
+/// replica) plus a bounded queue of deltas for every version published after
+/// the base. The handoff is gapless — a delta is either covered by the base
+/// skyline (version <= base) or delivered — and delivery is in version order.
+///
+/// Consumer contract: replay deltas onto base_skyline() in arrival order. If
+/// lagged() ever reads true the queue overflowed and the replica has a gap —
+/// resubscribe from a fresh snapshot. next() returning nullopt after
+/// closed() means the engine shut down (backlog already drained).
+class StreamSubscription {
+ public:
+  StreamSubscription(std::uint64_t base_version,
+                     std::shared_ptr<const data::PointSet> base_skyline,
+                     std::size_t queue_capacity)
+      : base_version_(base_version),
+        base_skyline_(std::move(base_skyline)),
+        queue_(queue_capacity) {}
+
+  [[nodiscard]] std::uint64_t base_version() const noexcept { return base_version_; }
+  [[nodiscard]] const data::PointSet& base_skyline() const noexcept { return *base_skyline_; }
+  [[nodiscard]] std::shared_ptr<const data::PointSet> base_skyline_ptr() const noexcept {
+    return base_skyline_;
+  }
+
+  /// Next delta, waiting up to `timeout_ms` (0 = poll, < 0 = forever).
+  [[nodiscard]] std::optional<StreamDelta> next(std::int64_t timeout_ms) {
+    return queue_.pop(timeout_ms);
+  }
+
+  /// Stops delivery (idempotent). Queued deltas stay poppable.
+  void close() { queue_.close(); }
+  [[nodiscard]] bool closed() const { return queue_.closed(); }
+  [[nodiscard]] bool lagged() const { return queue_.lagged(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Engine-side delivery. Deltas at or before the base version are already
+  /// part of the base skyline and are dropped — this is what makes the
+  /// register-then-read handoff race-free in both interleavings.
+  bool publish(const StreamDelta& delta) {
+    if (delta.version <= base_version_) return true;
+    return queue_.push(delta);
+  }
+
+ private:
+  std::uint64_t base_version_;
+  std::shared_ptr<const data::PointSet> base_skyline_;
+  common::NotifyQueue<StreamDelta> queue_;
+};
+
+using StreamSubscriptionPtr = std::shared_ptr<StreamSubscription>;
+
+}  // namespace mrsky::service

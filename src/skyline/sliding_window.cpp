@@ -1,55 +1,139 @@
 #include "src/skyline/sliding_window.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/error.hpp"
 #include "src/skyline/algorithms.hpp"
 
 namespace mrsky::skyline {
 
-SlidingWindowSkyline::SlidingWindowSkyline(std::size_t dim, std::size_t capacity)
-    : dim_(dim), capacity_(capacity), cache_(dim) {
+SlidingWindowSkyline::SlidingWindowSkyline(std::size_t dim, std::size_t capacity,
+                                           std::uint64_t span, WindowPolicy policy)
+    : dim_(dim), capacity_(capacity), span_(span), policy_(policy), cache_(dim), tiles_(dim) {
   MRSKY_REQUIRE(dim >= 1, "points need at least one attribute");
+}
+
+SlidingWindowSkyline::SlidingWindowSkyline(std::size_t dim, std::size_t capacity)
+    : SlidingWindowSkyline(dim, capacity, 0, WindowPolicy::kCount) {
   MRSKY_REQUIRE(capacity >= 1, "window must hold at least one point");
+}
+
+SlidingWindowSkyline SlidingWindowSkyline::by_time(std::size_t dim, std::uint64_t span_ticks) {
+  MRSKY_REQUIRE(span_ticks >= 1, "time window must span at least one tick");
+  return SlidingWindowSkyline(dim, 0, span_ticks, WindowPolicy::kTime);
+}
+
+void SlidingWindowSkyline::note_eviction(data::PointId victim) {
+  if (dirty_) return;
+  for (data::PointId sid : cache_.ids()) {
+    if (sid == victim) {
+      dirty_ = true;
+      return;
+    }
+  }
+}
+
+void SlidingWindowSkyline::expire(std::uint64_t tick) {
+  // Stamps arrive non-decreasing, so expired entries form a prefix.
+  while (!window_.empty() && window_.front().stamp + span_ <= tick) {
+    note_eviction(window_.front().id);
+    window_.pop_front();
+  }
+}
+
+void SlidingWindowSkyline::advance(std::uint64_t tick) {
+  MRSKY_REQUIRE(policy_ == WindowPolicy::kTime, "advance() needs a time window");
+  MRSKY_REQUIRE(tick >= tick_, "ticks must be non-decreasing");
+  tick_ = tick;
+  expire(tick);
 }
 
 void SlidingWindowSkyline::push(std::span<const double> coords, data::PointId id) {
   MRSKY_REQUIRE(coords.size() == dim_, "point dimension mismatch");
   stats_.points_in += 1;
 
-  // Evict the oldest point first; only a skyline member's departure can
-  // change the skyline.
-  if (window_.size() == capacity_) {
-    const data::PointId victim = window_.front().id;
-    window_.pop_front();
-    if (!dirty_) {
-      for (data::PointId sid : cache_.ids()) {
-        if (sid == victim) {
-          dirty_ = true;
-          break;
-        }
-      }
+  if (policy_ == WindowPolicy::kCount) {
+    // Evict the oldest point first; only a skyline member's departure can
+    // change the skyline.
+    if (window_.size() == capacity_) {
+      note_eviction(window_.front().id);
+      window_.pop_front();
     }
+  } else {
+    expire(tick_);
   }
-  window_.push_back(Entry{id, {coords.begin(), coords.end()}});
+  window_.push_back(Entry{id, tick_, {coords.begin(), coords.end()}});
 
   if (dirty_) return;  // cache already needs a rebuild; fold the insert in
+  fold_insert(coords, id);
+}
 
-  // Incremental insert into the cached skyline (same rules as
-  // IncrementalSkyline): dominated newcomers change nothing.
-  for (std::size_t i = 0; i < cache_.size(); ++i) {
-    ++stats_.dominance_tests;
-    if (dominates(cache_.point(i), coords)) return;
+void SlidingWindowSkyline::push(std::span<const double> coords, data::PointId id,
+                                std::uint64_t tick) {
+  MRSKY_REQUIRE(policy_ == WindowPolicy::kTime, "stamped push needs a time window");
+  advance(tick);
+  push(coords, id);
+}
+
+// Incremental insert into the cached skyline (same rules and the same
+// dominance_tests charging as the scalar two-pass loop this replaced):
+// dominated newcomers change nothing; a surviving newcomer drops the cached
+// members it dominates.
+void SlidingWindowSkyline::fold_insert(std::span<const double> coords, data::PointId id) {
+  const std::size_t n = cache_.size();
+  if (prefilter_enabled() && n != 0 && !tiles_.maybe_dominated(coords) &&
+      !tiles_.maybe_dominates(coords)) {
+    // Both scalar passes would have run dry: the dominated-check scans all n
+    // without a hit, the keep-scan keeps all n.
+    stats_.dominance_tests += 2 * static_cast<std::uint64_t>(n);
+    ++stats_.prefilter_skips;
+    cache_.push_back(coords, id);
+    tiles_.push_back(coords, cache_.size() - 1);
+    return;
   }
-  std::vector<std::size_t> keep;
-  keep.reserve(cache_.size());
-  for (std::size_t i = 0; i < cache_.size(); ++i) {
-    ++stats_.dominance_tests;
-    if (!dominates(coords, cache_.point(i))) keep.push_back(i);
+
+  // Pass 1: is the newcomer dominated? Scalar early-exit charging: pairs up
+  // to and including the first dominator, all n otherwise. Tiles are dense
+  // (compact() repacks), so lane index == scan position within the tile.
+  const std::size_t tiles = tiles_.tiles();
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::uint32_t vm = tiles_.valid_mask(t);
+    const std::uint32_t dominated_by =
+        dominators_in_block(coords.data(), tiles_.tile_data(t), dim_) & vm;
+    if (dominated_by != 0) {
+      stats_.dominance_tests += static_cast<std::uint64_t>(std::countr_zero(dominated_by)) + 1;
+      return;
+    }
+    stats_.dominance_tests += static_cast<std::uint64_t>(std::popcount(vm));
   }
-  data::PointSet next = cache_.select(keep);
-  next.push_back(coords, id);
-  cache_ = std::move(next);
+
+  // Pass 2: full keep-scan (the scalar loop never early-exits here).
+  std::vector<std::uint32_t> drops(tiles, 0);
+  bool any_drop = false;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::uint32_t vm = tiles_.valid_mask(t);
+    const TileMasks m = compare_block(coords.data(), tiles_.tile_data(t), dim_);
+    drops[t] = m.lt & ~m.gt & vm;
+    any_drop |= drops[t] != 0;
+    stats_.dominance_tests += static_cast<std::uint64_t>(std::popcount(vm));
+  }
+  if (any_drop) {
+    std::vector<std::size_t> keep;
+    keep.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (((drops[i / kTileWidth] >> (i % kTileWidth)) & 1u) == 0) keep.push_back(i);
+    }
+    cache_ = cache_.select(keep);
+    tiles_.compact(drops);
+  }
+  cache_.push_back(coords, id);
+  tiles_.push_back(coords, cache_.size() - 1);
+}
+
+void SlidingWindowSkyline::rebuild_tiles() {
+  tiles_.clear();
+  for (std::size_t i = 0; i < cache_.size(); ++i) tiles_.push_back(cache_.point(i), i);
 }
 
 void SlidingWindowSkyline::rebuild() {
@@ -57,6 +141,7 @@ void SlidingWindowSkyline::rebuild() {
   points.reserve(window_.size());
   for (const Entry& e : window_) points.push_back(e.coords, e.id);
   cache_ = bnl_skyline(points, &stats_);
+  rebuild_tiles();
   dirty_ = false;
   ++rebuilds_;
 }

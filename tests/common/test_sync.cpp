@@ -198,5 +198,73 @@ TEST(Cancellation, CancelVisibleAcrossThreadsUnderTsan) {
   EXPECT_EQ(token.stop_reason(), common::StopReason::kCancelled);
 }
 
+
+TEST(NotifyQueue, PushPopInOrder) {
+  common::NotifyQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(0), 1);
+  EXPECT_EQ(q.pop(0), 2);
+  EXPECT_EQ(q.pop(0), std::nullopt);  // empty poll times out
+}
+
+TEST(NotifyQueue, FullQueueDropsOldestAndLatchesLagged) {
+  common::NotifyQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_FALSE(q.lagged());
+  EXPECT_TRUE(q.push(3));  // drops 1
+  EXPECT_TRUE(q.lagged());
+  EXPECT_EQ(q.pop(0), 2);
+  EXPECT_EQ(q.pop(0), 3);
+  EXPECT_TRUE(q.lagged());  // latched, not reset by draining
+}
+
+TEST(NotifyQueue, CloseLeavesBacklogPoppableThenEndsStream) {
+  common::NotifyQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(8));  // rejected after close
+  EXPECT_EQ(q.pop(0), 7);   // backlog still drains
+  // Closed AND drained: even an infinite wait returns end-of-stream now.
+  EXPECT_EQ(q.pop(-1), std::nullopt);
+}
+
+TEST(NotifyQueue, CloseWakesBlockedConsumerUnderTsan) {
+  common::NotifyQueue<int> q(4);
+  std::thread consumer([&q] { EXPECT_EQ(q.pop(-1), std::nullopt); });
+  q.close();
+  consumer.join();
+}
+
+TEST(NotifyQueue, ConcurrentProducersAllItemsArriveUnderTsan) {
+  // Capacity covers every push, so nothing may drop: the consumer must see
+  // each producer's full sequence (per-producer order is FIFO by mutex).
+  constexpr std::size_t kProducers = 4;
+  constexpr int kPerProducer = 64;
+  common::NotifyQueue<int> q(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.push(static_cast<int>(p) * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::vector<int> last(kProducers, -1);
+  std::size_t popped = 0;
+  while (auto item = q.pop(0)) {
+    const auto p = static_cast<std::size_t>(*item) / kPerProducer;
+    EXPECT_LT(last[p], *item % kPerProducer);
+    last[p] = *item % kPerProducer;
+    ++popped;
+  }
+  EXPECT_EQ(popped, kProducers * kPerProducer);
+  EXPECT_FALSE(q.lagged());
+}
+
 }  // namespace
 }  // namespace mrsky

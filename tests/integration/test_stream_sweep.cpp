@@ -1,0 +1,309 @@
+// Randomised streaming differential sweep (ISSUE 9): ~200 deterministically
+// seeded insert/delete/TTL schedules over all five workload families (the
+// four synthetic distributions plus the QWS-like family), each replayed
+// through TWO streaming QueryEngines — one configured kSequential, one
+// kThreads — and against a recompute-from-scratch oracle. After EVERY tick:
+//
+//  * the maintained full skyline published by apply_batch must equal the
+//    naive skyline of the oracle's live set bitwise (exact delete/TTL/window
+//    maintenance, not approximate);
+//  * the kSequential and kThreads engines must publish byte-identical
+//    skylines and deltas (execution mode can never leak into results);
+//  * replaying each delta onto a running replica must reproduce the
+//    published skyline, which is the standing-subscription contract.
+//
+// A slice of cases also runs a skyline query at a streamed version, proving
+// the pipeline path agrees with the maintained structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/dataset/generators.hpp"
+#include "src/dataset/normalize.hpp"
+#include "src/dataset/qws.hpp"
+#include "src/service/query_engine.hpp"
+#include "src/skyline/algorithms.hpp"
+
+namespace mrsky {
+namespace {
+
+/// The exact bits of a skyline, in output order.
+struct SkylineBits {
+  std::vector<data::PointId> ids;
+  std::vector<std::uint64_t> coord_bits;
+
+  explicit SkylineBits(const data::PointSet& sky) {
+    for (std::size_t i = 0; i < sky.size(); ++i) {
+      ids.push_back(sky.id(i));
+      for (double c : sky.point(i)) coord_bits.push_back(std::bit_cast<std::uint64_t>(c));
+    }
+  }
+  bool operator==(const SkylineBits&) const = default;
+};
+
+data::PointSet canonical_by_id(const data::PointSet& ps) {
+  std::vector<std::size_t> order(ps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ps.id(a) < ps.id(b); });
+  return ps.select(order);
+}
+
+/// Recompute-from-scratch oracle. Mirrors apply_batch's documented tick
+/// semantics exactly — TTL expiry, explicit deletes, inserts (fresh ids,
+/// effective TTL = per-point else engine default), count-window eviction —
+/// but knows nothing about skyline maintenance: its skyline is always a full
+/// naive recompute of the live set.
+class StreamOracle {
+ public:
+  StreamOracle(const data::PointSet& initial, std::size_t window_capacity,
+               std::uint64_t window_ticks)
+      : dim_(initial.dim()), window_capacity_(window_capacity), window_ticks_(window_ticks) {
+    data::PointId max_id = 0;
+    for (std::size_t i = 0; i < initial.size(); ++i) {
+      const auto p = initial.point(i);
+      live_.emplace(initial.id(i), std::vector<double>(p.begin(), p.end()));
+      arrivals_.push_back(initial.id(i));
+      max_id = std::max(max_id, initial.id(i));
+    }
+    next_id_ = initial.size() == 0 ? 0 : max_id + 1;
+  }
+
+  void apply(const service::MutationBatch& batch) {
+    ++tick_;
+    while (!expiries_.empty() && expiries_.top().first <= tick_) {
+      live_.erase(expiries_.top().second);
+      expiries_.pop();
+    }
+    for (data::PointId id : batch.deletes) live_.erase(id);
+    for (std::size_t i = 0; i < batch.inserts.size(); ++i) {
+      const data::PointId id = next_id_++;
+      const auto p = batch.inserts.point(i);
+      live_.emplace(id, std::vector<double>(p.begin(), p.end()));
+      arrivals_.push_back(id);
+      const std::int64_t requested = batch.ttl_ticks.empty() ? 0 : batch.ttl_ticks[i];
+      const std::uint64_t ttl =
+          requested > 0 ? static_cast<std::uint64_t>(requested) : window_ticks_;
+      if (ttl > 0) expiries_.emplace(tick_ + ttl, id);
+    }
+    if (window_capacity_ > 0) {
+      std::size_t head = 0;
+      while (live_.size() > window_capacity_ && head < arrivals_.size()) {
+        live_.erase(arrivals_[head++]);  // stale ids erase as no-ops
+      }
+      arrivals_.erase(arrivals_.begin(), arrivals_.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+  }
+
+  [[nodiscard]] data::PointSet skyline() const {
+    data::PointSet ps(dim_);
+    for (const auto& [id, coords] : live_) ps.push_back(coords, id);  // map: ascending ids
+    return canonical_by_id(skyline::naive_skyline(ps));
+  }
+
+  [[nodiscard]] std::size_t live_size() const { return live_.size(); }
+
+ private:
+  std::size_t dim_;
+  std::size_t window_capacity_;
+  std::uint64_t window_ticks_;
+  data::PointId next_id_ = 0;
+  std::uint64_t tick_ = 0;
+  std::map<data::PointId, std::vector<double>> live_;
+  std::vector<data::PointId> arrivals_;
+  std::priority_queue<std::pair<std::uint64_t, data::PointId>,
+                      std::vector<std::pair<std::uint64_t, data::PointId>>, std::greater<>>
+      expiries_;
+};
+
+/// A subscriber-side replica: base skyline + delta replay.
+class Replica {
+ public:
+  explicit Replica(const data::PointSet& base) : dim_(base.dim()) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const auto p = base.point(i);
+      points_.emplace(base.id(i), std::vector<double>(p.begin(), p.end()));
+    }
+  }
+
+  void apply(const service::StreamDelta& delta) {
+    for (data::PointId id : delta.left) points_.erase(id);
+    for (std::size_t i = 0; i < delta.entered.size(); ++i) {
+      const auto p = delta.entered.point(i);
+      points_.emplace(delta.entered.id(i), std::vector<double>(p.begin(), p.end()));
+    }
+  }
+
+  [[nodiscard]] data::PointSet skyline() const {
+    data::PointSet ps(dim_);
+    for (const auto& [id, coords] : points_) ps.push_back(coords, id);
+    return ps;
+  }
+
+ private:
+  std::size_t dim_;
+  std::map<data::PointId, std::vector<double>> points_;
+};
+
+constexpr std::size_t kFamilies = 5;  // 4 synthetic distributions + QWS-like
+
+struct StreamCase {
+  data::PointSet initial{1};
+  std::vector<service::MutationBatch> schedule;
+  std::size_t window_capacity = 0;
+  std::uint64_t window_ticks = 0;
+  std::string description;
+};
+
+/// Everything derives from the case index, so a failure names a reproducible
+/// case. Family index % 5; every case mixes inserts, deletes (including
+/// already-dead ids — the missing-delete path), per-point TTLs, and one in
+/// two cases adds a count or time window.
+StreamCase make_case(std::uint64_t index) {
+  common::Rng rng(index * 0x9e3779b9ull + 0x517e40ull);
+  StreamCase c;
+
+  const std::size_t n = 30 + rng.uniform_index(120);
+  const std::size_t dim = 2 + rng.uniform_index(4);
+  const std::size_t ticks = 10 + rng.uniform_index(10);
+  const std::size_t family = index % kFamilies;
+  const std::size_t pool_n = n + ticks * 6;
+
+  data::PointSet pool(dim);
+  std::string family_name;
+  if (family < 4) {
+    const auto dist = static_cast<data::Distribution>(family);
+    pool = data::generate(dist, pool_n, dim, /*seed=*/index + 1);
+    family_name = data::to_string(dist);
+  } else {
+    data::QwsLikeGenerator gen(dim, /*seed=*/index + 1);
+    pool = data::normalize_min_max(gen.generate_oriented(pool_n));
+    family_name = "qws-like";
+  }
+
+  std::vector<std::size_t> head(n);
+  for (std::size_t i = 0; i < n; ++i) head[i] = i;
+  c.initial = pool.select(head);
+
+  switch (rng.uniform_index(4)) {
+    case 2:
+      c.window_capacity = std::max<std::size_t>(8, n / 2);
+      break;
+    case 3:
+      c.window_ticks = 3 + rng.uniform_index(5);
+      break;
+    default:
+      break;  // unbounded
+  }
+
+  std::size_t next_row = n;
+  std::size_t assigned = n;
+  c.schedule.resize(ticks);
+  for (std::size_t t = 0; t < ticks; ++t) {
+    service::MutationBatch& batch = c.schedule[t];
+    batch.inserts = data::PointSet(dim);
+    const std::size_t inserts = rng.uniform_index(7);  // 0..6
+    for (std::size_t i = 0; i < inserts; ++i, ++next_row) {
+      batch.inserts.push_back(pool.point(next_row), pool.id(next_row));
+      batch.ttl_ticks.push_back(rng.uniform() < 0.3
+                                    ? static_cast<std::int64_t>(1 + rng.uniform_index(6))
+                                    : 0);
+    }
+    const std::size_t deletes = rng.uniform_index(5);  // 0..4, may hit dead ids
+    for (std::size_t i = 0; i < deletes; ++i) {
+      batch.deletes.push_back(static_cast<data::PointId>(rng.uniform_index(assigned)));
+    }
+    assigned += inserts;
+  }
+
+  c.description = family_name + " n=" + std::to_string(n) + " d=" + std::to_string(dim) +
+                  " ticks=" + std::to_string(ticks) +
+                  (c.window_capacity > 0 ? " cap=" + std::to_string(c.window_capacity) : "") +
+                  (c.window_ticks > 0 ? " span=" + std::to_string(c.window_ticks) : "");
+  return c;
+}
+
+class StreamSweep : public testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// One pool shared by every kThreads engine in the sweep.
+  static common::ThreadPool& shared_pool() {
+    static common::ThreadPool pool(4);
+    return pool;
+  }
+};
+
+TEST_P(StreamSweep, MaintainedSkylineMatchesRecomputeEveryTick) {
+  const StreamCase c = make_case(GetParam());
+
+  service::QueryEngineOptions seq_options;
+  seq_options.window_capacity = c.window_capacity;
+  seq_options.window_ticks = c.window_ticks;
+  service::QueryEngine seq(c.initial, seq_options);
+
+  service::QueryEngineOptions thr_options = seq_options;
+  thr_options.config.run_options.mode = mr::ExecutionMode::kThreads;
+  thr_options.config.run_options.pool = &shared_pool();
+  service::QueryEngine thr(c.initial, thr_options);
+
+  StreamOracle oracle(c.initial, c.window_capacity, c.window_ticks);
+
+  // The replica starts from a pre-stream subscription: base version 0 plus
+  // its full skyline, then one delta per tick.
+  const service::StreamSubscriptionPtr sub = seq.subscribe();
+  Replica replica(sub->base_skyline());
+
+  for (std::size_t t = 0; t < c.schedule.size(); ++t) {
+    const std::string where = c.description + " tick " + std::to_string(t + 1);
+    const service::ApplyResult rs = seq.apply_batch(c.schedule[t]);
+    const service::ApplyResult rt = thr.apply_batch(c.schedule[t]);
+    oracle.apply(c.schedule[t]);
+
+    ASSERT_NE(rs.snapshot->full_skyline, nullptr) << where;
+    const data::PointSet& published = *rs.snapshot->full_skyline;
+
+    // Oracle: maintained skyline == naive skyline of the live set, bitwise.
+    EXPECT_TRUE(SkylineBits(published) == SkylineBits(oracle.skyline())) << where;
+    EXPECT_EQ(rs.snapshot->dataset->size(), oracle.live_size()) << where;
+
+    // Mode invariance: kSequential and kThreads publish identical bytes.
+    EXPECT_TRUE(SkylineBits(published) == SkylineBits(*rt.snapshot->full_skyline)) << where;
+    EXPECT_EQ(rs.delta.left, rt.delta.left) << where;
+    EXPECT_TRUE(SkylineBits(rs.delta.entered) == SkylineBits(rt.delta.entered)) << where;
+
+    // Subscription contract: the delivered delta replays to the published
+    // skyline, and matches the ApplyResult's copy.
+    const std::optional<service::StreamDelta> delivered = sub->next(/*timeout_ms=*/0);
+    ASSERT_TRUE(delivered.has_value()) << where;
+    EXPECT_EQ(delivered->version, rs.delta.version) << where;
+    replica.apply(*delivered);
+    EXPECT_TRUE(SkylineBits(replica.skyline()) == SkylineBits(published)) << where;
+  }
+
+  // A slice also runs the query path at a streamed version: the pipeline must
+  // agree with the maintained structure it never consulted.
+  if (GetParam() % 9 == 0) {
+    const auto result = seq.execute(service::Query{service::SkylineQuery{}});
+    EXPECT_TRUE(SkylineBits(result.points) ==
+                SkylineBits(*seq.snapshot()->full_skyline))
+        << c.description;
+  }
+
+  EXPECT_FALSE(sub->lagged()) << c.description;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, StreamSweep, testing::Range<std::uint64_t>(0, 200),
+                         [](const auto& param_info) {
+                           return "case" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace mrsky

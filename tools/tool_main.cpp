@@ -372,6 +372,19 @@ int cmd_query(const common::CliArgs& args) {
                       ",\"version\":" + std::to_string(engine.version()) + "}";
       continue;
     }
+    if (const auto* del = std::get_if<service::DeleteCommand>(&command)) {
+      service::MutationBatch batch;
+      batch.deletes = del->ids;
+      const service::ApplyResult r = engine.apply_batch(batch);
+      table.add_row({common::Table::fmt(index),
+                     "delete (" + std::to_string(del->ids.size()) + " ids)",
+                     common::Table::fmt(r.delta.deleted), "", "", "", ""});
+      queries_json += "{\"command\":\"delete\",\"deleted\":" + std::to_string(r.delta.deleted) +
+                      ",\"missing\":" + std::to_string(r.delta.missing_deletes) +
+                      ",\"expired\":" + std::to_string(r.delta.expired) +
+                      ",\"version\":" + std::to_string(r.delta.version) + "}";
+      continue;
+    }
     const auto& query = std::get<service::Query>(command);
     const auto result = engine.execute(query);
     const auto& m = result.metrics;
