@@ -24,7 +24,7 @@ build_tree() {
     -DMRSKY_BUILD_TESTS=ON \
     -DMRSKY_BUILD_BENCH=ON \
     -DMRSKY_BUILD_EXAMPLES=OFF
-  cmake --build "$dir" -j --target micro_kernels mrsky mrsky_tests bench_query_engine ablation_planner bench_stream
+  cmake --build "$dir" -j --target micro_kernels mrsky mrsky_tests bench_query_engine ablation_planner bench_stream bench_out_of_core
 }
 
 build_tree "$ROOT/build-perf-scalar" OFF
@@ -101,4 +101,27 @@ done
   --json "$RESULTS/stream_sweep.json" \
   --check --min-speedup 5
 
-echo "== perf smoke passed: results identical; timings in $RESULTS/micro_kernels_{scalar,native}.json, $RESULTS/query_engine.json, $RESULTS/planner_sweep.json and $RESULTS/stream_sweep.json"
+# Out-of-core gate (ISSUE 10 acceptance): three separate processes, because
+# VmHWM is a per-process high-water mark — generation or the resident
+# baseline would pollute the streamed run's reading. The .mrb file is >= 4x
+# the RSS cap, the streamed run must stay under the cap (map-task count,
+# partition count and thread count bound the per-task footprints; the
+# shuffle spills past --spill-bytes), corner pruning must drop >= 20% of the
+# payload bytes before they are read, and the skyline must be bitwise
+# identical to the resident baseline.
+OOC="$WORK/out_of_core"
+mkdir -p "$OOC"
+"$ROOT/build-perf-scalar/bench/bench_out_of_core" --mode generate \
+  --cardinality 4500000 --dim 4 --seed 2012 --block-rows 2048 \
+  --file "$OOC/data.mrb"
+"$ROOT/build-perf-scalar/bench/bench_out_of_core" --mode memory \
+  --file "$OOC/data.mrb" --baseline "$OOC/skyline.mrsk" \
+  --partitions 512 --map-tasks 512
+"$ROOT/build-perf-scalar/bench/bench_out_of_core" --mode block \
+  --file "$OOC/data.mrb" --baseline "$OOC/skyline.mrsk" \
+  --partitions 512 --map-tasks 512 --threads 2 \
+  --spill-bytes $((8 * 1024 * 1024)) --rss-cap-mb 38 \
+  --json "$RESULTS/out_of_core.json" \
+  --check
+
+echo "== perf smoke passed: results identical; timings in $RESULTS/micro_kernels_{scalar,native}.json, $RESULTS/query_engine.json, $RESULTS/planner_sweep.json, $RESULTS/stream_sweep.json and $RESULTS/out_of_core.json"

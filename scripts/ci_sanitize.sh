@@ -60,6 +60,11 @@ FILTER+=':AdaptivePlanner*:CostModel*:GrowthFactor*:SchemeAuto*:PartitionStats*'
 # sweep, and — the part that exists FOR TSan — standing subscriptions racing
 # apply_batch publishers and server drain (Subscription*).
 FILTER+=':MaintainedSkyline*:SlidingWindow*:StreamSweep*:Subscription*:NotifyQueue*'
+# Out-of-core block storage (ISSUE 10): mmap'd block reads feeding the
+# threaded pipeline (map tasks touch disjoint blocks concurrently; the
+# verify-once checksum flags are the TSan target), the DatasetSource seam,
+# and the resident-vs-streamed differential sweep with spill enabled.
+FILTER+=':BlockStore*:DatasetSource*:*OutOfCoreSweep*'
 
 if [[ "$KIND" == "thread" ]]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <iomanip>
+#include <span>
 #include <sstream>
 #include <unordered_set>
 
@@ -185,11 +187,11 @@ MRSkylineConfig resolve(const MRSkylineConfig& base, part::Scheme scheme,
   return resolved;
 }
 
-AdaptivePlan heuristic_fallback(const data::PointSet& input, const MRSkylineConfig& base,
+AdaptivePlan heuristic_fallback(std::size_t n, std::size_t dim, const MRSkylineConfig& base,
                                 const std::string& reason) {
   PlannerInputs inputs;
-  inputs.cardinality = std::max<std::size_t>(1, input.size());
-  inputs.dim = std::max<std::size_t>(1, input.dim());
+  inputs.cardinality = std::max<std::size_t>(1, n);
+  inputs.dim = std::max<std::size_t>(1, dim);
   inputs.servers = std::max<std::size_t>(1, base.servers);
   const PlannedConfig heur = plan_config(inputs);
 
@@ -231,7 +233,7 @@ AdaptivePlan AdaptivePlanner::plan(const data::PointSet& input,
 
   if (n < options_.min_points || dim == 0) {
     AdaptivePlan plan = heuristic_fallback(
-        input, base,
+        n, dim, base,
         "dataset below planning threshold (" + std::to_string(n) + " < " +
             std::to_string(options_.min_points) + " points)");
     plan.planning_seconds = timer.elapsed_seconds();
@@ -247,7 +249,89 @@ AdaptivePlan AdaptivePlanner::plan(const data::PointSet& input,
     sample_storage = data::sample_without_replacement(input, options_.sample_size, rng);
     sample = &sample_storage;
   }
-  const std::size_t sample_n = sample->size();
+  AdaptivePlan plan = plan_on_sample(*sample, n, dim, base);
+  plan.planning_seconds = timer.elapsed_seconds();
+  return plan;
+}
+
+AdaptivePlan AdaptivePlanner::plan(const data::DatasetSource& source,
+                                   const MRSkylineConfig& base) const {
+  if (const data::PointSet* resident = source.resident()) return plan(*resident, base);
+  common::Timer timer;
+  const std::size_t n = source.size();
+  const std::size_t dim = source.dim();
+
+  if (n < options_.min_points || dim == 0) {
+    AdaptivePlan plan = heuristic_fallback(
+        n, dim, base,
+        "dataset below planning threshold (" + std::to_string(n) + " < " +
+            std::to_string(options_.min_points) + " points)");
+    plan.planning_seconds = timer.elapsed_seconds();
+    return plan;
+  }
+
+  // 1. Sample — block-proportional systematic draw, deterministic in
+  // (seed, layout); nothing is materialised.
+  const std::size_t target = options_.sample_size > 0 ? std::min(options_.sample_size, n) : n;
+  const data::PointSet sample = source.sample(target, options_.sample_seed);
+  AdaptivePlan plan = plan_on_sample(sample, n, dim, base);
+
+  // 4. Block-skip preview: discount the map and shuffle phases by the
+  // fraction of on-disk bytes the pipeline's pre-shuffle block pruning will
+  // drop (same strict-corner test run_mr_skyline applies). Map and shuffle
+  // costs are scheme-independent, so the discount is uniform across
+  // candidates and the ranking is unchanged — only the absolute predictions
+  // tighten.
+  if (!plan.fallback && base.block_prune) {
+    const data::PointSet sample_sky =
+        skyline::compute_skyline(sample, skyline::Algorithm::kBnl);
+    std::uint64_t total_bytes = 0;
+    std::uint64_t pruned_bytes = 0;
+    std::size_t pruned_blocks = 0;
+    for (std::size_t b = 0; b < source.block_count(); ++b) {
+      const data::BlockStats stats = source.block_stats(b);
+      total_bytes += stats.bytes;
+      if (!stats.has_corners) continue;
+      bool drop = false;
+      for (std::size_t s = 0; !drop && s < sample_sky.size(); ++s) {
+        const std::span<const double> p = sample_sky.point(s);
+        bool dominates = true;
+        for (std::size_t a = 0; dominates && a < dim; ++a) {
+          dominates = p[a] < stats.min_corner[a];
+        }
+        drop = dominates;
+      }
+      if (drop) {
+        pruned_bytes += stats.bytes;
+        ++pruned_blocks;
+      }
+    }
+    if (total_bytes > 0 && pruned_blocks > 0) {
+      const double keep =
+          1.0 - static_cast<double>(pruned_bytes) / static_cast<double>(total_bytes);
+      for (PlanCandidate& cand : plan.candidates) {
+        cand.map_seconds *= keep;
+        cand.shuffle_seconds *= keep;
+      }
+      plan.chosen.map_seconds *= keep;
+      plan.chosen.shuffle_seconds *= keep;
+      std::ostringstream os;
+      os << "\nblock stats: " << pruned_blocks << "/" << source.block_count() << " blocks ("
+         << std::fixed << std::setprecision(1)
+         << 100.0 * static_cast<double>(pruned_bytes) / static_cast<double>(total_bytes)
+         << "% of bytes) prunable before read";
+      plan.rationale += os.str();
+    }
+  }
+  plan.planning_seconds = timer.elapsed_seconds();
+  return plan;
+}
+
+AdaptivePlan AdaptivePlanner::plan_on_sample(const data::PointSet& sample, std::size_t full_n,
+                                             std::size_t dim,
+                                             const MRSkylineConfig& base) const {
+  const std::size_t n = full_n;
+  const std::size_t sample_n = sample.size();
 
   const CostConstants constants =
       options_.constants ? *options_.constants : CostModel::process().constants();
@@ -277,14 +361,14 @@ AdaptivePlan AdaptivePlanner::plan(const data::PointSet& input,
         popts.num_partitions = np;
         popts.split_dim = base.split_dim;
         const part::PartitionerPtr partitioner = part::make_partitioner(scheme, popts);
-        partitioner->fit(*sample);
-        const part::PartitionReport report = part::analyze_partitioning(*partitioner, *sample);
+        partitioner->fit(sample);
+        const part::PartitionReport report = part::analyze_partitioning(*partitioner, sample);
         fa.balance_cv = report.balance_cv;
         fa.prunable_fraction =
             sample_n > 0 && base.apply_grid_pruning
                 ? static_cast<double>(report.pruned_points) / static_cast<double>(sample_n)
                 : 0.0;
-        std::vector<data::PointSet> parts = part::split_by_partition(*partitioner, *sample);
+        std::vector<data::PointSet> parts = part::split_by_partition(*partitioner, sample);
         std::unordered_set<std::size_t> pruned;
         if (base.apply_grid_pruning) {
           pruned.insert(report.prunable.begin(), report.prunable.end());
@@ -305,9 +389,8 @@ AdaptivePlan AdaptivePlanner::plan(const data::PointSet& input,
 
   if (analyses.empty()) {
     AdaptivePlan plan =
-        heuristic_fallback(input, base, "no candidate scheme survived sample analysis");
+        heuristic_fallback(n, dim, base, "no candidate scheme survived sample analysis");
     plan.sample_points = sample_n;
-    plan.planning_seconds = timer.elapsed_seconds();
     return plan;
   }
 
@@ -327,9 +410,8 @@ AdaptivePlan AdaptivePlanner::plan(const data::PointSet& input,
     }
   }
   if (plan.candidates.empty()) {
-    AdaptivePlan fb = heuristic_fallback(input, base, "no priced candidate validated");
+    AdaptivePlan fb = heuristic_fallback(n, dim, base, "no priced candidate validated");
     fb.sample_points = sample_n;
-    fb.planning_seconds = timer.elapsed_seconds();
     return fb;
   }
   std::stable_sort(plan.candidates.begin(), plan.candidates.end(),
@@ -369,7 +451,6 @@ AdaptivePlan AdaptivePlanner::plan(const data::PointSet& input,
      << "% of sample, predicted merge input " << std::setprecision(0)
      << plan.chosen.predicted_merge_input << " records";
   plan.rationale = os.str();
-  plan.planning_seconds = timer.elapsed_seconds();
   return plan;
 }
 

@@ -120,9 +120,26 @@ class AdaptivePlanner {
   [[nodiscard]] AdaptivePlan plan(const data::PointSet& input,
                                   const MRSkylineConfig& base) const;
 
+  /// Streaming variant: draws the planning sample from the source block by
+  /// block (nothing is materialised), plans on it exactly as the PointSet
+  /// overload would, then discounts the predicted map/shuffle phases by the
+  /// fraction of on-disk bytes the pipeline's pre-shuffle block pruning is
+  /// expected to skip (estimated from block min corners against the sample
+  /// skyline). The discount is uniform across candidates, so it tightens
+  /// the absolute predictions without changing the ranking. Sources with a
+  /// resident PointSet delegate to the overload above.
+  [[nodiscard]] AdaptivePlan plan(const data::DatasetSource& source,
+                                  const MRSkylineConfig& base) const;
+
   [[nodiscard]] const AdaptivePlannerOptions& options() const noexcept { return options_; }
 
  private:
+  /// Shared analyze + optimize stages over an already-drawn sample standing
+  /// in for `full_n` points. Does not set `planning_seconds` — each public
+  /// overload stamps its own wall clock (sampling included).
+  [[nodiscard]] AdaptivePlan plan_on_sample(const data::PointSet& sample, std::size_t full_n,
+                                            std::size_t dim, const MRSkylineConfig& base) const;
+
   AdaptivePlannerOptions options_;
 };
 

@@ -1,8 +1,11 @@
 #include "src/core/mr_skyline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <span>
 #include <sstream>
 #include <unordered_set>
@@ -38,6 +41,91 @@ struct PointSetInput {
   }
 };
 
+/// Streams a DatasetSource's surviving blocks to the engine under the same
+/// record interface as PointSetInput, addressed by a global row index over
+/// the survivors. A thread-local cursor keeps exactly one block materialised
+/// per worker thread and reloads on block crossings; map splits are
+/// contiguous row ranges, so in the common case each block is read once per
+/// pass (a retried task re-reads from its split start, which the
+/// binary-search fallback handles). The span returned by value() stays valid
+/// until the next key()/value() call on the same thread — the engine hands
+/// it straight to map_fn, which copies the coordinates into its PointRec,
+/// the same single-record lifetime PointSetInput's zero-copy spans rely on.
+struct BlockInput {
+  const data::DatasetSource* source = nullptr;
+  std::vector<std::size_t> blocks;       ///< surviving block ids, ascending
+  std::vector<std::size_t> row_offsets;  ///< prefix row counts, blocks.size() + 1
+  /// Distinguishes this input from any earlier one that lived at the same
+  /// address. Cursors are thread_local and outlive the input, so validity
+  /// cannot rest on pointer identity — a later run's input can be allocated
+  /// where a destroyed one was, and a cursor trusting the recycled address
+  /// would index the new blocks vector with a stale slot.
+  const std::uint64_t epoch = next_epoch();
+
+  static std::uint64_t next_epoch() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return row_offsets.empty() ? 0 : row_offsets.back();
+  }
+
+  struct Cursor {
+    std::uint64_t epoch = 0;  ///< owning input's epoch; 0 = empty
+    std::size_t slot = 0;     ///< index into blocks
+    std::size_t begin = 0;    ///< global row range of the loaded block
+    std::size_t end = 0;
+    data::PointSet rows{1};
+  };
+
+  Cursor& cursor_for(std::size_t i) const {
+    thread_local Cursor cur;
+    if (cur.epoch != epoch || i < cur.begin || i >= cur.end) load(cur, i);
+    return cur;
+  }
+
+  void load(Cursor& cur, std::size_t i) const {
+    const bool same_input = cur.epoch == epoch;
+    std::size_t slot = 0;
+    if (same_input && cur.slot + 1 < blocks.size() &&
+        i >= row_offsets[cur.slot + 1] && i < row_offsets[cur.slot + 2]) {
+      slot = cur.slot + 1;  // sequential fast path: the next block over
+    } else {
+      slot = static_cast<std::size_t>(std::upper_bound(row_offsets.begin(), row_offsets.end(),
+                                                       i) -
+                                      row_offsets.begin()) -
+             1;
+    }
+    // Releasing is a paging hint: dropping the previous block's pages keeps
+    // resident memory at ~one block per worker. Only touch blocks we loaded
+    // through this input — a stale cursor from an earlier run must not poke
+    // a source it no longer knows to be alive.
+    if (same_input) source->release_block(blocks[cur.slot]);
+    cur.epoch = epoch;
+    cur.slot = slot;
+    cur.begin = row_offsets[slot];
+    cur.end = row_offsets[slot + 1];
+    if (cur.rows.dim() != source->dim()) cur.rows = data::PointSet(source->dim());
+    cur.rows.clear();
+    source->read_block(blocks[slot], cur.rows);
+  }
+
+  [[nodiscard]] data::PointId key(std::size_t i) const {
+    Cursor& cur = cursor_for(i);
+    return cur.rows.id(i - cur.begin);
+  }
+  [[nodiscard]] std::span<const double> value(std::size_t i) const {
+    Cursor& cur = cursor_for(i);
+    return cur.rows.point(i - cur.begin);
+  }
+};
+
+/// Fit-sample size for out-of-core runs when the config leaves
+/// fit_sample_size at 0 ("fit on everything"): fitting on everything would
+/// materialise the dataset, which is the one thing this path must not do.
+constexpr std::size_t kOutOfCoreFitSample = 4096;
+
 /// Rebuild a PointSet from shuffled records (shared by combine/reduce/merge).
 /// Returns a per-worker-thread scratch buffer reused across reduce groups and
 /// merge rounds, so group materialisation stops allocating per group; callers
@@ -50,6 +138,253 @@ data::PointSet& to_point_set(std::size_t dim, const std::vector<PointRec>& recs)
   scratch.reserve(recs.size());
   for (const auto& r : recs) scratch.push_back(r.coords, r.id);
   return scratch;
+}
+
+/// Fixed-layout spill codec for the pipeline's intermediate records, used by
+/// both job 1 and every merge round (they share the KV<size_t, PointRec>
+/// shape): u64 key, u32 id, u64 coordinate count, raw doubles.
+void spill_write_rec(std::ostream& os, const mr::KV<std::size_t, PointRec>& kv) {
+  const auto key = static_cast<std::uint64_t>(kv.key);
+  os.write(reinterpret_cast<const char*>(&key), sizeof(key));
+  os.write(reinterpret_cast<const char*>(&kv.value.id), sizeof(kv.value.id));
+  const auto count = static_cast<std::uint64_t>(kv.value.coords.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  os.write(reinterpret_cast<const char*>(kv.value.coords.data()),
+           static_cast<std::streamsize>(count * sizeof(double)));
+}
+
+mr::KV<std::size_t, PointRec> spill_read_rec(std::istream& is) {
+  std::uint64_t key = 0;
+  is.read(reinterpret_cast<char*>(&key), sizeof(key));
+  mr::KV<std::size_t, PointRec> kv;
+  kv.key = static_cast<std::size_t>(key);
+  is.read(reinterpret_cast<char*>(&kv.value.id), sizeof(kv.value.id));
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  kv.value.coords.resize(static_cast<std::size_t>(count));
+  is.read(reinterpret_cast<char*>(kv.value.coords.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  return kv;
+}
+
+void throw_if_invalid(const std::vector<std::string>& errors) {
+  if (errors.empty()) return;
+  std::string message = "invalid MRSkylineConfig (" + std::to_string(errors.size()) +
+                        (errors.size() == 1 ? " problem):" : " problems):");
+  for (const std::string& e : errors) message += "\n  - " + e;
+  throw InvalidArgument(message);
+}
+
+/// The shared pipeline body — job 1 (partition + local skyline) and the
+/// merge cascade — generic over the input view (PointSetInput streams a
+/// resident PointSet, BlockInput streams a DatasetSource's surviving
+/// blocks). The caller has already fitted the partitioner, computed the
+/// partition report (whose sizes feed salting) and decided the
+/// pruned-partition set; `total_points` is the number of rows the map stage
+/// will actually stream, which sizes the salting target.
+template <typename Input>
+void run_pipeline(const Input& input_view, std::size_t total_points, std::size_t dim,
+                  const part::Partitioner& part_ref, std::size_t partitions,
+                  const std::unordered_set<std::size_t>& pruned,
+                  const MRSkylineConfig& config, MRSkylineResult& result) {
+  common::TraceRecorder* const trace = config.run_options.trace;
+
+  // One persistent worker pool for the whole pipeline: created once here
+  // (only when the caller asked for kThreads without supplying their own)
+  // and reused by job 1 and every merge round, instead of paying thread
+  // start-up per engine phase.
+  mr::RunOptions run_opts = config.run_options;
+  std::unique_ptr<common::ThreadPool> pipeline_pool;
+  if (run_opts.mode == mr::ExecutionMode::kThreads && run_opts.pool == nullptr) {
+    const std::size_t threads = run_opts.num_threads == 0
+                                    ? common::ThreadPool::default_concurrency()
+                                    : run_opts.num_threads;
+    pipeline_pool = std::make_unique<common::ThreadPool>(threads);
+    run_opts.pool = pipeline_pool.get();
+  }
+
+  // Optional skew cure: hash-salt oversized partitions into sub-keys, one
+  // reduce task each (MRSkylineConfig::salt_oversized_partitions). Key space
+  // is compacted: partition p owns keys [key_base[p], key_base[p+1]).
+  std::vector<std::size_t> salt(partitions, 1);
+  if (config.salt_oversized_partitions) {
+    const double target = config.salt_target_factor * static_cast<double>(total_points) /
+                          static_cast<double>(partitions);
+    for (std::size_t p = 0; p < partitions; ++p) {
+      const auto needed = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(result.partition_report.sizes[p]) /
+                    std::max(target, 1.0)));
+      salt[p] = std::clamp<std::size_t>(needed, 1, 64);
+    }
+  }
+  std::vector<std::size_t> key_base(partitions + 1, 0);
+  for (std::size_t p = 0; p < partitions; ++p) key_base[p + 1] = key_base[p] + salt[p];
+  const std::size_t total_keys = key_base.back();
+  std::vector<std::size_t> key_to_partition(total_keys);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    for (std::size_t s = 0; s < salt[p]; ++s) key_to_partition[key_base[p] + s] = p;
+  }
+
+  // The skyline kernel both local-skyline and merge stages run.
+  auto kernel = [&config](const data::PointSet& points,
+                          skyline::SkylineStats* stats) -> data::PointSet {
+    if (config.local_skyline_override) return config.local_skyline_override(points, stats);
+    return skyline::compute_skyline(points, config.local_algorithm, stats);
+  };
+
+  // --- Job 1: partition + local skyline (Algorithm 1, lines 1-10). ---
+  using Job1 = mr::JobConfig<data::PointId, std::span<const double>, std::size_t, PointRec,
+                             std::size_t, PointRec>;
+  Job1 job1;
+  job1.name = "partition-local-skyline";
+  job1.num_map_tasks = config.effective_map_tasks();
+  job1.num_reduce_tasks = total_keys;
+  // One reduce task per partition key: the identity routing makes reduce-task
+  // metrics per-partition, which the cluster simulator load-balances.
+  job1.partition_fn = [](const std::size_t& key, std::size_t buckets) { return key % buckets; };
+  job1.value_bytes_fn = [](const PointRec& rec) {
+    return sizeof(data::PointId) + rec.coords.size() * sizeof(double);
+  };
+  job1.spill_codec.write = spill_write_rec;
+  job1.spill_codec.read = spill_read_rec;
+
+  job1.map_fn = [&part_ref, &salt, &key_base, dim](
+                    const data::PointId& id, const std::span<const double>& coords,
+                    mr::Emitter<std::size_t, PointRec>& out, mr::TaskContext& ctx) {
+    // Coordinate transform + sector lookup costs O(dim) arithmetic per point
+    // for every scheme (Eq. 1 for MR-Angle, range scans for the others).
+    ctx.charge_work(dim);
+    const std::size_t p = part_ref.assign(coords);
+    std::size_t key = key_base[p];
+    if (salt[p] > 1) {
+      // SplitMix-style avalanche of the stable id: deterministic sub-bucket.
+      std::uint64_t h = (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      key += static_cast<std::size_t>(h % salt[p]);
+    }
+    out.emit(key, PointRec{id, {coords.begin(), coords.end()}});
+  };
+
+  // The same local-skyline body serves as combiner and reducer, but each
+  // phase reports under its own counter: `skyline.local_points` counts only
+  // the reduce-side pass, so it equals the sum of the per-partition local
+  // skyline sizes whether or not the combiner is enabled (the combine-side
+  // pre-filter shows up as `skyline.combine_points` instead).
+  auto make_local_skyline_fn = [&, dim](const char* emitted_counter) {
+    return [&, dim, emitted_counter](const std::size_t& key, std::vector<PointRec>& values,
+                                     mr::Emitter<std::size_t, PointRec>& out,
+                                     mr::TaskContext& ctx) {
+      const std::size_t partition_id = key_to_partition[key];
+      common::ScopedSpan span(trace, "local-skyline", "skyline");
+      span.arg("partition", partition_id);
+      span.arg("key", key);
+      span.arg("points_in", values.size());
+      if (pruned.contains(partition_id)) {
+        // §III-B: the whole cell is dominated — skip its local skyline.
+        ctx.increment("skyline.points_pruned", values.size());
+        span.arg("pruned", 1);
+        return;
+      }
+      skyline::SkylineStats stats;
+      const data::PointSet local = kernel(to_point_set(dim, values), &stats);
+      ctx.charge_work(stats.dominance_tests);
+      ctx.increment(emitted_counter, local.size());
+      span.arg("skyline_points", local.size());
+      span.arg("dominance_tests", stats.dominance_tests);
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        out.emit(key, PointRec{local.id(i), {local.point(i).begin(), local.point(i).end()}});
+      }
+    };
+  };
+  if (config.use_combiner) job1.combine_fn = make_local_skyline_fn("skyline.combine_points");
+  job1.reduce_fn = make_local_skyline_fn("skyline.local_points");
+
+  // Cooperative cancellation polls at pipeline split boundaries: before the
+  // partition/local-skyline job and before every merge round. run_job polls
+  // again inside each phase, so a stopping pipeline unwinds within one task
+  // stride wherever it happens to be.
+  run_opts.cancel.throw_if_stopped("partition/local-skyline job");
+  auto job1_result = mr::run_job(job1, input_view, run_opts);
+  result.partition_job = std::move(job1_result.metrics);
+
+  // Collect per-partition local skylines ("file st" in Algorithm 1).
+  result.local_skylines.assign(partitions, data::PointSet(dim));
+  for (const auto& kv : job1_result.output) {
+    result.local_skylines[key_to_partition[kv.key]].push_back(kv.value.coords, kv.value.id);
+  }
+
+  // --- Merge stage (Algorithm 1, lines 11-16). ---
+  //
+  // Each merge round is a (group, point) -> (group/fan_in, local skyline)
+  // MapReduce job. With merge_fan_in == 0 there is exactly one round with a
+  // single group — the paper's null-key single-reducer merge. With
+  // merge_fan_in >= 2 groups shrink by that factor per round (tree merge).
+  using MergeJob =
+      mr::JobConfig<std::size_t, PointRec, std::size_t, PointRec, std::size_t, PointRec>;
+  const std::size_t fan_in = config.merge_fan_in;
+
+  std::vector<mr::KV<std::size_t, PointRec>> merge_input;
+  merge_input.reserve(job1_result.output.size());
+  for (auto& kv : job1_result.output) merge_input.push_back(std::move(kv));
+
+  std::size_t groups = total_keys;
+  std::size_t round = 0;
+  for (;;) {
+    ++round;
+    run_opts.cancel.throw_if_stopped(
+        ("merge round " + std::to_string(round)).c_str());
+    const std::size_t next_groups =
+        fan_in == 0 ? 1 : (groups + fan_in - 1) / fan_in;
+    MergeJob job;
+    job.name = "merge-round-" + std::to_string(round);
+    job.num_map_tasks = config.effective_map_tasks();
+    job.num_reduce_tasks = next_groups;
+    job.partition_fn = [](const std::size_t& key, std::size_t buckets) { return key % buckets; };
+    job.value_bytes_fn = [](const PointRec& rec) {
+      return sizeof(data::PointId) + rec.coords.size() * sizeof(double);
+    };
+    job.spill_codec.write = spill_write_rec;
+    job.spill_codec.read = spill_read_rec;
+    job.map_fn = [fan_in](const std::size_t& group, const PointRec& rec,
+                          mr::Emitter<std::size_t, PointRec>& out, mr::TaskContext& ctx) {
+      ctx.charge_work(1);
+      out.emit(fan_in == 0 ? 0 : group / fan_in, rec);  // output(null/group, si)
+    };
+    job.reduce_fn = [&kernel, dim, trace](const std::size_t& group, std::vector<PointRec>& values,
+                                          mr::Emitter<std::size_t, PointRec>& out,
+                                          mr::TaskContext& ctx) {
+      common::ScopedSpan span(trace, "merge-skyline", "skyline");
+      span.arg("group", group);
+      span.arg("points_in", values.size());
+      skyline::SkylineStats stats;
+      const data::PointSet merged =
+          kernel(to_point_set(dim, values), &stats);
+      ctx.charge_work(stats.dominance_tests);
+      ctx.increment("skyline.merged_points", merged.size());
+      span.arg("skyline_points", merged.size());
+      span.arg("dominance_tests", stats.dominance_tests);
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        out.emit(group, PointRec{merged.id(i),
+                                 {merged.point(i).begin(), merged.point(i).end()}});
+      }
+    };
+
+    auto merge_result = mr::run_job(job, merge_input, run_opts);
+    result.merge_rounds.push_back(merge_result.metrics);
+    groups = next_groups;
+    if (groups <= 1) {
+      data::PointSet skyline(dim);
+      skyline.reserve(merge_result.output.size());
+      for (const auto& kv : merge_result.output) {
+        skyline.push_back(kv.value.coords, kv.value.id);
+      }
+      result.skyline = std::move(skyline);
+      break;
+    }
+    merge_input = std::move(merge_result.output);
+  }
 }
 
 }  // namespace
@@ -79,14 +414,17 @@ std::vector<std::string> MRSkylineConfig::validate() const {
   return errors;
 }
 
-void MRSkylineConfig::validate_or_throw() const {
-  const std::vector<std::string> errors = validate();
-  if (errors.empty()) return;
-  std::string message = "invalid MRSkylineConfig (" + std::to_string(errors.size()) +
-                        (errors.size() == 1 ? " problem):" : " problems):");
-  for (const std::string& e : errors) message += "\n  - " + e;
-  throw InvalidArgument(message);
+std::vector<std::string> MRSkylineConfig::validate_for(const data::DatasetSource& source) const {
+  std::vector<std::string> errors = validate();
+  if (source.resident() != nullptr && run_options.shuffle_spill_bytes > 0) {
+    errors.emplace_back(
+        "run_options.shuffle_spill_bytes: a spill budget has no effect on an in-memory "
+        "source (the dataset already fits in RAM)");
+  }
+  return errors;
 }
+
+void MRSkylineConfig::validate_or_throw() const { throw_if_invalid(validate()); }
 
 std::string MRSkylineResult::summary() const {
   std::ostringstream os;
@@ -104,6 +442,11 @@ std::string MRSkylineResult::summary() const {
      << partition_job.shuffle_records << " shuffled records\n"
      << "  merge rounds:        " << merge_rounds.size() << " (final work "
      << merge_job().total_work_units() << ")\n";
+  if (partition_job.blocks_pruned > 0 || partition_job.bytes_read > 0) {
+    os << "  block input:         " << partition_job.bytes_read << " bytes read, "
+       << partition_job.blocks_pruned << " blocks (" << partition_job.bytes_pruned
+       << " bytes) pruned before read\n";
+  }
   mr::FailureReport failures = partition_job.failure_report();
   for (const auto& round : merge_rounds) failures += round.failure_report();
   if (!failures.empty()) {
@@ -216,199 +559,166 @@ MRSkylineResult run_mr_skyline(const data::PointSet& input, const MRSkylineConfi
   MRSkylineResult result;
   result.partition_report = part::analyze_partitioning(*partitioner, input);
 
-  // One persistent worker pool for the whole pipeline: created once here
-  // (only when the caller asked for kThreads without supplying their own)
-  // and reused by job 1 and every merge round, instead of paying thread
-  // start-up per engine phase.
-  mr::RunOptions run_opts = config.run_options;
-  std::unique_ptr<common::ThreadPool> pipeline_pool;
-  if (run_opts.mode == mr::ExecutionMode::kThreads && run_opts.pool == nullptr) {
-    const std::size_t threads = run_opts.num_threads == 0
-                                    ? common::ThreadPool::default_concurrency()
-                                    : run_opts.num_threads;
-    pipeline_pool = std::make_unique<common::ThreadPool>(threads);
-    run_opts.pool = pipeline_pool.get();
-  }
+  run_pipeline(PointSetInput{&input}, input.size(), dim, *partitioner, partitions, pruned,
+               config, result);
 
-  // Optional skew cure: hash-salt oversized partitions into sub-keys, one
-  // reduce task each (MRSkylineConfig::salt_oversized_partitions). Key space
-  // is compacted: partition p owns keys [key_base[p], key_base[p+1]).
-  std::vector<std::size_t> salt(partitions, 1);
-  if (config.salt_oversized_partitions) {
-    const double target = config.salt_target_factor * static_cast<double>(input.size()) /
-                          static_cast<double>(partitions);
-    for (std::size_t p = 0; p < partitions; ++p) {
-      const auto needed = static_cast<std::size_t>(
-          std::ceil(static_cast<double>(result.partition_report.sizes[p]) /
-                    std::max(target, 1.0)));
-      salt[p] = std::clamp<std::size_t>(needed, 1, 64);
+  result.wall_seconds = wall.elapsed_seconds();
+  return result;
+}
+
+MRSkylineResult run_mr_skyline(const data::DatasetSource& source,
+                               const MRSkylineConfig& config) {
+  throw_if_invalid(config.validate_for(source));
+  if (const data::PointSet* resident = source.resident()) {
+    // In-memory sources (PointSetSource, CSV already staged by the caller's
+    // materialisation) carry no block corners and pay nothing for random
+    // access: the classic path is strictly better, and bitwise identical.
+    return run_mr_skyline(*resident, config);
+  }
+  MRSKY_REQUIRE(source.size() > 0, "cannot compute the skyline of an empty dataset");
+
+  // scheme=auto, streamed: the planner samples the source block by block and
+  // discounts map/shuffle costs by the predicted block-prune savings.
+  if (config.scheme == part::Scheme::kAuto && config.prepared_partitioner == nullptr) {
+    AdaptivePlannerOptions popts;
+    popts.sample_seed = config.fit_sample_seed;
+    const AdaptivePlanner planner(popts);
+    AdaptivePlan plan;
+    {
+      common::ScopedSpan plan_span(config.run_options.trace, "adaptive-plan", "plan");
+      plan = planner.plan(source, config);
+      plan_span.arg("scheme", part::to_string(plan.config.scheme));
+      plan_span.arg("partitions", plan.config.effective_partitions());
+      plan_span.arg("candidates", plan.candidates.size());
+      plan_span.arg("fallback", plan.fallback ? 1 : 0);
+      plan_span.arg("sample_points", plan.sample_points);
     }
-  }
-  std::vector<std::size_t> key_base(partitions + 1, 0);
-  for (std::size_t p = 0; p < partitions; ++p) key_base[p + 1] = key_base[p] + salt[p];
-  const std::size_t total_keys = key_base.back();
-  std::vector<std::size_t> key_to_partition(total_keys);
-  for (std::size_t p = 0; p < partitions; ++p) {
-    for (std::size_t s = 0; s < salt[p]; ++s) key_to_partition[key_base[p] + s] = p;
-  }
+    MRSkylineResult result = run_mr_skyline(source, plan.config);
 
-  // The skyline kernel both local-skyline and merge stages run.
-  auto kernel = [&config](const data::PointSet& points,
-                          skyline::SkylineStats* stats) -> data::PointSet {
-    if (config.local_skyline_override) return config.local_skyline_override(points, stats);
-    return skyline::compute_skyline(points, config.local_algorithm, stats);
-  };
-
-  // --- Job 1: partition + local skyline (Algorithm 1, lines 1-10). ---
-  using Job1 = mr::JobConfig<data::PointId, std::span<const double>, std::size_t, PointRec,
-                             std::size_t, PointRec>;
-  Job1 job1;
-  job1.name = "partition-local-skyline";
-  job1.num_map_tasks = config.effective_map_tasks();
-  job1.num_reduce_tasks = total_keys;
-  // One reduce task per partition key: the identity routing makes reduce-task
-  // metrics per-partition, which the cluster simulator load-balances.
-  job1.partition_fn = [](const std::size_t& key, std::size_t buckets) { return key % buckets; };
-  job1.value_bytes_fn = [](const PointRec& rec) {
-    return sizeof(data::PointId) + rec.coords.size() * sizeof(double);
-  };
-
-  const part::Partitioner& part_ref = *partitioner;
-  job1.map_fn = [&part_ref, &salt, &key_base, dim](
-                    const data::PointId& id, const std::span<const double>& coords,
-                    mr::Emitter<std::size_t, PointRec>& out, mr::TaskContext& ctx) {
-    // Coordinate transform + sector lookup costs O(dim) arithmetic per point
-    // for every scheme (Eq. 1 for MR-Angle, range scans for the others).
-    ctx.charge_work(dim);
-    const std::size_t p = part_ref.assign(coords);
-    std::size_t key = key_base[p];
-    if (salt[p] > 1) {
-      // SplitMix-style avalanche of the stable id: deterministic sub-bucket.
-      std::uint64_t h = (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL;
-      h ^= h >> 30;
-      h *= 0xbf58476d1ce4e5b9ULL;
-      h ^= h >> 27;
-      key += static_cast<std::size_t>(h % salt[p]);
+    std::uint64_t work = result.partition_job.total_work_units();
+    std::uint64_t shuffled = result.partition_job.shuffle_records;
+    for (const auto& round : result.merge_rounds) {
+      work += round.total_work_units();
+      shuffled += round.shuffle_records;
     }
-    out.emit(key, PointRec{id, {coords.begin(), coords.end()}});
-  };
+    CostModel::process().observe_run(work, shuffled, result.wall_seconds);
 
-  // The same local-skyline body serves as combiner and reducer, but each
-  // phase reports under its own counter: `skyline.local_points` counts only
-  // the reduce-side pass, so it equals the sum of the per-partition local
-  // skyline sizes whether or not the combiner is enabled (the combine-side
-  // pre-filter shows up as `skyline.combine_points` instead).
-  auto make_local_skyline_fn = [&, dim](const char* emitted_counter) {
-    return [&, dim, emitted_counter](const std::size_t& key, std::vector<PointRec>& values,
-                                     mr::Emitter<std::size_t, PointRec>& out,
-                                     mr::TaskContext& ctx) {
-      const std::size_t partition_id = key_to_partition[key];
-      common::ScopedSpan span(trace, "local-skyline", "skyline");
-      span.arg("partition", partition_id);
-      span.arg("key", key);
-      span.arg("points_in", values.size());
-      if (pruned.contains(partition_id)) {
-        // §III-B: the whole cell is dominated — skip its local skyline.
-        ctx.increment("skyline.points_pruned", values.size());
-        span.arg("pruned", 1);
-        return;
-      }
-      skyline::SkylineStats stats;
-      const data::PointSet local = kernel(to_point_set(dim, values), &stats);
-      ctx.charge_work(stats.dominance_tests);
-      ctx.increment(emitted_counter, local.size());
-      span.arg("skyline_points", local.size());
-      span.arg("dominance_tests", stats.dominance_tests);
-      for (std::size_t i = 0; i < local.size(); ++i) {
-        out.emit(key, PointRec{local.id(i), {local.point(i).begin(), local.point(i).end()}});
-      }
-    };
-  };
-  if (config.use_combiner) job1.combine_fn = make_local_skyline_fn("skyline.combine_points");
-  job1.reduce_fn = make_local_skyline_fn("skyline.local_points");
-
-  // Cooperative cancellation polls at pipeline split boundaries: before the
-  // partition/local-skyline job and before every merge round. run_job polls
-  // again inside each phase, so a stopping pipeline unwinds within one task
-  // stride wherever it happens to be.
-  run_opts.cancel.throw_if_stopped("partition/local-skyline job");
-  auto job1_result = mr::run_job(job1, PointSetInput{&input}, run_opts);
-  result.partition_job = std::move(job1_result.metrics);
-
-  // Collect per-partition local skylines ("file st" in Algorithm 1).
-  result.local_skylines.assign(partitions, data::PointSet(dim));
-  for (const auto& kv : job1_result.output) {
-    result.local_skylines[key_to_partition[kv.key]].push_back(kv.value.coords, kv.value.id);
+    result.plan.engaged = true;
+    result.plan.fallback = plan.fallback;
+    result.plan.scheme = plan.config.scheme;
+    result.plan.partitions = plan.config.effective_partitions();
+    result.plan.merge_fan_in = plan.config.merge_fan_in;
+    result.plan.salted = plan.config.salt_oversized_partitions;
+    result.plan.candidates = plan.candidates.size();
+    result.plan.sample_points = plan.sample_points;
+    result.plan.predicted_seconds = plan.fallback ? 0.0 : plan.chosen.total_seconds();
+    result.plan.planning_seconds = plan.planning_seconds;
+    result.plan.rationale = plan.rationale;
+    result.wall_seconds += plan.planning_seconds;
+    return result;
   }
 
-  // --- Merge stage (Algorithm 1, lines 11-16). ---
-  //
-  // Each merge round is a (group, point) -> (group/fan_in, local skyline)
-  // MapReduce job. With merge_fan_in == 0 there is exactly one round with a
-  // single group — the paper's null-key single-reducer merge. With
-  // merge_fan_in >= 2 groups shrink by that factor per round (tree merge).
-  using MergeJob =
-      mr::JobConfig<std::size_t, PointRec, std::size_t, PointRec, std::size_t, PointRec>;
-  const std::size_t fan_in = config.merge_fan_in;
+  common::Timer wall;
+  common::TraceRecorder* const trace = config.run_options.trace;
+  common::ScopedSpan pipeline_span(trace, "mr-skyline", "pipeline");
+  pipeline_span.arg("scheme", part::to_string(config.scheme));
+  pipeline_span.arg("points", source.size());
+  pipeline_span.arg("blocks", source.block_count());
 
-  std::vector<mr::KV<std::size_t, PointRec>> merge_input;
-  merge_input.reserve(job1_result.output.size());
-  for (auto& kv : job1_result.output) merge_input.push_back(std::move(kv));
+  const std::size_t dim = source.dim();
 
-  std::size_t groups = total_keys;
-  std::size_t round = 0;
-  for (;;) {
-    ++round;
-    run_opts.cancel.throw_if_stopped(
-        ("merge round " + std::to_string(round)).c_str());
-    const std::size_t next_groups =
-        fan_in == 0 ? 1 : (groups + fan_in - 1) / fan_in;
-    MergeJob job;
-    job.name = "merge-round-" + std::to_string(round);
-    job.num_map_tasks = config.effective_map_tasks();
-    job.num_reduce_tasks = next_groups;
-    job.partition_fn = [](const std::size_t& key, std::size_t buckets) { return key % buckets; };
-    job.value_bytes_fn = [](const PointRec& rec) {
-      return sizeof(data::PointId) + rec.coords.size() * sizeof(double);
-    };
-    job.map_fn = [fan_in](const std::size_t& group, const PointRec& rec,
-                          mr::Emitter<std::size_t, PointRec>& out, mr::TaskContext& ctx) {
-      ctx.charge_work(1);
-      out.emit(fan_in == 0 ? 0 : group / fan_in, rec);  // output(null/group, si)
-    };
-    job.reduce_fn = [&kernel, dim, trace](const std::size_t& group, std::vector<PointRec>& values,
-                                          mr::Emitter<std::size_t, PointRec>& out,
-                                          mr::TaskContext& ctx) {
-      common::ScopedSpan span(trace, "merge-skyline", "skyline");
-      span.arg("group", group);
-      span.arg("points_in", values.size());
-      skyline::SkylineStats stats;
-      const data::PointSet merged =
-          kernel(to_point_set(dim, values), &stats);
-      ctx.charge_work(stats.dominance_tests);
-      ctx.increment("skyline.merged_points", merged.size());
-      span.arg("skyline_points", merged.size());
-      span.arg("dominance_tests", stats.dominance_tests);
-      for (std::size_t i = 0; i < merged.size(); ++i) {
-        out.emit(group, PointRec{merged.id(i),
-                                 {merged.point(i).begin(), merged.point(i).end()}});
-      }
-    };
+  // One deterministic sample serves both the partitioner fit and the block
+  // pruning filter — drawn block by block, so nothing is materialised. When
+  // the config says "fit on everything" (fit_sample_size == 0) we substitute
+  // a bounded sample instead: assignment stays total, so the skyline is
+  // still exact; only partition boundaries shift.
+  const std::size_t sample_target =
+      config.fit_sample_size > 0 ? config.fit_sample_size : kOutOfCoreFitSample;
+  const data::PointSet fit_sample =
+      source.sample(std::min(sample_target, source.size()), config.fit_sample_seed);
 
-    auto merge_result = mr::run_job(job, merge_input, run_opts);
-    result.merge_rounds.push_back(merge_result.metrics);
-    groups = next_groups;
-    if (groups <= 1) {
-      data::PointSet skyline(dim);
-      skyline.reserve(merge_result.output.size());
-      for (const auto& kv : merge_result.output) {
-        skyline.push_back(kv.value.coords, kv.value.id);
-      }
-      result.skyline = std::move(skyline);
-      break;
+  part::PartitionerPtr owned_partitioner;
+  const part::Partitioner* partitioner = config.prepared_partitioner;
+  if (partitioner == nullptr) {
+    part::PartitionerOptions popts;
+    popts.num_partitions = config.effective_partitions();
+    popts.split_dim = config.split_dim;
+    owned_partitioner = part::make_partitioner(config.scheme, popts);
+    common::ScopedSpan fit_span(trace, "partition-fit", "plan");
+    fit_span.arg("scheme", part::to_string(config.scheme));
+    owned_partitioner->fit(fit_sample);
+    fit_span.arg("fitted_points", fit_sample.size());
+    fit_span.arg("partitions", owned_partitioner->num_partitions());
+    partitioner = owned_partitioner.get();
+  } else if (trace != nullptr) {
+    common::ScopedSpan fit_span(trace, "partition-fit", "plan");
+    fit_span.arg("prepared", 1);
+    fit_span.arg("partitions", partitioner->num_partitions());
+  }
+  const std::size_t partitions = partitioner->num_partitions();
+
+  std::unordered_set<std::size_t> pruned;
+  if (config.apply_grid_pruning) {
+    for (std::size_t p : partitioner->prunable_partitions()) pruned.insert(p);
+  }
+
+  MRSkylineResult result;
+  result.partition_report = part::analyze_partitioning(*partitioner, source);
+
+  // Pre-shuffle block pruning: a block whose min corner is *strictly*
+  // dominated in every attribute by some sample-skyline point contains only
+  // dominated rows — the dominator is a real dataset point — so the block
+  // can be skipped before a single row is read. Strict-everywhere keeps the
+  // test sound with duplicates and points sitting on the corner itself, and
+  // dropping non-survivors never reorders the survivors, so the final
+  // skyline is bitwise identical to the unpruned run.
+  BlockInput stream;
+  stream.source = &source;
+  stream.row_offsets.push_back(0);
+  std::uint64_t blocks_pruned = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_pruned = 0;
+  {
+    common::ScopedSpan prune_span(trace, "block-prune", "plan");
+    data::PointSet sample_sky(dim);
+    if (config.block_prune) {
+      sample_sky = skyline::compute_skyline(fit_sample, skyline::Algorithm::kBnl);
     }
-    merge_input = std::move(merge_result.output);
+    for (std::size_t b = 0; b < source.block_count(); ++b) {
+      const data::BlockStats stats = source.block_stats(b);
+      bool drop = false;
+      if (config.block_prune && stats.has_corners) {
+        for (std::size_t s = 0; !drop && s < sample_sky.size(); ++s) {
+          const std::span<const double> p = sample_sky.point(s);
+          bool dominates = true;
+          for (std::size_t a = 0; dominates && a < dim; ++a) {
+            dominates = p[a] < stats.min_corner[a];
+          }
+          drop = dominates;
+        }
+      }
+      if (drop) {
+        ++blocks_pruned;
+        bytes_pruned += stats.bytes;
+      } else {
+        stream.blocks.push_back(b);
+        stream.row_offsets.push_back(stream.row_offsets.back() + stats.rows);
+        bytes_read += stats.bytes;
+      }
+    }
+    prune_span.arg("blocks_pruned", blocks_pruned);
+    prune_span.arg("bytes_pruned", bytes_pruned);
+    prune_span.arg("bytes_read", bytes_read);
   }
+  // At least one block always survives: the block holding a sample-skyline
+  // point cannot have its min corner strictly dominated by any sample-skyline
+  // point (that dominator would have knocked the resident point out).
+  MRSKY_ASSERT(!stream.blocks.empty(), "block pruning dropped every block");
+
+  run_pipeline(stream, stream.size(), dim, *partitioner, partitions, pruned, config, result);
+  result.partition_job.blocks_pruned = blocks_pruned;
+  result.partition_job.bytes_read = bytes_read;
+  result.partition_job.bytes_pruned = bytes_pruned;
 
   result.wall_seconds = wall.elapsed_seconds();
   return result;

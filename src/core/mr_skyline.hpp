@@ -25,6 +25,7 @@
 
 #include "src/common/error.hpp"
 #include "src/dataset/point_set.hpp"
+#include "src/dataset/source.hpp"
 #include "src/mapreduce/cluster.hpp"
 #include "src/mapreduce/job.hpp"
 #include "src/partition/factory.hpp"
@@ -65,6 +66,16 @@ struct MRSkylineConfig {
 
   /// Honour MR-Grid's inter-cell dominance pruning (§III-B).
   bool apply_grid_pruning = true;
+
+  /// Out-of-core runs only: before the map stage reads a block, drop it
+  /// whole when its min corner is strictly dominated in every attribute by
+  /// some point of the fit sample's skyline. Every point in such a block is
+  /// dominated by a real dataset point, so the final skyline is bitwise
+  /// identical with or without the skip — only `bytes_read` changes. The
+  /// pruned volume is reported on the job-1 metrics (`blocks_pruned`,
+  /// `bytes_pruned`). Ignored by the in-memory PointSet overload, whose
+  /// virtual blocks carry no corners.
+  bool block_prune = true;
 
   /// MR-Dim only: attribute carrying the slabs.
   std::size_t split_dim = 0;
@@ -129,6 +140,13 @@ struct MRSkylineConfig {
   /// planner's self-check) gets the complete list in one round trip.
   [[nodiscard]] std::vector<std::string> validate() const;
 
+  /// validate() plus the source-compatibility checks: some options only make
+  /// sense against a particular kind of DatasetSource (e.g. a shuffle spill
+  /// budget against an in-memory source, which by definition already fits in
+  /// RAM). Same all-errors contract as validate(); the DatasetSource overload
+  /// of run_mr_skyline calls this instead of validate().
+  [[nodiscard]] std::vector<std::string> validate_for(const data::DatasetSource& source) const;
+
   /// Throws mrsky::InvalidArgument listing every validate() error in one
   /// message; no-op on a valid config. Called at the top of run_mr_skyline.
   void validate_or_throw() const;
@@ -186,8 +204,29 @@ struct MRSkylineResult {
 };
 
 /// Runs the full two-job pipeline over `input` (minimisation orientation,
-/// non-negative coordinates required by MR-Angle's transform).
+/// non-negative coordinates required by MR-Angle's transform). Thin adapter
+/// over the DatasetSource pipeline below for callers that already hold the
+/// data in memory; new call sites should prefer the DatasetSource overload.
 [[nodiscard]] MRSkylineResult run_mr_skyline(const data::PointSet& input,
+                                             const MRSkylineConfig& config);
+
+/// Runs the pipeline streaming from a DatasetSource. Map tasks iterate the
+/// source block by block instead of over a materialised PointSet, so peak
+/// memory is bounded by a handful of blocks regardless of dataset size.
+/// Blocks whose min corner is strictly dominated by a sample-skyline point
+/// are skipped whole before any row is read (config.block_prune, sound —
+/// see MRSkylineConfig); the job-1 metrics report `blocks_pruned`,
+/// `bytes_read` and `bytes_pruned`. The skyline is the SAME POINT SET as
+/// the in-memory overload computes on the same data, every member bitwise
+/// identical (compare canonically, e.g. ordered by id). Result *order*
+/// additionally matches whenever both runs use the same partitioning —
+/// e.g. a shared config.prepared_partitioner, or fit_sample_size == 0 on a
+/// resident source. It can differ otherwise because an out-of-core run must
+/// fit the partitioner on a bounded block sample where the in-memory run
+/// fits on everything, and partition boundaries steer the merge cascade's
+/// emission order (never its membership). Sources with a resident PointSet
+/// (data::PointSetSource) short-circuit to the in-memory path.
+[[nodiscard]] MRSkylineResult run_mr_skyline(const data::DatasetSource& source,
                                              const MRSkylineConfig& config);
 
 }  // namespace mrsky::core

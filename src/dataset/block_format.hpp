@@ -1,0 +1,97 @@
+// On-disk layout of the `.mrb` columnar block store (DESIGN.md decision 16).
+//
+// A `.mrb` file is a sequence of fixed-capacity blocks whose payload uses the
+// exact attribute-major 8-lane tile layout of skyline::TiledWindow: tile t of
+// a block is dim × kTileWidth contiguous doubles, attribute a's eight lane
+// values at tile + a * kTileWidth, dead lanes padded with +inf. A mapped
+// block is therefore directly consumable by the dominance_block kernels
+// (compare_block / dominators_in_block) without any gather or copy — the
+// storage format *is* the compute format.
+//
+// Layout (all integers little-endian as written by the host — like `.mrsk`,
+// a working-set artifact, not an interchange format):
+//
+//   header : magic "MRB1" | u32 version | u64 dim | u64 block_rows
+//   blocks : per block, 8-byte aligned —
+//              tiles : ceil(rows / 8) × dim × 8 f64   (TiledWindow layout)
+//              ids   : rows × u32, zero-padded to an 8-byte boundary
+//   footer : u64 block_count
+//            block_count × ( u64 offset | u64 rows | u64 payload_bytes |
+//                            u64 checksum | dim × f64 min | dim × f64 max )
+//            u64 total_rows
+//   trailer: u64 footer_offset | u64 footer_checksum | magic "1BRM"
+//
+// The per-block footer entry carries everything a scheduler needs without
+// touching the payload: row count, payload footprint, an FNV-1a checksum of
+// the payload bytes, and the componentwise min/max corner of the block's
+// rows — the statistic behind pre-shuffle block pruning (a block whose min
+// corner is strictly dominated in every attribute by a known point contains
+// no skyline member) and the planner's block-level analyze input. The footer
+// has its own checksum in the trailer so a truncated or bit-flipped index is
+// a typed error at open, never a crash or a silent mis-read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrsky::data::blockfmt {
+
+inline constexpr char kHeaderMagic[4] = {'M', 'R', 'B', '1'};
+inline constexpr char kTrailerMagic[4] = {'1', 'B', 'R', 'M'};
+inline constexpr std::uint32_t kVersion = 1;
+
+/// Lanes per tile — must equal skyline::kTileWidth (static_asserted in
+/// block_store.cpp, which may include the skyline header; this header stays
+/// dependency-free so the dataset layer never includes skyline code).
+inline constexpr std::size_t kTileLanes = 8;
+
+/// Default block capacity: 4096 rows keeps a 9-d block's payload at ~300 KiB
+/// — large enough to amortise per-block bookkeeping, small enough that a
+/// streaming reader's resident set stays a few blocks deep.
+inline constexpr std::size_t kDefaultBlockRows = 4096;
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// header: magic + u32 version + u64 dim + u64 block_rows.
+inline constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+/// trailer: u64 footer_offset + u64 footer_checksum + magic.
+inline constexpr std::size_t kTrailerBytes = 8 + 8 + 4;
+
+[[nodiscard]] inline constexpr std::size_t tiles_for(std::size_t rows) noexcept {
+  return (rows + kTileLanes - 1) / kTileLanes;
+}
+
+/// Bytes of one block's tile region (attribute-major lanes, padding included).
+[[nodiscard]] inline constexpr std::size_t tile_bytes(std::size_t rows, std::size_t dim) noexcept {
+  return tiles_for(rows) * dim * kTileLanes * sizeof(double);
+}
+
+/// Bytes of one block's id region (u32 each, zero-padded to 8 bytes).
+[[nodiscard]] inline constexpr std::size_t id_bytes(std::size_t rows) noexcept {
+  return (rows * sizeof(std::uint32_t) + 7) / 8 * 8;
+}
+
+/// Total payload bytes of one block.
+[[nodiscard]] inline constexpr std::size_t payload_bytes(std::size_t rows, std::size_t dim) noexcept {
+  return tile_bytes(rows, dim) + id_bytes(rows);
+}
+
+/// One footer index entry's size for a given dimensionality.
+[[nodiscard]] inline constexpr std::size_t index_entry_bytes(std::size_t dim) noexcept {
+  return 4 * sizeof(std::uint64_t) + 2 * dim * sizeof(double);
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                                         std::uint64_t seed = kFnvOffsetBasis) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace mrsky::data::blockfmt

@@ -59,17 +59,20 @@ void write_csv_file(const std::string& path, const PointSet& ps, const CsvWriteO
   write_csv(file, ps, options);
 }
 
-PointSet read_csv(std::istream& is, const CsvReadOptions& options, ParseReport* report) {
-  ParseReport local;
-  ParseReport& rep = report != nullptr ? *report : local;
+// ---- CsvRowReader ----------------------------------------------------------
 
+CsvRowReader::CsvRowReader(std::istream& is, const CsvReadOptions& options,
+                           ParseReport* report)
+    : is_(is), options_(options), report_(report) {
+  // Consume lines up to and including the first data row: header detection
+  // needs the first line, width/dim need the first data row. The data row is
+  // parked (raw) for the first next() call so it runs through the same
+  // defect handling as every other row.
   std::string line;
-  std::vector<std::vector<std::string>> rows;
   bool first = true;
   bool has_header = false;
-  bool has_id_column = false;
   std::vector<std::string> header;
-  while (std::getline(is, line)) {
+  while (std::getline(is_, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     auto cells = split_commas(line);
@@ -78,65 +81,102 @@ PointSet read_csv(std::istream& is, const CsvReadOptions& options, ParseReport* 
       double probe = 0.0;
       if (!parse_double(cells[0], probe)) {
         has_header = true;
-        has_id_column = (cells[0] == "id");
+        has_id_column_ = (cells[0] == "id");
         header = std::move(cells);
         continue;
       }
     }
-    rows.push_back(std::move(cells));
+    pending_first_row_ = std::move(cells);
+    break;
   }
-  MRSKY_REQUIRE(!rows.empty(), "CSV contains no data rows");
-  const std::size_t width = rows.front().size();
+  MRSKY_REQUIRE(pending_first_row_.has_value(), "CSV contains no data rows");
+  width_ = pending_first_row_->size();
   if (has_header) {
-    MRSKY_REQUIRE(header.size() == width, "CSV header width differs from data width");
+    MRSKY_REQUIRE(header.size() == width_, "CSV header width differs from data width");
   }
-  const std::size_t dim = has_id_column ? width - 1 : width;
-  MRSKY_REQUIRE(dim >= 1, "CSV rows must contain at least one attribute");
+  dim_ = has_id_column_ ? width_ - 1 : width_;
+  MRSKY_REQUIRE(dim_ >= 1, "CSV rows must contain at least one attribute");
+}
 
-  std::vector<double> values;
-  values.reserve(rows.size() * dim);
-  std::vector<PointId> ids;
-  ids.reserve(rows.size());
-  std::vector<double> row_values(dim);
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    const auto& cells = rows[r];
-    // In strict mode any defect aborts the read; in lenient mode the row is
-    // dropped and the report keeps the cause.
-    std::string defect;
-    if (cells.size() != width) {
-      defect = "expected " + std::to_string(width) + " cells, got " +
-               std::to_string(cells.size());
-    }
-    std::size_t c = 0;
-    PointId id = static_cast<PointId>(r);
-    if (defect.empty() && has_id_column) {
-      double idv = 0.0;
-      if (!parse_double(cells[0], idv)) defect = "bad id: " + cells[0];
-      id = static_cast<PointId>(idv);
-      c = 1;
-    }
-    for (std::size_t a = 0; defect.empty() && c < width; ++c, ++a) {
-      double v = 0.0;
-      if (!parse_double(cells[c], v)) {
-        defect = "bad number: " + cells[c];
-      } else if (options.lenient && options.require_finite && !std::isfinite(v)) {
-        defect = "non-finite value: " + cells[c];
-      } else if (options.lenient && options.require_non_negative && v < 0.0) {
-        defect = "negative value: " + cells[c];
-      }
-      row_values[a] = v;
-    }
-    if (!defect.empty()) {
-      MRSKY_REQUIRE(options.lenient, "CSV row " + std::to_string(r) + ": " + defect);
-      rep.add_issue(r, defect);
-      continue;
-    }
-    ids.push_back(id);
-    values.insert(values.end(), row_values.begin(), row_values.end());
-    ++rep.rows_read;
+bool CsvRowReader::parse_row(const std::vector<std::string>& cells, PointId& id,
+                             std::span<double> coords) {
+  const std::size_t r = data_row_++;
+  ParseReport& rep = report_ != nullptr ? *report_ : local_report_;
+  // In strict mode any defect aborts the read; in lenient mode the row is
+  // dropped and the report keeps the cause.
+  std::string defect;
+  if (cells.size() != width_) {
+    defect = "expected " + std::to_string(width_) + " cells, got " +
+             std::to_string(cells.size());
   }
-  MRSKY_REQUIRE(!ids.empty(), "CSV contains no usable data rows");
-  return PointSet(dim, std::move(values), std::move(ids));
+  std::size_t c = 0;
+  id = static_cast<PointId>(r);
+  if (defect.empty() && has_id_column_) {
+    double idv = 0.0;
+    if (!parse_double(cells[0], idv)) defect = "bad id: " + cells[0];
+    id = static_cast<PointId>(idv);
+    c = 1;
+  }
+  for (std::size_t a = 0; defect.empty() && c < width_; ++c, ++a) {
+    double v = 0.0;
+    if (!parse_double(cells[c], v)) {
+      defect = "bad number: " + cells[c];
+    } else if (options_.lenient && options_.require_finite && !std::isfinite(v)) {
+      defect = "non-finite value: " + cells[c];
+    } else if (options_.lenient && options_.require_non_negative && v < 0.0) {
+      defect = "negative value: " + cells[c];
+    }
+    coords[a] = v;
+  }
+  if (!defect.empty()) {
+    MRSKY_REQUIRE(options_.lenient, "CSV row " + std::to_string(r) + ": " + defect);
+    rep.add_issue(r, defect);
+    return false;
+  }
+  ++rep.rows_read;
+  return true;
+}
+
+bool CsvRowReader::next(PointId& id, std::span<double> coords) {
+  MRSKY_REQUIRE(coords.size() == dim_, "coordinate buffer size must equal dim");
+  if (pending_first_row_.has_value()) {
+    const std::vector<std::string> cells = std::move(*pending_first_row_);
+    pending_first_row_.reset();
+    if (parse_row(cells, id, coords)) return true;
+  }
+  std::string line;
+  while (std::getline(is_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (parse_row(split_commas(line), id, coords)) return true;
+  }
+  return false;
+}
+
+PointSet read_csv(std::istream& is, const CsvReadOptions& options, ParseReport* report) {
+  CsvRowReader reader(is, options, report);
+  PointSet out(reader.dim());
+  // Batched bulk appends instead of a push_back per point: rows accumulate in
+  // flat buffers and land in the PointSet one append_rows slab at a time.
+  constexpr std::size_t kFlushRows = 8192;
+  std::vector<double> values;
+  std::vector<PointId> ids;
+  values.reserve(kFlushRows * reader.dim());
+  ids.reserve(kFlushRows);
+  std::vector<double> row(reader.dim());
+  PointId id = 0;
+  while (reader.next(id, row)) {
+    ids.push_back(id);
+    values.insert(values.end(), row.begin(), row.end());
+    if (ids.size() >= kFlushRows) {
+      out.append_rows(values, ids);
+      values.clear();
+      ids.clear();
+    }
+  }
+  out.append_rows(values, ids);
+  MRSKY_REQUIRE(!out.empty(), "CSV contains no usable data rows");
+  return out;
 }
 
 PointSet read_csv_file(const std::string& path, const CsvReadOptions& options,

@@ -7,7 +7,10 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/dataset/parse_report.hpp"
 #include "src/dataset/point_set.hpp"
@@ -35,6 +38,40 @@ struct CsvReadOptions {
   /// Lenient mode only: also drop rows with negative attributes (MR-Angle's
   /// hyperspherical transform requires the non-negative orthant).
   bool require_non_negative = false;
+};
+
+/// Streaming row-at-a-time CSV reader — the ingest path that never holds the
+/// file in memory. Construction consumes lines up to and including the first
+/// data row (establishing header, id column and width; throws "CSV contains
+/// no data rows" if there are none); next() then yields one usable row per
+/// call. Strict/lenient semantics, defect messages and ParseReport accounting
+/// are identical to read_csv, which is now a thin loop over this class.
+class CsvRowReader {
+ public:
+  CsvRowReader(std::istream& is, const CsvReadOptions& options = {},
+               ParseReport* report = nullptr);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool has_id_column() const noexcept { return has_id_column_; }
+
+  /// Fills `coords` (size dim()) and `id` with the next usable row; false at
+  /// end of input. Strict mode throws on the first defective row; lenient
+  /// mode records the defect and keeps scanning.
+  bool next(PointId& id, std::span<double> coords);
+
+ private:
+  bool parse_row(const std::vector<std::string>& cells, PointId& id,
+                 std::span<double> coords);
+
+  std::istream& is_;
+  CsvReadOptions options_;
+  ParseReport* report_;
+  ParseReport local_report_;
+  std::size_t dim_ = 0;
+  std::size_t width_ = 0;
+  bool has_id_column_ = false;
+  std::size_t data_row_ = 0;  ///< index of the next data row (for messages)
+  std::optional<std::vector<std::string>> pending_first_row_;
 };
 
 /// Reads a point set. Detects a header (any non-numeric first line) and an

@@ -36,6 +36,21 @@ void PointSet::push_back(std::span<const double> coords) {
   push_back(coords, static_cast<PointId>(size()));
 }
 
+void PointSet::append_rows(std::span<const double> values, std::span<const PointId> ids) {
+  MRSKY_REQUIRE(values.size() == ids.size() * dim_, "values/ids size mismatch");
+  values_.insert(values_.end(), values.begin(), values.end());
+  ids_.insert(ids_.end(), ids.begin(), ids.end());
+}
+
+void PointSet::append_rows(std::span<const double> values) {
+  MRSKY_REQUIRE(values.size() % dim_ == 0, "value count must be a multiple of dim");
+  const std::size_t n = values.size() / dim_;
+  PointId next = static_cast<PointId>(size());
+  values_.insert(values_.end(), values.begin(), values.end());
+  ids_.reserve(ids_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) ids_.push_back(next++);
+}
+
 void PointSet::reserve(std::size_t n) {
   values_.reserve(n * dim_);
   ids_.reserve(n);

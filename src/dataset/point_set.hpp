@@ -62,6 +62,14 @@ class PointSet {
   /// Appends a point with the next sequential id (= current size).
   void push_back(std::span<const double> coords);
 
+  /// Bulk append of `ids.size()` rows from row-major `values` (one memcpy-class
+  /// insert instead of a push_back per point — the ingest hot path for the CSV
+  /// reader and block-store materialisation). Throws on size mismatch.
+  void append_rows(std::span<const double> values, std::span<const PointId> ids);
+
+  /// Bulk append with sequential ids starting at the current size.
+  void append_rows(std::span<const double> values);
+
   void reserve(std::size_t n);
   void clear() noexcept;
 

@@ -44,9 +44,15 @@
 // lives in the cluster simulator.
 #pragma once
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <concepts>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <span>
@@ -113,6 +119,19 @@ struct RunOptions {
   /// Null (the default) disables tracing at zero cost: every instrumentation
   /// site is a single pointer test.
   common::TraceRecorder* trace = nullptr;
+
+  /// Shuffle spill budget in bytes; 0 disables spilling. When a job also
+  /// supplies a JobConfig::spill_codec, a map task whose scattered shard
+  /// volume projects the job past this budget (task bytes × map tasks >
+  /// budget — a per-task-local, scheduling-independent test) writes its
+  /// shards to a temporary spill file and frees them; the shuffle streams
+  /// each bucket's records back in map-task order. Output content and order
+  /// are exactly what the in-memory shuffle produces — spilling is purely a
+  /// memory/IO trade, accounted in JobMetrics::shuffle_spilled_bytes /
+  /// shuffle_spill_files.
+  std::uint64_t shuffle_spill_bytes = 0;
+  /// Directory for spill files; empty = std::filesystem::temp_directory_path().
+  std::string spill_dir;
 
   /// Cooperative cancellation/deadline (ISSUE 7). Task loops poll the token
   /// at split boundaries — every phase entry, every shuffle bucket, and every
@@ -391,6 +410,16 @@ struct JobConfig {
   PartitionFn partition_fn;
   /// Approximate payload size of a shuffled value; default sizeof(MidV).
   ValueBytesFn value_bytes_fn;
+
+  /// Serializer pair for mid records, enabling shuffle spill under
+  /// RunOptions::shuffle_spill_bytes. `read` must be the exact inverse of
+  /// `write` (the engine round-trips records through it verbatim). Jobs
+  /// without a codec never spill, whatever the budget.
+  struct SpillCodec {
+    std::function<void(std::ostream&, const KV<MidK, MidV>&)> write;
+    std::function<KV<MidK, MidV>(std::istream&)> read;
+  };
+  SpillCodec spill_codec;
 };
 
 template <typename OutK, typename OutV>
@@ -579,6 +608,31 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   std::vector<std::vector<std::vector<KV<MidK, MidV>>>> shards(num_maps);
   std::vector<std::uint64_t> task_shuffle_records(num_maps, 0);
   std::vector<std::uint64_t> task_shuffle_bytes(num_maps, 0);
+
+  // ---- Shuffle spill bookkeeping (RunOptions::shuffle_spill_bytes). A map
+  // task that spills records where each bucket's records start in its file;
+  // the shuffle seeks straight to the span. ----
+  const bool spill_enabled = opts.shuffle_spill_bytes > 0 &&
+                             static_cast<bool>(config.spill_codec.write) &&
+                             static_cast<bool>(config.spill_codec.read);
+  struct SpillFile {
+    std::string path;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> bucket_spans;  // offset, count
+    std::uint64_t bytes = 0;
+  };
+  std::vector<SpillFile> spills(spill_enabled ? num_maps : 0);
+  // Spill files are engine-internal temporaries: removed on every exit path,
+  // cancellation unwinds included.
+  struct SpillCleanup {
+    std::vector<SpillFile>* files;
+    ~SpillCleanup() {
+      if (files == nullptr) return;
+      for (const auto& f : *files) {
+        if (!f.path.empty()) std::remove(f.path.c_str());
+      }
+    }
+  } spill_cleanup{spill_enabled ? &spills : nullptr};
+
   detail::for_each_task(num_maps, pool.get(), [&](std::size_t t) {
     common::ScopedSpan task_span(opts.trace, "map", "task");
     task_span.arg("job", config.name);
@@ -621,6 +675,36 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
           (config.value_bytes_fn ? config.value_bytes_fn(record.value) : sizeof(MidV));
       task_shards[partition_of(record.key)].push_back(std::move(record));
     }
+    if (spill_enabled && task_shuffle_bytes[t] * num_maps > opts.shuffle_spill_bytes) {
+      // This task's share projects the job past the budget: persist the
+      // shards bucket-by-bucket and drop them from memory. The decision is a
+      // pure function of the task's own output, so it is identical under
+      // kSequential and kThreads.
+      static std::atomic<std::uint64_t> spill_counter{0};
+      const auto dir = opts.spill_dir.empty() ? std::filesystem::temp_directory_path()
+                                              : std::filesystem::path(opts.spill_dir);
+      auto& spill = spills[t];
+      spill.path = (dir / ("mrsky-spill-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(spill_counter.fetch_add(
+                               1, std::memory_order_relaxed)) +
+                           "-" + std::to_string(t) + ".tmp"))
+                       .string();
+      std::ofstream out(spill.path, std::ios::binary | std::ios::trunc);
+      if (!out) MRSKY_FAIL("cannot open shuffle spill file: " + spill.path);
+      spill.bucket_spans.reserve(num_reduces);
+      for (std::size_t b = 0; b < num_reduces; ++b) {
+        spill.bucket_spans.emplace_back(static_cast<std::uint64_t>(out.tellp()),
+                                        task_shards[b].size());
+        for (const auto& record : task_shards[b]) config.spill_codec.write(out, record);
+      }
+      out.flush();
+      if (!out) MRSKY_FAIL("shuffle spill write failed: " + spill.path);
+      spill.bytes = static_cast<std::uint64_t>(out.tellp());
+      std::vector<std::vector<KV<MidK, MidV>>>().swap(task_shards);
+      common::ScopedSpan spill_span(opts.trace, "spill", "shuffle");
+      spill_span.arg("task", t);
+      spill_span.arg("bytes", spill.bytes);
+    }
     m.work_units = ctx.work_units();
     m.wall_ns = timer.elapsed_ns();
     m.attempts = outcome.attempts;
@@ -637,34 +721,65 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
   for (std::size_t t = 0; t < num_maps; ++t) {
     result.metrics.shuffle_records += task_shuffle_records[t];
     result.metrics.shuffle_bytes += task_shuffle_bytes[t];
+    if (spill_enabled && !spills[t].path.empty()) {
+      result.metrics.shuffle_spilled_bytes += spills[t].bytes;
+      result.metrics.shuffle_spill_files += 1;
+    }
   }
 
   // ---- Shuffle: build each reduce bucket by concatenating the map tasks'
   // shards in map-task order — the exact sequence a sequential scatter
-  // produces, so grouping and output stay identical across modes. ----
+  // produces, so grouping and output stay identical across modes. With
+  // spilling enabled the build is DEFERRED into each reduce task: a bucket is
+  // streamed back from the spill files right before it is reduced and freed
+  // right after, so peak shuffle memory is (worker lanes x one bucket), not
+  // the whole dataset — which is the entire point of the spill budget. The
+  // per-bucket record order is identical either way; only when memory is
+  // reclaimed changes. ----
   common::Timer shuffle_timer;
   std::vector<std::vector<KV<MidK, MidV>>> buckets(num_reduces);
-  {
+  const auto build_bucket = [&](std::size_t b) {
+    opts.cancel.throw_if_stopped("shuffle bucket");
+    common::ScopedSpan bucket_span(opts.trace, "shuffle-bucket", "shuffle");
+    const auto task_spilled = [&](std::size_t t) {
+      return spill_enabled && !spills[t].path.empty();
+    };
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < num_maps; ++t) {
+      total += task_spilled(t) ? spills[t].bucket_spans[b].second : shards[t][b].size();
+    }
+    auto& bucket = buckets[b];
+    bucket.reserve(total);
+    for (std::size_t t = 0; t < num_maps; ++t) {
+      if (task_spilled(t)) {
+        // Stream the task's bucket span back from its spill file. A private
+        // ifstream per (task, bucket) keeps concurrent bucket builds safe.
+        const auto [offset, count] = spills[t].bucket_spans[b];
+        if (count == 0) continue;
+        std::ifstream in(spills[t].path, std::ios::binary);
+        if (!in) MRSKY_FAIL("cannot reopen shuffle spill file: " + spills[t].path);
+        in.seekg(static_cast<std::streamoff>(offset));
+        for (std::uint64_t r = 0; r < count; ++r) {
+          bucket.push_back(config.spill_codec.read(in));
+        }
+        if (!in) MRSKY_FAIL("truncated shuffle spill file: " + spills[t].path);
+        continue;
+      }
+      auto& shard = shards[t][b];
+      bucket.insert(bucket.end(), std::make_move_iterator(shard.begin()),
+                    std::make_move_iterator(shard.end()));
+      shard.clear();
+    }
+    bucket_span.arg("bucket", b);
+    bucket_span.arg("records", total);
+  };
+  std::atomic<std::uint64_t> deferred_shuffle_ns{0};
+  if (!spill_enabled) {
     common::ScopedSpan shuffle_span(opts.trace, "shuffle", "shuffle");
     shuffle_span.arg("job", config.name);
     shuffle_span.arg("records", result.metrics.shuffle_records);
     shuffle_span.arg("bytes", result.metrics.shuffle_bytes);
-    detail::for_each_task(num_reduces, pool.get(), [&](std::size_t b) {
-      opts.cancel.throw_if_stopped("shuffle bucket");
-      common::ScopedSpan bucket_span(opts.trace, "shuffle-bucket", "shuffle");
-      std::size_t total = 0;
-      for (std::size_t t = 0; t < num_maps; ++t) total += shards[t][b].size();
-      auto& bucket = buckets[b];
-      bucket.reserve(total);
-      for (std::size_t t = 0; t < num_maps; ++t) {
-        auto& shard = shards[t][b];
-        bucket.insert(bucket.end(), std::make_move_iterator(shard.begin()),
-                      std::make_move_iterator(shard.end()));
-        shard.clear();
-      }
-      bucket_span.arg("bucket", b);
-      bucket_span.arg("records", total);
-    });
+    detail::for_each_task(num_reduces, pool.get(), build_bucket);
   }
   result.metrics.shuffle_ns = shuffle_timer.elapsed_ns();
 
@@ -684,6 +799,11 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     TaskContext ctx;
     Emitter<OutK, OutV> emitter;
     auto& m = result.metrics.reduce_tasks[t];
+    if (spill_enabled) {
+      common::Timer bucket_timer;
+      build_bucket(t);
+      deferred_shuffle_ns.fetch_add(bucket_timer.elapsed_ns(), std::memory_order_relaxed);
+    }
     m.records_in = buckets[t].size();
     auto& bucket = buckets[t];
     std::stable_sort(bucket.begin(), bucket.end(),
@@ -716,6 +836,9 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
           return last - first;
         });
     reduce_outputs[t] = emitter.take();
+    // The bucket is dead once its groups have reduced; reclaim eagerly so a
+    // deferred (spilled) shuffle holds at most one bucket per worker lane.
+    std::vector<KV<MidK, MidV>>().swap(buckets[t]);
     m.records_out = reduce_outputs[t].size();
     m.work_units = ctx.work_units();
     m.wall_ns = timer.elapsed_ns();
@@ -730,6 +853,13 @@ JobResult<OutK, OutV> run_job(const JobConfig<InK, InV, MidK, MidV, OutK, OutV>&
     task_span.arg("attempts", m.attempts);
     if (m.wasted_records > 0) task_span.arg("wasted_records", m.wasted_records);
   });
+
+  // Deferred bucket builds are shuffle work that happened to run inside
+  // reduce tasks; account them where the eager path would have.
+  if (spill_enabled) {
+    result.metrics.shuffle_ns +=
+        static_cast<std::int64_t>(deferred_shuffle_ns.load(std::memory_order_relaxed));
+  }
 
   std::size_t total_out = 0;
   for (const auto& out : reduce_outputs) total_out += out.size();

@@ -73,6 +73,15 @@ struct JobMetrics {
   std::uint64_t shuffle_records = 0;      ///< records crossing the shuffle
   std::uint64_t shuffle_bytes = 0;        ///< approximate payload volume
   std::int64_t shuffle_ns = 0;            ///< wall time of the bucket-build stage
+  std::uint64_t shuffle_spilled_bytes = 0;  ///< bytes written to spill files
+  std::uint64_t shuffle_spill_files = 0;    ///< map tasks that spilled
+
+  // Block-input accounting, set by pipelines that stream a DatasetSource
+  // (zero for in-memory runs): payload volume actually read vs. skipped
+  // whole because the block's min corner was dominated.
+  std::uint64_t blocks_pruned = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_pruned = 0;
 
   [[nodiscard]] TaskMetrics map_total() const;
   [[nodiscard]] TaskMetrics reduce_total() const;

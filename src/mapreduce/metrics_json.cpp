@@ -72,7 +72,12 @@ std::string to_json(const JobMetrics& metrics) {
   }
   os << "],\"shuffle_records\":" << metrics.shuffle_records
      << ",\"shuffle_bytes\":" << metrics.shuffle_bytes
-     << ",\"shuffle_ns\":" << metrics.shuffle_ns << ",\"counter_totals\":";
+     << ",\"shuffle_ns\":" << metrics.shuffle_ns
+     << ",\"shuffle_spilled_bytes\":" << metrics.shuffle_spilled_bytes
+     << ",\"shuffle_spill_files\":" << metrics.shuffle_spill_files
+     << ",\"blocks_pruned\":" << metrics.blocks_pruned
+     << ",\"bytes_read\":" << metrics.bytes_read
+     << ",\"bytes_pruned\":" << metrics.bytes_pruned << ",\"counter_totals\":";
   append_counters(os, metrics.counter_totals());
   os << ",\"failures\":";
   append_failure_report(os, metrics.failure_report());

@@ -20,11 +20,15 @@
 // decision 11 for the full tier definition and the promotion rule.
 #pragma once
 
-// Datasets: the PointSet container, ingest/egress, generators, preparation.
+// Datasets: the PointSet container, ingest/egress, generators, preparation,
+// and the out-of-core layer — the unified DatasetSource abstraction over
+// in-memory sets, streamed CSVs and on-disk .mrb block stores.
+#include "src/dataset/block_store.hpp"
 #include "src/dataset/generators.hpp"
 #include "src/dataset/io.hpp"
 #include "src/dataset/normalize.hpp"
 #include "src/dataset/point_set.hpp"
+#include "src/dataset/source.hpp"
 #include "src/dataset/transforms.hpp"
 
 // Sequential skylines and the service-selection extensions.

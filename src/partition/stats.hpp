@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/dataset/point_set.hpp"
+#include "src/dataset/source.hpp"
 #include "src/partition/partitioner.hpp"
 
 namespace mrsky::part {
@@ -24,6 +25,14 @@ struct PartitionReport {
 /// `ps`. Computes the report for `ps` under that partitioner.
 [[nodiscard]] PartitionReport analyze_partitioning(const Partitioner& partitioner,
                                                    const data::PointSet& ps);
+
+/// Streaming variant: assigns every row of `source` one block at a time
+/// (peak memory one block), producing the same report the PointSet overload
+/// would on the materialised data. Exact sizes matter — they feed the
+/// pipeline's salting decision — so every block is visited, including ones
+/// block pruning will later skip.
+[[nodiscard]] PartitionReport analyze_partitioning(const Partitioner& partitioner,
+                                                   const data::DatasetSource& source);
 
 /// Splits `ps` into per-partition point sets under a fitted partitioner.
 /// Result has exactly partitioner.num_partitions() entries (possibly empty).

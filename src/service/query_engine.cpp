@@ -64,6 +64,9 @@ QueryEngine::QueryEngine(data::PointSet dataset, QueryEngineOptions options)
   snapshot_ = std::move(snap);
 }
 
+QueryEngine::QueryEngine(const data::DatasetSource& source, QueryEngineOptions options)
+    : QueryEngine(source.materialize(), std::move(options)) {}
+
 QueryEngine::~QueryEngine() {
   std::lock_guard<std::mutex> lock(subs_mutex_);
   for (const auto& weak : subs_) {

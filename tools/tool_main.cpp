@@ -2,7 +2,10 @@
 //
 // Subcommands:
 //   generate  — write a synthetic dataset to CSV
-//   skyline   — compute a skyline from a CSV dataset with the MR pipeline
+//   convert   — stage a CSV/.mrsk dataset into an on-disk .mrb block store
+//   inspect   — print a .mrb file's block index (corners, checksums)
+//   skyline   — compute a skyline from a dataset with the MR pipeline;
+//               a .mrb input streams block by block (out-of-core)
 //   report    — partition diagnostics for a dataset under a scheme
 //   simulate  — simulated cluster times across server counts
 //   plan      — recommend a pipeline configuration: static heuristic from
@@ -13,7 +16,9 @@
 //
 // Examples:
 //   mrsky generate --output data.csv --n 10000 --dim 6 --qws
-//   mrsky skyline --input data.csv --scheme angular --servers 8 \
+//   mrsky convert --input data.csv --output data.mrb --block-rows 4096 --order zorder
+//   mrsky inspect --input data.mrb --verify true
+//   mrsky skyline --input data.mrb --scheme angular --servers 8 \
 //         --output skyline.csv --metrics-json metrics.json
 //   mrsky report --input data.csv --scheme grid --partitions 16
 //   mrsky simulate --input data.csv --scheme angular --servers-list 4,8,16,32
@@ -23,7 +28,11 @@
 //       --default-deadline-ms 500 --idle-timeout-ms 30000 --metrics-json serve.json
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <memory>
+#include <span>
+#include <sstream>
 #include <string>
 #include <variant>
 
@@ -35,11 +44,13 @@
 #include "src/core/mr_skyline.hpp"
 #include "src/core/optimality.hpp"
 #include "src/core/planner.hpp"
+#include "src/dataset/block_store.hpp"
 #include "src/dataset/generators.hpp"
 #include "src/dataset/io.hpp"
 #include "src/dataset/record_file.hpp"
 #include "src/dataset/normalize.hpp"
 #include "src/dataset/qws.hpp"
+#include "src/dataset/source.hpp"
 #include "src/common/trace.hpp"
 #include "src/mapreduce/metrics_json.hpp"
 #include "src/mapreduce/trace_export.hpp"
@@ -54,7 +65,8 @@ namespace {
 using namespace mrsky;
 
 int usage() {
-  std::cerr << "usage: mrsky <generate|skyline|report|simulate|plan|query|serve> [--flags]\n"
+  std::cerr << "usage: mrsky "
+               "<generate|convert|inspect|skyline|report|simulate|plan|query|serve> [--flags]\n"
                "run `mrsky <subcommand>` with no flags to see its defaults in action;\n"
                "see tools/tool_main.cpp header for examples.\n";
   return 2;
@@ -67,8 +79,24 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
 
 data::PointSet load_input(const common::CliArgs& args) {
   const std::string path = args.get_string("input", "");
-  MRSKY_REQUIRE(!path.empty(), "--input <file.csv|file.mrsk> is required");
+  MRSKY_REQUIRE(!path.empty(), "--input <file.csv|file.mrsk|file.mrb> is required");
   data::PointSet ps(1);
+  if (has_suffix(path, ".mrb")) {
+    // Subcommands that reach here genuinely need residency (serving,
+    // diagnostics), so a .mrb is materialised whole. Attribute values pass
+    // through untouched: the file was prepared by `mrsky convert`, and
+    // rescaling it here would silently disagree with what `mrsky skyline`
+    // streams. Use `mrsky skyline` for out-of-core execution.
+    const data::BlockStore store(path);
+    if (args.get_bool("lenient", false)) {
+      data::ParseReport report;
+      ps = store.materialize(&report);
+      if (!report.clean()) std::cerr << path << ": " << report.summary();
+    } else {
+      ps = store.materialize();
+    }
+    return ps;
+  }
   if (args.get_bool("lenient", false)) {
     // Tolerant ingest for hand-curated files (the real QWS dataset is a web
     // crawl): malformed rows and corrupted blocks are dropped, not fatal.
@@ -86,6 +114,23 @@ data::PointSet load_input(const common::CliArgs& args) {
   }
   if (args.get_bool("normalize", true)) ps = data::normalize_min_max(ps);
   return ps;
+}
+
+/// The streaming counterpart of load_input, for subcommands that run the
+/// pipeline (`skyline`, `plan`): a .mrb input becomes a BlockStoreSource and
+/// is never materialised — map tasks read blocks and block pruning skips
+/// dominated ones; anything else is loaded resident (with the usual
+/// --lenient / --normalize handling) behind a PointSetSource.
+std::unique_ptr<data::DatasetSource> load_source(const common::CliArgs& args) {
+  const std::string path = args.get_string("input", "");
+  MRSKY_REQUIRE(!path.empty(), "--input <file.csv|file.mrsk|file.mrb> is required");
+  if (has_suffix(path, ".mrb")) {
+    MRSKY_REQUIRE(!args.get_bool("normalize", false),
+                  "--normalize is not supported for .mrb inputs (it would force a full "
+                  "materialising pass); normalize before `mrsky convert`");
+    return std::make_unique<data::BlockStoreSource>(path);
+  }
+  return std::make_unique<data::PointSetSource>(load_input(args));
 }
 
 void save_points(const std::string& path, const data::PointSet& ps) {
@@ -116,6 +161,13 @@ core::MRSkylineConfig config_from(const common::CliArgs& args) {
   config.run_options.skip_bad_records = args.get_bool("skip-bad-records", false);
   config.run_options.max_skipped_records =
       static_cast<std::size_t>(args.get_int("max-skipped-records", 16));
+
+  // Out-of-core knobs (meaningful for .mrb inputs; validate_for rejects a
+  // spill budget when the source is resident anyway).
+  config.block_prune = args.get_bool("block-prune", config.block_prune);
+  config.run_options.shuffle_spill_bytes =
+      static_cast<std::uint64_t>(args.get_int("spill-bytes", 0));
+  config.run_options.spill_dir = args.get_string("spill-dir", "");
   // Fail here, before any dataset is loaded, with every flag problem in one
   // message (run_mr_skyline would catch them too, but later and after I/O).
   config.validate_or_throw();
@@ -167,8 +219,117 @@ int cmd_generate(const common::CliArgs& args) {
   return 0;
 }
 
+int cmd_convert(const common::CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const std::string output = args.get_string("output", "");
+  MRSKY_REQUIRE(!input.empty(), "--input <file.csv|file.mrsk> is required");
+  MRSKY_REQUIRE(!output.empty(), "--output <file.mrb> is required");
+  MRSKY_REQUIRE(has_suffix(output, ".mrb"), "--output must end in .mrb");
+  MRSKY_REQUIRE(!has_suffix(input, ".mrb"), "--input is already a .mrb block store");
+  const auto block_rows = static_cast<std::size_t>(args.get_int(
+      "block-rows", static_cast<std::int64_t>(data::blockfmt::kDefaultBlockRows)));
+  MRSKY_REQUIRE(block_rows > 0, "--block-rows must be positive");
+
+  // Conversion is a container change, so rows pass through verbatim unless
+  // --normalize true is given explicitly (note: opposite default from the
+  // query subcommands — the .mrb should hold exactly what later runs read).
+  data::PointSet ps(1);
+  if (args.get_bool("lenient", false)) {
+    data::ParseReport report;
+    if (has_suffix(input, ".mrsk")) {
+      ps = data::read_record_file(input, &report);
+    } else {
+      data::CsvReadOptions options;
+      options.lenient = true;
+      ps = data::read_csv_file(input, options, &report);
+    }
+    if (!report.clean()) std::cerr << input << ": " << report.summary();
+  } else {
+    ps = has_suffix(input, ".mrsk") ? data::read_record_file(input) : data::read_csv_file(input);
+  }
+  if (args.get_bool("normalize", false)) ps = data::normalize_min_max(ps);
+
+  const std::string order = args.get_string("order", "input");
+  if (order == "zorder") {
+    ps = ps.select(data::zorder_permutation(ps));
+  } else {
+    MRSKY_REQUIRE(order == "input", "--order must be 'input' or 'zorder', got '" + order + "'");
+  }
+
+  data::write_block_store(output, ps, block_rows);
+  const data::BlockStore store(output);
+  std::cout << "wrote " << store.rows() << " points x " << store.dim() << " attributes to "
+            << output << ": " << store.block_count() << " blocks of <= " << store.block_rows()
+            << " rows, " << store.file_bytes() << " bytes"
+            << (order == "zorder" ? ", z-ordered" : "") << "\n";
+  return 0;
+}
+
+std::string format_corner(std::span<const double> corner) {
+  std::ostringstream os;
+  os << std::setprecision(3) << "(";
+  const std::size_t shown = corner.size() < 4 ? corner.size() : 4;
+  for (std::size_t a = 0; a < shown; ++a) {
+    if (a > 0) os << ",";
+    os << corner[a];
+  }
+  if (corner.size() > shown) os << ",..";
+  os << ")";
+  return os.str();
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+int cmd_inspect(const common::CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  MRSKY_REQUIRE(!input.empty(), "--input <file.mrb> is required");
+  MRSKY_REQUIRE(has_suffix(input, ".mrb"),
+                "inspect reads .mrb block stores (see `mrsky convert`)");
+  const data::BlockStore store(input);
+
+  std::cout << input << ": " << store.rows() << " points x " << store.dim() << " attributes, "
+            << store.block_count() << " blocks of <= " << store.block_rows() << " rows, "
+            << store.file_bytes() << " bytes\n";
+
+  // --block-skylines additionally runs the dominance kernel straight off each
+  // mapped block (the layout-is-the-compute-layout demonstration); it reads
+  // every payload, where the plain index table touches only the footer.
+  const bool block_skylines = args.get_bool("block-skylines", false);
+  std::vector<std::string> header = {"block", "rows", "bytes", "checksum", "min_corner",
+                                     "max_corner"};
+  if (block_skylines) header.push_back("local_sky");
+  common::Table table(header);
+  for (std::size_t b = 0; b < store.block_count(); ++b) {
+    std::vector<std::string> row = {
+        common::Table::fmt(b), common::Table::fmt(store.rows_in_block(b)),
+        common::Table::fmt(static_cast<std::size_t>(store.block_payload_bytes(b))),
+        hex64(store.block_checksum(b)), format_corner(store.block_min(b)),
+        format_corner(store.block_max(b))};
+    if (block_skylines) {
+      row.push_back(common::Table::fmt(store.block_skyline_rows(b).size()));
+      store.release(b);
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout, "block index");
+
+  if (args.get_bool("verify", false)) {
+    for (std::size_t b = 0; b < store.block_count(); ++b) {
+      store.verify_block(b);
+      store.release(b);
+    }
+    std::cout << "verified: all " << store.block_count()
+              << " payload checksums match the footer\n";
+  }
+  return 0;
+}
+
 int cmd_skyline(const common::CliArgs& args) {
-  const data::PointSet ps = load_input(args);
+  const auto source = load_source(args);
   auto config = config_from(args);
 
   // Span tracing: record the real pipeline execution (tasks, attempts,
@@ -178,12 +339,17 @@ int cmd_skyline(const common::CliArgs& args) {
   const std::string trace_out = args.get_string("trace-out", "");
   if (!trace_out.empty()) config.run_options.trace = &recorder;
 
-  const auto result = core::run_mr_skyline(ps, config);
+  const auto result = core::run_mr_skyline(*source, config);
 
-  std::cout << "input:   " << ps.size() << " points x " << ps.dim() << " attributes\n"
+  std::cout << "input:   " << source->describe() << "\n"
             << "scheme:  " << part::to_string(config.scheme) << " ("
             << result.local_skylines.size() << " partitions)\n"
             << "skyline: " << result.skyline.size() << " points\n";
+  if (result.partition_job.bytes_read > 0 || result.partition_job.blocks_pruned > 0) {
+    std::cout << "blocks:  " << result.partition_job.bytes_read << " bytes read, "
+              << result.partition_job.blocks_pruned << " blocks ("
+              << result.partition_job.bytes_pruned << " bytes) pruned before read\n";
+  }
   if (result.plan.engaged) {
     std::cout << "planner: resolved auto -> " << part::to_string(result.plan.scheme) << " Np="
               << result.plan.partitions << " fan=" << result.plan.merge_fan_in << " salt="
@@ -265,14 +431,14 @@ int cmd_plan(const common::CliArgs& args) {
   // and prints the full candidate table — planning only, no pipeline run.
   // Without: the static (N, d, servers) heuristic, as before.
   if (!args.get_string("input", "").empty()) {
-    const data::PointSet ps = load_input(args);
+    const auto source = load_source(args);
     core::MRSkylineConfig base;
     base.servers = static_cast<std::size_t>(args.get_int("servers", 8));
     base.salt_target_factor = args.get_double("salt-target-factor", base.salt_target_factor);
     core::AdaptivePlannerOptions popts;
     popts.sample_size = static_cast<std::size_t>(args.get_int("sample-size", 2048));
     popts.sample_seed = static_cast<std::uint64_t>(args.get_int("sample-seed", 0x5a3e));
-    const core::AdaptivePlan plan = core::AdaptivePlanner(popts).plan(ps, base);
+    const core::AdaptivePlan plan = core::AdaptivePlanner(popts).plan(*source, base);
 
     common::Table table({"scheme", "Np", "fan", "salt", "pred_ms", "balance_cv", "prunable_%",
                          "merge_in"});
@@ -284,7 +450,7 @@ int cmd_plan(const common::CliArgs& args) {
                      common::Table::fmt(c.prunable_fraction * 100.0, 1),
                      common::Table::fmt(c.predicted_merge_input, 0)});
     }
-    table.print(std::cout, "adaptive plan candidates (" + std::to_string(ps.size()) +
+    table.print(std::cout, "adaptive plan candidates (" + std::to_string(source->size()) +
                                " points, " + std::to_string(plan.sample_points) + " sampled)");
     std::cout << "\nchosen: --scheme " << part::to_string(plan.config.scheme) << " --partitions "
               << plan.config.effective_partitions() << " --servers " << plan.config.servers;
@@ -332,6 +498,20 @@ int cmd_simulate(const common::CliArgs& args) {
   return 0;
 }
 
+/// Builds the resident engine for `query`/`serve`. Serving is resident by
+/// design (DESIGN.md decision 16): a .mrb input goes through the QueryEngine
+/// DatasetSource constructor, which materialises it once at startup; other
+/// inputs load through load_input as before.
+std::unique_ptr<service::QueryEngine> make_engine(const common::CliArgs& args,
+                                                  service::QueryEngineOptions options) {
+  const std::string path = args.get_string("input", "");
+  if (has_suffix(path, ".mrb")) {
+    return std::make_unique<service::QueryEngine>(data::BlockStoreSource(path),
+                                                  std::move(options));
+  }
+  return std::make_unique<service::QueryEngine>(load_input(args), std::move(options));
+}
+
 /// Loads an insert-command file verbatim (no normalisation — insert batches
 /// must already be in the resident dataset's attribute space; re-normalising
 /// per file would shift every batch onto a different scale).
@@ -352,7 +532,8 @@ int cmd_query(const common::CliArgs& args) {
   options.cache_capacity = static_cast<std::size_t>(args.get_int("cache-capacity", 64));
   if (!trace_out.empty()) options.trace = &recorder;
 
-  service::QueryEngine engine(load_input(args), options);
+  const auto engine_ptr = make_engine(args, options);
+  service::QueryEngine& engine = *engine_ptr;
   std::cout << "dataset: " << engine.dataset().size() << " points x " << engine.dataset().dim()
             << " attributes\n";
 
@@ -451,7 +632,8 @@ int cmd_serve(const common::CliArgs& args) {
   service::QueryEngineOptions options;
   options.config = config_from(args);
   options.cache_capacity = static_cast<std::size_t>(args.get_int("cache-capacity", 64));
-  service::QueryEngine engine(load_input(args), options);
+  const auto engine_ptr = make_engine(args, options);
+  service::QueryEngine& engine = *engine_ptr;
 
   server::ServerOptions server_options;
   server_options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
@@ -555,6 +737,8 @@ int main(int argc, char** argv) {
   try {
     const common::CliArgs args(argc - 1, argv + 1);
     if (subcommand == "generate") return cmd_generate(args);
+    if (subcommand == "convert") return cmd_convert(args);
+    if (subcommand == "inspect") return cmd_inspect(args);
     if (subcommand == "skyline") return cmd_skyline(args);
     if (subcommand == "report") return cmd_report(args);
     if (subcommand == "simulate") return cmd_simulate(args);
